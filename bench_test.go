@@ -1,0 +1,276 @@
+// Benchmarks regenerating the paper's evaluation (§4), one group per
+// table plus the supplementary measurements. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration is one complete round trip through a real
+// protocol stack over the in-memory ethernet, so ns/op here corresponds
+// to the paper's "Latency" columns (orderings and ratios, not absolute
+// Sun 3/75 milliseconds); the *_16K benchmarks correspond to the
+// throughput workload (16k request, null reply). cmd/xkbench prints the
+// same measurements formatted as the paper's tables with the published
+// numbers alongside.
+package xkernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xkernel"
+	"xkernel/internal/bench"
+	"xkernel/internal/msg"
+	"xkernel/internal/psync"
+	"xkernel/internal/sim"
+)
+
+// run builds a fresh testbed for the named stack and measures
+// RoundTrip(payload) per iteration.
+func run(b *testing.B, stack bench.Stack, payloadSize int) {
+	b.Helper()
+	tb, err := bench.Build(stack, sim.Config{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := msg.MakeData(payloadSize)
+	if payloadSize == 0 {
+		payload = nil
+	}
+	// Warm the session caches: the paper measures steady state.
+	if err := tb.End.RoundTrip(payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.End.RoundTrip(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table I: Evaluating VIP ----
+
+func BenchmarkTable1_NRPC_Null(b *testing.B)    { run(b, bench.NRPC, 0) }
+func BenchmarkTable1_MRPCEth_Null(b *testing.B) { run(b, bench.MRPCEth, 0) }
+func BenchmarkTable1_MRPCIP_Null(b *testing.B)  { run(b, bench.MRPCIP, 0) }
+func BenchmarkTable1_MRPCVIP_Null(b *testing.B) { run(b, bench.MRPCVIP, 0) }
+
+func BenchmarkTable1_NRPC_16K(b *testing.B)    { run(b, bench.NRPC, 16*1024) }
+func BenchmarkTable1_MRPCEth_16K(b *testing.B) { run(b, bench.MRPCEth, 16*1024) }
+func BenchmarkTable1_MRPCIP_16K(b *testing.B)  { run(b, bench.MRPCIP, 16*1024) }
+func BenchmarkTable1_MRPCVIP_16K(b *testing.B) { run(b, bench.MRPCVIP, 16*1024) }
+
+// ---- Table II: Monolithic RPC versus Layered RPC ----
+
+func BenchmarkTable2_MRPCVIP_Null(b *testing.B) { run(b, bench.MRPCVIP, 0) }
+func BenchmarkTable2_LRPCVIP_Null(b *testing.B) { run(b, bench.LRPCVIP, 0) }
+func BenchmarkTable2_MRPCVIP_16K(b *testing.B)  { run(b, bench.MRPCVIP, 16*1024) }
+func BenchmarkTable2_LRPCVIP_16K(b *testing.B)  { run(b, bench.LRPCVIP, 16*1024) }
+
+// The incremental-cost columns: the 1k–16k sweep for both versions.
+func BenchmarkTable2_Sweep(b *testing.B) {
+	for _, stack := range []bench.Stack{bench.MRPCVIP, bench.LRPCVIP} {
+		for _, size := range []int{1024, 4096, 8192, 16384} {
+			b.Run(fmt.Sprintf("%s/%dB", stack, size), func(b *testing.B) {
+				run(b, stack, size)
+			})
+		}
+	}
+}
+
+// ---- Table III: Cost of Individual RPC Layers ----
+
+func BenchmarkTable3_VIP(b *testing.B)            { run(b, bench.VIPOnly, 0) }
+func BenchmarkTable3_FragVIP(b *testing.B)        { run(b, bench.FragVIP, 0) }
+func BenchmarkTable3_ChanFragVIP(b *testing.B)    { run(b, bench.ChanFragVIP, 0) }
+func BenchmarkTable3_SelChanFragVIP(b *testing.B) { run(b, bench.SelChanFragVIP, 0) }
+
+// ---- §4.3: Dynamically Removing Layers (Table "IV") ----
+
+func BenchmarkTable4_SelChanVIPsize_Null(b *testing.B) { run(b, bench.SelChanVIPsize, 0) }
+func BenchmarkTable4_SelChanVIPsize_16K(b *testing.B)  { run(b, bench.SelChanVIPsize, 16*1024) }
+
+// ---- Supplementary measurements ----
+
+// X1: the §1 UDP/IP round-trip claim.
+func BenchmarkUDPRoundTrip(b *testing.B) { run(b, bench.UDPIP, 0) }
+
+// X2: §4.2 — FRAGMENT by itself moving 16k messages.
+func BenchmarkFragmentThroughput(b *testing.B) { run(b, bench.FragVIP, 16*1024) }
+
+// X4: §4.1/§5 — VIP's per-message overhead is one length test. The pair
+// of benchmarks isolates it as the M_RPC-VIP minus M_RPC-ETH delta.
+func BenchmarkVIPPushOverhead(b *testing.B) {
+	b.Run("via-eth", func(b *testing.B) { run(b, bench.MRPCEth, 0) })
+	b.Run("via-vip", func(b *testing.B) { run(b, bench.MRPCVIP, 0) })
+}
+
+// X3: §5 mix-and-match — Sun RPC over its compositions.
+func BenchmarkSunRPC(b *testing.B) {
+	for _, comp := range []struct {
+		name string
+		spec string
+	}{
+		{"reqrep-fragment", "vip eth ip\nfragment vip\nreqrep fragment\nsunselect reqrep\n"},
+		{"channel-fragment", "vip eth ip\nfragment vip\nchannel fragment\nsunselect channel\n"},
+		{"reqrep-vip", "vip eth ip\nreqrep vip\nsunselect reqrep\n"},
+	} {
+		for _, size := range []int{0, 8 * 1024} {
+			b.Run(fmt.Sprintf("%s/%dB", comp.name, size), func(b *testing.B) {
+				benchSunRPC(b, comp.spec, size)
+			})
+		}
+	}
+}
+
+func benchSunRPC(b *testing.B, spec string, size int) {
+	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []*xkernel.Kernel{client, server} {
+		if err := k.Compose(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ssel, err := server.SunSelect("sunselect")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ssel.Register(1, 1, 1, func(*xkernel.Msg) (*xkernel.Msg, error) {
+		return xkernel.EmptyMsg(), nil
+	})
+	csel, err := client.SunSelect("sunselect")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := csel.Open(xkernel.NewApp("app", nil),
+		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sess.(*xkernel.SunSelectSession)
+	payload := msg.MakeData(size)
+	if _, err := s.CallBytes(1, 1, 1, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CallBytes(1, 1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// X5: Psync reusing FRAGMENT for 16k messages (§3.2, §5).
+func BenchmarkPsyncOverFragment(b *testing.B) {
+	for _, size := range []int{64, 16 * 1024} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchPsync(b, size)
+		})
+	}
+}
+
+func benchPsync(b *testing.B, size int) {
+	spec := "vip eth ip\nfragment vip\npsync fragment\n"
+	a, peer, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []*xkernel.Kernel{a, peer} {
+		if err := k.Compose(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pa, err := a.Psync("psync")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := peer.Psync("psync")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := []xkernel.IPAddr{a.Addr(), peer.Addr()}
+	delivered := 0
+	if _, err := pb.Join(77, hosts, func(psync.Message) { delivered++ }); err != nil {
+		b.Fatal(err)
+	}
+	conv, err := pa.Join(77, hosts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := msg.MakeData(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// §5 postscript: TCP rebuilt without IP-header dependencies composes
+// over IP and VIP alike; the benchmark streams data through both.
+func BenchmarkTCPStream(b *testing.B) {
+	for _, lower := range []string{"ip", "vip"} {
+		b.Run(lower, func(b *testing.B) { benchTCP(b, lower) })
+	}
+}
+
+func benchTCP(b *testing.B, lower string) {
+	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := "tcp ip\n"
+	if lower == "vip" {
+		spec = "vip eth ip\ntcp vip\n"
+	}
+	for _, k := range []*xkernel.Kernel{client, server} {
+		if err := k.Compose(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stp, err := server.TCP("tcp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	received := 0
+	app := xkernel.NewApp("sink", func(s xkernel.Session, m *xkernel.Msg) error {
+		received += m.Len()
+		return nil
+	})
+	if err := stp.OpenEnable(app, xkernel.LocalOnly(xkernel.NewParticipant(xkernel.TCPPort(80)))); err != nil {
+		b.Fatal(err)
+	}
+	ctp, err := client.TCP("tcp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := ctp.Open(xkernel.NewApp("src", nil), xkernel.NewParticipants(
+		xkernel.NewParticipant(xkernel.TCPPort(40000)),
+		xkernel.NewParticipant(server.Addr(), xkernel.TCPPort(80)),
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := sess.(*xkernel.TCPConn)
+	chunk := msg.MakeData(8 * 1024)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Push(xkernel.NewMsg(chunk)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if received != b.N*len(chunk) {
+		b.Fatalf("received %d of %d bytes", received, b.N*len(chunk))
+	}
+}

@@ -1,0 +1,135 @@
+// Command xktrace runs one RPC through a chosen protocol configuration
+// with tracing enabled, printing the shepherd's path through the
+// protocol and session objects — the runnable counterpart of the
+// paper's Figure 1(b).
+//
+//	xktrace                    # layered RPC, event-level trace
+//	xktrace -stack mono        # monolithic Sprite RPC over VIP
+//	xktrace -stack bypass      # the §4.3 VIPsize composition
+//	xktrace -packets           # per-packet detail
+//	xktrace -size 8192         # a fragmented call
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xkernel"
+)
+
+var specs = map[string]string{
+	"layered": `
+vip      eth ip
+fragment vip
+channel  fragment
+select   channel
+`,
+	"mono": `
+vip  eth ip
+mrpc vip
+`,
+	"bypass": `
+vipaddr  eth ip
+fragment vipaddr
+vipsize  fragment vipaddr
+channel  vipsize
+select   channel
+`,
+}
+
+func main() {
+	stack := flag.String("stack", "layered", "configuration: layered, mono, or bypass")
+	packets := flag.Bool("packets", false, "trace every push/pop/demux, not just events")
+	size := flag.Int("size", 0, "request payload bytes (0 = null call)")
+	flag.Parse()
+
+	spec, ok := specs[*stack]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xktrace: unknown stack %q (want layered, mono, or bypass)\n", *stack)
+		os.Exit(1)
+	}
+
+	xkernel.SetTraceOutput(os.Stdout)
+	if *packets {
+		xkernel.SetTraceLevel(xkernel.TracePackets)
+	} else {
+		xkernel.SetTraceLevel(xkernel.TraceEvents)
+	}
+
+	if err := run(spec, *stack, *size); err != nil {
+		fmt.Fprintf(os.Stderr, "xktrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, stack string, size int) error {
+	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		return err
+	}
+	if err := client.Compose(spec); err != nil {
+		return err
+	}
+	if err := server.Compose(spec); err != nil {
+		return err
+	}
+
+	fmt.Println("--- client kernel ---")
+	fmt.Print(client.Graph())
+	fmt.Println("--- server kernel ---")
+	fmt.Print(server.Graph())
+	fmt.Printf("--- one call, %d-byte request ---\n", size)
+
+	echo := func(_ uint16, args *xkernel.Msg) (*xkernel.Msg, error) {
+		return xkernel.NewMsg(args.Bytes()), nil
+	}
+
+	if stack == "mono" {
+		srv, err := server.MRPC("mrpc")
+		if err != nil {
+			return err
+		}
+		srv.Register(1, echo)
+		cli, err := client.MRPC("mrpc")
+		if err != nil {
+			return err
+		}
+		sess, err := cli.Open(xkernel.NewApp("app", nil),
+			&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+		if err != nil {
+			return err
+		}
+		reply, err := sess.(interface {
+			CallBytes(uint16, []byte) ([]byte, error)
+		}).CallBytes(1, xkernel.MakeData(size))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- reply: %d bytes ---\n", len(reply))
+		return nil
+	}
+
+	ssel, err := server.Select("select")
+	if err != nil {
+		return err
+	}
+	ssel.Register(1, echo)
+	csel, err := client.Select("select")
+	if err != nil {
+		return err
+	}
+	sess, err := csel.Open(xkernel.NewApp("app", nil),
+		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+	if err != nil {
+		return err
+	}
+	reply, err := sess.(interface {
+		CallBytes(uint16, []byte) ([]byte, error)
+	}).CallBytes(1, xkernel.MakeData(size))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- reply: %d bytes ---\n", len(reply))
+	return nil
+}

@@ -1,0 +1,371 @@
+package xkernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xkernel/internal/proto/tcp"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/psync"
+	"xkernel/internal/rpc/auth"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/rpc/mrpc"
+	"xkernel/internal/rpc/nrpc"
+	"xkernel/internal/rpc/selectp"
+	"xkernel/internal/rpc/sunrpc"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// Kernel is one configured host: the base protocol graph (drivers, ARP,
+// IP, UDP, ICMP) plus whatever the composition spec adds on top. It is
+// the unit the paper calls "a given instance of the x-kernel"
+// (Figure 1).
+type Kernel struct {
+	host  *stacks.Host
+	protl map[string]Protocol
+	below map[string][]string // graph edges for printing
+	order []string
+	mechs map[string]auth.Mechanism
+}
+
+// NewKernel attaches a host to its network and builds the base graph.
+func NewKernel(cfg Config) (*Kernel, error) {
+	h, err := stacks.NewHost(stacks.HostConfig{
+		Name:    cfg.Name,
+		Eth:     cfg.Eth,
+		IP:      cfg.Addr,
+		Mask:    cfg.Mask,
+		Network: cfg.Network,
+		Clock:   cfg.Clock,
+		Forward: cfg.Forward,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(h), nil
+}
+
+func wrap(h *stacks.Host) *Kernel {
+	k := &Kernel{
+		host:  h,
+		protl: make(map[string]Protocol),
+		below: make(map[string][]string),
+		mechs: map[string]auth.Mechanism{"auth": auth.None{}},
+	}
+	for name, p := range map[string]Protocol{
+		"eth":  h.Eth,
+		"arp":  h.ARP,
+		"ip":   h.IP,
+		"udp":  h.UDP,
+		"icmp": h.ICMP,
+	} {
+		k.protl[name] = p
+		k.order = append(k.order, name)
+	}
+	sort.Strings(k.order) // deterministic builtin order
+	k.below["arp"] = []string{"eth"}
+	k.below["ip"] = []string{"eth"}
+	k.below["udp"] = []string{"ip"}
+	k.below["icmp"] = []string{"ip"}
+	return k
+}
+
+// Name reports the host name.
+func (k *Kernel) Name() string { return k.host.Name }
+
+// Addr reports the host's internet address.
+func (k *Kernel) Addr() IPAddr {
+	v, err := k.host.IP.Control(xk.CtlGetMyHost, nil)
+	if err != nil {
+		panic(err) // the base graph always answers this
+	}
+	return v.(IPAddr)
+}
+
+// Host exposes the underlying wiring for advanced callers (the bench
+// harness, tests).
+func (k *Kernel) Host() *stacks.Host { return k.host }
+
+// Get returns a configured protocol instance by name.
+func (k *Kernel) Get(name string) (Protocol, bool) {
+	p, ok := k.protl[name]
+	return p, ok
+}
+
+// MustGet is Get for instances the caller knows exist.
+func (k *Kernel) MustGet(name string) Protocol {
+	p, ok := k.protl[name]
+	if !ok {
+		panic(fmt.Sprintf("xkernel: no protocol instance %q in kernel %s", name, k.Name()))
+	}
+	return p
+}
+
+// AddMechanism registers an authentication mechanism for use by
+// "auth:<name>" lines in composition specs.
+func (k *Kernel) AddMechanism(name string, mech auth.Mechanism) {
+	k.mechs[name] = mech
+}
+
+// Compose extends the kernel's protocol graph from a spec: one line per
+// instance, "name[:kind] lower...", where kind defaults to name and
+// lower instances must already exist. Blank lines and #-comments are
+// ignored.
+//
+// Kinds: vip, vipaddr, vipsize, ethmap, fragment, channel, select,
+// mrpc, nrpc, reqrep, sunselect, auth, psync, tcp (plus the builtins
+// eth, arp, ip, udp, icmp, which exist in every kernel).
+func (k *Kernel) Compose(spec string) error {
+	for lineno, raw := range strings.Split(spec, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		name, kind := fields[0], fields[0]
+		if i := strings.IndexByte(fields[0], ':'); i >= 0 {
+			name, kind = fields[0][:i], fields[0][i+1:]
+		}
+		if _, dup := k.protl[name]; dup {
+			return fmt.Errorf("xkernel: line %d: instance %q already exists", lineno+1, name)
+		}
+		var lower []Protocol
+		for _, dep := range fields[1:] {
+			p, ok := k.protl[dep]
+			if !ok {
+				return fmt.Errorf("xkernel: line %d: unknown lower protocol %q", lineno+1, dep)
+			}
+			lower = append(lower, p)
+		}
+		p, err := k.build(name, kind, lower)
+		if err != nil {
+			return fmt.Errorf("xkernel: line %d: %w", lineno+1, err)
+		}
+		k.protl[name] = p
+		k.below[name] = fields[1:]
+		k.order = append(k.order, name)
+	}
+	return nil
+}
+
+// build instantiates one protocol of the given kind.
+func (k *Kernel) build(name, kind string, lower []Protocol) (Protocol, error) {
+	full := k.host.Name + "/" + name
+	need := func(n int) error {
+		if len(lower) != n {
+			return fmt.Errorf("%s needs %d lower protocol(s), got %d", kind, n, len(lower))
+		}
+		return nil
+	}
+	switch kind {
+	case "vip":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return vip.New(full, lower[0], lower[1], k.host.ARP)
+	case "vipaddr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return vip.NewAddr(full, lower[0], lower[1], k.host.ARP)
+	case "vipsize":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return vip.NewSize(full, lower[0], lower[1], k.host.ARP)
+	case "ethmap":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return vip.NewEthMap(full, lower[0], k.host.ARP), nil
+	case "fragment":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return fragment.New(full, lower[0], k.Addr(), fragment.Config{Clock: k.host.Clock})
+	case "channel":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return channel.New(full, lower[0], channel.Config{Clock: k.host.Clock})
+	case "select":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return selectp.New(full, lower[0], selectp.Config{})
+	case "mrpc":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return mrpc.New(full, lower[0], k.Addr(), mrpc.Config{Clock: k.host.Clock})
+	case "nrpc":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return nrpc.New(full, lower[0], k.Addr(), nrpc.Config{Clock: k.host.Clock})
+	case "reqrep":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return sunrpc.NewReqRep(full, lower[0], sunrpc.ReqRepConfig{Clock: k.host.Clock})
+	case "sunselect":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return sunrpc.NewSelect(full, lower[0], sunrpc.SelectConfig{})
+	case "auth":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		mech, ok := k.mechs[name]
+		if !ok {
+			return nil, fmt.Errorf("no mechanism registered under %q (use AddMechanism)", name)
+		}
+		return auth.NewLayer(full, lower[0], mech), nil
+	case "tcp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return tcp.New(full, lower[0], tcp.Config{Clock: k.host.Clock})
+	case "psync":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return psync.New(full, lower[0], k.Addr(), psync.Config{Clock: k.host.Clock})
+	default:
+		return nil, fmt.Errorf("unknown protocol kind %q", kind)
+	}
+}
+
+// Graph renders the kernel's protocol graph, one "name kind-below..."
+// line per instance in configuration order — the printable counterpart
+// of the spec, used by cmd/xkgraph.
+func (k *Kernel) Graph() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s (%s)\n", k.Name(), k.Addr())
+	for _, name := range k.order {
+		deps := k.below[name]
+		if len(deps) == 0 {
+			fmt.Fprintf(&b, "  %-12s (driver)\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s -> %s\n", name, strings.Join(deps, ", "))
+	}
+	return b.String()
+}
+
+// Instances lists the configured protocol instance names in order.
+func (k *Kernel) Instances() []string {
+	return append([]string(nil), k.order...)
+}
+
+// EnableVIPDiscovery starts the §3.1 advertisement generalization on
+// this kernel: broadcast that this host accepts the given protocol
+// numbers over VIP (re-announcing every interval; zero means announce
+// only when Announce is called on the returned Announcer), collect
+// peers' announcements into a directory, and switch the named VIP
+// instance's open-time locality test from ARP probing to the table.
+func (k *Kernel) EnableVIPDiscovery(vipName string, protos []ProtoNum, interval time.Duration) (*VIPDirectory, *VIPAnnouncer, error) {
+	p, ok := k.protl[vipName]
+	if !ok {
+		return nil, nil, fmt.Errorf("xkernel: no instance %q", vipName)
+	}
+	v, ok := p.(*vip.Protocol)
+	if !ok {
+		return nil, nil, fmt.Errorf("xkernel: %q is %T, not VIP", vipName, p)
+	}
+	dir := vip.NewDirectory(k.host.Clock, 0)
+	ann, err := vip.NewAnnouncer(k.host.Name+"/vipd", k.host.Eth, k.Addr(), protos, dir, interval, k.host.Clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	v.SetDirectory(dir)
+	return dir, ann, nil
+}
+
+// Typed accessors for the protocol kinds callers drive directly.
+
+// Select returns a SELECT instance by name.
+func (k *Kernel) Select(name string) (*selectp.Protocol, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*selectp.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not SELECT", name, p)
+	}
+	return s, nil
+}
+
+// MRPC returns a monolithic Sprite RPC instance by name.
+func (k *Kernel) MRPC(name string) (*mrpc.Protocol, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*mrpc.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not M.RPC", name, p)
+	}
+	return s, nil
+}
+
+// TCP returns a TCP instance by name.
+func (k *Kernel) TCP(name string) (*TCPProtocol, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*TCPProtocol)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not TCP", name, p)
+	}
+	return s, nil
+}
+
+// NRPC returns a native-style RPC analogue instance by name.
+func (k *Kernel) NRPC(name string) (*NRPCProtocol, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*NRPCProtocol)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not N.RPC", name, p)
+	}
+	return s, nil
+}
+
+// SunSelect returns a SUN_SELECT instance by name.
+func (k *Kernel) SunSelect(name string) (*sunrpc.Select, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*sunrpc.Select)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not SUN_SELECT", name, p)
+	}
+	return s, nil
+}
+
+// Psync returns a Psync instance by name.
+func (k *Kernel) Psync(name string) (*psync.Protocol, error) {
+	p, ok := k.protl[name]
+	if !ok {
+		return nil, fmt.Errorf("xkernel: no instance %q", name)
+	}
+	s, ok := p.(*psync.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("xkernel: %q is %T, not Psync", name, p)
+	}
+	return s, nil
+}

@@ -1,0 +1,3 @@
+module xkernel
+
+go 1.22

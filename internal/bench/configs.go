@@ -1,0 +1,535 @@
+// Package bench builds the protocol configurations the paper's
+// experiments measure (§4) and provides the harness that regenerates
+// Tables I–III and the §4.3 dynamic-layer-removal result.
+//
+// Every configuration is assembled from the same building blocks the
+// rest of the repository uses — the point of the exercise is that these
+// stacks differ only in which protocols are composed, never in the
+// protocols themselves.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/proto/udp"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/rpc/mrpc"
+	"xkernel/internal/rpc/nrpc"
+	"xkernel/internal/rpc/selectp"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// Commands served by every test server.
+const (
+	// CmdNull returns a null reply regardless of the request payload —
+	// the paper's workload for both latency (null request) and
+	// throughput (1k–16k requests) tests.
+	CmdNull uint16 = 1
+	// CmdEcho returns the request payload, for correctness tests.
+	CmdEcho uint16 = 2
+)
+
+// Stack names the protocol configurations, written the way the paper
+// writes them.
+type Stack string
+
+// The measured configurations.
+const (
+	NRPC           Stack = "N_RPC"                       // native-style analogue (see package nrpc)
+	MRPCEth        Stack = "M_RPC-ETH"                   // Table I
+	MRPCIP         Stack = "M_RPC-IP"                    // Table I
+	MRPCVIP        Stack = "M_RPC-VIP"                   // Tables I, II
+	LRPCVIP        Stack = "L_RPC-VIP"                   // Table II (SELECT-CHANNEL-FRAGMENT-VIP)
+	VIPOnly        Stack = "VIP"                         // Table III
+	FragVIP        Stack = "FRAGMENT-VIP"                // Table III
+	ChanFragVIP    Stack = "CHANNEL-FRAGMENT-VIP"        // Table III
+	SelChanFragVIP Stack = "SELECT-CHANNEL-FRAGMENT-VIP" // Table III (= L_RPC-VIP)
+	SelChanVIPsize Stack = "SELECT-CHANNEL-VIPsize"      // §4.3, Figure 3(b)
+	UDPIP          Stack = "UDP-IP-ETH"                  // §1 round-trip claim
+)
+
+// Endpoint is a client able to perform the paper's test operation: a
+// round trip carrying payload out and a null (or echoed) reply back.
+type Endpoint interface {
+	// RoundTrip sends payload to the server's null procedure and
+	// returns when the reply arrives.
+	RoundTrip(payload []byte) error
+	// Echo sends payload to the echo procedure and returns the reply.
+	Echo(payload []byte) ([]byte, error)
+}
+
+// Testbed is a built configuration: two hosts on an isolated simulated
+// ethernet with the stack composed on both, plus the client endpoint.
+type Testbed struct {
+	Stack   Stack
+	Client  *stacks.Host
+	Server  *stacks.Host
+	Network *sim.Network
+	End     Endpoint
+
+	// MaxMsg is the largest payload the endpoint accepts.
+	MaxMsg int
+}
+
+// ServerAddr is where every testbed's server lives.
+var ServerAddr = xk.IP(10, 0, 0, 2)
+
+// Build assembles the named configuration over a fresh two-host network.
+func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) {
+	client, server, network, err := stacks.TwoHosts(netCfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Stack: stack, Client: client, Server: server, Network: network, MaxMsg: 16 * 1024}
+
+	switch stack {
+	case NRPC:
+		tb.End, err = buildNRPC(client, server, clock)
+	case MRPCEth, MRPCIP, MRPCVIP:
+		tb.End, err = buildMRPC(stack, client, server, clock)
+	case LRPCVIP, SelChanFragVIP:
+		tb.End, err = buildLayered(client, server, clock, 4)
+	case ChanFragVIP:
+		tb.End, err = buildLayered(client, server, clock, 3)
+	case FragVIP:
+		tb.End, err = buildLayered(client, server, clock, 2)
+	case VIPOnly:
+		tb.End, err = buildLayered(client, server, clock, 1)
+	case SelChanVIPsize:
+		tb.End, err = buildVIPsize(client, server, clock)
+	case UDPIP:
+		tb.MaxMsg = 60 * 1024
+		tb.End, err = buildUDP(client, server)
+	default:
+		return nil, fmt.Errorf("bench: unknown stack %q", stack)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: building %s: %w", stack, err)
+	}
+	return tb, nil
+}
+
+// benchFragCfg configures FRAGMENT for timing runs: protocol behaviour is
+// unchanged on a loss-free wire, but the send-hold window is short so the
+// saved copies of swept 16k messages do not pile up as live heap and
+// distort the garbage collector's behaviour during later measurements.
+func benchFragCfg(clock event.Clock) fragment.Config {
+	return fragment.Config{Clock: clock, SendHold: 10 * time.Millisecond}
+}
+
+// newVIP composes a VIP instance for one host.
+func newVIP(h *stacks.Host) (*vip.Protocol, error) {
+	return vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+}
+
+func hostAddr(h *stacks.Host) xk.IPAddr {
+	v, err := h.IP.Control(xk.CtlGetMyHost, nil)
+	if err != nil {
+		panic(err)
+	}
+	return v.(xk.IPAddr)
+}
+
+// ---- M.RPC configurations (Table I) ----
+
+type mrpcEndpoint struct{ s *mrpc.Session }
+
+func (e *mrpcEndpoint) RoundTrip(payload []byte) error {
+	_, err := e.s.Call(CmdNull, msg.New(payload))
+	return err
+}
+
+func (e *mrpcEndpoint) Echo(payload []byte) ([]byte, error) {
+	return e.s.CallBytes(CmdEcho, payload)
+}
+
+func buildMRPC(stack Stack, client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
+	lower := func(h *stacks.Host) (xk.Protocol, error) {
+		switch stack {
+		case MRPCEth:
+			return vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP), nil
+		case MRPCIP:
+			return h.IP, nil
+		default:
+			return newVIP(h)
+		}
+	}
+	cfg := mrpc.Config{Clock: clock}
+
+	cllp, err := lower(client)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := mrpc.New(client.Name+"/mrpc", cllp, hostAddr(client), cfg)
+	if err != nil {
+		return nil, err
+	}
+	sllp, err := lower(server)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := mrpc.New(server.Name+"/mrpc", sllp, hostAddr(server), cfg)
+	if err != nil {
+		return nil, err
+	}
+	registerMRPCHandlers(srv)
+
+	app := xk.NewApp("client/app", nil)
+	app.MaxMsg = 1500
+	s, err := cli.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
+	if err != nil {
+		return nil, err
+	}
+	return &mrpcEndpoint{s: s.(*mrpc.Session)}, nil
+}
+
+func registerMRPCHandlers(srv *mrpc.Protocol) {
+	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		return msg.Empty(), nil
+	})
+	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		return args, nil
+	})
+}
+
+// ---- N.RPC analogue ----
+
+func buildNRPC(client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
+	build := func(h *stacks.Host) (*nrpc.Protocol, error) {
+		llp := vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP)
+		return nrpc.New(h.Name+"/nrpc", llp, hostAddr(h), nrpc.Config{Clock: clock})
+	}
+	cli, err := build(client)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := build(server)
+	if err != nil {
+		return nil, err
+	}
+	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) { return msg.Empty(), nil })
+	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) { return args, nil })
+	s, err := cli.OpenSession(ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &nrpcEndpoint{s: s}, nil
+}
+
+type nrpcEndpoint struct{ s *nrpc.Session }
+
+func (e *nrpcEndpoint) RoundTrip(payload []byte) error {
+	_, err := e.s.Call(CmdNull, msg.New(payload))
+	return err
+}
+
+func (e *nrpcEndpoint) Echo(payload []byte) ([]byte, error) {
+	reply, err := e.s.Call(CmdEcho, msg.New(payload))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Bytes(), nil
+}
+
+// ---- Layered configurations (Tables II and III) ----
+
+// layeredParts are the composed protocols on one host, bottom-up.
+type layeredParts struct {
+	vip  *vip.Protocol
+	frag *fragment.Protocol
+	chn  *channel.Protocol
+	sel  *selectp.Protocol
+}
+
+// buildLayeredHost composes depth layers over VIP on host h:
+// 1=VIP, 2=FRAGMENT-VIP, 3=CHANNEL-FRAGMENT-VIP, 4=SELECT-CHANNEL-FRAGMENT-VIP.
+func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int) (*layeredParts, error) {
+	parts := &layeredParts{}
+	var err error
+	parts.vip, err = newVIP(h)
+	if err != nil {
+		return nil, err
+	}
+	if depth >= 2 {
+		parts.frag, err = fragment.New(h.Name+"/fragment", parts.vip, hostAddr(h), benchFragCfg(clock))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if depth >= 3 {
+		parts.chn, err = channel.New(h.Name+"/channel", parts.frag, channel.Config{Clock: clock})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if depth >= 4 {
+		parts.sel, err = selectp.New(h.Name+"/select", parts.chn, selectp.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+func buildLayered(client, server *stacks.Host, clock event.Clock, depth int) (Endpoint, error) {
+	cp, err := buildLayeredHost(client, clock, depth)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := buildLayeredHost(server, clock, depth)
+	if err != nil {
+		return nil, err
+	}
+	switch depth {
+	case 4:
+		registerSelectHandlers(sp.sel)
+		app := xk.NewApp("client/app", nil)
+		s, err := cp.sel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
+		if err != nil {
+			return nil, err
+		}
+		return &selectEndpoint{s: s.(*selectp.Session)}, nil
+	case 3:
+		return newChannelEndpoint(cp.chn, sp.chn)
+	case 2:
+		return newPushEndpoint(cp.frag, sp.frag, ip.ProtoRDG)
+	default:
+		return newPushEndpoint(cp.vip, sp.vip, ip.ProtoRDG)
+	}
+}
+
+func registerSelectHandlers(sel *selectp.Protocol) {
+	sel.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		return msg.Empty(), nil
+	})
+	sel.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		return args, nil
+	})
+}
+
+type selectEndpoint struct{ s *selectp.Session }
+
+func (e *selectEndpoint) RoundTrip(payload []byte) error {
+	_, err := e.s.Call(CmdNull, msg.New(payload))
+	return err
+}
+
+func (e *selectEndpoint) Echo(payload []byte) ([]byte, error) {
+	return e.s.CallBytes(CmdEcho, payload)
+}
+
+// ---- CHANNEL endpoint: request/reply without procedure selection ----
+
+// channelEndpoint drives a bare CHANNEL session: the server side is an
+// App that answers every request with a null reply (or an echo of the
+// request for Echo, signalled by a one-byte prefix).
+type channelEndpoint struct{ s *channel.Session }
+
+func newChannelEndpoint(cli, srv *channel.Protocol) (Endpoint, error) {
+	serverApp := xk.NewApp("server/app", nil)
+	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+		ss, ok := s.(*channel.ServerSession)
+		if !ok {
+			return fmt.Errorf("channel endpoint: unexpected session %T", s)
+		}
+		kind, err := m.Pop(1)
+		if err != nil {
+			return ss.Push(msg.Empty())
+		}
+		if kind[0] == 'e' {
+			return ss.Push(m)
+		}
+		return ss.Push(msg.Empty())
+	}
+	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(ip.ProtoRDG))); err != nil {
+		return nil, err
+	}
+
+	clientApp := xk.NewApp("client/app", nil)
+	s, err := cli.Open(clientApp, xk.NewParticipants(
+		xk.NewParticipant(ip.ProtoRDG, channel.ID(0)),
+		xk.NewParticipant(ServerAddr),
+	))
+	if err != nil {
+		return nil, err
+	}
+	return &channelEndpoint{s: s.(*channel.Session)}, nil
+}
+
+func (e *channelEndpoint) RoundTrip(payload []byte) error {
+	m := msg.New(payload)
+	m.MustPush([]byte{'n'})
+	_, err := e.s.Call(m)
+	return err
+}
+
+func (e *channelEndpoint) Echo(payload []byte) ([]byte, error) {
+	m := msg.New(payload)
+	m.MustPush([]byte{'e'})
+	reply, err := e.s.Call(m)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Bytes(), nil
+}
+
+// ---- Push endpoints: VIP alone and FRAGMENT-VIP (Table III rows 1–2) ----
+
+// pushEndpoint measures round trips over protocols with no request/reply
+// notion: the client pushes, the server's app pushes a null message
+// back, the client's app signals completion. The paper's Table III rows
+// for VIP and FRAGMENT-VIP are exactly this exchange.
+type pushEndpoint struct {
+	s     xk.Session
+	reply chan *msg.Msg
+}
+
+func newPushEndpoint(cli, srv xk.Protocol, proto ip.ProtoNum) (Endpoint, error) {
+	serverApp := xk.NewApp("server/app", nil)
+	serverApp.MaxMsg = 1500
+	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+		return s.Push(msg.Empty())
+	}
+	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(proto))); err != nil {
+		return nil, err
+	}
+
+	e := &pushEndpoint{reply: make(chan *msg.Msg, 1)}
+	clientApp := xk.NewApp("client/app", nil)
+	clientApp.MaxMsg = 1500
+	clientApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+		select {
+		case e.reply <- m:
+		default:
+		}
+		return nil
+	}
+	// The server pushes its null reply through a passively created
+	// session, so enable reception on the client too.
+	if err := cli.OpenEnable(clientApp, xk.LocalOnly(xk.NewParticipant(proto))); err != nil {
+		return nil, err
+	}
+	s, err := cli.Open(clientApp, xk.NewParticipants(
+		xk.NewParticipant(proto),
+		xk.NewParticipant(ServerAddr),
+	))
+	if err != nil {
+		return nil, err
+	}
+	e.s = s
+	return e, nil
+}
+
+func (e *pushEndpoint) RoundTrip(payload []byte) error {
+	if err := e.s.Push(msg.New(payload)); err != nil {
+		return err
+	}
+	select {
+	case <-e.reply:
+		return nil
+	default:
+		return fmt.Errorf("bench: push round trip: no reply (synchronous network expected)")
+	}
+}
+
+func (e *pushEndpoint) Echo([]byte) ([]byte, error) {
+	return nil, fmt.Errorf("bench: echo unsupported on push endpoint")
+}
+
+// ---- §4.3: SELECT-CHANNEL-VIPsize over {FRAGMENT-VIPaddr, VIPaddr} ----
+
+func buildVIPsizeHost(h *stacks.Host, clock event.Clock) (*selectp.Protocol, error) {
+	addr, err := vip.NewAddr(h.Name+"/vipaddr", h.Eth, h.IP, h.ARP)
+	if err != nil {
+		return nil, err
+	}
+	frag, err := fragment.New(h.Name+"/fragment", addr, hostAddr(h), benchFragCfg(clock))
+	if err != nil {
+		return nil, err
+	}
+	size, err := vip.NewSize(h.Name+"/vipsize", frag, addr, h.ARP)
+	if err != nil {
+		return nil, err
+	}
+	chn, err := channel.New(h.Name+"/channel", size, channel.Config{Clock: clock})
+	if err != nil {
+		return nil, err
+	}
+	return selectp.New(h.Name+"/select", chn, selectp.Config{})
+}
+
+func buildVIPsize(client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
+	csel, err := buildVIPsizeHost(client, clock)
+	if err != nil {
+		return nil, err
+	}
+	ssel, err := buildVIPsizeHost(server, clock)
+	if err != nil {
+		return nil, err
+	}
+	registerSelectHandlers(ssel)
+	app := xk.NewApp("client/app", nil)
+	s, err := csel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
+	if err != nil {
+		return nil, err
+	}
+	return &selectEndpoint{s: s.(*selectp.Session)}, nil
+}
+
+// ---- UDP/IP (§1 claim) ----
+
+type udpEndpoint struct {
+	s     xk.Session
+	reply chan *msg.Msg
+}
+
+func buildUDP(client, server *stacks.Host) (Endpoint, error) {
+	serverApp := xk.NewApp("server/echo", nil)
+	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+		return s.Push(msg.Empty())
+	}
+	if err := server.UDP.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		return nil, err
+	}
+	e := &udpEndpoint{reply: make(chan *msg.Msg, 1)}
+	clientApp := xk.NewApp("client/app", func(s xk.Session, m *msg.Msg) error {
+		select {
+		case e.reply <- m:
+		default:
+		}
+		return nil
+	})
+	s, err := client.UDP.Open(clientApp, xk.NewParticipants(
+		xk.NewParticipant(udp.Port(40000)),
+		xk.NewParticipant(ServerAddr, udp.Port(7)),
+	))
+	if err != nil {
+		return nil, err
+	}
+	e.s = s
+	return e, nil
+}
+
+func (e *udpEndpoint) RoundTrip(payload []byte) error {
+	if err := e.s.Push(msg.New(payload)); err != nil {
+		return err
+	}
+	select {
+	case <-e.reply:
+		return nil
+	default:
+		return fmt.Errorf("bench: udp round trip: no reply")
+	}
+}
+
+func (e *udpEndpoint) Echo([]byte) ([]byte, error) {
+	return nil, fmt.Errorf("bench: echo unsupported on udp endpoint")
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/sim"
+)
+
+// allStacks lists every configuration the experiments measure.
+var allStacks = []Stack{
+	NRPC, MRPCEth, MRPCIP, MRPCVIP,
+	LRPCVIP, ChanFragVIP, FragVIP, VIPOnly,
+	SelChanVIPsize, UDPIP,
+}
+
+func TestNullRoundTripEveryStack(t *testing.T) {
+	for _, stack := range allStacks {
+		t.Run(string(stack), func(t *testing.T) {
+			tb, err := Build(stack, sim.Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := tb.End.RoundTrip(nil); err != nil {
+					t.Fatalf("round trip %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestLargeRoundTripEveryStack(t *testing.T) {
+	// The throughput workload: large request, null reply (1k–16k). The
+	// push endpoints (VIP alone) are limited to one packet by design.
+	for _, stack := range allStacks {
+		t.Run(string(stack), func(t *testing.T) {
+			tb, err := Build(stack, sim.Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes := []int{1024, 4096, 16384}
+			if stack == VIPOnly {
+				sizes = []int{1024}
+			}
+			for _, n := range sizes {
+				if n > tb.MaxMsg {
+					continue
+				}
+				if err := tb.End.RoundTrip(msg.MakeData(n)); err != nil {
+					t.Fatalf("size %d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+func TestEchoSemanticEquivalence(t *testing.T) {
+	// M.RPC and L.RPC are "two different protocols that provide the
+	// same level of service" (§3.2): the same workload must produce
+	// the same answers through both, and through the §4.3 composition.
+	payload := msg.MakeData(6000)
+	for _, stack := range []Stack{NRPC, MRPCEth, MRPCIP, MRPCVIP, LRPCVIP, ChanFragVIP, SelChanVIPsize} {
+		t.Run(string(stack), func(t *testing.T) {
+			tb, err := Build(stack, sim.Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tb.End.Echo(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("echo mismatch: got %d bytes", len(got))
+			}
+		})
+	}
+}
+
+func TestVIPsizeUsesDirectPathForSmallMessages(t *testing.T) {
+	// §4.3: small messages must bypass FRAGMENT entirely. A null RPC
+	// through SELECT-CHANNEL-VIPsize must put exactly two frames on
+	// the wire (request + reply), same as the monolithic stack — no
+	// FRAGMENT headers, no extra packets.
+	tb, err := Build(SelChanVIPsize, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Network.ResetStats()
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Network.Stats().FramesSent; got != 2 {
+		t.Fatalf("null RPC sent %d frames, want 2", got)
+	}
+}
+
+func TestVIPsizeUsesBulkPathForLargeMessages(t *testing.T) {
+	tb, err := Build(SelChanVIPsize, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Network.ResetStats()
+	if err := tb.End.RoundTrip(msg.MakeData(8192)); err != nil {
+		t.Fatal(err)
+	}
+	// 8k through 1477-byte fragments is 6 frames out plus 1 reply.
+	if got := tb.Network.Stats().FramesSent; got < 7 {
+		t.Fatalf("8k RPC sent %d frames, want >= 7", got)
+	}
+}
+
+func TestMRPCVIPLocalUsesEthernetFrames(t *testing.T) {
+	// In the local case VIP must put M.RPC traffic directly on the
+	// ethernet: exactly 2 frames per null RPC, and no IP datagrams.
+	tb, err := Build(MRPCVIP, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Network.ResetStats()
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Network.Stats().FramesSent; got != 2 {
+		t.Fatalf("null RPC sent %d frames, want 2", got)
+	}
+	if sent := tb.Client.IP.Stats().Sent; sent != 0 {
+		t.Fatalf("client pushed %d datagrams through IP; VIP should have bypassed it", sent)
+	}
+}
+
+func TestMRPCIPPaysIPOnEveryPacket(t *testing.T) {
+	tb, err := Build(MRPCIP, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sent := tb.Client.IP.Stats().Sent; sent == 0 {
+		t.Fatal("M_RPC-IP should route through IP")
+	}
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/sim"
+)
+
+// tiny makes table generation fast enough for unit tests.
+var tiny = Options{LatencyIters: 50, SweepIters: 5, Warmup: 5, Repeats: 1,
+	SweepSizes: []int{1024, 16 * 1024}}
+
+func TestTablesRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table3(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table4(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I: Evaluating VIP",
+		"N_RPC", "M_RPC-ETH", "M_RPC-IP", "M_RPC-VIP",
+		"Table II: Monolithic RPC versus Layered RPC",
+		"L_RPC-VIP",
+		"Table III: Cost of Individual RPC Layers",
+		"FRAGMENT-VIP", "CHANNEL-FRAGMENT-VIP", "SELECT-CHANNEL-FRAGMENT-VIP",
+		"Section 4.3: Dynamically Removing Layers",
+		"SELECT-CHANNEL-VIPsize (predicted)",
+		"1.93", // a paper number rendered beside ours
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureProducesSaneNumbers(t *testing.T) {
+	r, err := Measure(MRPCVIP, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency <= 0 || r.Latency > time.Second {
+		t.Fatalf("latency = %v", r.Latency)
+	}
+	if r.FramesPerNullRPC != 2 {
+		t.Fatalf("frames per null RPC = %f, want 2", r.FramesPerNullRPC)
+	}
+	if r.ThroughputWire < 500 || r.ThroughputWire > 1300 {
+		t.Fatalf("wire throughput = %f", r.ThroughputWire)
+	}
+	if r.SweepLatency[16*1024] <= r.SweepLatency[1024] {
+		t.Fatal("16k not slower than 1k")
+	}
+	if r.IncrementalPerKB <= 0 {
+		t.Fatalf("incremental = %v", r.IncrementalPerKB)
+	}
+}
+
+func TestSlopeFit(t *testing.T) {
+	// Perfectly linear data: latency = 100ns + 10ns/byte.
+	points := map[int]time.Duration{}
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		points[n] = time.Duration(100 + 10*n)
+	}
+	got := slopePerKB(points)
+	want := time.Duration(10 * 1024)
+	if got != want {
+		t.Fatalf("slope = %v, want %v", got, want)
+	}
+	if slopePerKB(map[int]time.Duration{100: 1}) != 0 {
+		t.Fatal("single point should give zero slope")
+	}
+}
+
+func TestBuildUnknownStack(t *testing.T) {
+	if _, err := Build(Stack("NOPE"), sim.Config{}, nil); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+}
+
+// TestBidirectionalConcurrentLoad drives calls in both directions over
+// one shared layered stack from many goroutines at once — the
+// cross-goroutine stress the shepherd model must survive (run under
+// -race in CI).
+func TestBidirectionalConcurrentLoad(t *testing.T) {
+	tb, err := Build(LRPCVIP, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The testbed's endpoint calls client→server; add a reverse
+	// endpoint by building a second testbed the other way around is
+	// not possible on the same network, so stress the one direction
+	// from many goroutines instead — SELECT's channel pool serializes
+	// onto 8 channels.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := msg.MakeData(512 * (g + 1))
+			for i := 0; i < 10; i++ {
+				if err := tb.End.RoundTrip(payload); err != nil {
+					errs <- err
+					return
+				}
+				if got, err := tb.End.Echo(payload); err != nil {
+					errs <- err
+					return
+				} else if !bytes.Equal(got, payload) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLayeredRPCOverLatencyNetwork exercises the asynchronous delivery
+// path: with per-frame latency the receive side runs on timer
+// goroutines rather than on the sender's shepherd, so replies genuinely
+// cross goroutines.
+func TestLayeredRPCOverLatencyNetwork(t *testing.T) {
+	tb, err := Build(LRPCVIP, sim.Config{Latency: 200 * time.Microsecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tb.End.RoundTrip(msg.MakeData(3000)); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+	got, err := tb.End.Echo(msg.MakeData(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6000 {
+		t.Fatalf("echo returned %d bytes", len(got))
+	}
+}
+
+// TestStacksUnderAsyncShepherds runs the monolithic and layered stacks
+// with a dedicated goroutine per delivered frame — the x-kernel's
+// shepherd-process model taken literally — to stress cross-goroutine
+// locking (run under -race in CI).
+func TestStacksUnderAsyncShepherds(t *testing.T) {
+	for _, stack := range []Stack{MRPCVIP, LRPCVIP, SelChanVIPsize} {
+		t.Run(string(stack), func(t *testing.T) {
+			tb, err := Build(stack, sim.Config{Async: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 5; i++ {
+						if err := tb.End.RoundTrip(msg.MakeData(700*g + i)); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Package event implements the x-kernel event tool: schedulable,
+// cancellable timeouts.
+//
+// Protocols register a handler to run after a delay (retransmission
+// timers in FRAGMENT, CHANNEL, and monolithic Sprite RPC; reassembly
+// timeouts in IP) and may cancel it when the awaited message arrives.
+//
+// All timing goes through a Clock so unit tests can drive timers
+// deterministically with a FakeClock while benchmarks use the real clock.
+package event
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for protocols. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Schedule arranges for f to run after d, returning a handle that
+	// can cancel the call. f runs on its own goroutine (real clock) or
+	// on the Advance caller's goroutine (fake clock).
+	Schedule(d time.Duration, f func()) *Event
+}
+
+// Event is a handle on a scheduled call.
+type Event struct {
+	cancel func() bool
+	mu     sync.Mutex
+	done   bool
+}
+
+// Cancel stops the event if it has not yet fired. It reports whether the
+// cancellation prevented the handler from running (false means the handler
+// already ran or will run).
+func (e *Event) Cancel() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return false
+	}
+	e.done = true
+	return e.cancel()
+}
+
+// markFired records that the handler ran, so later Cancel calls report
+// false.
+func (e *Event) markFired() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return false
+	}
+	e.done = true
+	return true
+}
+
+// realClock implements Clock with package time.
+type realClock struct{}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Schedule(d time.Duration, f func()) *Event {
+	e := &Event{}
+	t := time.AfterFunc(d, func() {
+		if e.markFired() {
+			f()
+		}
+	})
+	e.cancel = t.Stop
+	return e
+}
+
+// FakeClock is a manually advanced clock for deterministic tests.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending []*fakeTimer
+	seq     int
+}
+
+type fakeTimer struct {
+	at  time.Time
+	seq int // FIFO tie-break for equal deadlines
+	f   func()
+	ev  *Event
+}
+
+// NewFake returns a FakeClock starting at an arbitrary fixed epoch.
+func NewFake() *FakeClock {
+	return &FakeClock{now: time.Date(1989, time.December, 3, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule registers f to run when the clock is advanced past d from now.
+func (c *FakeClock) Schedule(d time.Duration, f func()) *Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), seq: c.seq, f: f}
+	c.seq++
+	e := &Event{cancel: func() bool {
+		c.remove(t)
+		return true
+	}}
+	t.ev = e
+	c.pending = append(c.pending, t)
+	return e
+}
+
+// remove drops t from the pending list; the Event mutex serializes against
+// firing.
+func (c *FakeClock) remove(t *fakeTimer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.pending {
+		if p == t {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d, firing every due timer in deadline
+// order on the caller's goroutine. Handlers may schedule further timers;
+// those fire too if they fall within the advanced window.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		t := c.popDueLocked(target)
+		if t == nil {
+			break
+		}
+		if t.at.After(c.now) {
+			c.now = t.at
+		}
+		c.mu.Unlock()
+		if t.ev.markFired() {
+			t.f()
+		}
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// popDueLocked removes and returns the earliest timer at or before target,
+// or nil if none.
+func (c *FakeClock) popDueLocked(target time.Time) *fakeTimer {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		if !c.pending[i].at.Equal(c.pending[j].at) {
+			return c.pending[i].at.Before(c.pending[j].at)
+		}
+		return c.pending[i].seq < c.pending[j].seq
+	})
+	if c.pending[0].at.After(target) {
+		return nil
+	}
+	t := c.pending[0]
+	c.pending = c.pending[1:]
+	return t
+}
+
+// PendingCount reports the number of timers waiting to fire, for tests.
+func (c *FakeClock) PendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

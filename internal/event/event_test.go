@@ -1,0 +1,170 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeClockFiresInOrder(t *testing.T) {
+	c := NewFake()
+	var order []int
+	var mu sync.Mutex
+	add := func(n int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, n)
+			mu.Unlock()
+		}
+	}
+	c.Schedule(30*time.Millisecond, add(3))
+	c.Schedule(10*time.Millisecond, add(1))
+	c.Schedule(20*time.Millisecond, add(2))
+	c.Advance(25 * time.Millisecond)
+	mu.Lock()
+	got := append([]int(nil), order...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	c.Advance(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", order)
+	}
+}
+
+func TestFakeClockFIFOTieBreak(t *testing.T) {
+	c := NewFake()
+	var order []int
+	c.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	c.Schedule(time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("fired %v, want [1 2]", order)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := NewFake()
+	fired := false
+	ev := c.Schedule(time.Millisecond, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	c.Advance(10 * time.Millisecond)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if c.PendingCount() != 0 {
+		t.Fatalf("%d timers still pending", c.PendingCount())
+	}
+}
+
+func TestCancelAfterFireReportsFalse(t *testing.T) {
+	c := NewFake()
+	ev := c.Schedule(time.Millisecond, func() {})
+	c.Advance(time.Millisecond)
+	if ev.Cancel() {
+		t.Fatal("Cancel after firing should report false")
+	}
+}
+
+func TestHandlerMaySchedule(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Int32
+	c.Schedule(time.Millisecond, func() {
+		fired.Add(1)
+		c.Schedule(time.Millisecond, func() { fired.Add(1) })
+	})
+	c.Advance(5 * time.Millisecond)
+	if fired.Load() != 2 {
+		t.Fatalf("fired %d, want 2 (chained schedule within window)", fired.Load())
+	}
+}
+
+func TestChainedScheduleBeyondWindow(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Int32
+	c.Schedule(time.Millisecond, func() {
+		fired.Add(1)
+		c.Schedule(time.Hour, func() { fired.Add(1) })
+	})
+	c.Advance(5 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d, want 1", fired.Load())
+	}
+	if c.PendingCount() != 1 {
+		t.Fatalf("pending %d, want 1", c.PendingCount())
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	c := NewFake()
+	t0 := c.Now()
+	c.Advance(time.Minute)
+	if got := c.Now().Sub(t0); got != time.Minute {
+		t.Fatalf("advanced %v, want 1m", got)
+	}
+}
+
+func TestNowDuringFireMatchesDeadline(t *testing.T) {
+	c := NewFake()
+	t0 := c.Now()
+	var at time.Duration
+	c.Schedule(10*time.Millisecond, func() { at = c.Now().Sub(t0) })
+	c.Advance(time.Second)
+	if at != 10*time.Millisecond {
+		t.Fatalf("handler saw t+%v, want t+10ms", at)
+	}
+}
+
+func TestRealClockFiresAndCancels(t *testing.T) {
+	c := Real()
+	ch := make(chan struct{})
+	c.Schedule(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	fired := make(chan struct{})
+	ev := c.Schedule(50*time.Millisecond, func() { close(fired) })
+	if !ev.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled real timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestConcurrentScheduleAndCancel(t *testing.T) {
+	c := NewFake()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ev := c.Schedule(time.Millisecond, func() {})
+				ev.Cancel()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			c.Advance(time.Millisecond)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+}

@@ -1,0 +1,89 @@
+// Package model is the analytic cost model the paper's "Performance
+// Predictability" discussion (§5) relies on: knowing the cost of
+// individual protocol layers, one can predict the cost of composing
+// them. The §4.3 experiment is itself an exercise of this model —
+// "one would expect to save 0.15 msec in the round trip delay:
+// subtracting 0.21 msec for bypassing FRAGMENT and adding 0.06 msec for
+// the overhead of VIPsize" — and the model reproduces both that
+// arithmetic and the wire-limited throughput bound that explains why
+// monolithic and layered RPC sustain the same throughput.
+package model
+
+import "time"
+
+// Wire models a shared-medium link.
+type Wire struct {
+	// Bps is the link rate in bits per second (the paper's ethernet:
+	// 10 Mbps).
+	Bps int64
+	// PerFrameOverheadBytes is charged per frame in addition to the
+	// payload (header, preamble, gap).
+	PerFrameOverheadBytes int
+	// MTU is the largest frame payload.
+	MTU int
+}
+
+// Sun3Ethernet is the paper's testbed wire.
+var Sun3Ethernet = Wire{Bps: 10_000_000, PerFrameOverheadBytes: 38, MTU: 1500}
+
+// SerializationTime is how long n payload bytes occupy the wire,
+// fragmented into MTU-sized frames.
+func (w Wire) SerializationTime(n int) time.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	frames := (n + w.MTU - 1) / w.MTU
+	bits := int64(n+frames*w.PerFrameOverheadBytes) * 8
+	return time.Duration(bits * int64(time.Second) / w.Bps)
+}
+
+// Throughput predicts sustained one-way throughput in kbytes/sec for
+// messages of msgBytes given the measured CPU time to process one
+// message end to end. The pipeline is limited by whichever resource is
+// busier per message — on the paper's hardware the wire, which is why
+// M.RPC and L.RPC report the same throughput (§4.2: both "drive the
+// ethernet controller at its maximum rate").
+func (w Wire) Throughput(msgBytes int, cpuPerMsg time.Duration) float64 {
+	wire := w.SerializationTime(msgBytes)
+	bottleneck := wire
+	if cpuPerMsg > bottleneck {
+		bottleneck = cpuPerMsg
+	}
+	if bottleneck <= 0 {
+		return 0
+	}
+	return float64(msgBytes) / 1024 / bottleneck.Seconds()
+}
+
+// LayerCosts maps a layer name to its round-trip latency contribution.
+// Two instances matter: the paper's Sun 3/75 numbers (PaperLayers) and
+// the values measured by this repository's harness.
+type LayerCosts map[string]time.Duration
+
+// PaperLayers holds the per-layer round-trip costs Table III and §4
+// report for the Sun 3/75 (in microseconds for precision).
+var PaperLayers = LayerCosts{
+	"VIP":      1120 * time.Microsecond, // Table III row 1
+	"FRAGMENT": 210 * time.Microsecond,  // 1.33 − 1.12
+	"CHANNEL":  490 * time.Microsecond,  // 1.82 − 1.33
+	"SELECT":   110 * time.Microsecond,  // 1.93 − 1.82
+	"VIPsize":  60 * time.Microsecond,   // "adding 0.06 msec for the overhead of VIPsize"
+}
+
+// Compose predicts the round-trip latency of a stack as the sum of its
+// layers' costs — the predictability property the uniform interface
+// buys.
+func (c LayerCosts) Compose(layers ...string) time.Duration {
+	var total time.Duration
+	for _, l := range layers {
+		total += c[l]
+	}
+	return total
+}
+
+// BypassPrediction is the §4.3 arithmetic: starting from the full
+// layered stack's latency, remove the bypassed layer and add the
+// bypassing virtual protocol's test.
+func BypassPrediction(fullStack, bypassedLayer, virtualOverhead time.Duration) time.Duration {
+	return fullStack - bypassedLayer + virtualOverhead
+}

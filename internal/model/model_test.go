@@ -1,0 +1,74 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSerializationTime(t *testing.T) {
+	w := Wire{Bps: 10_000_000, PerFrameOverheadBytes: 0, MTU: 1500}
+	// 1250 bytes at 10 Mbps = 1 ms.
+	if got := w.SerializationTime(1250); got != time.Millisecond {
+		t.Fatalf("got %v, want 1ms", got)
+	}
+	// Two frames pay the per-frame overhead twice.
+	w.PerFrameOverheadBytes = 125
+	if got := w.SerializationTime(3000); got != time.Duration(float64(time.Millisecond)*(3000+2*125)*8/10_000_000*1000)/1000 {
+		// 3250 bytes = 2.6 ms
+		want := 2600 * time.Microsecond
+		if got != want {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestThroughputWireLimited(t *testing.T) {
+	// On the paper's ethernet a 16k message takes ~13.4 ms on the
+	// wire; with a modern CPU cost of microseconds, throughput is
+	// wire-bound near 1.2 MB/s regardless of stack — the §4.2
+	// both-saturate-the-controller result.
+	fast := Sun3Ethernet.Throughput(16*1024, 25*time.Microsecond)
+	faster := Sun3Ethernet.Throughput(16*1024, 20*time.Microsecond)
+	if fast != faster {
+		t.Fatalf("wire-bound throughputs differ: %f vs %f", fast, faster)
+	}
+	if fast < 1000 || fast > 1300 {
+		t.Fatalf("throughput = %f kB/s, want ~1190", fast)
+	}
+}
+
+func TestThroughputCPULimited(t *testing.T) {
+	// A slow enough CPU becomes the bottleneck.
+	slow := Sun3Ethernet.Throughput(16*1024, 20*time.Millisecond)
+	if slow >= Sun3Ethernet.Throughput(16*1024, time.Microsecond) {
+		t.Fatal("CPU-bound case not slower than wire-bound case")
+	}
+	// 16 kB / 20 ms = 800 kB/s.
+	if slow < 790 || slow > 810 {
+		t.Fatalf("throughput = %f kB/s, want ~800", slow)
+	}
+}
+
+func TestComposePaperLayers(t *testing.T) {
+	// Table III reconstructed from the per-layer costs: the full
+	// layered stack is VIP + FRAGMENT + CHANNEL + SELECT = 1.93 ms.
+	got := PaperLayers.Compose("VIP", "FRAGMENT", "CHANNEL", "SELECT")
+	if got != 1930*time.Microsecond {
+		t.Fatalf("composed latency = %v, want 1.93ms", got)
+	}
+}
+
+func TestBypassPredictionMatchesPaper(t *testing.T) {
+	// §4.3: 1.93 − 0.21 + 0.06 = 1.78 ms.
+	full := PaperLayers.Compose("VIP", "FRAGMENT", "CHANNEL", "SELECT")
+	got := BypassPrediction(full, PaperLayers["FRAGMENT"], PaperLayers["VIPsize"])
+	if got != 1780*time.Microsecond {
+		t.Fatalf("prediction = %v, want 1.78ms", got)
+	}
+}
+
+func TestComposeUnknownLayerIsZero(t *testing.T) {
+	if PaperLayers.Compose("NOSUCH") != 0 {
+		t.Fatal("unknown layer should contribute zero")
+	}
+}

@@ -1,0 +1,410 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	m := New([]byte("hello"))
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", m.Len())
+	}
+	if got := m.Bytes(); string(got) != "hello" {
+		t.Fatalf("Bytes = %q", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := Empty()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	if got := m.Bytes(); len(got) != 0 {
+		t.Fatalf("Bytes = %v, want empty", got)
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	m := New([]byte("payload"))
+	if err := m.Push([]byte("hdr2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push([]byte("h1")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 7+4+2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	b, err := m.Pop(2)
+	if err != nil || string(b) != "h1" {
+		t.Fatalf("Pop = %q, %v", b, err)
+	}
+	b, err = m.Pop(4)
+	if err != nil || string(b) != "hdr2" {
+		t.Fatalf("Pop = %q, %v", b, err)
+	}
+	if string(m.Bytes()) != "payload" {
+		t.Fatalf("rest = %q", m.Bytes())
+	}
+}
+
+func TestPushNoAllocationInLeader(t *testing.T) {
+	m := NewWithLeader([]byte("x"), 64)
+	hdr := []byte("0123456789")
+	allocs := testing.AllocsPerRun(100, func() {
+		m2 := *m // shallow copy shares the leader array; fine for this probe
+		_ = m2.Push(hdr)
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestLeaderFull(t *testing.T) {
+	m := NewWithLeader(nil, 4)
+	if err := m.Push([]byte("12345")); err != ErrLeaderFull {
+		t.Fatalf("got %v, want ErrLeaderFull", err)
+	}
+	if err := m.Push([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push([]byte("x")); err != ErrLeaderFull {
+		t.Fatalf("got %v, want ErrLeaderFull", err)
+	}
+}
+
+func TestMustPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPush on full leader should panic")
+		}
+	}()
+	m := NewWithLeader(nil, 0)
+	m.MustPush([]byte("x"))
+}
+
+func TestPopAcrossHeaderPayloadBoundary(t *testing.T) {
+	m := New([]byte("payload"))
+	m.MustPush([]byte("hd"))
+	b, err := m.Pop(5) // "hd" + "pay"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hdpay" {
+		t.Fatalf("Pop = %q", b)
+	}
+	if string(m.Bytes()) != "load" {
+		t.Fatalf("rest = %q", m.Bytes())
+	}
+}
+
+func TestPopAcrossBlocks(t *testing.T) {
+	m := New([]byte("abc"))
+	m.Append([]byte("def"))
+	m.Append([]byte("ghi"))
+	b, err := m.Pop(7)
+	if err != nil || string(b) != "abcdefg" {
+		t.Fatalf("Pop = %q, %v", b, err)
+	}
+	if string(m.Bytes()) != "hi" {
+		t.Fatalf("rest = %q", m.Bytes())
+	}
+}
+
+func TestPopTooMuch(t *testing.T) {
+	m := New([]byte("ab"))
+	if _, err := m.Pop(3); err != ErrShortMessage {
+		t.Fatalf("got %v, want ErrShortMessage", err)
+	}
+	// The failed pop must not consume anything.
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after failed pop", m.Len())
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	m := New([]byte("abcdef"))
+	m.MustPush([]byte("H"))
+	b, err := m.Peek(4)
+	if err != nil || string(b) != "Habc" {
+		t.Fatalf("Peek = %q, %v", b, err)
+	}
+	if m.Len() != 7 {
+		t.Fatalf("Peek consumed: Len = %d", m.Len())
+	}
+	if string(m.Bytes()) != "Habcdef" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	m := New([]byte("abc"))
+	m.Append([]byte("defgh"))
+	if err := m.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != "abcd" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+	if err := m.Truncate(10); err != ErrShortMessage {
+		t.Fatalf("got %v, want ErrShortMessage", err)
+	}
+}
+
+func TestTruncateIntoHeader(t *testing.T) {
+	m := Empty()
+	m.MustPush([]byte("abcdef"))
+	if err := m.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != "abc" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+}
+
+func TestFragmentSharesPayload(t *testing.T) {
+	data := MakeData(100)
+	m := New(data)
+	f, err := m.Fragment(10, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), data[10:30]) {
+		t.Fatal("fragment content mismatch")
+	}
+	// The original is untouched.
+	if !bytes.Equal(m.Bytes(), data) {
+		t.Fatal("fragmenting mutated the original")
+	}
+}
+
+func TestFragmentIncludesHeaderBytes(t *testing.T) {
+	m := New([]byte("payload"))
+	m.MustPush([]byte("HD"))
+	f, err := m.Fragment(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Bytes()) != "Dpay" {
+		t.Fatalf("fragment = %q", f.Bytes())
+	}
+}
+
+func TestFragmentBadRange(t *testing.T) {
+	m := New([]byte("abc"))
+	if _, err := m.Fragment(2, 5, 0); err != ErrBadRange {
+		t.Fatalf("got %v, want ErrBadRange", err)
+	}
+	if _, err := m.Fragment(-1, 1, 0); err != ErrBadRange {
+		t.Fatalf("got %v, want ErrBadRange", err)
+	}
+}
+
+func TestSplitJoinIdentity(t *testing.T) {
+	data := MakeData(10000)
+	m := New(data)
+	frags, err := m.Split(1477, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 7 {
+		t.Fatalf("got %d fragments, want 7", len(frags))
+	}
+	joined := Empty()
+	for _, f := range frags {
+		joined.Join(f)
+	}
+	if !bytes.Equal(joined.Bytes(), data) {
+		t.Fatal("split+join is not the identity")
+	}
+}
+
+func TestSplitEmptyMessage(t *testing.T) {
+	frags, err := Empty().Split(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].Len() != 0 {
+		t.Fatalf("empty split = %d frags", len(frags))
+	}
+}
+
+func TestSplitBadSize(t *testing.T) {
+	if _, err := New([]byte("x")).Split(0, 0); err != ErrBadRange {
+		t.Fatalf("got %v, want ErrBadRange", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New([]byte("data"))
+	m.MustPush([]byte("A"))
+	c := m.Clone()
+	c.MustPush([]byte("B"))
+	if string(m.Bytes()) != "Adata" {
+		t.Fatalf("original changed: %q", m.Bytes())
+	}
+	if string(c.Bytes()) != "BAdata" {
+		t.Fatalf("clone = %q", c.Bytes())
+	}
+	// Pops are independent too.
+	if _, err := c.Pop(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 5 {
+		t.Fatal("pop on clone affected original")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	const k AttrKey = 42
+	m := New(nil)
+	if _, ok := m.Attr(k); ok {
+		t.Fatal("unset attr present")
+	}
+	m.SetAttr(k, "v")
+	v, ok := m.Attr(k)
+	if !ok || v.(string) != "v" {
+		t.Fatalf("attr = %v, %v", v, ok)
+	}
+	c := m.Clone()
+	cv, ok := c.Attr(k)
+	if !ok || cv.(string) != "v" {
+		t.Fatal("clone lost attrs")
+	}
+}
+
+func TestJoinCopiesHeaderBytes(t *testing.T) {
+	a := New([]byte("A"))
+	b := New([]byte("B"))
+	b.MustPush([]byte("H"))
+	a.Join(b)
+	if string(a.Bytes()) != "AHB" {
+		t.Fatalf("join = %q", a.Bytes())
+	}
+}
+
+// Property: for any payload and any split size, Split followed by Join
+// reproduces the original bytes, and every fragment respects the size
+// bound.
+func TestQuickSplitJoin(t *testing.T) {
+	f := func(data []byte, sizeSeed uint8) bool {
+		size := int(sizeSeed)%997 + 1
+		m := New(append([]byte(nil), data...))
+		frags, err := m.Split(size, 4)
+		if err != nil {
+			return false
+		}
+		joined := Empty()
+		for _, fr := range frags {
+			if fr.Len() > size {
+				return false
+			}
+			joined.Join(fr)
+		}
+		return bytes.Equal(joined.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pushing then popping any sequence of headers returns them in
+// reverse order with the payload intact, and Len is consistent
+// throughout.
+func TestQuickPushPop(t *testing.T) {
+	f := func(payload []byte, hdrs [][]byte) bool {
+		total := 0
+		for _, h := range hdrs {
+			total += len(h)
+		}
+		m := NewWithLeader(append([]byte(nil), payload...), total)
+		for _, h := range hdrs {
+			if err := m.Push(h); err != nil {
+				return false
+			}
+			// defensive: Push copies, so mutating h afterwards must
+			// not corrupt the message. Simulate by zeroing.
+			for i := range h {
+				h[i] = 0
+			}
+		}
+		if m.Len() != len(payload)+total {
+			return false
+		}
+		for i := len(hdrs) - 1; i >= 0; i-- {
+			b, err := m.Pop(len(hdrs[i]))
+			if err != nil || len(b) != len(hdrs[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(m.Bytes(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fragment(off, n) equals Bytes()[off:off+n] for all valid
+// ranges.
+func TestQuickFragment(t *testing.T) {
+	f := func(data []byte, offSeed, nSeed uint16) bool {
+		m := New(append([]byte(nil), data...))
+		if len(data) == 0 {
+			return true
+		}
+		off := int(offSeed) % len(data)
+		n := int(nSeed) % (len(data) - off + 1)
+		fr, err := m.Fragment(off, n, 0)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(fr.Bytes(), data[off:off+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len always equals len(Bytes()).
+func TestQuickLenInvariant(t *testing.T) {
+	f := func(payload, hdr, extra []byte, popSeed uint8) bool {
+		m := New(append([]byte(nil), payload...))
+		m.MustPush(append([]byte(nil), hdr...))
+		m.Append(append([]byte(nil), extra...))
+		if m.Len() != len(m.Bytes()) {
+			return false
+		}
+		n := int(popSeed) % (m.Len() + 1)
+		if _, err := m.Pop(n); err != nil {
+			return false
+		}
+		return m.Len() == len(m.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPopHeader(b *testing.B) {
+	m := NewWithLeader(MakeData(1024), 64)
+	hdr := MakeData(36)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MustPush(hdr)
+		if _, err := m.Pop(36); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplit16K(b *testing.B) {
+	m := New(MakeData(16 * 1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Split(1477, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package pmap implements the x-kernel map tool.
+//
+// Protocols use maps for the two bindings the uniform interface requires
+// (§2 of the paper):
+//
+//   - an active map from a demux key extracted from an incoming message's
+//     header (e.g. UDP's ⟨local port, remote port, remote host⟩) to the
+//     session that should receive it, and
+//   - a passive map from a partially specified key (e.g. just a local
+//     port) to the high-level protocol that invoked open_enable, so that
+//     demux can complete a passive open with open_done when the first
+//     message of a new connection arrives.
+//
+// Keys are fixed-layout byte strings built with a Key builder so that
+// lookups do not allocate in the common case.
+package pmap
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Map is a concurrency-safe binding table from binary keys to arbitrary
+// values (sessions in active maps, enable records in passive maps).
+type Map struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// New returns an empty map sized for hint entries.
+func New(hint int) *Map {
+	return &Map{m: make(map[string]any, hint)}
+}
+
+// Bind associates key with v, replacing any previous binding. It returns
+// the previous value, if any.
+func (m *Map) Bind(key []byte, v any) (prev any, existed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev, existed = m.m[string(key)]
+	m.m[string(key)] = v
+	return prev, existed
+}
+
+// BindIfAbsent associates key with v only if no binding exists; it returns
+// the binding now in force and whether it was newly inserted.
+func (m *Map) BindIfAbsent(key []byte, v any) (cur any, inserted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.m[string(key)]; ok {
+		return prev, false
+	}
+	m.m[string(key)] = v
+	return v, true
+}
+
+// Resolve looks up key.
+func (m *Map) Resolve(key []byte) (v any, ok bool) {
+	m.mu.RLock()
+	v, ok = m.m[string(key)]
+	m.mu.RUnlock()
+	return v, ok
+}
+
+// Unbind removes the binding for key, reporting whether one existed.
+func (m *Map) Unbind(key []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.m[string(key)]; !ok {
+		return false
+	}
+	delete(m.m, string(key))
+	return true
+}
+
+// Len reports the number of bindings.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+// Range calls f for every binding until f returns false. The map must not
+// be mutated from within f.
+func (m *Map) Range(f func(key string, v any) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for k, v := range m.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// Key builds fixed-layout binary keys without intermediate allocations
+// beyond its own buffer. The zero value is ready to use.
+type Key struct {
+	buf []byte
+}
+
+// Reset clears the key for reuse.
+func (k *Key) Reset() *Key {
+	k.buf = k.buf[:0]
+	return k
+}
+
+// U8 appends a byte.
+func (k *Key) U8(v uint8) *Key {
+	k.buf = append(k.buf, v)
+	return k
+}
+
+// U16 appends a big-endian 16-bit value.
+func (k *Key) U16(v uint16) *Key {
+	k.buf = binary.BigEndian.AppendUint16(k.buf, v)
+	return k
+}
+
+// U32 appends a big-endian 32-bit value.
+func (k *Key) U32(v uint32) *Key {
+	k.buf = binary.BigEndian.AppendUint32(k.buf, v)
+	return k
+}
+
+// Bytes appends raw bytes.
+func (k *Key) Bytes(b []byte) *Key {
+	k.buf = append(k.buf, b...)
+	return k
+}
+
+// Built returns the assembled key. The slice is valid until the next
+// builder call.
+func (k *Key) Built() []byte { return k.buf }

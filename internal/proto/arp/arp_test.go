@@ -1,0 +1,190 @@
+package arp_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/proto/arp"
+	"xkernel/internal/proto/eth"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+var (
+	macA = xk.EthAddr{2, 0, 0, 0, 0, 1}
+	macB = xk.EthAddr{2, 0, 0, 0, 0, 2}
+	ipA  = xk.IP(10, 0, 0, 1)
+	ipB  = xk.IP(10, 0, 0, 2)
+)
+
+// pair builds two hosts with just ETH+ARP on a shared segment.
+func pair(t *testing.T, netCfg sim.Config, cfg arp.Config) (*arp.Protocol, *arp.Protocol, *sim.Network) {
+	t.Helper()
+	n := sim.New(netCfg)
+	build := func(mac xk.EthAddr, ip xk.IPAddr, name string) *arp.Protocol {
+		nic, err := n.Attach(mac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := eth.New(name+"/eth", nic)
+		a, err := arp.New(name+"/arp", e, ip, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	return build(macA, ipA, "A"), build(macB, ipB, "B"), n
+}
+
+func TestResolvePeer(t *testing.T) {
+	a, _, _ := pair(t, sim.Config{}, arp.Config{})
+	hw, err := a.Resolve(ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw != macB {
+		t.Fatalf("resolved %s, want %s", hw, macB)
+	}
+}
+
+func TestResolveSelf(t *testing.T) {
+	a, _, _ := pair(t, sim.Config{}, arp.Config{})
+	hw, err := a.Resolve(ipA)
+	if err != nil || hw != macA {
+		t.Fatalf("self = %v, %v", hw, err)
+	}
+}
+
+func TestResolveCachesAndSilences(t *testing.T) {
+	a, _, n := pair(t, sim.Config{}, arp.Config{})
+	if _, err := a.Resolve(ipB); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats()
+	if _, err := a.Resolve(ipB); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().FramesSent != 0 {
+		t.Fatal("cached resolution still generated traffic")
+	}
+}
+
+func TestRequesterLearnsFromRequest(t *testing.T) {
+	// Answering a request teaches the responder the requester's
+	// binding — the mechanism that lets VIP reverse-map passive opens.
+	a, b, n := pair(t, sim.Config{}, arp.Config{})
+	if _, err := a.Resolve(ipB); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats()
+	hw, err := b.Resolve(ipA)
+	if err != nil || hw != macA {
+		t.Fatalf("reverse = %v, %v", hw, err)
+	}
+	if n.Stats().FramesSent != 0 {
+		t.Fatal("responder should have learned the requester's binding for free")
+	}
+}
+
+func TestResolveUnknownHostTimesOut(t *testing.T) {
+	clock := event.NewFake()
+	a, _, _ := pair(t, sim.Config{}, arp.Config{Clock: clock, Timeout: 20 * time.Millisecond, Retries: 3})
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Resolve(xk.IP(10, 0, 0, 99))
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			return
+		default:
+			clock.Advance(10 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("resolution never gave up")
+}
+
+func TestResolveSurvivesLoss(t *testing.T) {
+	clock := event.NewFake()
+	a, _, _ := pair(t, sim.Config{LossRate: 0.7, Seed: 21}, arp.Config{Clock: clock, Retries: 20})
+	done := make(chan error, 1)
+	go func() {
+		hw, err := a.Resolve(ipB)
+		if err == nil && hw != macB {
+			err = errors.New("wrong answer")
+		}
+		done <- err
+	}()
+	for i := 0; i < 500; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			clock.Advance(10 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("resolution under loss never completed")
+}
+
+func TestControlResolve(t *testing.T) {
+	a, _, _ := pair(t, sim.Config{}, arp.Config{})
+	v, err := a.Control(xk.CtlResolve, ipB)
+	if err != nil || v.(xk.EthAddr) != macB {
+		t.Fatalf("CtlResolve = %v, %v", v, err)
+	}
+	if _, err := a.Control(xk.CtlResolve, "bogus"); err == nil {
+		t.Fatal("bad argument accepted")
+	}
+	v, err = a.Control(xk.CtlGetMyHost, nil)
+	if err != nil || v.(xk.IPAddr) != ipA {
+		t.Fatalf("CtlGetMyHost = %v, %v", v, err)
+	}
+}
+
+func TestStaticEntries(t *testing.T) {
+	a, _, n := pair(t, sim.Config{}, arp.Config{})
+	fake := xk.EthAddr{0xde, 0xad, 0, 0, 0, 1}
+	a.AddEntry(xk.IP(10, 0, 0, 50), fake)
+	n.ResetStats()
+	hw, err := a.Resolve(xk.IP(10, 0, 0, 50))
+	if err != nil || hw != fake {
+		t.Fatalf("static = %v, %v", hw, err)
+	}
+	if n.Stats().FramesSent != 0 {
+		t.Fatal("static entry generated traffic")
+	}
+	if _, ok := a.Lookup(xk.IP(10, 0, 0, 50)); !ok {
+		t.Fatal("Lookup missed static entry")
+	}
+	entries := a.Entries()
+	if entries[xk.IP(10, 0, 0, 50)] != fake {
+		t.Fatal("Entries missing static entry")
+	}
+}
+
+func TestConcurrentResolvesShareOneExchange(t *testing.T) {
+	a, _, _ := pair(t, sim.Config{}, arp.Config{})
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := a.Resolve(ipB)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

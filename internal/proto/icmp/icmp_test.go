@@ -1,0 +1,105 @@
+package icmp_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+func TestPingEchoesPayload(t *testing.T) {
+	client, _, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 64, 1400} {
+		got, err := client.ICMP.Ping(xk.IP(10, 0, 0, 2), n, time.Second)
+		if err != nil {
+			t.Fatalf("payload %d: %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("payload %d: echoed %d", n, got)
+		}
+	}
+}
+
+func TestPingLargePayloadFragments(t *testing.T) {
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.ICMP.Ping(xk.IP(10, 0, 0, 2), 5000, time.Second)
+	if err != nil || got != 5000 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if server.IP.Stats().Reassembled == 0 {
+		t.Fatal("large ping did not exercise reassembly")
+	}
+}
+
+func TestPingUnreachableTimesOut(t *testing.T) {
+	clock := event.NewFake()
+	client, _, _, err := stacks.TwoHosts(sim.Config{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target a host that exists at the IP layer route but answers
+	// nothing: seed ARP so the datagram leaves, then watch the wait
+	// time out on the fake clock.
+	client.ARP.AddEntry(xk.IP(10, 0, 0, 77), xk.EthAddr{2, 0, 0, 0, 0, 77})
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.ICMP.Ping(xk.IP(10, 0, 0, 77), 8, 500*time.Millisecond)
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			return
+		default:
+			clock.Advance(50 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("ping never timed out")
+}
+
+func TestPingAcrossRouter(t *testing.T) {
+	client, _, _, err := stacks.Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.ICMP.Ping(xk.IP(10, 0, 2, 1), 32, time.Second)
+	if err != nil || got != 32 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestConcurrentPingsMatchReplies(t *testing.T) {
+	client, _, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(n int) {
+			got, err := client.ICMP.Ping(xk.IP(10, 0, 0, 2), n, time.Second)
+			if err == nil && got != n {
+				err = errors.New("mismatched echo size")
+			}
+			errs <- err
+		}(i * 10)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

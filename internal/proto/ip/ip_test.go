@@ -1,0 +1,185 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xkernel/internal/xk"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0x0001, 0xf203, 0xf4f5, 0xf6f7 → sum 0xddf2,
+	// checksum ^0xddf2 = 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if got := Checksum([]byte{0xFF}); got != ^uint16(0xFF00) {
+		t.Fatalf("odd-length checksum = %#04x", got)
+	}
+}
+
+// Property: a buffer with its own checksum appended verifies to zero.
+func TestQuickChecksumSelfVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		c := Checksum(data)
+		withSum := append(append([]byte(nil), data...), byte(c>>8), byte(c))
+		return Checksum(withSum) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderCodecRoundTrip(t *testing.T) {
+	h := header{
+		totalLen: 1500,
+		ident:    0xBEEF,
+		moreFrag: true,
+		fragOff:  1480,
+		ttl:      7,
+		proto:    ProtoUDP,
+		src:      xk.IP(10, 1, 2, 3),
+		dst:      xk.IP(192, 168, 0, 1),
+	}
+	var b [HeaderLen]byte
+	encodeHeader(b[:], h)
+	got, err := parseHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestParseRejectsBadChecksum(t *testing.T) {
+	var b [HeaderLen]byte
+	encodeHeader(b[:], header{totalLen: 20, ttl: 1, src: xk.IP(1, 1, 1, 1), dst: xk.IP(2, 2, 2, 2)})
+	b[4] ^= 0xFF
+	if _, err := parseHeader(b[:]); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestParseRejectsBadVersion(t *testing.T) {
+	var b [HeaderLen]byte
+	encodeHeader(b[:], header{totalLen: 20})
+	b[0] = 0x46
+	if _, err := parseHeader(b[:]); err == nil {
+		t.Fatal("wrong IHL accepted")
+	}
+}
+
+// Property: the header codec is the identity on its field domain.
+func TestQuickHeaderCodec(t *testing.T) {
+	f := func(totalLen, ident uint16, mf bool, off uint16, ttl, proto uint8, src, dst uint32) bool {
+		h := header{
+			totalLen: totalLen,
+			ident:    ident,
+			moreFrag: mf,
+			fragOff:  int(off%8191) &^ 7, // 13-bit field in units of 8
+			ttl:      ttl,
+			proto:    ProtoNum(proto),
+			src:      xk.IPFromU32(src),
+			dst:      xk.IPFromU32(dst),
+		}
+		var b [HeaderLen]byte
+		encodeHeader(b[:], h)
+		got, err := parseHeader(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	cases := map[xk.IPAddr]int{
+		{255, 255, 255, 0}:   24,
+		{255, 255, 255, 255}: 32,
+		{0, 0, 0, 0}:         0,
+		{255, 128, 0, 0}:     9,
+	}
+	for mask, want := range cases {
+		if got := maskBits(mask); got != want {
+			t.Fatalf("maskBits(%v) = %d, want %d", mask, got, want)
+		}
+	}
+}
+
+func TestRouteLookupMostSpecificWins(t *testing.T) {
+	p := mustProto(t)
+	p.AddRoute(Route{Net: xk.IP(10, 0, 0, 0), Mask: xk.IPAddr{255, 0, 0, 0}, Gateway: xk.IP(10, 9, 9, 9)})
+	p.AddRoute(Route{Net: xk.IP(10, 1, 0, 0), Mask: xk.IPAddr{255, 255, 0, 0}, Gateway: xk.IP(10, 8, 8, 8)})
+
+	hop, _, err := p.lookupRoute(xk.IP(10, 1, 2, 3))
+	if err != nil || hop != xk.IP(10, 8, 8, 8) {
+		t.Fatalf("hop = %v, %v", hop, err)
+	}
+	hop, _, err = p.lookupRoute(xk.IP(10, 2, 2, 3))
+	if err != nil || hop != xk.IP(10, 9, 9, 9) {
+		t.Fatalf("hop = %v, %v", hop, err)
+	}
+	// Direct route for the interface's own subnet: next hop is the
+	// destination itself.
+	hop, _, err = p.lookupRoute(xk.IP(10, 0, 0, 77))
+	if err != nil || hop != xk.IP(10, 0, 0, 77) {
+		t.Fatalf("direct hop = %v, %v", hop, err)
+	}
+}
+
+func TestRouteLookupNoRoute(t *testing.T) {
+	p := mustProto(t)
+	if _, _, err := p.lookupRoute(xk.IP(172, 16, 0, 1)); err == nil {
+		t.Fatal("unroutable destination accepted")
+	}
+	if p.Stats().NoRoute != 1 {
+		t.Fatal("NoRoute not counted")
+	}
+}
+
+func TestIsLocalAddr(t *testing.T) {
+	p := mustProto(t)
+	if !p.IsLocalAddr(xk.IP(10, 0, 0, 1)) {
+		t.Fatal("own address not local")
+	}
+	if p.IsLocalAddr(xk.IP(10, 0, 0, 2)) {
+		t.Fatal("other address local")
+	}
+}
+
+// stubLink is a minimal lower protocol for routing-table unit tests.
+type stubLink struct{ xk.BaseProtocol }
+
+func (s *stubLink) OpenEnable(xk.Protocol, *xk.Participants) error { return nil }
+func (s *stubLink) Control(op xk.ControlOp, arg any) (any, error) {
+	if op == xk.CtlGetMTU {
+		return 1500, nil
+	}
+	return nil, xk.ErrOpNotSupported
+}
+
+type stubResolver struct{}
+
+func (stubResolver) Resolve(xk.IPAddr) (xk.EthAddr, error) { return xk.EthAddr{}, xk.ErrTimeout }
+
+func mustProto(t *testing.T) *Protocol {
+	t.Helper()
+	p, err := New("ip", Config{}, Interface{
+		Link: &stubLink{xk.BaseProtocol{ProtoName: "stub"}},
+		ARP:  stubResolver{},
+		Addr: xk.IP(10, 0, 0, 1),
+		Mask: xk.IPAddr{255, 255, 255, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

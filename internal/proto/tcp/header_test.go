@@ -1,0 +1,60 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the TCP header codec is the identity on its field domain
+// (checksum excluded: buildSegment owns it).
+func TestQuickHeaderCodec(t *testing.T) {
+	f := func(src, dst uint16, seq, ack uint32, flags uint8, window, length uint16) bool {
+		h := header{src: Port(src), dst: Port(dst), seq: seq, ack: ack,
+			flags: flags, window: window, length: length}
+		var b [HeaderLen]byte
+		h.encode(b[:])
+		return decodeHeader(b[:]) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every built segment verifies, and any single-byte flip is
+// caught.
+func TestQuickSegmentChecksum(t *testing.T) {
+	f := func(src, dst uint16, seq uint32, payload []byte, flipSeed uint16) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		h := header{src: Port(src), dst: Port(dst), seq: seq, flags: flagACK}
+		m := buildSegment(h, payload)
+		raw := m.Bytes()
+		if !verifyChecksum(raw) {
+			return false
+		}
+		// Flip one byte; the checksum must catch it (barring the
+		// 0x0000/0xffff ambiguity inherent to ones-complement sums,
+		// which a flip of a zero byte to zero cannot trigger here
+		// because we always flip with a non-zero mask).
+		flipped := append([]byte(nil), raw...)
+		i := int(flipSeed) % len(flipped)
+		flipped[i] ^= 0x5a
+		return !verifyChecksum(flipped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegLen(t *testing.T) {
+	if (&seg{data: []byte("abc")}).seqLen() != 3 {
+		t.Fatal("data length wrong")
+	}
+	if (&seg{syn: true}).seqLen() != 1 || (&seg{fin: true}).seqLen() != 1 {
+		t.Fatal("SYN/FIN must consume one sequence number")
+	}
+	if (&seg{data: []byte("x"), fin: true}).seqLen() != 2 {
+		t.Fatal("data+FIN length wrong")
+	}
+}

@@ -1,0 +1,210 @@
+package udp_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/udp"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+func twoHosts(t *testing.T) (*stacks.Host, *stacks.Host) {
+	t.Helper()
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func openTo(t *testing.T, h *stacks.Host, lport, rport udp.Port, deliver func(xk.Session, *msg.Msg) error) xk.Session {
+	t.Helper()
+	app := xk.NewApp("app", deliver)
+	s, err := h.UDP.Open(app, xk.NewParticipants(
+		xk.NewParticipant(lport),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2), rport),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPortDemux(t *testing.T) {
+	client, server := twoHosts(t)
+	var got7, got9 []byte
+	sink := func(dst *[]byte) func(xk.Session, *msg.Msg) error {
+		return func(s xk.Session, m *msg.Msg) error {
+			*dst = m.Bytes()
+			return nil
+		}
+	}
+	app7 := xk.NewApp("s7", sink(&got7))
+	app9 := xk.NewApp("s9", sink(&got9))
+	if err := server.UDP.OpenEnable(app7, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.UDP.OpenEnable(app9, xk.LocalOnly(xk.NewParticipant(udp.Port(9)))); err != nil {
+		t.Fatal(err)
+	}
+	s7 := openTo(t, client, 30000, 7, nil)
+	s9 := openTo(t, client, 30001, 9, nil)
+	if err := s7.Push(msg.New([]byte("seven"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s9.Push(msg.New([]byte("nine"))); err != nil {
+		t.Fatal(err)
+	}
+	if string(got7) != "seven" || string(got9) != "nine" {
+		t.Fatalf("demux: got7=%q got9=%q", got7, got9)
+	}
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	client, server := twoHosts(t)
+	_ = server
+	s := openTo(t, client, 30000, 4242, nil)
+	// Delivery fails server-side (no session); sender sees no error
+	// beyond the driver's accept.
+	if err := s.Push(msg.New([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassiveSessionReusable(t *testing.T) {
+	client, server := twoHosts(t)
+	var count int
+	app := xk.NewApp("srv", func(s xk.Session, m *msg.Msg) error {
+		count++
+		return s.Push(msg.New([]byte("pong")))
+	})
+	if err := server.UDP.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	var replies int
+	s := openTo(t, client, 30000, 7, func(_ xk.Session, m *msg.Msg) error {
+		replies++
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		if err := s.Push(msg.New([]byte("ping"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 5 || replies != 5 {
+		t.Fatalf("count=%d replies=%d", count, replies)
+	}
+	if got := app.Sessions(); len(got) != 1 {
+		t.Fatalf("server created %d sessions, want 1 (cached)", len(got))
+	}
+}
+
+func TestLargeDatagramFragmentsAndReassembles(t *testing.T) {
+	client, server := twoHosts(t)
+	payload := msg.MakeData(20000)
+	var got []byte
+	app := xk.NewApp("srv", func(s xk.Session, m *msg.Msg) error {
+		got = m.Bytes()
+		return nil
+	})
+	if err := server.UDP.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	s := openTo(t, client, 30000, 7, nil)
+	if err := s.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestOversizedDatagramRejected(t *testing.T) {
+	client, _ := twoHosts(t)
+	s := openTo(t, client, 30000, 7, nil)
+	err := s.Push(msg.New(make([]byte, 66000)))
+	if !errors.Is(err, xk.ErrMsgTooBig) {
+		t.Fatalf("got %v, want ErrMsgTooBig", err)
+	}
+}
+
+func TestSessionControls(t *testing.T) {
+	client, _ := twoHosts(t)
+	s := openTo(t, client, 30000, 7, nil)
+	v, err := s.Control(xk.CtlGetPeerHost, nil)
+	if err != nil || v.(xk.IPAddr) != xk.IP(10, 0, 0, 2) {
+		t.Fatalf("peer host = %v, %v", v, err)
+	}
+	v, err = s.Control(xk.CtlGetMyProto, nil)
+	if err != nil || v.(uint32) != 30000 {
+		t.Fatalf("my port = %v, %v", v, err)
+	}
+	v, err = s.Control(xk.CtlGetPeerProto, nil)
+	if err != nil || v.(uint32) != 7 {
+		t.Fatalf("peer port = %v, %v", v, err)
+	}
+	v, err = s.Control(xk.CtlGetMTU, nil)
+	if err != nil || v.(int) <= 0 {
+		t.Fatalf("mtu = %v, %v", v, err)
+	}
+}
+
+func TestProtocolControls(t *testing.T) {
+	client, _ := twoHosts(t)
+	v, err := client.UDP.Control(xk.CtlHLPMaxMsg, nil)
+	if err != nil || v.(int) != 0 {
+		t.Fatalf("UDP must report unbounded messages (0), got %v, %v", v, err)
+	}
+}
+
+func TestCloseUnbinds(t *testing.T) {
+	client, server := twoHosts(t)
+	var got int
+	app := xk.NewApp("srv", func(s xk.Session, m *msg.Msg) error {
+		got++
+		return s.Push(msg.New([]byte("r")))
+	})
+	if err := server.UDP.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	var replies int
+	s := openTo(t, client, 30000, 7, func(_ xk.Session, m *msg.Msg) error {
+		replies++
+		return nil
+	})
+	if err := s.Push(msg.New([]byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(msg.New([]byte("b"))); !errors.Is(err, xk.ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if replies != 1 {
+		t.Fatalf("replies = %d", replies)
+	}
+}
+
+func TestOpenDisable(t *testing.T) {
+	client, server := twoHosts(t)
+	var got int
+	app := xk.NewApp("srv", func(s xk.Session, m *msg.Msg) error { got++; return nil })
+	if err := server.UDP.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.UDP.OpenDisable(app, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		t.Fatal(err)
+	}
+	s := openTo(t, client, 30000, 7, nil)
+	if err := s.Push(msg.New([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("disabled port still delivered")
+	}
+}

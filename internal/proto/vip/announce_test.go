@@ -1,0 +1,165 @@
+package vip_test
+
+import (
+	"testing"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// announceBed: two hosts with VIP + advertisement directories.
+type announceBed struct {
+	clock          *event.FakeClock
+	client, server *stacks.Host
+	network        *sim.Network
+	cv, sv         *vip.Protocol
+	cdir, sdir     *vip.Directory
+	cann, sann     *vip.Announcer
+}
+
+func buildAnnounce(t *testing.T, protos []ip.ProtoNum, interval time.Duration) *announceBed {
+	t.Helper()
+	clock := event.NewFake()
+	client, server, network, err := stacks.TwoHosts(sim.Config{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &announceBed{clock: clock, client: client, server: server, network: network}
+	b.cv = newVIP(t, client)
+	b.sv = newVIP(t, server)
+	b.cdir = vip.NewDirectory(clock, time.Minute)
+	b.sdir = vip.NewDirectory(clock, time.Minute)
+	b.cv.SetDirectory(b.cdir)
+	b.sv.SetDirectory(b.sdir)
+	b.cann, err = vip.NewAnnouncer("client/vipd", client.Eth, xk.IP(10, 0, 0, 1), protos, b.cdir, interval, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.sann, err = vip.NewAnnouncer("server/vipd", server.Eth, xk.IP(10, 0, 0, 2), protos, b.sdir, interval, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAnnouncementPopulatesDirectory(t *testing.T) {
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 0)
+	if err := b.sann.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	hw, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto)
+	if !ok {
+		t.Fatal("announcement not recorded")
+	}
+	if hw != (xk.EthAddr{2, 0, 0, 0, 0, 2}) {
+		t.Fatalf("recorded hw = %s", hw)
+	}
+	// Unadvertised protocol numbers stay unknown.
+	if _, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto+1); ok {
+		t.Fatal("unadvertised protocol listed")
+	}
+}
+
+func TestDirectoryDrivenOpenUsesEthernetWithoutARP(t *testing.T) {
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 0)
+	if err := b.sann.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	echoOn(t, b.sv, 1500)
+
+	b.network.ResetStats()
+	var replies int
+	s := open(t, b.cv, xk.IP(10, 0, 0, 2), 1500, func(_ xk.Session, _ *msg.Msg) error {
+		replies++
+		return nil
+	})
+	// The open must not have broadcast an ARP request: the directory
+	// already knows the peer's hardware address.
+	if st := b.network.Stats(); st.FramesSent != 0 {
+		t.Fatalf("open generated %d frames; directory should avoid ARP", st.FramesSent)
+	}
+	if err := s.Push(msg.New(msg.MakeData(64))); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 1 {
+		t.Fatalf("replies = %d", replies)
+	}
+	if b.client.IP.Stats().Sent != 0 {
+		t.Fatal("directory-listed peer went through IP")
+	}
+}
+
+func TestUnlistedPeerGoesStraightToIPWithoutStall(t *testing.T) {
+	// With a directory, an unlisted peer means IP immediately — no ARP
+	// probing of the VIP question, no resolution timeout. (IP still
+	// ARPs for the next hop, which answers synchronously here.)
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 0)
+	echoOn(t, b.sv, 1500)
+	// No announcement: the server is not in the client's table.
+	var replies int
+	start := time.Now()
+	s := open(t, b.cv, xk.IP(10, 0, 0, 2), 1500, func(_ xk.Session, _ *msg.Msg) error {
+		replies++
+		return nil
+	})
+	if wall := time.Since(start); wall > 100*time.Millisecond {
+		t.Fatalf("open stalled %v; the directory should answer instantly", wall)
+	}
+	if err := s.Push(msg.New(msg.MakeData(64))); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 1 {
+		t.Fatalf("replies = %d", replies)
+	}
+	if b.client.IP.Stats().Sent == 0 {
+		t.Fatal("unlisted peer should have gone through IP")
+	}
+}
+
+func TestPeriodicAnnouncements(t *testing.T) {
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 10*time.Second)
+	// Nothing yet.
+	if _, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto); ok {
+		t.Fatal("table populated before any announcement")
+	}
+	b.clock.Advance(11 * time.Second)
+	if _, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto); !ok {
+		t.Fatal("periodic announcement not heard")
+	}
+	// Both directions.
+	if _, ok := b.sdir.Lookup(xk.IP(10, 0, 0, 1), testProto); !ok {
+		t.Fatal("server did not learn the client")
+	}
+	b.cann.Stop()
+	b.sann.Stop()
+}
+
+func TestDirectoryEntriesExpire(t *testing.T) {
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 0)
+	if err := b.sann.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto); !ok {
+		t.Fatal("entry missing")
+	}
+	b.clock.Advance(2 * time.Minute) // past the 1-minute TTL
+	if _, ok := b.cdir.Lookup(xk.IP(10, 0, 0, 2), testProto); ok {
+		t.Fatal("stale entry still listed")
+	}
+}
+
+func TestHosts(t *testing.T) {
+	b := buildAnnounce(t, []ip.ProtoNum{testProto}, 0)
+	if err := b.sann.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.cdir.Hosts(); len(got) != 1 || got[0] != xk.IP(10, 0, 0, 2) {
+		t.Fatalf("hosts = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package vip
+
+import (
+	"fmt"
+
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/xk"
+)
+
+// EthMap presents the ethernet under a VIP-shaped interface: opens take
+// (IP protocol number, IP host) participants, which are mapped to an
+// ethernet type in VIP's reserved range and a hardware address via ARP.
+// It is the address-mapping logic the paper's "RPC directly on the
+// ethernet" configuration embeds in the RPC protocol itself, factored
+// out so M.RPC-ETH, M.RPC-IP and M.RPC-VIP differ only in the protocol
+// configured below RPC. Like VIPaddr, EthMap returns the lower session
+// directly and is out of the message path after open — but unlike
+// VIPaddr it never falls back to IP: a non-local destination is an
+// error, which is precisely the limitation (§3.1) that motivates VIP.
+type EthMap struct {
+	xk.BaseProtocol
+	ethp xk.Protocol
+	arp  Resolver
+}
+
+// NewEthMap creates the shim above ethp, resolving addresses with res.
+func NewEthMap(name string, ethp xk.Protocol, res Resolver) *EthMap {
+	return &EthMap{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		ethp:         ethp,
+		arp:          res,
+	}
+}
+
+// Open resolves the peer and opens the ethernet session directly for
+// hlp.
+func (a *EthMap) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	proto, remote, err := popVIPAddrs(ps)
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", a.Name(), err)
+	}
+	hw, err := a.arp.Resolve(remote)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %s is not on this ethernet: %w", a.Name(), remote, err)
+	}
+	return a.ethp.Open(hlp, xk.NewParticipants(
+		xk.NewParticipant(ethType(proto)),
+		xk.NewParticipant(hw),
+	))
+}
+
+// OpenEnable passes hlp straight through to the ethernet.
+func (a *EthMap) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "IP protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_enable: %w", a.Name(), err)
+	}
+	return a.ethp.OpenEnable(hlp, xk.LocalOnly(xk.NewParticipant(ethType(proto))))
+}
+
+// OpenDisable revokes the enable.
+func (a *EthMap) OpenDisable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "IP protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_disable: %w", a.Name(), err)
+	}
+	return a.ethp.OpenDisable(hlp, xk.LocalOnly(xk.NewParticipant(ethType(proto))))
+}
+
+// Control forwards to the ethernet.
+func (a *EthMap) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetMTU, xk.CtlGetOptPacket, xk.CtlGetMyHost:
+		return a.ethp.Control(op, arg)
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}

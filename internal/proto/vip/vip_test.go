@@ -1,0 +1,268 @@
+package vip_test
+
+import (
+	"testing"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+const testProto ip.ProtoNum = 222
+
+// newVIP builds a VIP instance on host h.
+func newVIP(t *testing.T, h *stacks.Host) *vip.Protocol {
+	t.Helper()
+	v, err := vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// echoOn wires an app on v that answers every message with a null push.
+func echoOn(t *testing.T, v *vip.Protocol, maxMsg int) *xk.App {
+	t.Helper()
+	app := xk.NewApp("echo", func(s xk.Session, m *msg.Msg) error {
+		return s.Push(msg.Empty())
+	})
+	app.MaxMsg = maxMsg
+	if err := v.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// open opens a VIP session from v to dst for an app with the given
+// message-size answer.
+func open(t *testing.T, v *vip.Protocol, dst xk.IPAddr, maxMsg int, deliver func(xk.Session, *msg.Msg) error) xk.Session {
+	t.Helper()
+	app := xk.NewApp("cli", deliver)
+	app.MaxMsg = maxMsg
+	if err := v.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(dst),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLocalSmallMessagesBypassIP(t *testing.T) {
+	client, server, network, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, sv := newVIP(t, client), newVIP(t, server)
+	echoOn(t, sv, 1500)
+
+	var replies int
+	s := open(t, cv, xk.IP(10, 0, 0, 2), 1500, func(_ xk.Session, _ *msg.Msg) error {
+		replies++
+		return nil
+	})
+	network.ResetStats()
+	if err := s.Push(msg.New(msg.MakeData(100))); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 1 {
+		t.Fatalf("replies = %d", replies)
+	}
+	// No IP involvement in either direction.
+	if client.IP.Stats().Sent != 0 || server.IP.Stats().Sent != 0 {
+		t.Fatal("VIP sent local small messages through IP")
+	}
+	if network.Stats().FramesSent != 2 {
+		t.Fatalf("frames = %d, want 2", network.Stats().FramesSent)
+	}
+}
+
+func TestUnboundedClientGetsBothSessions(t *testing.T) {
+	// A client reporting unbounded messages (MaxMsg 0, the UDP answer)
+	// must get both an ETH and an IP session: small messages take the
+	// wire, large ones take IP fragmentation.
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, sv := newVIP(t, client), newVIP(t, server)
+	var got []int
+	app := xk.NewApp("sink", func(s xk.Session, m *msg.Msg) error {
+		got = append(got, m.Len())
+		return nil
+	})
+	if err := sv.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, cv, xk.IP(10, 0, 0, 2), 0, nil)
+
+	if err := s.Push(msg.New(msg.MakeData(100))); err != nil {
+		t.Fatal(err)
+	}
+	if client.IP.Stats().Sent != 0 {
+		t.Fatal("small local message went through IP")
+	}
+	if err := s.Push(msg.New(msg.MakeData(8000))); err != nil {
+		t.Fatal(err)
+	}
+	if client.IP.Stats().Sent == 0 {
+		t.Fatal("oversized message did not fall back to IP")
+	}
+	if len(got) != 2 || got[0] != 100 || got[1] != 8000 {
+		t.Fatalf("delivered %v", got)
+	}
+}
+
+func TestRemoteHostUsesIP(t *testing.T) {
+	client, server, router, err := stacks.Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, sv := newVIP(t, client), newVIP(t, server)
+	echoOn(t, sv, 1500)
+	var replies int
+	s := open(t, cv, xk.IP(10, 0, 2, 1), 1500, func(_ xk.Session, _ *msg.Msg) error {
+		replies++
+		return nil
+	})
+	if err := s.Push(msg.New(msg.MakeData(64))); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 1 {
+		t.Fatalf("replies = %d", replies)
+	}
+	if client.IP.Stats().Sent == 0 {
+		t.Fatal("remote message bypassed IP")
+	}
+	if router.IP.Stats().Forwarded == 0 {
+		t.Fatal("router never forwarded")
+	}
+}
+
+func TestVIPAddsNoHeaderBytes(t *testing.T) {
+	// A virtual protocol is header-less: the frame on the wire for a
+	// VIP push must be exactly eth header + payload.
+	client, server, network, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, sv := newVIP(t, client), newVIP(t, server)
+	echoOn(t, sv, 1500)
+	s := open(t, cv, xk.IP(10, 0, 0, 2), 1500, func(_ xk.Session, _ *msg.Msg) error { return nil })
+	network.ResetStats()
+	if err := s.Push(msg.New(msg.MakeData(333))); err != nil {
+		t.Fatal(err)
+	}
+	if got := network.Stats().BytesSent; got != (14+333)+(14+0) {
+		t.Fatalf("wire bytes = %d, want %d", got, 14+333+14)
+	}
+}
+
+func TestSessionControls(t *testing.T) {
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, sv := newVIP(t, client), newVIP(t, server)
+	echoOn(t, sv, 1500)
+	s := open(t, cv, xk.IP(10, 0, 0, 2), 0, nil)
+	v, err := s.Control(xk.CtlGetPeerHost, nil)
+	if err != nil || v.(xk.IPAddr) != xk.IP(10, 0, 0, 2) {
+		t.Fatalf("peer = %v, %v", v, err)
+	}
+	v, err = s.Control(xk.CtlGetMTU, nil)
+	if err != nil || v.(int) != 65515 {
+		t.Fatalf("mtu = %v, %v (want IP's)", v, err)
+	}
+	v, err = s.Control(xk.CtlGetOptPacket, nil)
+	if err != nil || v.(int) != 1500 {
+		t.Fatalf("opt = %v, %v (want eth MTU)", v, err)
+	}
+}
+
+func TestEthMapLocalOnly(t *testing.T) {
+	client, server, _, err := stacks.Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := vip.NewEthMap("client/ethmap", client.Eth, client.ARP)
+	app := xk.NewApp("cli", nil)
+	app.MaxMsg = 1500
+	// Remote host: must fail rather than fall back.
+	_, err = em.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 2, 1)),
+	))
+	if err == nil {
+		t.Fatal("EthMap opened a session to an off-segment host")
+	}
+	_ = server
+	// Local host (the router's near interface) works.
+	_, err = em.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 1, 254)),
+	))
+	if err != nil {
+		t.Fatalf("local open failed: %v", err)
+	}
+}
+
+func TestVIPaddrReturnsLowerSessionDirectly(t *testing.T) {
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := vip.NewAddr("client/vipaddr", client.Eth, client.IP, client.ARP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = server
+	app := xk.NewApp("cli", nil)
+	app.MaxMsg = 1500
+	s, err := ca.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned session is an ethernet session (local, small
+	// messages), not a VIPaddr wrapper: its protocol is the driver.
+	if s.Protocol() != client.Eth {
+		t.Fatalf("session belongs to %s, want the ethernet driver", s.Protocol().Name())
+	}
+	// And the session is bound to the invoking app, not to VIPaddr.
+	if s.Up() != xk.Protocol(app) {
+		t.Fatal("session's up binding bypasses the invoking protocol")
+	}
+}
+
+func TestVIPaddrRemotePicksIP(t *testing.T) {
+	client, _, _, err := stacks.Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := vip.NewAddr("client/vipaddr", client.Eth, client.IP, client.ARP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := xk.NewApp("cli", nil)
+	app.MaxMsg = 1500
+	s, err := ca.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 2, 1)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol() != xk.Protocol(client.IP) {
+		t.Fatalf("session belongs to %s, want IP", s.Protocol().Name())
+	}
+}

@@ -1,0 +1,349 @@
+package vip
+
+import (
+	"fmt"
+	"sync"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/eth"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// Size is VIPsize (§4.3): a virtual protocol that "selects between
+// FRAGMENT and VIPaddr based on message size. Like VIP, VIPsize touches
+// every message sent through the protocol stack" — its data-path cost is
+// one length test per push. Composing SELECT-CHANNEL-VIPsize over
+// {FRAGMENT-VIPaddr, VIPaddr} dynamically removes the FRAGMENT layer for
+// single-packet messages, recovering monolithic RPC's latency while
+// keeping FRAGMENT's bulk-transfer service for large ones.
+type Size struct {
+	xk.BaseProtocol
+	bulk   xk.Protocol // FRAGMENT (over VIPaddr)
+	direct xk.Protocol // VIPaddr
+	arp    Resolver    // reverse-maps hardware addresses on passive opens; may be nil
+
+	threshold int // messages at most this long take the direct path
+
+	mu       sync.Mutex
+	enables  map[ip.ProtoNum]xk.Protocol
+	sessions map[xk.Session]*sizeSession
+}
+
+// NewSize creates VIPsize above bulk (a FRAGMENT-style protocol) and
+// direct (a VIPaddr-style protocol). The direct path's optimal packet
+// size becomes the size threshold.
+func NewSize(name string, bulk, direct xk.Protocol, res Resolver) (*Size, error) {
+	v, err := direct.Control(xk.CtlGetOptPacket, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: direct path packet size: %w", name, err)
+	}
+	return &Size{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		bulk:         bulk,
+		direct:       direct,
+		arp:          res,
+		threshold:    v.(int),
+		enables:      make(map[ip.ProtoNum]xk.Protocol),
+		sessions:     make(map[xk.Session]*sizeSession),
+	}, nil
+}
+
+// Open creates a VIPsize session with both paths open. Participants are
+// VIP-shaped: local=[ProtoNum], remote=[IPAddr].
+func (p *Size) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	proto, remote, err := popVIPAddrs(ps.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	directSess, err := p.direct.Open(p, ps.Clone())
+	if err != nil {
+		return nil, err
+	}
+	bulkSess, err := p.bulk.Open(p, ps.Clone())
+	if err != nil {
+		_ = directSess.Close()
+		return nil, err
+	}
+	s := p.newSession(hlp, proto, remote, directSess, bulkSess)
+	trace.Printf(trace.Events, p.Name(), "open proto=%d remote=%s threshold=%d", proto, remote, p.threshold)
+	return s, nil
+}
+
+func (p *Size) newSession(hlp xk.Protocol, proto ip.ProtoNum, remote xk.IPAddr, directSess, bulkSess xk.Session) *sizeSession {
+	s := &sizeSession{p: p, proto: proto, remote: remote, directSess: directSess, bulkSess: bulkSess}
+	s.InitSession(p, hlp)
+	p.mu.Lock()
+	if directSess != nil {
+		p.sessions[directSess] = s
+	}
+	if bulkSess != nil {
+		p.sessions[bulkSess] = s
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// Control answers the questions lower virtual protocols ask. VIPsize
+// itself never pushes more than the threshold through the direct path,
+// so it reports that as its message appetite to VIPaddr below.
+func (p *Size) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlHLPMaxMsg:
+		return p.threshold, nil
+	case xk.CtlGetMTU:
+		return p.bulk.Control(xk.CtlGetMTU, nil)
+	case xk.CtlGetOptPacket:
+		return p.threshold, nil
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// OpenEnable registers hlp and enables both paths with VIPsize as the
+// receiver.
+func (p *Size) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "IP protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_enable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	p.enables[proto] = hlp
+	p.mu.Unlock()
+	if err := p.direct.OpenEnable(p, ps.Clone()); err != nil {
+		return err
+	}
+	return p.bulk.OpenEnable(p, ps.Clone())
+}
+
+// OpenDisable revokes both enables.
+func (p *Size) OpenDisable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "IP protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_disable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	delete(p.enables, proto)
+	p.mu.Unlock()
+	if err := p.direct.OpenDisable(p, ps.Clone()); err != nil {
+		return err
+	}
+	return p.bulk.OpenDisable(p, ps.Clone())
+}
+
+// OpenDone accepts passively created lower sessions; wrapping happens at
+// first demux.
+func (p *Size) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	return nil
+}
+
+// Demux routes an incoming message (from either path) to the wrapping
+// session, creating it on first contact.
+func (p *Size) Demux(lls xk.Session, m *msg.Msg) error {
+	p.mu.Lock()
+	s, ok := p.sessions[lls]
+	p.mu.Unlock()
+	if ok {
+		return s.Pop(lls, m)
+	}
+	proto, remote, err := p.identify(lls)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	hlp := p.enables[proto]
+	p.mu.Unlock()
+	if hlp == nil {
+		return fmt.Errorf("%s: proto %d: %w", p.Name(), proto, xk.ErrNoSession)
+	}
+	var directSess, bulkSess xk.Session
+	if lls.Protocol() == p.bulk {
+		bulkSess = lls
+	} else {
+		directSess = lls
+	}
+	s = p.newSession(hlp, proto, remote, directSess, bulkSess)
+	lls.SetUp(p)
+	ps := xk.NewParticipants(
+		xk.NewParticipant(proto),
+		xk.NewParticipant(remote),
+	)
+	if err := hlp.OpenDone(p, s, ps); err != nil {
+		return err
+	}
+	trace.Printf(trace.Events, p.Name(), "passive open proto=%d remote=%s for %s", proto, remote, hlp.Name())
+	return s.Pop(lls, m)
+}
+
+// identify recovers (protocol number, remote host) from a lower session
+// on either path. Ethernet-path sessions report a type in VIP's mapped
+// range; FRAGMENT and IP sessions report the protocol number directly.
+func (p *Size) identify(lls xk.Session) (ip.ProtoNum, xk.IPAddr, error) {
+	v, err := lls.Control(xk.CtlGetPeerProto, nil)
+	if err != nil {
+		return 0, xk.IPAddr{}, err
+	}
+	n := v.(uint32)
+	if n >= uint32(eth.TypeVIPBase) && n <= uint32(eth.TypeVIPBase)+0xff {
+		proto := ip.ProtoNum(n - uint32(eth.TypeVIPBase))
+		var remote xk.IPAddr
+		if hv, err := lls.Control(xk.CtlGetPeerHost, nil); err == nil {
+			if mac, ok := hv.(xk.EthAddr); ok && p.arp != nil {
+				if r, ok := p.arp.(interface {
+					Entries() map[xk.IPAddr]xk.EthAddr
+				}); ok {
+					for ipA, m := range r.Entries() {
+						if m == mac {
+							remote = ipA
+							break
+						}
+					}
+				}
+			}
+		}
+		return proto, remote, nil
+	}
+	if n > 0xff {
+		return 0, xk.IPAddr{}, fmt.Errorf("%s: protocol number %d out of range: %w", p.Name(), n, xk.ErrBadHeader)
+	}
+	var remote xk.IPAddr
+	if hv, err := lls.Control(xk.CtlGetPeerHost, nil); err == nil {
+		if ipA, ok := hv.(xk.IPAddr); ok {
+			remote = ipA
+		}
+	}
+	return ip.ProtoNum(n), remote, nil
+}
+
+// sizeSession picks a path per push with one length test.
+type sizeSession struct {
+	xk.BaseSession
+	p      *Size
+	proto  ip.ProtoNum
+	remote xk.IPAddr
+
+	smu        sync.Mutex
+	directSess xk.Session
+	bulkSess   xk.Session
+}
+
+// Push routes by size: at most the threshold goes direct, larger goes
+// through the bulk-transfer protocol.
+func (s *sizeSession) Push(m *msg.Msg) error {
+	if m.Len() <= s.p.threshold {
+		d, err := s.path(&s.directSess, s.p.direct)
+		if err != nil {
+			return err
+		}
+		return d.Push(m)
+	}
+	b, err := s.path(&s.bulkSess, s.p.bulk)
+	if err != nil {
+		return err
+	}
+	return b.Push(m)
+}
+
+// path returns *slot, lazily opening it through proto for passively
+// created sessions that have only seen the other path.
+func (s *sizeSession) path(slot *xk.Session, proto xk.Protocol) (xk.Session, error) {
+	s.smu.Lock()
+	if *slot != nil {
+		d := *slot
+		s.smu.Unlock()
+		return d, nil
+	}
+	s.smu.Unlock()
+	if s.remote == (xk.IPAddr{}) {
+		return nil, fmt.Errorf("%s: peer unknown: %w", s.p.Name(), xk.ErrNoRoute)
+	}
+	opened, err := proto.Open(s.p, xk.NewParticipants(
+		xk.NewParticipant(s.proto),
+		xk.NewParticipant(s.remote),
+	))
+	if err != nil {
+		return nil, err
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if *slot == nil {
+		*slot = opened
+		s.p.mu.Lock()
+		s.p.sessions[opened] = s
+		s.p.mu.Unlock()
+	} else {
+		_ = opened.Close()
+	}
+	return *slot, nil
+}
+
+// Pop passes straight up; VIPsize has no header.
+func (s *sizeSession) Pop(_ xk.Session, m *msg.Msg) error {
+	up := s.Up()
+	if up == nil {
+		return fmt.Errorf("%s: %w", s.p.Name(), xk.ErrNoSession)
+	}
+	return up.Demux(s, m)
+}
+
+// Control answers from session state, then the direct path, then bulk.
+func (s *sizeSession) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.remote, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.proto), nil
+	case xk.CtlGetMTU:
+		s.smu.Lock()
+		b := s.bulkSess
+		s.smu.Unlock()
+		if b != nil {
+			return b.Control(xk.CtlGetMTU, nil)
+		}
+		return s.p.bulk.Control(xk.CtlGetMTU, nil)
+	case xk.CtlGetOptPacket:
+		return s.p.threshold, nil
+	default:
+		s.smu.Lock()
+		d := s.directSess
+		if d == nil {
+			d = s.bulkSess
+		}
+		s.smu.Unlock()
+		if d != nil {
+			return d.Control(op, arg)
+		}
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// Close releases both paths.
+func (s *sizeSession) Close() error {
+	if !s.MarkClosed() {
+		return nil
+	}
+	s.smu.Lock()
+	d, b := s.directSess, s.bulkSess
+	s.smu.Unlock()
+	s.p.mu.Lock()
+	if d != nil {
+		delete(s.p.sessions, d)
+	}
+	if b != nil {
+		delete(s.p.sessions, b)
+	}
+	s.p.mu.Unlock()
+	var first error
+	if d != nil {
+		first = d.Close()
+	}
+	if b != nil {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

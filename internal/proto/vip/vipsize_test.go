@@ -1,0 +1,226 @@
+package vip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// sizeBed is two hosts running VIPsize over {FRAGMENT-VIPaddr, VIPaddr}
+// with a plain app directly above VIPsize — Figure 3(b) without the RPC
+// layers, isolating the virtual protocol itself.
+type sizeBed struct {
+	client, server *stacks.Host
+	network        *sim.Network
+	cs, ss         *vip.Size
+	cf, sf         *fragment.Protocol
+}
+
+func buildSize(t *testing.T) *sizeBed {
+	t.Helper()
+	clock := event.NewFake()
+	client, server, network, err := stacks.TwoHosts(sim.Config{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &sizeBed{client: client, server: server, network: network}
+	mk := func(h *stacks.Host) (*vip.Size, *fragment.Protocol) {
+		addr, err := vip.NewAddr(h.Name+"/vipaddr", h.Eth, h.IP, h.ARP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _ := h.IP.Control(xk.CtlGetMyHost, nil)
+		f, err := fragment.New(h.Name+"/fragment", addr, hv.(xk.IPAddr), fragment.Config{Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := vip.NewSize(h.Name+"/vipsize", f, addr, h.ARP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, f
+	}
+	b.cs, b.cf = mk(client)
+	b.ss, b.sf = mk(server)
+	return b
+}
+
+func sizeSink(t *testing.T, s *vip.Size) *[][]byte {
+	t.Helper()
+	out := &[][]byte{}
+	app := xk.NewApp("sink", func(sess xk.Session, m *msg.Msg) error {
+		*out = append(*out, m.Bytes())
+		return nil
+	})
+	app.MaxMsg = 1500
+	if err := s.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sizeOpen(t *testing.T, s *vip.Size) xk.Session {
+	t.Helper()
+	app := xk.NewApp("src", nil)
+	app.MaxMsg = 1500
+	sess, err := s.Open(app, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSizeSmallMessagesBypassBulk(t *testing.T) {
+	b := buildSize(t)
+	got := sizeSink(t, b.ss)
+	sess := sizeOpen(t, b.cs)
+	payload := msg.MakeData(800)
+	if err := sess.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || !bytes.Equal((*got)[0], payload) {
+		t.Fatalf("delivered %d messages", len(*got))
+	}
+	// FRAGMENT must not have touched it.
+	if st := b.cf.Stats(); st.MessagesSent != 0 {
+		t.Fatalf("small message went through FRAGMENT (%d sent)", st.MessagesSent)
+	}
+}
+
+func TestSizeLargeMessagesUseBulk(t *testing.T) {
+	b := buildSize(t)
+	got := sizeSink(t, b.ss)
+	sess := sizeOpen(t, b.cs)
+	payload := msg.MakeData(9000)
+	if err := sess.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || !bytes.Equal((*got)[0], payload) {
+		t.Fatalf("delivered %d messages", len(*got))
+	}
+	if st := b.cf.Stats(); st.MessagesSent != 1 || st.FragmentsSent < 6 {
+		t.Fatalf("large message did not go through FRAGMENT: %+v", st)
+	}
+}
+
+func TestSizeThresholdBoundary(t *testing.T) {
+	// Exactly at the threshold goes direct; one byte over goes bulk.
+	b := buildSize(t)
+	sizeSink(t, b.ss)
+	sess := sizeOpen(t, b.cs)
+	v, err := sess.Control(xk.CtlGetOptPacket, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := v.(int)
+	if err := sess.Push(msg.New(msg.MakeData(threshold))); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.cf.Stats(); st.MessagesSent != 0 {
+		t.Fatal("at-threshold message went bulk")
+	}
+	if err := sess.Push(msg.New(msg.MakeData(threshold + 1))); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.cf.Stats(); st.MessagesSent != 1 {
+		t.Fatal("over-threshold message went direct")
+	}
+}
+
+func TestSizePassiveReplyBothPaths(t *testing.T) {
+	// The passive side must be able to answer through either path,
+	// including the one the first message did not arrive on.
+	b := buildSize(t)
+	var serverSess xk.Session
+	echo := xk.NewApp("echo", func(sess xk.Session, m *msg.Msg) error {
+		serverSess = sess
+		return nil
+	})
+	echo.MaxMsg = 1500
+	if err := b.ss.OpenEnable(echo, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	var clientGot []int
+	capp := xk.NewApp("cli", func(sess xk.Session, m *msg.Msg) error {
+		clientGot = append(clientGot, m.Len())
+		return nil
+	})
+	capp.MaxMsg = 1500
+	if err := b.cs.OpenEnable(capp, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := b.cs.Open(capp, xk.NewParticipants(
+		xk.NewParticipant(testProto),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrive small (direct path); reply large (bulk path must be
+	// opened lazily on the server side).
+	if err := sess.Push(msg.New(msg.MakeData(100))); err != nil {
+		t.Fatal(err)
+	}
+	if serverSess == nil {
+		t.Fatal("server never got the message")
+	}
+	if err := serverSess.Push(msg.New(msg.MakeData(7000))); err != nil {
+		t.Fatalf("large reply through passively created session: %v", err)
+	}
+	// And a small reply too.
+	if err := serverSess.Push(msg.New(msg.MakeData(50))); err != nil {
+		t.Fatal(err)
+	}
+	if len(clientGot) != 2 || clientGot[0] != 7000 || clientGot[1] != 50 {
+		t.Fatalf("client received %v", clientGot)
+	}
+}
+
+func TestSizeControls(t *testing.T) {
+	b := buildSize(t)
+	sizeSink(t, b.ss)
+	sess := sizeOpen(t, b.cs)
+	v, err := sess.Control(xk.CtlGetPeerHost, nil)
+	if err != nil || v.(xk.IPAddr) != xk.IP(10, 0, 0, 2) {
+		t.Fatalf("peer = %v, %v", v, err)
+	}
+	v, err = sess.Control(xk.CtlGetMTU, nil)
+	if err != nil || v.(int) < 16*1024 {
+		t.Fatalf("mtu = %v, %v (want FRAGMENT's)", v, err)
+	}
+	v, err = b.cs.Control(xk.CtlHLPMaxMsg, nil)
+	if err != nil || v.(int) != 1500 {
+		t.Fatalf("CtlHLPMaxMsg = %v, %v", v, err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeOpenDisable(t *testing.T) {
+	b := buildSize(t)
+	var n int
+	app := xk.NewApp("sink", func(sess xk.Session, m *msg.Msg) error { n++; return nil })
+	app.MaxMsg = 1500
+	if err := b.ss.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ss.OpenDisable(app, xk.LocalOnly(xk.NewParticipant(testProto))); err != nil {
+		t.Fatal(err)
+	}
+	sess := sizeOpen(t, b.cs)
+	_ = sess.Push(msg.New(msg.MakeData(10))) // delivery fails server-side
+	if n != 0 {
+		t.Fatal("disabled protocol still delivered")
+	}
+}

@@ -1,0 +1,197 @@
+package psync
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xkernel/internal/xk"
+)
+
+// This file implements the direction the paper's conclusion points at:
+// "we are experimenting with using Psync as a building block protocol
+// for implementing various protocol stacks for fault-tolerant
+// distributed programs" (§6, citing Mishra, Peterson and Schlichting's
+// replicated-object work). The canonical such stack is a total order on
+// top of Psync's partial order: every participant delivers the same
+// messages in the same sequence, which is what a replicated state
+// machine needs.
+//
+// The algorithm is the wave construction from that line of work,
+// simplified. Each message's *wave* is one more than the largest wave
+// among its context dependencies (wave 1 for context-free messages).
+// Because a participant's next message always depends on its previous
+// one (it is in the sender's view), each participant's messages carry
+// strictly increasing waves. A wave w is therefore *complete* once a
+// message with wave greater than w has been seen from every
+// participant: nothing with wave ≤ w can still arrive. Complete waves
+// are delivered in order, messages within a wave ordered by sender
+// address — a deterministic linear extension of the context graph.
+//
+// The liveness caveat is fundamental and inherited from the original:
+// a silent participant stalls the order. SendNull exists for exactly
+// the reason the real systems had null messages.
+
+// Ordered is a total-order view of one conversation.
+type Ordered struct {
+	conv *Conversation
+	self xk.IPAddr
+
+	mu       sync.Mutex
+	deliver  func(Message)
+	waves    map[MsgID]uint32
+	buffered []orderedMsg
+	latest   map[xk.IPAddr]uint32 // highest wave seen per participant
+	nextWave uint32
+}
+
+type orderedMsg struct {
+	wave uint32
+	m    Message
+}
+
+// JoinOrdered enters conversation conv with total-order delivery: the
+// callback sees every message — including this host's own — in the same
+// sequence on every participant. peers must list all participants
+// (including this host).
+func (p *Protocol) JoinOrdered(conv uint32, peers []xk.IPAddr, deliver func(Message)) (*Ordered, error) {
+	o := &Ordered{
+		self:     p.local,
+		deliver:  deliver,
+		waves:    make(map[MsgID]uint32),
+		latest:   make(map[xk.IPAddr]uint32),
+		nextWave: 1,
+	}
+	for _, peer := range peers {
+		o.latest[peer] = 0
+	}
+	c, err := p.Join(conv, peers, o.observe)
+	if err != nil {
+		return nil, err
+	}
+	o.conv = c
+	return o, nil
+}
+
+// Conversation exposes the underlying partial-order view.
+func (o *Ordered) Conversation() *Conversation { return o.conv }
+
+// Send publishes data into the total order. The sender's own message
+// enters its local order engine immediately (it will be delivered to
+// the local callback once its wave completes).
+func (o *Ordered) Send(data []byte) (MsgID, error) {
+	// Snapshot deps before the send so the wave computation matches
+	// what went on the wire.
+	id, err := o.conv.Send(data)
+	if err != nil {
+		return id, err
+	}
+	deps, _ := o.conv.Deps(id)
+	o.observeWithDeps(Message{Conv: o.conv.ID(), ID: id, Deps: deps, Data: data})
+	return id, nil
+}
+
+// SendNull publishes an empty message whose only purpose is advancing
+// the sender's wave, unblocking the order when this host has nothing to
+// say — the null message of the fault-tolerant Psync stacks.
+func (o *Ordered) SendNull() error {
+	_, err := o.Send(nil)
+	return err
+}
+
+// observe is the context-order callback from the conversation.
+func (o *Ordered) observe(m Message) { o.observeWithDeps(m) }
+
+func (o *Ordered) observeWithDeps(m Message) {
+	o.mu.Lock()
+	w := uint32(1)
+	for _, d := range m.Deps {
+		if dw, ok := o.waves[d]; ok && dw+1 > w {
+			w = dw + 1
+		}
+	}
+	o.waves[m.ID] = w
+	if w > o.latest[m.ID.Host] {
+		o.latest[m.ID.Host] = w
+	}
+	o.buffered = append(o.buffered, orderedMsg{wave: w, m: m})
+	ready := o.releaseLocked()
+	cb := o.deliver
+	o.mu.Unlock()
+	if cb != nil {
+		for _, r := range ready {
+			cb(r)
+		}
+	}
+}
+
+// releaseLocked drains every complete wave in order. Caller holds o.mu.
+func (o *Ordered) releaseLocked() []Message {
+	var out []Message
+	for {
+		// A participant's messages carry strictly increasing waves,
+		// so once latest[p] ≥ w nothing with wave ≤ w can still
+		// arrive from p: wave w is complete when that holds for
+		// every participant.
+		complete := true
+		for _, latest := range o.latest {
+			if latest < o.nextWave {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			return out
+		}
+		// Deliver every buffered message of this wave, ordered by
+		// sender address then sequence for determinism.
+		var wave []orderedMsg
+		rest := o.buffered[:0]
+		for _, bm := range o.buffered {
+			if bm.wave == o.nextWave {
+				wave = append(wave, bm)
+			} else {
+				rest = append(rest, bm)
+			}
+		}
+		o.buffered = rest
+		sort.Slice(wave, func(i, j int) bool {
+			a, b := wave[i].m.ID, wave[j].m.ID
+			if a.Host != b.Host {
+				return lessAddr(a.Host, b.Host)
+			}
+			return a.Seq < b.Seq
+		})
+		for _, bm := range wave {
+			out = append(out, bm.m)
+		}
+		o.nextWave++
+	}
+}
+
+func lessAddr(a, b xk.IPAddr) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Pending reports how many messages await wave completion (diagnostic).
+func (o *Ordered) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.buffered)
+}
+
+// Wave reports a delivered-or-buffered message's wave number.
+func (o *Ordered) Wave(id MsgID) (uint32, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w, ok := o.waves[id]
+	if !ok {
+		return 0, fmt.Errorf("psync: message %v not seen", id)
+	}
+	return w, nil
+}

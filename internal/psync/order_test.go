@@ -1,0 +1,153 @@
+package psync_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xkernel/internal/psync"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+// orderedParty wraps a party with its total-order view.
+type orderedParty struct {
+	*party
+	o   *psync.Ordered
+	seq []string // delivered order as "host#seq"
+}
+
+const hostOrderConv uint32 = 99
+
+// buildOrdered joins every party to one totally ordered conversation.
+func buildOrdered(t *testing.T, n int) []*orderedParty {
+	t.Helper()
+	parties, _, _ := build(t, n, sim.Config{}, psync.Config{})
+	var all []xk.IPAddr
+	for i := range parties {
+		all = append(all, xk.IP(10, 0, 0, byte(i+1)))
+	}
+	var out []*orderedParty
+	for _, p := range parties {
+		op := &orderedParty{party: p}
+		o, err := p.ps.JoinOrdered(hostOrderConv, all, func(m psync.Message) {
+			op.seq = append(op.seq, m.ID.String())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op.o = o
+		out = append(out, op)
+	}
+	return out
+}
+
+func TestTotalOrderAgreesAcrossParties(t *testing.T) {
+	ps := buildOrdered(t, 3)
+	// Interleaved sends from everyone: three rounds.
+	for r := 0; r < 3; r++ {
+		for i, p := range ps {
+			if _, err := p.o.Send([]byte(fmt.Sprintf("r%d-p%d", r, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Everyone has now seen wave > last from everyone; all messages
+	// delivered except possibly the final wave — flush with nulls.
+	for _, p := range ps {
+		if err := p.o.SendNull(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ps[0].seq
+	if len(want) < 9 {
+		t.Fatalf("party 0 delivered only %d messages", len(want))
+	}
+	for i, p := range ps[1:] {
+		if len(p.seq) != len(want) {
+			t.Fatalf("party %d delivered %d, party 0 delivered %d", i+1, len(p.seq), len(want))
+		}
+		for j := range want {
+			if p.seq[j] != want[j] {
+				t.Fatalf("order diverges at %d: %v vs %v", j, p.seq, want)
+			}
+		}
+	}
+}
+
+func TestTotalOrderIncludesOwnMessages(t *testing.T) {
+	ps := buildOrdered(t, 2)
+	id, err := ps[0].o.Send([]byte("mine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wave 1 completes once the other party also reaches wave >= 1.
+	if err := ps[1].o.SendNull(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range ps[0].seq {
+		if s == id.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("own message missing from own order: %v", ps[0].seq)
+	}
+}
+
+func TestWavesAreMonotonePerSender(t *testing.T) {
+	ps := buildOrdered(t, 2)
+	var ids []psync.MsgID
+	for i := 0; i < 4; i++ {
+		id, err := ps[0].o.Send([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := ps[1].o.SendNull(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev uint32
+	for _, id := range ids {
+		w, err := ps[0].o.Wave(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w <= prev {
+			t.Fatalf("waves not strictly increasing: %d after %d", w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestSilentParticipantStallsUntilNull(t *testing.T) {
+	ps := buildOrdered(t, 3)
+	if _, err := ps[0].o.Send([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps[1].o.Send([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Party 2 is silent: nothing can be delivered in total order yet.
+	if n := len(ps[0].seq); n != 0 {
+		t.Fatalf("delivered %d messages with a silent participant", n)
+	}
+	if ps[0].o.Pending() == 0 {
+		t.Fatal("nothing buffered awaiting the silent participant")
+	}
+	// The null message unblocks the wave.
+	if err := ps[2].o.SendNull(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ps[0].seq); n == 0 {
+		t.Fatal("null message did not release the wave")
+	}
+}
+
+func TestWaveOfUnknownMessage(t *testing.T) {
+	ps := buildOrdered(t, 2)
+	if _, err := ps[0].o.Wave(psync.MsgID{}); err == nil {
+		t.Fatal("unknown message id accepted")
+	}
+}

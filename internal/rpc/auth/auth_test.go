@@ -1,0 +1,162 @@
+package auth_test
+
+import (
+	"errors"
+	"testing"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/auth"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/rpc/sunrpc"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+const (
+	prog uint32 = 300000
+	vers uint32 = 1
+	proc uint32 = 1
+)
+
+// build composes SUN_SELECT over an auth layer over REQUEST_REPLY, with
+// possibly different mechanisms on the two ends (to exercise
+// rejection).
+func build(t *testing.T, cliMech, srvMech auth.Mechanism) (*sunrpc.SelectSession, *auth.Identity) {
+	t.Helper()
+	clock := event.NewFake()
+	client, server, _, err := stacks.TwoHosts(sim.Config{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen auth.Identity
+	mk := func(h *stacks.Host, mech auth.Mechanism, record bool) *sunrpc.Select {
+		v, err := vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _ := h.IP.Control(xk.CtlGetMyHost, nil)
+		f, err := fragment.New(h.Name+"/fragment", v, hv.(xk.IPAddr), fragment.Config{Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := sunrpc.NewReqRep(h.Name+"/reqrep", f, sunrpc.ReqRepConfig{Clock: clock, MaxRetries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer := auth.NewLayer(h.Name+"/auth", rr, mech)
+		s, err := sunrpc.NewSelect(h.Name+"/sunselect", layer, sunrpc.SelectConfig{NumSessions: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if record {
+			s.Register(prog, vers, proc, func(args *msg.Msg) (*msg.Msg, error) {
+				if v, ok := args.Attr(auth.IdentityAttr); ok {
+					seen = v.(auth.Identity)
+				}
+				return msg.New(args.Bytes()), nil
+			})
+		}
+		return s
+	}
+	cs := mk(client, cliMech, false)
+	mk(server, srvMech, true)
+
+	s, err := cs.Open(xk.NewApp("cli", nil), &xk.Participants{Remote: xk.NewParticipant(xk.IP(10, 0, 0, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.(*sunrpc.SelectSession), &seen
+}
+
+func TestSysIdentityReachesHandler(t *testing.T) {
+	mech := &auth.Sys{Machine: "workstation7", UID: 1042, GIDs: []uint32{100, 200}}
+	s, seen := build(t, mech, &auth.Sys{})
+	if _, err := s.CallBytes(prog, vers, proc, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Machine != "workstation7" || seen.UID != 1042 || len(seen.GIDs) != 2 {
+		t.Fatalf("identity = %+v", *seen)
+	}
+	if seen.Flavor != auth.FlavorSys {
+		t.Fatalf("flavor = %d", seen.Flavor)
+	}
+}
+
+func TestSysPolicyRejects(t *testing.T) {
+	cli := &auth.Sys{Machine: "intruder", UID: 0}
+	srv := &auth.Sys{Policy: func(id auth.Identity) error {
+		if id.UID == 0 {
+			return errors.New("root calls refused")
+		}
+		return nil
+	}}
+	s, _ := build(t, cli, srv)
+	_, err := s.CallBytes(prog, vers, proc, nil)
+	if err == nil {
+		t.Fatal("rejected call succeeded")
+	}
+	var re *sunrpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want a remote error", err)
+	}
+}
+
+func TestDigestAcceptsMatchingKey(t *testing.T) {
+	key := []byte("k1")
+	s, seen := build(t, &auth.Digest{Key: key, Name: "c"}, &auth.Digest{Key: key})
+	if _, err := s.CallBytes(prog, vers, proc, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Flavor != auth.FlavorDigest || seen.Machine != "c" {
+		t.Fatalf("identity = %+v", *seen)
+	}
+}
+
+func TestDigestRejectsWrongKey(t *testing.T) {
+	s, _ := build(t, &auth.Digest{Key: []byte("right"), Name: "c"}, &auth.Digest{Key: []byte("wrong")})
+	if _, err := s.CallBytes(prog, vers, proc, []byte("payload")); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestFlavorMismatchRejected(t *testing.T) {
+	s, _ := build(t, auth.None{}, &auth.Sys{})
+	if _, err := s.CallBytes(prog, vers, proc, nil); err == nil {
+		t.Fatal("flavor mismatch accepted")
+	}
+}
+
+func TestMechanismsDirectly(t *testing.T) {
+	var n auth.None
+	cred, err := n.MakeCred([]byte("x"))
+	if err != nil || len(cred) != 0 {
+		t.Fatalf("none cred = %v, %v", cred, err)
+	}
+	if _, err := n.VerifyCred([]byte{1}, nil); err == nil {
+		t.Fatal("non-empty AUTH_NONE cred accepted")
+	}
+	d := &auth.Digest{Key: []byte("k"), Name: "me"}
+	cred, err = d.MakeCred([]byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.VerifyCred(cred, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.VerifyCred(cred, []byte("tampered")); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	verf, err := d.MakeVerf([]byte("reply"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyVerf(verf, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyVerf(verf, []byte("other")); err == nil {
+		t.Fatal("bad verifier accepted")
+	}
+}

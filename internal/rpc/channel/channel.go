@@ -1,0 +1,353 @@
+// Package channel is CHANNEL, the middle layer of the decomposed Sprite
+// RPC (§3.2): it "pairs request messages with reply messages while
+// preserving at most once semantics". Each channel is opened as a
+// separate x-kernel session, exactly as the paper describes, and carries
+// one outstanding request at a time; the implicit-acknowledgement
+// machinery (new request acks previous reply, reply acks request) lives
+// here.
+//
+// CHANNEL's only structural difficulty as a separate protocol is "to
+// tune its timeout mechanism to take into account that FRAGMENT exists
+// as a separate protocol": its retransmission timer is a step function —
+// small for single-fragment messages, long enough for multi-fragment
+// messages that the fragmentation layer below is not still transmitting
+// (and chasing missing fragments) when CHANNEL gives up and resends the
+// whole message. A CHANNEL retransmission deliberately goes back through
+// the layer below as an independent message with a fresh FRAGMENT
+// sequence number.
+//
+// The header follows the appendix CHANNEL_HDR:
+//
+//	flags(2) channel(2) protocol_num(4) sequence_num(4) error(2) boot_id(4)
+//
+// Like FRAGMENT's, it carries its own protocol number field so multiple
+// high-level protocols can use it; note the deliberately duplicated
+// sequence number — "the layered version duplicates certain fields; e.g.,
+// both FRAGMENT and CHANNEL have their own sequence number field".
+package channel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/pmap"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// HeaderLen is the CHANNEL_HDR size.
+const HeaderLen = 18
+
+// ID is the channel-number participant component.
+type ID uint16
+
+// Flag bits.
+const (
+	flagRequest   uint16 = 1 << 0
+	flagReply     uint16 = 1 << 1
+	flagAck       uint16 = 1 << 2
+	flagPleaseAck uint16 = 1 << 3
+)
+
+// Error codes carried in the error field.
+const (
+	errOK     uint16 = 0
+	errRemote uint16 = 1 // reply payload is an error string
+)
+
+// RemoteError is a failure reported by the peer through the error field.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "channel: remote error: " + e.Msg }
+
+// Config parameterizes the protocol.
+type Config struct {
+	// RetransmitBase is the single-fragment timeout step; zero means
+	// 50ms.
+	RetransmitBase time.Duration
+	// RetransmitPerFrag is added per expected fragment beyond the
+	// first (the step function); zero means 20ms.
+	RetransmitPerFrag time.Duration
+	// MaxRetries bounds request retransmissions; zero means 8.
+	MaxRetries int
+	// BootID is this host's boot incarnation; zero means 1.
+	BootID uint32
+	// Proto is CHANNEL's number on the layer below; zero means
+	// ip.ProtoChannel.
+	Proto ip.ProtoNum
+	// Clock drives retransmission timers; nil means the real clock.
+	Clock event.Clock
+}
+
+func (c *Config) fill() {
+	if c.RetransmitBase == 0 {
+		c.RetransmitBase = 50 * time.Millisecond
+	}
+	if c.RetransmitPerFrag == 0 {
+		c.RetransmitPerFrag = 20 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.BootID == 0 {
+		c.BootID = 1
+	}
+	if c.Proto == 0 {
+		c.Proto = ip.ProtoChannel
+	}
+	if c.Clock == nil {
+		c.Clock = event.Real()
+	}
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Calls, Retransmits, AcksSent, AcksReceived int64
+	DuplicateRequests, ReplayedReplies         int64
+	RequestsServed, RemoteErrors               int64
+}
+
+// header is the decoded CHANNEL_HDR.
+type header struct {
+	flags    uint16
+	channel  uint16
+	protoNum uint32
+	seq      uint32
+	errCode  uint16
+	bootID   uint32
+}
+
+func (h *header) encode(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.flags)
+	binary.BigEndian.PutUint16(b[2:4], h.channel)
+	binary.BigEndian.PutUint32(b[4:8], h.protoNum)
+	binary.BigEndian.PutUint32(b[8:12], h.seq)
+	binary.BigEndian.PutUint16(b[12:14], h.errCode)
+	binary.BigEndian.PutUint32(b[14:18], h.bootID)
+}
+
+func decodeHeader(b []byte) header {
+	var h header
+	h.flags = binary.BigEndian.Uint16(b[0:2])
+	h.channel = binary.BigEndian.Uint16(b[2:4])
+	h.protoNum = binary.BigEndian.Uint32(b[4:8])
+	h.seq = binary.BigEndian.Uint32(b[8:12])
+	h.errCode = binary.BigEndian.Uint16(b[12:14])
+	h.bootID = binary.BigEndian.Uint32(b[14:18])
+	return h
+}
+
+// Protocol is the CHANNEL protocol object.
+type Protocol struct {
+	xk.BaseProtocol
+	cfg Config
+	llp xk.Protocol
+
+	mu      sync.Mutex
+	enables map[ip.ProtoNum]xk.Protocol
+	servers map[srvKey]*srvChan
+	stats   Stats
+	bootID  uint32
+
+	clients *pmap.Map // proto(1) ++ chan(2) ++ remote(4) → *Session
+}
+
+// New creates CHANNEL above llp, which must take VIP-shaped participants
+// (FRAGMENT, VIPsize, IP, VIP all qualify — the substitutability the
+// uniform interface buys).
+func New(name string, llp xk.Protocol, cfg Config) (*Protocol, error) {
+	cfg.fill()
+	p := &Protocol{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		cfg:          cfg,
+		llp:          llp,
+		enables:      make(map[ip.ProtoNum]xk.Protocol),
+		servers:      make(map[srvKey]*srvChan),
+		bootID:       cfg.BootID,
+		clients:      pmap.New(16),
+	}
+	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
+		return nil, fmt.Errorf("%s: enable: %w", name, err)
+	}
+	return p, nil
+}
+
+// Stats snapshots the counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// BootID reports the current boot incarnation.
+func (p *Protocol) BootID() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bootID
+}
+
+// Reboot simulates a crash: new boot id, all server-side state dropped.
+func (p *Protocol) Reboot() {
+	p.mu.Lock()
+	p.bootID++
+	p.servers = make(map[srvKey]*srvChan)
+	p.mu.Unlock()
+	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+}
+
+// Control: CHANNEL never pushes more than its client's message plus one
+// header; its answer to CtlHLPMaxMsg defers to the layer below it, since
+// CHANNEL itself adds only a header. It reports the lower layer's MTU
+// minus its header as its own.
+func (p *Protocol) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlHLPMaxMsg:
+		// When a virtual protocol below asks, CHANNEL's messages
+		// are bounded by what its own lower layer accepts.
+		v, err := p.llp.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int), nil
+	case xk.CtlGetMTU:
+		v, err := p.llp.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int) - HeaderLen, nil
+	case xk.CtlGetBootID:
+		return p.BootID(), nil
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+func key(k *pmap.Key, proto ip.ProtoNum, id uint16, remote xk.IPAddr) []byte {
+	return k.Reset().U8(uint8(proto)).U16(id).Bytes(remote[:]).Built()
+}
+
+// Open creates the client end of one channel. parts:
+// local=[ip.ProtoNum, ID] (the high-level protocol's number, then the
+// channel number), remote=[xk.IPAddr].
+func (p *Protocol) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	lp, rp := ps.Local.Clone(), ps.Remote.Clone()
+	id, err := xk.PopAddr[ID](&lp, "channel id")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	remote, err := xk.PopAddr[xk.IPAddr](&rp, "remote host")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	var kb pmap.Key
+	if v, ok := p.clients.Resolve(key(&kb, proto, uint16(id), remote)); ok {
+		return v.(*Session), nil
+	}
+	lls, err := p.llp.Open(p, xk.NewParticipants(
+		xk.NewParticipant(p.cfg.Proto),
+		xk.NewParticipant(remote),
+	))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{p: p, proto: proto, id: uint16(id), remote: remote}
+	s.InitSession(p, hlp, lls)
+	if cur, inserted := p.clients.BindIfAbsent(key(&kb, proto, uint16(id), remote), s); !inserted {
+		return cur.(*Session), nil
+	}
+	trace.Printf(trace.Events, p.Name(), "open chan=%d proto=%d remote=%s", id, proto, remote)
+	return s, nil
+}
+
+// OpenEnable registers hlp as the server for its protocol number.
+// parts: local=[ip.ProtoNum].
+func (p *Protocol) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_enable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	p.enables[proto] = hlp
+	p.mu.Unlock()
+	return nil
+}
+
+// OpenDisable revokes an enable.
+func (p *Protocol) OpenDisable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_disable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	delete(p.enables, proto)
+	p.mu.Unlock()
+	return nil
+}
+
+// OpenDone accepts lower sessions created passively for our enable.
+func (p *Protocol) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	return nil
+}
+
+// Demux dispatches on the flags field: requests to the server half,
+// replies and acks to the waiting client channel.
+func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
+	hb, err := m.Pop(HeaderLen)
+	if err != nil {
+		return fmt.Errorf("%s: %w", p.Name(), xk.ErrBadHeader)
+	}
+	h := decodeHeader(hb)
+	peer, err := peerHost(lls)
+	if err != nil {
+		return fmt.Errorf("%s: peer unknown: %w", p.Name(), err)
+	}
+	switch {
+	case h.flags&flagRequest != 0:
+		return p.serveRequest(h, peer, m, lls)
+	case h.flags&(flagReply|flagAck) != 0:
+		return p.clientReceive(h, peer, m)
+	default:
+		return fmt.Errorf("%s: flags %#04x: %w", p.Name(), h.flags, xk.ErrBadHeader)
+	}
+}
+
+// peerHost learns the remote host from the lower session — the
+// information-loss pattern of §5: the layered protocol asks through
+// control what the monolithic one reads from its own header.
+func peerHost(lls xk.Session) (xk.IPAddr, error) {
+	v, err := lls.Control(xk.CtlGetPeerHost, nil)
+	if err != nil {
+		return xk.IPAddr{}, err
+	}
+	a, ok := v.(xk.IPAddr)
+	if !ok {
+		return xk.IPAddr{}, fmt.Errorf("peer host has type %T", v)
+	}
+	return a, nil
+}
+
+// clientReceive completes or acknowledges the call outstanding on a
+// channel.
+func (p *Protocol) clientReceive(h header, peer xk.IPAddr, m *msg.Msg) error {
+	if h.protoNum > 0xff {
+		return fmt.Errorf("%s: protocol number %d: %w", p.Name(), h.protoNum, xk.ErrBadHeader)
+	}
+	var kb pmap.Key
+	v, ok := p.clients.Resolve(key(&kb, ip.ProtoNum(h.protoNum), h.channel, peer))
+	if !ok {
+		trace.Printf(trace.Events, p.Name(), "drop reply for unknown chan=%d proto=%d peer=%s", h.channel, h.protoNum, peer)
+		return nil
+	}
+	return v.(*Session).receive(h, m)
+}

@@ -1,0 +1,19 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the CHANNEL_HDR codec is the identity on its field domain.
+func TestQuickHeaderCodec(t *testing.T) {
+	f := func(flags, ch uint16, protoNum, seq uint32, errCode uint16, bootID uint32) bool {
+		h := header{flags: flags, channel: ch, protoNum: protoNum, seq: seq, errCode: errCode, bootID: bootID}
+		var b [HeaderLen]byte
+		h.encode(b[:])
+		return decodeHeader(b[:]) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+package channel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/pmap"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// Session is the client end of one channel: "A high-level protocol
+// pushes a message into the session (channel) and a reply message is
+// returned" (§3.2). One request is outstanding at a time; concurrency
+// comes from SELECT holding several channels.
+type Session struct {
+	xk.BaseSession
+	p      *Protocol
+	proto  ip.ProtoNum
+	id     uint16
+	remote xk.IPAddr
+
+	mu      sync.Mutex
+	seq     uint32
+	active  bool
+	acked   bool
+	replyCh chan result
+}
+
+type result struct {
+	m   *msg.Msg
+	err error
+}
+
+// ID reports the channel number.
+func (s *Session) ID() uint16 { return s.id }
+
+// Remote reports the peer host.
+func (s *Session) Remote() xk.IPAddr { return s.remote }
+
+// Call sends the request and blocks for the reply, retransmitting on the
+// step-function timeout.
+func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
+	if s.Closed() {
+		return nil, xk.ErrClosed
+	}
+	p := s.p
+	p.mu.Lock()
+	p.stats.Calls++
+	boot := p.bootID
+	p.mu.Unlock()
+
+	s.mu.Lock()
+	if s.active {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%s: chan %d busy: one request per channel", p.Name(), s.id)
+	}
+	s.seq++
+	seq := s.seq
+	s.active = true
+	s.acked = false
+	s.replyCh = make(chan result, 1)
+	replyCh := s.replyCh
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active = false
+		s.mu.Unlock()
+	}()
+
+	interval := s.stepTimeout(m.Len())
+	lls := s.Down(0)
+
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		h := header{
+			flags:    flagRequest,
+			channel:  s.id,
+			protoNum: uint32(s.proto),
+			seq:      seq,
+			bootID:   boot,
+		}
+		if attempt > 0 {
+			h.flags |= flagPleaseAck
+			p.mu.Lock()
+			p.stats.Retransmits++
+			p.mu.Unlock()
+			trace.Printf(trace.Events, p.Name(), "retransmit chan=%d seq=%d attempt=%d", s.id, seq, attempt)
+		}
+		s.mu.Lock()
+		skip := s.acked // the server said it is working; don't resend
+		s.mu.Unlock()
+		if !skip || attempt == 0 {
+			var hb [HeaderLen]byte
+			h.encode(hb[:])
+			// Each (re)transmission is an independent message to
+			// the layer below: FRAGMENT assigns it a new sequence
+			// number of its own.
+			out := m.Clone()
+			out.MustPush(hb[:])
+			if err := lls.Push(out); err != nil {
+				return nil, err
+			}
+		}
+
+		timeout := make(chan struct{})
+		ev := p.cfg.Clock.Schedule(interval, func() { close(timeout) })
+		select {
+		case r := <-replyCh:
+			ev.Cancel()
+			return r.m, r.err
+		case <-timeout:
+		}
+	}
+	return nil, fmt.Errorf("%s: call chan=%d seq=%d to %s: %w", p.Name(), s.id, seq, s.remote, xk.ErrTimeout)
+}
+
+// TimeoutFor reports the step-function timeout Call would use for a
+// request of msgLen bytes; exposed for introspection and tests.
+func (s *Session) TimeoutFor(msgLen int) (time.Duration, error) {
+	return s.stepTimeout(msgLen), nil
+}
+
+// stepTimeout implements the paper's step function: "for single fragment
+// messages CHANNEL's timeout is small, while for multi-fragment messages
+// CHANNEL must wait long enough to be sure that the fragmentation layer
+// is not in the middle of transmitting the message."
+func (s *Session) stepTimeout(msgLen int) time.Duration {
+	p := s.p
+	interval := p.cfg.RetransmitBase
+	optPacket := 0
+	if v, err := s.Down(0).Control(xk.CtlGetOptPacket, nil); err == nil {
+		optPacket, _ = v.(int)
+	}
+	if optPacket > 0 && msgLen+HeaderLen > optPacket {
+		frags := (msgLen + HeaderLen + optPacket - 1) / optPacket
+		interval += time.Duration(frags) * p.cfg.RetransmitPerFrag
+	}
+	return interval
+}
+
+// receive handles a reply or ack for this channel.
+func (s *Session) receive(h header, m *msg.Msg) error {
+	p := s.p
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active || h.seq != s.seq {
+		trace.Printf(trace.Events, p.Name(), "drop stale chan=%d seq=%d (current %d)", s.id, h.seq, s.seq)
+		return nil
+	}
+	if h.flags&flagAck != 0 {
+		p.mu.Lock()
+		p.stats.AcksReceived++
+		p.mu.Unlock()
+		s.acked = true
+		return nil
+	}
+	var r result
+	if h.errCode != errOK {
+		r.err = &RemoteError{Msg: string(m.Bytes())}
+		p.mu.Lock()
+		p.stats.RemoteErrors++
+		p.mu.Unlock()
+	} else {
+		r.m = m
+	}
+	select {
+	case s.replyCh <- r:
+	default:
+	}
+	return nil
+}
+
+// Push satisfies the uniform interface: a push is a call whose reply is
+// discarded, which is exactly the "reliable datagram protocol on top of
+// CHANNEL" the paper calls trivial (§3.2).
+func (s *Session) Push(m *msg.Msg) error {
+	_, err := s.Call(m)
+	return err
+}
+
+// Pop is unused; the protocol's Demux consumes incoming messages.
+func (s *Session) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters, delegating the rest downward.
+func (s *Session) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.remote, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.proto), nil
+	case xk.CtlGetMTU:
+		v, err := s.BaseSession.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int) - HeaderLen, nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}
+
+// Close unbinds the channel.
+func (s *Session) Close() error {
+	if !s.MarkClosed() {
+		return nil
+	}
+	var kb pmap.Key
+	s.p.clients.Unbind(key(&kb, s.proto, s.id, s.remote))
+	return nil
+}
+
+// srvKey identifies a peer's channel at the server.
+type srvKey struct {
+	peer    xk.IPAddr
+	proto   ip.ProtoNum
+	channel uint16
+}
+
+// srvChan is the server-side at-most-once state for one channel.
+type srvChan struct {
+	bootID    uint32
+	lastSeq   uint32
+	executing bool
+	savedSeq  uint32
+	saved     *msg.Msg // framed reply for replay
+	session   *ServerSession
+}
+
+// ServerSession is the server end of a channel: the session the
+// high-level protocol's handler pushes the reply through. Push sends the
+// reply for the request most recently delivered on this channel.
+type ServerSession struct {
+	xk.BaseSession
+	p     *Protocol
+	key   srvKey
+	proto ip.ProtoNum
+
+	mu         sync.Mutex
+	pendingSeq uint32
+	pendingOK  bool
+}
+
+// Peer reports the client host.
+func (s *ServerSession) Peer() xk.IPAddr { return s.key.peer }
+
+// Push sends the reply to the pending request.
+func (s *ServerSession) Push(m *msg.Msg) error { return s.reply(m, errOK) }
+
+// PushError reports a failure for the pending request; the message
+// payload carries the error text.
+func (s *ServerSession) PushError(text string) error {
+	return s.reply(msg.New([]byte(text)), errRemote)
+}
+
+func (s *ServerSession) reply(m *msg.Msg, code uint16) error {
+	p := s.p
+	s.mu.Lock()
+	if !s.pendingOK {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: no pending request on chan %d", p.Name(), s.key.channel)
+	}
+	seq := s.pendingSeq
+	s.pendingOK = false
+	s.mu.Unlock()
+
+	h := header{
+		flags:    flagReply,
+		channel:  s.key.channel,
+		protoNum: uint32(s.proto),
+		seq:      seq,
+		errCode:  code,
+		bootID:   p.BootID(),
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	framed := m.Clone()
+	framed.MustPush(hb[:])
+
+	p.mu.Lock()
+	if sc := p.servers[s.key]; sc != nil {
+		sc.executing = false
+		sc.savedSeq = seq
+		sc.saved = framed
+	}
+	p.mu.Unlock()
+
+	return s.Down(0).Push(framed.Clone())
+}
+
+// Pop is unused on server sessions.
+func (s *ServerSession) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters, delegating the rest downward.
+func (s *ServerSession) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.key.peer, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.proto), nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}
+
+// serveRequest is the server half of the implicit-ack algorithm,
+// structurally the same as monolithic Sprite RPC's but without any
+// fragmentation bookkeeping — that is FRAGMENT's job now.
+func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Session) error {
+	if h.protoNum > 0xff {
+		return fmt.Errorf("%s: protocol number %d: %w", p.Name(), h.protoNum, xk.ErrBadHeader)
+	}
+	proto := ip.ProtoNum(h.protoNum)
+	k := srvKey{peer: peer, proto: proto, channel: h.channel}
+
+	p.mu.Lock()
+	hlp := p.enables[proto]
+	if hlp == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%s: proto %d: %w", p.Name(), proto, xk.ErrNoSession)
+	}
+	sc := p.servers[k]
+	newSession := false
+	if sc == nil {
+		sc = &srvChan{bootID: h.bootID}
+		ss := &ServerSession{p: p, key: k, proto: proto}
+		ss.InitSession(p, hlp, lls)
+		sc.session = ss
+		p.servers[k] = sc
+		newSession = true
+	}
+	if sc.bootID != h.bootID {
+		trace.Printf(trace.Events, p.Name(), "peer %s rebooted (boot %d -> %d), resetting chan %d",
+			peer, sc.bootID, h.bootID, h.channel)
+		session := sc.session
+		*sc = srvChan{bootID: h.bootID, session: session}
+	}
+
+	switch {
+	case sc.lastSeq != 0 && h.seq < sc.lastSeq:
+		p.stats.DuplicateRequests++
+		p.mu.Unlock()
+		return nil
+
+	case h.seq == sc.lastSeq:
+		p.stats.DuplicateRequests++
+		if sc.executing {
+			p.stats.AcksSent++
+			p.mu.Unlock()
+			return p.sendAck(h, lls)
+		}
+		if sc.savedSeq == h.seq && sc.saved != nil {
+			p.stats.ReplayedReplies++
+			saved := sc.saved
+			p.mu.Unlock()
+			trace.Printf(trace.Events, p.Name(), "replay reply chan=%d seq=%d to %s", h.channel, h.seq, peer)
+			return lls.Push(saved.Clone())
+		}
+		p.mu.Unlock()
+		return nil
+
+	default: // new request
+		sc.saved = nil // implicit ack of the previous reply
+		sc.lastSeq = h.seq
+		sc.executing = true
+		ss := sc.session
+		p.stats.RequestsServed++
+		p.mu.Unlock()
+
+		ss.mu.Lock()
+		ss.pendingSeq = h.seq
+		ss.pendingOK = true
+		// Replies go back the way the request came; the lower
+		// session may differ after a passive re-open.
+		ss.SetDown(0, lls)
+		ss.mu.Unlock()
+
+		if newSession {
+			pps := xk.NewParticipants(
+				xk.NewParticipant(proto, ID(h.channel)),
+				xk.NewParticipant(peer),
+			)
+			if err := hlp.OpenDone(p, ss, pps); err != nil {
+				return err
+			}
+		}
+		if err := hlp.Demux(ss, m); err != nil {
+			// The high-level protocol could not serve it; report
+			// through the error field so the client fails fast
+			// rather than timing out.
+			return ss.PushError(err.Error())
+		}
+		return nil
+	}
+}
+
+// sendAck tells the client its request arrived and is being worked on.
+func (p *Protocol) sendAck(req header, lls xk.Session) error {
+	h := header{
+		flags:    flagAck,
+		channel:  req.channel,
+		protoNum: req.protoNum,
+		seq:      req.seq,
+		bootID:   p.BootID(),
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	m := msg.Empty()
+	m.MustPush(hb[:])
+	trace.Printf(trace.Events, p.Name(), "explicit ack chan=%d seq=%d", req.channel, req.seq)
+	return lls.Push(m)
+}

@@ -1,0 +1,378 @@
+package fragment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/pmap"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// session carries FRAGMENT messages between this host and one peer on
+// behalf of one high-level protocol. It is symmetric: the same session
+// sends, receives, honours resend requests, and issues them.
+type session struct {
+	xk.BaseSession
+	p      *Protocol
+	proto  ip.ProtoNum
+	remote xk.IPAddr
+
+	mu      sync.Mutex
+	nextSeq uint32
+	sent    map[uint32]*sentMsg
+	rcv     map[uint32]*rcvMsg
+	sweep   *event.Event // periodic discard of expired saved messages
+}
+
+// sentMsg is a transmitted message held for resend requests until the
+// hold window passes. The x-kernel's reference-sharing message tool
+// makes the saved copy cheap: frames alias the payload the client
+// pushed. Expiry is enforced by one periodic sweep per session rather
+// than one timer per message, so a saved copy lives between SendHold
+// and about 1.5×SendHold — the paper requires only that the sender
+// eventually "discards the message when the timer expires".
+type sentMsg struct {
+	frames  []*msg.Msg
+	expires time.Time
+}
+
+// rcvMsg collects an incoming message.
+type rcvMsg struct {
+	numFrags uint16
+	mask     uint16
+	frags    []*msg.Msg
+	retries  int
+	timer    *event.Event
+	via      xk.Session
+}
+
+func newSession(p *Protocol, hlp xk.Protocol, proto ip.ProtoNum, remote xk.IPAddr, lls xk.Session) *session {
+	s := &session{
+		p:      p,
+		proto:  proto,
+		remote: remote,
+		sent:   make(map[uint32]*sentMsg),
+		rcv:    make(map[uint32]*rcvMsg),
+	}
+	s.InitSession(p, hlp, lls)
+	return s
+}
+
+// Push assigns the message a fresh sequence number, fragments it, saves
+// a copy under the hold timer, and transmits every fragment.
+func (s *session) Push(m *msg.Msg) error {
+	if s.Closed() {
+		return xk.ErrClosed
+	}
+	p := s.p
+	if m.Len() > p.cfg.MaxMsg {
+		return fmt.Errorf("%s: %d bytes: %w", p.Name(), m.Len(), xk.ErrMsgTooBig)
+	}
+	maxFrag := p.cfg.MaxPacket - HeaderLen
+	frags, err := m.Split(maxFrag, msg.DefaultLeader)
+	if err != nil {
+		return err
+	}
+	if len(frags) > 16 {
+		return fmt.Errorf("%s: %d fragments (max 16): %w", p.Name(), len(frags), xk.ErrMsgTooBig)
+	}
+
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.mu.Unlock()
+
+	for i, f := range frags {
+		h := header{
+			typ:      typeData,
+			clntHost: p.local,
+			srvrHost: s.remote,
+			protoNum: uint32(s.proto),
+			seq:      seq,
+			numFrags: uint16(len(frags)),
+			fragMask: 1 << i,
+			length:   uint16(f.Len()),
+		}
+		var hb [HeaderLen]byte
+		h.encode(hb[:])
+		f.MustPush(hb[:])
+	}
+
+	sm := &sentMsg{frames: frags, expires: p.cfg.Clock.Now().Add(p.cfg.SendHold)}
+	s.mu.Lock()
+	s.sent[seq] = sm
+	s.armSweepLocked()
+	s.mu.Unlock()
+
+	p.mu.Lock()
+	p.stats.MessagesSent++
+	p.stats.FragmentsSent += int64(len(frags))
+	p.mu.Unlock()
+
+	lls := s.Down(0)
+	for _, f := range frags {
+		if err := lls.Push(f.Clone()); err != nil {
+			return err
+		}
+	}
+	trace.Printf(trace.Packets, p.Name(), "push seq=%d frags=%d len=%d to %s", seq, len(frags), m.Len(), s.remote)
+	return nil
+}
+
+// armSweepLocked schedules the expiry sweep if none is pending. Caller
+// holds s.mu.
+func (s *session) armSweepLocked() {
+	if s.sweep != nil {
+		return
+	}
+	s.sweep = s.p.cfg.Clock.Schedule(s.p.cfg.SendHold/2+time.Millisecond, func() {
+		now := s.p.cfg.Clock.Now()
+		s.mu.Lock()
+		for seq, sm := range s.sent {
+			if !sm.expires.After(now) {
+				delete(s.sent, seq)
+			}
+		}
+		s.sweep = nil
+		if len(s.sent) > 0 {
+			s.armSweepLocked()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// receive handles one incoming packet for this session.
+func (s *session) receive(h header, m *msg.Msg, lls xk.Session) error {
+	switch h.typ {
+	case typeData:
+		return s.receiveData(h, m)
+	case typeResend:
+		return s.receiveResendRequest(h)
+	default:
+		return fmt.Errorf("%s: type %d: %w", s.p.Name(), h.typ, xk.ErrBadHeader)
+	}
+}
+
+// receiveData folds a data fragment into the collection for its sequence
+// number, delivering upward when complete. Missing fragments are chased
+// with resend requests on the gap timer; after GapRetries the partial
+// message is abandoned — FRAGMENT does not guarantee delivery.
+func (s *session) receiveData(h header, m *msg.Msg) error {
+	p := s.p
+	p.mu.Lock()
+	p.stats.FragmentsReceived++
+	p.mu.Unlock()
+
+	numFrags := h.numFrags
+	if numFrags == 0 {
+		numFrags = 1
+	}
+	idx := bitIndex(h.fragMask)
+	if idx < 0 || idx >= int(numFrags) {
+		return fmt.Errorf("%s: frag mask %#04x of %d: %w", p.Name(), h.fragMask, numFrags, xk.ErrBadHeader)
+	}
+
+	s.mu.Lock()
+	r := s.rcv[h.seq]
+	if r == nil {
+		r = &rcvMsg{numFrags: numFrags, frags: make([]*msg.Msg, numFrags)}
+		s.rcv[h.seq] = r
+		if numFrags > 1 {
+			s.armGapTimer(h.seq, r)
+		}
+	}
+	if r.mask&h.fragMask != 0 {
+		p.mu.Lock()
+		p.stats.DuplicateFragments++
+		p.mu.Unlock()
+		s.mu.Unlock()
+		return nil
+	}
+	r.mask |= h.fragMask
+	r.frags[idx] = m
+	complete := r.mask == fullMask(numFrags)
+	if !complete {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.rcv, h.seq)
+	if r.timer != nil {
+		r.timer.Cancel()
+	}
+	full := msg.Empty()
+	for _, f := range r.frags {
+		full.Join(f)
+	}
+	s.mu.Unlock()
+
+	p.mu.Lock()
+	p.stats.MessagesDelivered++
+	p.mu.Unlock()
+	trace.Printf(trace.Packets, p.Name(), "deliver seq=%d len=%d from %s", h.seq, full.Len(), s.remote)
+
+	up := s.Up()
+	if up == nil {
+		return fmt.Errorf("%s: %w", p.Name(), xk.ErrNoSession)
+	}
+	return up.Demux(s, full)
+}
+
+// armGapTimer schedules the missing-fragment chase for seq. Caller holds
+// s.mu.
+func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
+	p := s.p
+	r.timer = p.cfg.Clock.Schedule(p.cfg.GapTimeout, func() {
+		s.mu.Lock()
+		if s.rcv[seq] != r {
+			s.mu.Unlock()
+			return
+		}
+		r.retries++
+		if r.retries > p.cfg.GapRetries {
+			delete(s.rcv, seq)
+			s.mu.Unlock()
+			p.mu.Lock()
+			p.stats.MessagesAbandoned++
+			p.mu.Unlock()
+			trace.Printf(trace.Events, p.Name(), "abandon seq=%d from %s (mask %#04x of %d)", seq, s.remote, r.mask, r.numFrags)
+			return
+		}
+		mask, numFrags := r.mask, r.numFrags
+		s.armGapTimer(seq, r)
+		s.mu.Unlock()
+
+		p.mu.Lock()
+		p.stats.ResendRequestsSent++
+		p.mu.Unlock()
+		trace.Printf(trace.Events, p.Name(), "request missing seq=%d have=%#04x of %d from %s", seq, mask, numFrags, s.remote)
+		if err := s.sendResendRequest(seq, mask, numFrags); err != nil {
+			trace.Printf(trace.Events, p.Name(), "resend request failed: %v", err)
+		}
+	})
+}
+
+// sendResendRequest asks the peer for the fragments of seq we do not
+// have; frag_mask carries the mask we do have.
+func (s *session) sendResendRequest(seq uint32, have uint16, numFrags uint16) error {
+	h := header{
+		typ:      typeResend,
+		clntHost: s.p.local,
+		srvrHost: s.remote,
+		protoNum: uint32(s.proto),
+		seq:      seq,
+		numFrags: numFrags,
+		fragMask: have,
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	m := msg.Empty()
+	m.MustPush(hb[:])
+	return s.Down(0).Push(m)
+}
+
+// receiveResendRequest retransmits the fragments of h.seq that the peer
+// reports missing, if the message is still held. A discarded message is
+// silently ignored: persistence, not reliability.
+func (s *session) receiveResendRequest(h header) error {
+	p := s.p
+	s.mu.Lock()
+	sm := s.sent[h.seq]
+	s.mu.Unlock()
+	if sm == nil {
+		p.mu.Lock()
+		p.stats.ResendsExpired++
+		p.mu.Unlock()
+		trace.Printf(trace.Events, p.Name(), "resend request for discarded seq=%d from %s", h.seq, s.remote)
+		return nil
+	}
+	p.mu.Lock()
+	p.stats.ResendsHonored++
+	p.mu.Unlock()
+	lls := s.Down(0)
+	for i, f := range sm.frames {
+		if h.fragMask&(1<<i) != 0 {
+			continue // the peer has this one
+		}
+		if err := lls.Push(f.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pop is unused: receive dispatches through the protocol's Demux.
+func (s *session) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters, delegating the rest downward.
+func (s *session) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.remote, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.proto), nil
+	case xk.CtlGetMTU:
+		return s.p.cfg.MaxMsg, nil
+	case xk.CtlGetOptPacket:
+		// What fits in a single fragment: the threshold CHANNEL's
+		// step-function timeout tests against.
+		return s.p.cfg.MaxPacket - HeaderLen, nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}
+
+// Close unbinds the session.
+func (s *session) Close() error {
+	if !s.MarkClosed() {
+		return nil
+	}
+	var kb pmap.Key
+	s.p.active.Unbind(key(&kb, s.proto, s.remote))
+	s.mu.Lock()
+	for seq := range s.sent {
+		delete(s.sent, seq)
+	}
+	if s.sweep != nil {
+		s.sweep.Cancel()
+		s.sweep = nil
+	}
+	for seq, r := range s.rcv {
+		if r.timer != nil {
+			r.timer.Cancel()
+		}
+		delete(s.rcv, seq)
+	}
+	s.mu.Unlock()
+	if d := s.Down(0); d != nil {
+		return d.Close()
+	}
+	return nil
+}
+
+// fullMask returns the mask with the low n bits set.
+func fullMask(n uint16) uint16 {
+	if n >= 16 {
+		return 0xffff
+	}
+	return uint16(1)<<n - 1
+}
+
+// bitIndex returns the index of the single set bit in mask, or -1.
+func bitIndex(mask uint16) int {
+	if mask == 0 || mask&(mask-1) != 0 {
+		return -1
+	}
+	for i := 0; i < 16; i++ {
+		if mask&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package mrpc
+
+import (
+	"encoding/binary"
+
+	"xkernel/internal/xk"
+)
+
+// HeaderLen is the size of the monolithic Sprite RPC header. The layout
+// follows the appendix SPRITE_HDR struct field for field:
+//
+//	flags(2) clnt_host(4) srvr_host(4) channel(2) srvr_process(2)
+//	sequence_num(4) num_frags(2) frag_mask(2) command(2) boot_id(4)
+//	data1_sz(2) data2_sz(2) data1_offset(2) data2_offset(2)
+const HeaderLen = 36
+
+// Flag bits in the flags field.
+const (
+	flagRequest   uint16 = 1 << 0
+	flagReply     uint16 = 1 << 1
+	flagAck       uint16 = 1 << 2 // explicit acknowledgement
+	flagPleaseAck uint16 = 1 << 3 // sender wants an explicit ack
+	flagError     uint16 = 1 << 4 // reply payload is an error string
+)
+
+// header is the decoded SPRITE_HDR.
+type header struct {
+	flags    uint16
+	clntHost xk.IPAddr
+	srvrHost xk.IPAddr
+	channel  uint16
+	srvrProc uint16
+	seq      uint32
+	numFrags uint16
+	fragMask uint16
+	command  uint16
+	bootID   uint32
+	data1Sz  uint16
+	data2Sz  uint16
+	data1Off uint16
+	data2Off uint16
+}
+
+func (h *header) encode(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.flags)
+	copy(b[2:6], h.clntHost[:])
+	copy(b[6:10], h.srvrHost[:])
+	binary.BigEndian.PutUint16(b[10:12], h.channel)
+	binary.BigEndian.PutUint16(b[12:14], h.srvrProc)
+	binary.BigEndian.PutUint32(b[14:18], h.seq)
+	binary.BigEndian.PutUint16(b[18:20], h.numFrags)
+	binary.BigEndian.PutUint16(b[20:22], h.fragMask)
+	binary.BigEndian.PutUint16(b[22:24], h.command)
+	binary.BigEndian.PutUint32(b[24:28], h.bootID)
+	binary.BigEndian.PutUint16(b[28:30], h.data1Sz)
+	binary.BigEndian.PutUint16(b[30:32], h.data2Sz)
+	binary.BigEndian.PutUint16(b[32:34], h.data1Off)
+	binary.BigEndian.PutUint16(b[34:36], h.data2Off)
+}
+
+func decodeHeader(b []byte) header {
+	var h header
+	h.flags = binary.BigEndian.Uint16(b[0:2])
+	copy(h.clntHost[:], b[2:6])
+	copy(h.srvrHost[:], b[6:10])
+	h.channel = binary.BigEndian.Uint16(b[10:12])
+	h.srvrProc = binary.BigEndian.Uint16(b[12:14])
+	h.seq = binary.BigEndian.Uint32(b[14:18])
+	h.numFrags = binary.BigEndian.Uint16(b[18:20])
+	h.fragMask = binary.BigEndian.Uint16(b[20:22])
+	h.command = binary.BigEndian.Uint16(b[22:24])
+	h.bootID = binary.BigEndian.Uint32(b[24:28])
+	h.data1Sz = binary.BigEndian.Uint16(b[28:30])
+	h.data2Sz = binary.BigEndian.Uint16(b[30:32])
+	h.data1Off = binary.BigEndian.Uint16(b[32:34])
+	h.data2Off = binary.BigEndian.Uint16(b[34:36])
+	return h
+}

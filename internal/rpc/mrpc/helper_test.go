@@ -1,0 +1,6 @@
+package mrpc
+
+import "xkernel/internal/msg"
+
+// mkMsg builds a one-byte message for collector tests.
+func mkMsg(b byte) *msg.Msg { return msg.New([]byte{b}) }

@@ -1,0 +1,473 @@
+// Package mrpc is M.RPC: the monolithic implementation of Sprite RPC in
+// the x-kernel (§3, §4.1). One protocol object implements everything the
+// layered version splits into SELECT, CHANNEL and FRAGMENT: procedure
+// dispatch, a fixed set of request/reply channels with at-most-once
+// semantics via implicit acknowledgement, and its own fragmentation for
+// messages up to 16k.
+//
+// The implicit-acknowledgement technique follows Birrell & Nelson as the
+// paper describes it: "the receipt of a reply message by a client process
+// acknowledges the receipt of the corresponding request message it sent
+// to the server, and the receipt of a request message by a server process
+// acknowledges the receipt of the previous reply message it sent to the
+// client". Timeouts trigger retransmissions, which sometimes elicit
+// explicit acknowledgements; fragments "are treated as parts of a single
+// RPC".
+package mrpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// Handler serves one RPC command on the server: it receives the request
+// payload and returns the reply payload.
+type Handler func(command uint16, args *msg.Msg) (*msg.Msg, error)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// NumChannels is the fixed, predefined number of RPC channels
+	// (§3.2); zero means 8.
+	NumChannels int
+	// MaxPacket is the largest message this protocol pushes into the
+	// layer below — its answer to CtlHLPMaxMsg. Zero means 1500, the
+	// Sprite answer.
+	MaxPacket int
+	// MaxMsg bounds request and reply payloads; zero means 16k, the
+	// Sprite limit.
+	MaxMsg int
+	// RetransmitInterval is the client's base patience before
+	// retransmitting; zero means 50ms.
+	RetransmitInterval time.Duration
+	// MaxRetries bounds retransmissions per call; zero means 8.
+	MaxRetries int
+	// BootID is this host's boot incarnation; zero means 1.
+	BootID uint32
+	// Proto is the protocol number this instance answers to on the
+	// layer below; zero means ip.ProtoSpriteRPC.
+	Proto ip.ProtoNum
+	// Clock drives retransmission timers; nil means the real clock.
+	Clock event.Clock
+}
+
+func (c *Config) fill() {
+	if c.NumChannels == 0 {
+		c.NumChannels = 8
+	}
+	if c.MaxPacket == 0 {
+		c.MaxPacket = 1500
+	}
+	if c.MaxMsg == 0 {
+		c.MaxMsg = 16 * 1024
+	}
+	if c.RetransmitInterval == 0 {
+		c.RetransmitInterval = 50 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.BootID == 0 {
+		c.BootID = 1
+	}
+	if c.Proto == 0 {
+		c.Proto = ip.ProtoSpriteRPC
+	}
+	if c.Clock == nil {
+		c.Clock = event.Real()
+	}
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Calls, Retransmits, AcksSent, AcksReceived int64
+	DuplicateRequests, ReplayedReplies         int64
+	RequestsServed, Errors                     int64
+}
+
+// RemoteError is a server-reported failure, distinguished from transport
+// errors so at-most-once tests can tell "executed and failed" from
+// "never executed".
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "mrpc: remote error: " + e.Msg }
+
+// Protocol is the monolithic Sprite RPC protocol object. One instance
+// serves both roles: client calls go out through sessions, and
+// registered handlers serve incoming requests.
+type Protocol struct {
+	xk.BaseProtocol
+	cfg   Config
+	llp   xk.Protocol
+	local xk.IPAddr
+
+	channels []*chanState
+	free     chan *chanState
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	fallback Handler
+	servers  map[srvKey]*srvChan
+	stats    Stats
+	bootID   uint32
+}
+
+// New creates the protocol for the host with address local above llp,
+// which must accept VIP-shaped participants (local=[ip.ProtoNum],
+// remote=[xk.IPAddr]) — IP, VIP, or the ethernet mapping shim all do.
+func New(name string, llp xk.Protocol, local xk.IPAddr, cfg Config) (*Protocol, error) {
+	cfg.fill()
+	p := &Protocol{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		cfg:          cfg,
+		llp:          llp,
+		local:        local,
+		handlers:     make(map[uint16]Handler),
+		servers:      make(map[srvKey]*srvChan),
+		bootID:       cfg.BootID,
+		free:         make(chan *chanState, cfg.NumChannels),
+	}
+	for i := 0; i < cfg.NumChannels; i++ {
+		cs := &chanState{id: uint16(i)}
+		p.channels = append(p.channels, cs)
+		p.free <- cs
+	}
+	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
+		return nil, fmt.Errorf("%s: enable: %w", name, err)
+	}
+	return p, nil
+}
+
+// Register installs the handler for one command.
+func (p *Protocol) Register(command uint16, h Handler) {
+	p.mu.Lock()
+	p.handlers[command] = h
+	p.mu.Unlock()
+}
+
+// RegisterDefault installs a catch-all handler for unregistered commands.
+func (p *Protocol) RegisterDefault(h Handler) {
+	p.mu.Lock()
+	p.fallback = h
+	p.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// BootID reports the current boot incarnation.
+func (p *Protocol) BootID() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bootID
+}
+
+// Reboot simulates a crash and restart: the boot id changes and all
+// server-side channel state is lost, which is what the boot_id header
+// field exists to expose.
+func (p *Protocol) Reboot() {
+	p.mu.Lock()
+	p.bootID++
+	p.servers = make(map[srvKey]*srvChan)
+	p.mu.Unlock()
+	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+}
+
+// Control answers CtlHLPMaxMsg — the question VIP asks at open time.
+// "Sprite RPC reports that it never sends a message greater than
+// 1500-bytes (it has its own fragmentation mechanism)" (§3.1).
+func (p *Protocol) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlHLPMaxMsg:
+		return p.cfg.MaxPacket, nil
+	case xk.CtlGetMTU:
+		return p.cfg.MaxMsg, nil
+	case xk.CtlGetBootID:
+		return p.BootID(), nil
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// Open creates a session bound to a server host. parts:
+// remote=[xk.IPAddr].
+func (p *Protocol) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	rp := ps.Remote.Clone()
+	server, err := xk.PopAddr[xk.IPAddr](&rp, "server host")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	lls, err := p.llp.Open(p, xk.NewParticipants(
+		xk.NewParticipant(p.cfg.Proto),
+		xk.NewParticipant(server),
+	))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{p: p, server: server}
+	s.InitSession(p, hlp, lls)
+	trace.Printf(trace.Events, p.Name(), "open server=%s", server)
+	return s, nil
+}
+
+// OpenDone accepts passively created lower sessions (first contact from
+// a new client).
+func (p *Protocol) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	return nil
+}
+
+// chanState is one client-side RPC channel. A channel carries one call
+// at a time; the fixed pool bounds concurrency exactly as in Sprite.
+type chanState struct {
+	id uint16
+
+	mu      sync.Mutex
+	seq     uint32
+	active  bool
+	acked   uint16 // request fragments explicitly acknowledged
+	reply   *collector
+	replyCh chan callResult
+}
+
+type callResult struct {
+	m   *msg.Msg
+	err error
+}
+
+// Session is a client binding to one server host.
+type Session struct {
+	xk.BaseSession
+	p      *Protocol
+	server xk.IPAddr
+}
+
+// Server returns the remote host this session calls.
+func (s *Session) Server() xk.IPAddr { return s.server }
+
+// Call invokes command on the server with the given payload message and
+// returns the reply payload: the complete Sprite RPC client path —
+// channel allocation, fragmentation, retransmission with implicit
+// acknowledgement, at-most-once pairing.
+func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
+	if s.Closed() {
+		return nil, xk.ErrClosed
+	}
+	p := s.p
+	if args.Len() > p.cfg.MaxMsg {
+		return nil, fmt.Errorf("%s: %d bytes: %w", p.Name(), args.Len(), xk.ErrMsgTooBig)
+	}
+	p.mu.Lock()
+	p.stats.Calls++
+	boot := p.bootID
+	p.mu.Unlock()
+
+	// "the SELECT layer simply chooses one of the existing channels
+	// when an RPC is invoked; it blocks if there are none available"
+	// (§3.2) — the monolithic protocol does the same internally.
+	cs := <-p.free
+	defer func() { p.free <- cs }()
+
+	cs.mu.Lock()
+	cs.seq++
+	seq := cs.seq
+	cs.active = true
+	cs.acked = 0
+	cs.reply = nil
+	cs.replyCh = make(chan callResult, 1)
+	replyCh := cs.replyCh
+	cs.mu.Unlock()
+	defer func() {
+		cs.mu.Lock()
+		cs.active = false
+		cs.mu.Unlock()
+	}()
+
+	frags, hdrs, err := s.fragment(command, seq, boot, cs.id, args)
+	if err != nil {
+		return nil, err
+	}
+
+	interval := p.cfg.RetransmitInterval
+	if len(frags) > 1 {
+		// Multi-fragment patience: give the peer time to collect
+		// everything before retransmitting.
+		interval += time.Duration(len(frags)) * (p.cfg.RetransmitInterval / 4)
+	}
+
+	lls := s.Down(0)
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		cs.mu.Lock()
+		acked := cs.acked
+		cs.mu.Unlock()
+		pleaseAck := attempt > 0
+		for i := range frags {
+			if acked&(1<<i) != 0 {
+				continue // already at the server
+			}
+			h := hdrs[i]
+			if pleaseAck {
+				h.flags |= flagPleaseAck
+			}
+			var hb [HeaderLen]byte
+			h.encode(hb[:])
+			f := frags[i].Clone()
+			f.MustPush(hb[:])
+			if err := lls.Push(f); err != nil {
+				return nil, err
+			}
+		}
+		if attempt > 0 {
+			p.mu.Lock()
+			p.stats.Retransmits++
+			p.mu.Unlock()
+			trace.Printf(trace.Events, p.Name(), "retransmit chan=%d seq=%d attempt=%d", cs.id, seq, attempt)
+		}
+
+		timeout := make(chan struct{})
+		ev := p.cfg.Clock.Schedule(interval, func() { close(timeout) })
+		select {
+		case r := <-replyCh:
+			ev.Cancel()
+			return r.m, r.err
+		case <-timeout:
+		}
+	}
+	return nil, fmt.Errorf("%s: call to %s chan=%d seq=%d: %w", p.Name(), s.server, cs.id, seq, xk.ErrTimeout)
+}
+
+// fragment splits args into at most 16 fragments and builds the header
+// for each (flags set to request; retransmission twiddles them later).
+func (s *Session) fragment(command uint16, seq, boot uint32, channel uint16, args *msg.Msg) ([]*msg.Msg, []header, error) {
+	p := s.p
+	maxFrag := p.cfg.MaxPacket - HeaderLen
+	frags, err := args.Split(maxFrag, msg.DefaultLeader)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(frags) > 16 {
+		return nil, nil, fmt.Errorf("%s: %d fragments (max 16): %w", p.Name(), len(frags), xk.ErrMsgTooBig)
+	}
+	hdrs := make([]header, len(frags))
+	for i := range frags {
+		hdrs[i] = header{
+			flags:    flagRequest,
+			clntHost: p.local,
+			srvrHost: s.server,
+			channel:  channel,
+			seq:      seq,
+			numFrags: uint16(len(frags)),
+			fragMask: 1 << i,
+			command:  command,
+			bootID:   boot,
+			data1Sz:  uint16(frags[i].Len()),
+		}
+	}
+	return frags, hdrs, nil
+}
+
+// CallBytes is Call with plain byte-slice payloads.
+func (s *Session) CallBytes(command uint16, args []byte) ([]byte, error) {
+	reply, err := s.Call(command, msg.New(args))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Bytes(), nil
+}
+
+// Push satisfies the uniform interface by performing a command-0 call
+// and discarding the reply, so M.RPC composes where a one-way protocol
+// is expected.
+func (s *Session) Push(m *msg.Msg) error {
+	_, err := s.Call(0, m)
+	return err
+}
+
+// Pop is not used: the protocol's Demux consumes incoming messages.
+func (s *Session) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters.
+func (s *Session) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.server, nil
+	case xk.CtlGetMTU:
+		return s.p.cfg.MaxMsg, nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}
+
+// Demux dispatches incoming messages on the flags field: requests to the
+// server half, replies and acknowledgements to the waiting channel.
+func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
+	hb, err := m.Pop(HeaderLen)
+	if err != nil {
+		return fmt.Errorf("%s: %w", p.Name(), xk.ErrBadHeader)
+	}
+	h := decodeHeader(hb)
+	switch {
+	case h.flags&flagRequest != 0:
+		return p.serveRequest(h, m, lls)
+	case h.flags&(flagReply|flagAck) != 0:
+		return p.clientReceive(h, m)
+	default:
+		return fmt.Errorf("%s: flags %#04x: %w", p.Name(), h.flags, xk.ErrBadHeader)
+	}
+}
+
+// clientReceive handles replies and explicit acks arriving at the client
+// side.
+func (p *Protocol) clientReceive(h header, m *msg.Msg) error {
+	if int(h.channel) >= len(p.channels) {
+		return fmt.Errorf("%s: channel %d: %w", p.Name(), h.channel, xk.ErrBadHeader)
+	}
+	cs := p.channels[h.channel]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !cs.active || h.seq != cs.seq {
+		// A stale reply to an earlier incarnation of the channel:
+		// at-most-once filtering on the client side.
+		trace.Printf(trace.Events, p.Name(), "drop stale chan=%d seq=%d (current %d)", h.channel, h.seq, cs.seq)
+		return nil
+	}
+	if h.flags&flagAck != 0 {
+		p.mu.Lock()
+		p.stats.AcksReceived++
+		p.mu.Unlock()
+		// frag_mask reports which request fragments the server has;
+		// only the missing ones go out on the next retransmission.
+		cs.acked |= h.fragMask
+		return nil
+	}
+	// Reply fragment.
+	if cs.reply == nil || cs.reply.seq != h.seq {
+		cs.reply = newCollector(h.seq, h.numFrags)
+	}
+	if cs.reply.add(h.fragMask, m) {
+		full := cs.reply.assemble()
+		cs.reply = nil
+		var res callResult
+		if h.flags&flagError != 0 {
+			res.err = &RemoteError{Msg: string(full.Bytes())}
+		} else {
+			res.m = full
+		}
+		select {
+		case cs.replyCh <- res:
+		default:
+		}
+	}
+	return nil
+}

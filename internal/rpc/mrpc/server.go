@@ -1,0 +1,228 @@
+package mrpc
+
+import (
+	"fmt"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// srvKey identifies a client's channel at the server.
+type srvKey struct {
+	client  xk.IPAddr
+	channel uint16
+}
+
+// srvChan is the server's state for one client channel: the at-most-once
+// machinery. It remembers the boot incarnation, the last sequence number
+// completed, and the saved reply, which is retransmitted if the request
+// is duplicated and discarded when the next request implicitly
+// acknowledges it.
+type srvChan struct {
+	bootID    uint32
+	lastSeq   uint32
+	executing bool
+	collect   *collector
+	// saved reply, one encoded-and-framed message per fragment, plus
+	// the session to resend through.
+	savedSeq   uint32
+	savedReply []*msg.Msg
+	savedVia   xk.Session
+}
+
+// serveRequest implements the server half of the Sprite algorithm.
+func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
+	key := srvKey{client: h.clntHost, channel: h.channel}
+
+	p.mu.Lock()
+	sc := p.servers[key]
+	if sc == nil {
+		sc = &srvChan{bootID: h.bootID}
+		p.servers[key] = sc
+	}
+	if sc.bootID != h.bootID {
+		// The client rebooted: everything we remember about this
+		// channel belongs to a dead incarnation.
+		trace.Printf(trace.Events, p.Name(), "client %s rebooted (boot %d -> %d), resetting channel %d",
+			h.clntHost, sc.bootID, h.bootID, h.channel)
+		*sc = srvChan{bootID: h.bootID}
+	}
+
+	switch {
+	case sc.lastSeq != 0 && h.seq < sc.lastSeq:
+		// Older than anything interesting: drop (at-most-once).
+		p.stats.DuplicateRequests++
+		p.mu.Unlock()
+		return nil
+
+	case h.seq == sc.lastSeq:
+		// Duplicate of the last completed or in-progress request.
+		p.stats.DuplicateRequests++
+		if sc.executing {
+			// Still working: an explicit ack with the full mask
+			// tells the client to stop retransmitting.
+			p.stats.AcksSent++
+			p.mu.Unlock()
+			return p.sendAck(h, fullMask(h.numFrags), lls)
+		}
+		if sc.savedSeq == h.seq && sc.savedReply != nil {
+			// "timeouts trigger retransmissions which sometimes
+			// elicit explicit acknowledgements" — or, here, a
+			// replay of the saved reply.
+			p.stats.ReplayedReplies++
+			saved := sc.savedReply
+			via := sc.savedVia
+			p.mu.Unlock()
+			trace.Printf(trace.Events, p.Name(), "replay reply seq=%d to %s", h.seq, h.clntHost)
+			for _, f := range saved {
+				if err := via.Push(f.Clone()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		p.mu.Unlock()
+		return nil
+
+	default: // h.seq > sc.lastSeq: a new request.
+		// Receipt of a new request implicitly acknowledges the
+		// previous reply; the saved copy can go.
+		sc.savedReply = nil
+		sc.savedVia = nil
+		if sc.collect == nil || sc.collect.seq != h.seq {
+			sc.collect = newCollector(h.seq, h.numFrags)
+		}
+		complete := sc.collect.add(h.fragMask, m)
+		if !complete {
+			var ack bool
+			var mask uint16
+			if h.flags&flagPleaseAck != 0 {
+				// Partial acknowledgement: report which
+				// fragments arrived so the client resends only
+				// the missing ones.
+				ack = true
+				mask = sc.collect.mask
+				p.stats.AcksSent++
+			}
+			p.mu.Unlock()
+			if ack {
+				return p.sendAck(h, mask, lls)
+			}
+			return nil
+		}
+		args := sc.collect.assemble()
+		sc.collect = nil
+		sc.lastSeq = h.seq
+		sc.executing = true
+		handler := p.handlers[h.command]
+		if handler == nil {
+			handler = p.fallback
+		}
+		p.stats.RequestsServed++
+		p.mu.Unlock()
+
+		return p.execute(h, sc, key, handler, args, lls)
+	}
+}
+
+// execute runs the handler on the shepherd goroutine and sends the reply.
+func (p *Protocol) execute(h header, sc *srvChan, key srvKey, handler Handler, args *msg.Msg, lls xk.Session) error {
+	var reply *msg.Msg
+	var herr error
+	if handler == nil {
+		herr = fmt.Errorf("no handler for command %d", h.command)
+	} else {
+		reply, herr = handler(h.command, args)
+	}
+	flags := flagReply
+	if herr != nil {
+		flags |= flagError
+		reply = msg.New([]byte(herr.Error()))
+		p.mu.Lock()
+		p.stats.Errors++
+		p.mu.Unlock()
+	}
+	if reply == nil {
+		reply = msg.Empty()
+	}
+
+	frames, err := p.frameReply(h, flags, reply)
+	if err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	sc.executing = false
+	sc.savedSeq = h.seq
+	sc.savedReply = frames
+	sc.savedVia = lls
+	p.mu.Unlock()
+
+	for _, f := range frames {
+		if err := lls.Push(f.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frameReply fragments and frames the reply payload; frames are kept for
+// replay, so pushes always send clones.
+func (p *Protocol) frameReply(req header, flags uint16, reply *msg.Msg) ([]*msg.Msg, error) {
+	if reply.Len() > p.cfg.MaxMsg {
+		return nil, fmt.Errorf("%s: reply %d bytes: %w", p.Name(), reply.Len(), xk.ErrMsgTooBig)
+	}
+	maxFrag := p.cfg.MaxPacket - HeaderLen
+	frags, err := reply.Split(maxFrag, msg.DefaultLeader)
+	if err != nil {
+		return nil, err
+	}
+	if len(frags) > 16 {
+		return nil, fmt.Errorf("%s: reply needs %d fragments: %w", p.Name(), len(frags), xk.ErrMsgTooBig)
+	}
+	p.mu.Lock()
+	boot := p.bootID
+	p.mu.Unlock()
+	for i, f := range frags {
+		h := header{
+			flags:    flags,
+			clntHost: req.clntHost,
+			srvrHost: req.srvrHost,
+			channel:  req.channel,
+			srvrProc: req.srvrProc,
+			seq:      req.seq,
+			numFrags: uint16(len(frags)),
+			fragMask: 1 << i,
+			command:  req.command,
+			bootID:   boot,
+			data1Sz:  uint16(f.Len()),
+		}
+		var hb [HeaderLen]byte
+		h.encode(hb[:])
+		f.MustPush(hb[:])
+	}
+	return frags, nil
+}
+
+// sendAck sends an explicit acknowledgement carrying the mask of request
+// fragments received so far.
+func (p *Protocol) sendAck(req header, mask uint16, lls xk.Session) error {
+	h := header{
+		flags:    flagAck,
+		clntHost: req.clntHost,
+		srvrHost: req.srvrHost,
+		channel:  req.channel,
+		seq:      req.seq,
+		numFrags: req.numFrags,
+		fragMask: mask,
+		command:  req.command,
+		bootID:   p.BootID(),
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	m := msg.Empty()
+	m.MustPush(hb[:])
+	trace.Printf(trace.Events, p.Name(), "explicit ack seq=%d mask=%#04x to %s", req.seq, mask, req.clntHost)
+	return lls.Push(m)
+}

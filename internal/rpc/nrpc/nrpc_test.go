@@ -1,0 +1,97 @@
+package nrpc_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/nrpc"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+const cmdEcho uint16 = 5
+
+func build(t *testing.T, probeEvery time.Duration) (*nrpc.Session, *nrpc.Protocol, *sim.Network) {
+	t.Helper()
+	client, server, network, err := stacks.TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(h *stacks.Host) *nrpc.Protocol {
+		llp := vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP)
+		hv, _ := h.IP.Control(xk.CtlGetMyHost, nil)
+		p, err := nrpc.New(h.Name+"/nrpc", llp, hv.(xk.IPAddr), nrpc.Config{ProbeEvery: probeEvery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cli, srv := mk(client), mk(server)
+	srv.Register(cmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		return msg.New(args.Bytes()), nil
+	})
+	s, err := cli.OpenSession(xk.IP(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, srv, network
+}
+
+func TestEchoThroughSlowPath(t *testing.T) {
+	s, _, _ := build(t, time.Hour)
+	payload := msg.MakeData(9000)
+	reply, err := s.Call(cmdEcho, msg.New(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply.Bytes(), payload) {
+		t.Fatal("echo mismatch through the slow path")
+	}
+}
+
+func TestCrashProbePrecedesStaleCalls(t *testing.T) {
+	// With ProbeEvery so small every call is "stale", each RPC must be
+	// preceded by a probe exchange: 4 frames per call instead of 2.
+	s, _, network := build(t, time.Nanosecond)
+	if _, err := s.Call(cmdEcho, msg.Empty()); err != nil {
+		t.Fatal(err)
+	}
+	network.ResetStats()
+	if _, err := s.Call(cmdEcho, msg.Empty()); err != nil {
+		t.Fatal(err)
+	}
+	if got := network.Stats().FramesSent; got != 4 {
+		t.Fatalf("frames per probed call = %d, want 4", got)
+	}
+}
+
+func TestFreshPeerSkipsProbe(t *testing.T) {
+	s, _, network := build(t, time.Hour)
+	if _, err := s.Call(cmdEcho, msg.Empty()); err != nil {
+		t.Fatal(err)
+	}
+	network.ResetStats()
+	if _, err := s.Call(cmdEcho, msg.Empty()); err != nil {
+		t.Fatal(err)
+	}
+	if got := network.Stats().FramesSent; got != 2 {
+		t.Fatalf("frames per unprobed call = %d, want 2", got)
+	}
+}
+
+func TestServedCountsThroughShim(t *testing.T) {
+	s, srv, _ := build(t, time.Hour)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Call(cmdEcho, msg.New(msg.MakeData(64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The probe on first contact counts too.
+	if got := srv.Stats().RequestsServed; got != 11 {
+		t.Fatalf("served = %d, want 11", got)
+	}
+}

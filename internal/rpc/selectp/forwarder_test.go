@@ -1,0 +1,173 @@
+package selectp_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/rpc/selectp"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// forwarderBed: client → forwarder host → two backends, all on one
+// segment. The forwarder routes command ranges to different backends.
+type forwarderBed struct {
+	client  *selectp.Protocol
+	forward *selectp.Forwarder
+	served  map[string]*int
+}
+
+func buildForwarder(t *testing.T) *forwarderBed {
+	t.Helper()
+	clock := event.NewFake()
+	network := sim.New(sim.Config{})
+	mkHost := func(name string, n byte) *stacks.Host {
+		h, err := stacks.NewHost(stacks.HostConfig{
+			Name:    name,
+			Eth:     xk.EthAddr{2, 0, 0, 0, 0, n},
+			IP:      xk.IP(10, 0, 0, n),
+			Network: network,
+			Clock:   clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	mkChan := func(h *stacks.Host) *channel.Protocol {
+		v, err := vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _ := h.IP.Control(xk.CtlGetMyHost, nil)
+		f, err := fragment.New(h.Name+"/fragment", v, hv.(xk.IPAddr), fragment.Config{Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := channel.New(h.Name+"/channel", f, channel.Config{Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	bed := &forwarderBed{served: map[string]*int{}}
+
+	// Backends with real SELECTs at .11 and .12.
+	for i, name := range []string{"backA", "backB"} {
+		h := mkHost(name, byte(11+i))
+		sel, err := selectp.New(name+"/select", mkChan(h), selectp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := new(int)
+		bed.served[name] = count
+		nm := name
+		sel.RegisterDefault(func(cmd uint16, args *msg.Msg) (*msg.Msg, error) {
+			*count++
+			out := append([]byte(nm+":"), args.Bytes()...)
+			return msg.New(out), nil
+		})
+	}
+
+	// The forwarder at .2: low commands to backA, high to backB.
+	fh := mkHost("fwd", 2)
+	fwd, err := selectp.NewForwarder("fwd/select", mkChan(fh), selectp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd.AddRoute(0, 99, xk.IP(10, 0, 0, 11))
+	fwd.AddRoute(100, 199, xk.IP(10, 0, 0, 12))
+	bed.forward = fwd
+
+	// The client at .1 talks only to the forwarder.
+	ch := mkHost("client", 1)
+	bed.client, err = selectp.New("client/select", mkChan(ch), selectp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bed
+}
+
+func openForwarded(t *testing.T, bed *forwarderBed) *selectp.Session {
+	t.Helper()
+	s, err := bed.client.Open(xk.NewApp("app", nil),
+		&xk.Participants{Remote: xk.NewParticipant(xk.IP(10, 0, 0, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.(*selectp.Session)
+}
+
+func TestForwarderRoutesByCommandRange(t *testing.T) {
+	bed := buildForwarder(t)
+	s := openForwarded(t, bed)
+
+	got, err := s.CallBytes(5, []byte("low"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "backA:low" {
+		t.Fatalf("low command answered by %q", got)
+	}
+	got, err = s.CallBytes(150, []byte("high"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "backB:high" {
+		t.Fatalf("high command answered by %q", got)
+	}
+	if *bed.served["backA"] != 1 || *bed.served["backB"] != 1 {
+		t.Fatalf("served A=%d B=%d", *bed.served["backA"], *bed.served["backB"])
+	}
+}
+
+func TestForwarderUnroutedCommand(t *testing.T) {
+	bed := buildForwarder(t)
+	s := openForwarded(t, bed)
+	_, err := s.Call(500, msg.Empty())
+	var re *selectp.RemoteError
+	if !errors.As(err, &re) || re.Status != selectp.StatusNoCommand {
+		t.Fatalf("unrouted command: %v", err)
+	}
+}
+
+func TestForwarderRelaysLargePayloads(t *testing.T) {
+	bed := buildForwarder(t)
+	s := openForwarded(t, bed)
+	payload := msg.MakeData(12 * 1024)
+	got, err := s.CallBytes(7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("backA:"), payload...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("relayed %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestForwarderIsTransparentToClients(t *testing.T) {
+	// The client cannot tell a forwarder from a local SELECT: the same
+	// client code gets the same wire protocol and error behaviour.
+	bed := buildForwarder(t)
+	s := openForwarded(t, bed)
+	if _, err := s.CallBytes(42, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping route added later wins.
+	bed.forward.AddRoute(42, 42, xk.IP(10, 0, 0, 12))
+	got, err := s.CallBytes(42, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "backB:x" {
+		t.Fatalf("rerouted command answered by %q", got)
+	}
+}

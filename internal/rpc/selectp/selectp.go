@@ -1,0 +1,326 @@
+// Package selectp is SELECT, the top layer of the decomposed Sprite RPC
+// (§3.2): "the selection layer maps Sprite commands (procedure ids) onto
+// procedure addresses (server processes)". It also owns the caching that
+// good RPC performance requires: because Sprite has a fixed, predefined
+// number of channels, SELECT keeps a fixed pool of open CHANNEL sessions
+// and "simply chooses one of the existing channels when an RPC is
+// invoked; it blocks if there are none available".
+//
+// SELECT is a separate protocol rather than a piece of CHANNEL so that
+// different procedure-addressing schemes can be swapped in; the package
+// also provides the forwarding selection layer the paper mentions having
+// built as an alternative (see Forwarder).
+//
+// The header follows the appendix SELECT_HDR:
+//
+//	type(1) command(2) status(1)
+package selectp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// HeaderLen is the SELECT_HDR size.
+const HeaderLen = 4
+
+// Message types.
+const (
+	typeRequest uint8 = 0
+	typeReply   uint8 = 1
+)
+
+// Status codes.
+const (
+	StatusOK        uint8 = 0
+	StatusError     uint8 = 1
+	StatusNoCommand uint8 = 2
+)
+
+// Handler serves one command.
+type Handler func(command uint16, args *msg.Msg) (*msg.Msg, error)
+
+// RemoteError is a server-side failure reported through the status
+// field.
+type RemoteError struct {
+	Status uint8
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("select: remote error (status %d): %s", e.Status, e.Msg)
+}
+
+// Config parameterizes the protocol.
+type Config struct {
+	// NumChannels is the fixed pool of channels per server; zero means
+	// 8.
+	NumChannels int
+	// Proto is SELECT's protocol number relative to the layer below;
+	// zero means ip.ProtoSelect.
+	Proto ip.ProtoNum
+}
+
+func (c *Config) fill() {
+	if c.NumChannels == 0 {
+		c.NumChannels = 8
+	}
+	if c.Proto == 0 {
+		c.Proto = ip.ProtoSelect
+	}
+}
+
+// Protocol is the SELECT protocol object.
+type Protocol struct {
+	xk.BaseProtocol
+	cfg Config
+	llp xk.Protocol // CHANNEL (or anything channel-shaped)
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	fallback Handler
+	sessions map[xk.IPAddr]*Session
+}
+
+// New creates SELECT above llp and registers to serve incoming requests.
+func New(name string, llp xk.Protocol, cfg Config) (*Protocol, error) {
+	cfg.fill()
+	p := &Protocol{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		cfg:          cfg,
+		llp:          llp,
+		handlers:     make(map[uint16]Handler),
+		sessions:     make(map[xk.IPAddr]*Session),
+	}
+	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
+		return nil, fmt.Errorf("%s: enable: %w", name, err)
+	}
+	return p, nil
+}
+
+// Register installs the handler for one command (the procedure map).
+func (p *Protocol) Register(command uint16, h Handler) {
+	p.mu.Lock()
+	p.handlers[command] = h
+	p.mu.Unlock()
+}
+
+// RegisterDefault installs a catch-all handler.
+func (p *Protocol) RegisterDefault(h Handler) {
+	p.mu.Lock()
+	p.fallback = h
+	p.mu.Unlock()
+}
+
+// Control answers capability queries.
+func (p *Protocol) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetMTU:
+		v, err := p.llp.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int) - HeaderLen, nil
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// Open returns the (cached) session to a server host, with its fixed
+// pool of channels opened underneath. parts: remote=[xk.IPAddr].
+func (p *Protocol) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	rp := ps.Remote.Clone()
+	remote, err := xk.PopAddr[xk.IPAddr](&rp, "server host")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	if s, ok := p.sessions[remote]; ok {
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+
+	s := &Session{p: p, remote: remote, pool: make(chan xk.Session, p.cfg.NumChannels)}
+	s.InitSession(p, hlp)
+	for i := 0; i < p.cfg.NumChannels; i++ {
+		cs, err := p.llp.Open(p, xk.NewParticipants(
+			xk.NewParticipant(p.cfg.Proto, channel.ID(i)),
+			xk.NewParticipant(remote),
+		))
+		if err != nil {
+			return nil, fmt.Errorf("%s: opening channel %d: %w", p.Name(), i, err)
+		}
+		s.pool <- cs
+	}
+	p.mu.Lock()
+	if cur, ok := p.sessions[remote]; ok {
+		p.mu.Unlock()
+		return cur, nil
+	}
+	p.sessions[remote] = s
+	p.mu.Unlock()
+	trace.Printf(trace.Events, p.Name(), "open server=%s channels=%d", remote, p.cfg.NumChannels)
+	return s, nil
+}
+
+// OpenDone accepts the server sessions CHANNEL creates passively.
+func (p *Protocol) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	return nil
+}
+
+// OpenEnable is not used: constructing the protocol enables service.
+// (Present for interface completeness via BaseProtocol.)
+
+// Demux serves an incoming request: map the command to a procedure, run
+// it, and push the reply back through the channel it arrived on.
+func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
+	hb, err := m.Pop(HeaderLen)
+	if err != nil {
+		return fmt.Errorf("%s: %w", p.Name(), xk.ErrBadHeader)
+	}
+	typ := hb[0]
+	command := binary.BigEndian.Uint16(hb[1:3])
+	if typ != typeRequest {
+		return fmt.Errorf("%s: unexpected type %d: %w", p.Name(), typ, xk.ErrBadHeader)
+	}
+	p.mu.Lock()
+	h := p.handlers[command]
+	if h == nil {
+		h = p.fallback
+	}
+	p.mu.Unlock()
+
+	status := StatusOK
+	var reply *msg.Msg
+	if h == nil {
+		status = StatusNoCommand
+		reply = msg.New([]byte(fmt.Sprintf("no procedure for command %d", command)))
+	} else {
+		var herr error
+		reply, herr = h(command, m)
+		if herr != nil {
+			status = StatusError
+			reply = msg.New([]byte(herr.Error()))
+		}
+	}
+	if reply == nil {
+		reply = msg.Empty()
+	}
+	var out [HeaderLen]byte
+	out[0] = typeReply
+	binary.BigEndian.PutUint16(out[1:3], command)
+	out[3] = status
+	reply.MustPush(out[:])
+	trace.Printf(trace.Packets, p.Name(), "served command=%d status=%d", command, status)
+	return lls.Push(reply)
+}
+
+// Session is a client binding to one server, holding the channel pool.
+type Session struct {
+	xk.BaseSession
+	p      *Protocol
+	remote xk.IPAddr
+	pool   chan xk.Session
+}
+
+// Remote reports the server host.
+func (s *Session) Remote() xk.IPAddr { return s.remote }
+
+// Call invokes command with args on the server: grab a channel (blocking
+// if all are busy), frame the SELECT header, run the request/reply
+// exchange, interpret the status byte.
+func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
+	if s.Closed() {
+		return nil, xk.ErrClosed
+	}
+	cs := <-s.pool
+	defer func() { s.pool <- cs }()
+
+	var hb [HeaderLen]byte
+	hb[0] = typeRequest
+	binary.BigEndian.PutUint16(hb[1:3], command)
+	out := args.Clone()
+	out.MustPush(hb[:])
+
+	caller, ok := cs.(interface {
+		Call(*msg.Msg) (*msg.Msg, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("%s: lower session cannot call", s.p.Name())
+	}
+	reply, err := caller.Call(out)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := reply.Pop(HeaderLen)
+	if err != nil {
+		return nil, fmt.Errorf("%s: short reply: %w", s.p.Name(), xk.ErrBadHeader)
+	}
+	if rb[0] != typeReply {
+		return nil, fmt.Errorf("%s: reply type %d: %w", s.p.Name(), rb[0], xk.ErrBadHeader)
+	}
+	if status := rb[3]; status != StatusOK {
+		return nil, &RemoteError{Status: status, Msg: string(reply.Bytes())}
+	}
+	return reply, nil
+}
+
+// CallBytes is Call with plain byte slices.
+func (s *Session) CallBytes(command uint16, args []byte) ([]byte, error) {
+	reply, err := s.Call(command, msg.New(args))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Bytes(), nil
+}
+
+// Push performs a command-0 call and discards the reply.
+func (s *Session) Push(m *msg.Msg) error {
+	_, err := s.Call(0, m)
+	return err
+}
+
+// Pop is unused; incoming traffic flows through the protocol's Demux.
+func (s *Session) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control answers pool introspection and size queries.
+func (s *Session) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.remote, nil
+	case xk.CtlFreeChannels:
+		return len(s.pool), nil
+	case xk.CtlGetMTU:
+		return s.p.Control(xk.CtlGetMTU, nil)
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// Close drains and closes the channel pool.
+func (s *Session) Close() error {
+	if !s.MarkClosed() {
+		return nil
+	}
+	s.p.mu.Lock()
+	delete(s.p.sessions, s.remote)
+	s.p.mu.Unlock()
+	var first error
+	for i := 0; i < cap(s.pool); i++ {
+		cs := <-s.pool
+		if err := cs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,33 @@
+package sunrpc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the REQUEST_REPLY header codec is the identity on its
+// field domain.
+func TestQuickRRHeaderCodec(t *testing.T) {
+	f := func(typ uint8, protoNum uint32, channel uint16, xid uint32, status uint8) bool {
+		h := rrHeader{typ: typ, protoNum: protoNum, channel: channel, xid: xid, status: status}
+		var b [ReqRepHeaderLen]byte
+		h.encode(b[:])
+		return decodeRRHeader(b[:]) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SUN_SELECT call and reply headers survive their trip
+// through the wire helpers.
+func TestQuickCallHeaderCodec(t *testing.T) {
+	f := func(prog, vers, proc uint32) bool {
+		m := encodeCallHeader(prog, vers, proc)
+		gp, gv, gc, err := decodeCallHeader(m)
+		return err == nil && gp == prog && gv == vers && gc == proc && m.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

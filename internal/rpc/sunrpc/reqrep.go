@@ -1,0 +1,509 @@
+// Package sunrpc implements the paper's decomposition of Sun RPC (§5,
+// "Mix and Match RPCs"): a SUN_SELECT layer that maps
+// ⟨program, version, procedure⟩ onto handlers, and a REQUEST_REPLY
+// layer with zero-or-more semantics, with the authentication mechanisms
+// factored out into the separate auth package as "a library of optional
+// protocol layers".
+//
+// The composition freedom is the point: SUN_SELECT composes over
+// REQUEST_REPLY (classic Sun RPC behaviour), over CHANNEL (upgrading to
+// at-most-once semantics), and over either of those on top of FRAGMENT
+// (persistent bulk transfer) instead of relying on IP fragmentation.
+package sunrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/pmap"
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// ReqRepHeaderLen is the REQUEST_REPLY header:
+// type(1) protocol_num(4) chan(2) xid(4) status(1).
+const ReqRepHeaderLen = 12
+
+const (
+	rrCall  uint8 = 0
+	rrReply uint8 = 1
+)
+
+const (
+	rrOK    uint8 = 0
+	rrError uint8 = 1 // payload carries an error string
+)
+
+// RemoteError is a peer-reported REQUEST_REPLY failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "request_reply: remote error: " + e.Msg }
+
+// ReqRepConfig parameterizes the REQUEST_REPLY protocol.
+type ReqRepConfig struct {
+	// Retransmit is the client's patience before resending; zero
+	// means 50ms.
+	Retransmit time.Duration
+	// MaxRetries bounds retransmissions; zero means 8.
+	MaxRetries int
+	// Proto is REQUEST_REPLY's number on the layer below; zero means
+	// ip.ProtoRequestReply.
+	Proto ip.ProtoNum
+	// Clock drives timers; nil means the real clock.
+	Clock event.Clock
+}
+
+func (c *ReqRepConfig) fill() {
+	if c.Retransmit == 0 {
+		c.Retransmit = 50 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.Proto == 0 {
+		c.Proto = ip.ProtoRequestReply
+	}
+	if c.Clock == nil {
+		c.Clock = event.Real()
+	}
+}
+
+// ReqRepStats counts protocol activity. Executions can exceed calls:
+// zero-or-more semantics re-execute duplicated requests.
+type ReqRepStats struct {
+	Calls, Retransmits, Executions, RemoteErrors int64
+}
+
+// rrHeader is the decoded REQUEST_REPLY header.
+type rrHeader struct {
+	typ      uint8
+	protoNum uint32
+	channel  uint16
+	xid      uint32
+	status   uint8
+}
+
+func (h *rrHeader) encode(b []byte) {
+	b[0] = h.typ
+	binary.BigEndian.PutUint32(b[1:5], h.protoNum)
+	binary.BigEndian.PutUint16(b[5:7], h.channel)
+	binary.BigEndian.PutUint32(b[7:11], h.xid)
+	b[11] = h.status
+}
+
+func decodeRRHeader(b []byte) rrHeader {
+	return rrHeader{
+		typ:      b[0],
+		protoNum: binary.BigEndian.Uint32(b[1:5]),
+		channel:  binary.BigEndian.Uint16(b[5:7]),
+		xid:      binary.BigEndian.Uint32(b[7:11]),
+		status:   b[11],
+	}
+}
+
+// ReqRep is the REQUEST_REPLY protocol object: request/reply pairing
+// with zero-or-more execution semantics. A retransmitted request that
+// reaches the server twice runs twice — the property CHANNEL exists to
+// remove, and exactly what makes swapping the two layers meaningful.
+type ReqRep struct {
+	xk.BaseProtocol
+	cfg ReqRepConfig
+	llp xk.Protocol
+
+	mu      sync.Mutex
+	enables map[ip.ProtoNum]xk.Protocol
+	servers map[rrSrvKey]*RRServerSession
+	stats   ReqRepStats
+	nextXid uint32
+
+	clients *pmap.Map // proto(1) ++ chan(2) ++ remote(4) → *RRSession
+}
+
+// NewReqRep creates REQUEST_REPLY above llp (VIP-shaped participants).
+func NewReqRep(name string, llp xk.Protocol, cfg ReqRepConfig) (*ReqRep, error) {
+	cfg.fill()
+	p := &ReqRep{
+		BaseProtocol: xk.BaseProtocol{ProtoName: name},
+		cfg:          cfg,
+		llp:          llp,
+		enables:      make(map[ip.ProtoNum]xk.Protocol),
+		servers:      make(map[rrSrvKey]*RRServerSession),
+		clients:      pmap.New(16),
+	}
+	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
+		return nil, fmt.Errorf("%s: enable: %w", name, err)
+	}
+	return p, nil
+}
+
+// Stats snapshots the counters.
+func (p *ReqRep) Stats() ReqRepStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func rrKey(k *pmap.Key, proto ip.ProtoNum, id uint16, remote xk.IPAddr) []byte {
+	return k.Reset().U8(uint8(proto)).U16(id).Bytes(remote[:]).Built()
+}
+
+// Open creates the client end of a request/reply binding. parts:
+// local=[ip.ProtoNum, channel.ID], remote=[xk.IPAddr] — the same shape
+// CHANNEL takes, so SUN_SELECT can compose over either.
+func (p *ReqRep) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	lp, rp := ps.Local.Clone(), ps.Remote.Clone()
+	id, err := xk.PopAddr[channel.ID](&lp, "session id")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	remote, err := xk.PopAddr[xk.IPAddr](&rp, "remote host")
+	if err != nil {
+		return nil, fmt.Errorf("%s: open: %w", p.Name(), err)
+	}
+	var kb pmap.Key
+	if v, ok := p.clients.Resolve(rrKey(&kb, proto, uint16(id), remote)); ok {
+		return v.(*RRSession), nil
+	}
+	lls, err := p.llp.Open(p, xk.NewParticipants(
+		xk.NewParticipant(p.cfg.Proto),
+		xk.NewParticipant(remote),
+	))
+	if err != nil {
+		return nil, err
+	}
+	s := &RRSession{p: p, proto: proto, id: uint16(id), remote: remote}
+	s.InitSession(p, hlp, lls)
+	if cur, inserted := p.clients.BindIfAbsent(rrKey(&kb, proto, uint16(id), remote), s); !inserted {
+		return cur.(*RRSession), nil
+	}
+	trace.Printf(trace.Events, p.Name(), "open id=%d proto=%d remote=%s", id, proto, remote)
+	return s, nil
+}
+
+// OpenEnable registers hlp as the server for its protocol number.
+func (p *ReqRep) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_enable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	p.enables[proto] = hlp
+	p.mu.Unlock()
+	return nil
+}
+
+// OpenDisable revokes an enable.
+func (p *ReqRep) OpenDisable(hlp xk.Protocol, ps *xk.Participants) error {
+	lp := ps.Local.Clone()
+	proto, err := xk.PopAddr[ip.ProtoNum](&lp, "protocol number")
+	if err != nil {
+		return fmt.Errorf("%s: open_disable: %w", p.Name(), err)
+	}
+	p.mu.Lock()
+	delete(p.enables, proto)
+	p.mu.Unlock()
+	return nil
+}
+
+// OpenDone accepts passively created lower sessions.
+func (p *ReqRep) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	return nil
+}
+
+// Control defers size questions to the layer below.
+func (p *ReqRep) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlHLPMaxMsg:
+		v, err := p.llp.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int), nil
+	case xk.CtlGetMTU:
+		v, err := p.llp.Control(xk.CtlGetMTU, nil)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int) - ReqRepHeaderLen, nil
+	default:
+		return nil, xk.ErrOpNotSupported
+	}
+}
+
+// Demux splits calls from replies.
+func (p *ReqRep) Demux(lls xk.Session, m *msg.Msg) error {
+	hb, err := m.Pop(ReqRepHeaderLen)
+	if err != nil {
+		return fmt.Errorf("%s: %w", p.Name(), xk.ErrBadHeader)
+	}
+	h := decodeRRHeader(hb)
+	if h.protoNum > 0xff {
+		return fmt.Errorf("%s: protocol number %d: %w", p.Name(), h.protoNum, xk.ErrBadHeader)
+	}
+	v, err := lls.Control(xk.CtlGetPeerHost, nil)
+	if err != nil {
+		return fmt.Errorf("%s: peer unknown: %w", p.Name(), err)
+	}
+	peer := v.(xk.IPAddr)
+	switch h.typ {
+	case rrCall:
+		return p.serve(h, peer, m, lls)
+	case rrReply:
+		var kb pmap.Key
+		cv, ok := p.clients.Resolve(rrKey(&kb, ip.ProtoNum(h.protoNum), h.channel, peer))
+		if !ok {
+			trace.Printf(trace.Events, p.Name(), "drop reply id=%d xid=%d from %s", h.channel, h.xid, peer)
+			return nil
+		}
+		return cv.(*RRSession).receive(h, m)
+	default:
+		return fmt.Errorf("%s: type %d: %w", p.Name(), h.typ, xk.ErrBadHeader)
+	}
+}
+
+// rrSrvKey identifies a client binding at the server.
+type rrSrvKey struct {
+	peer  xk.IPAddr
+	proto ip.ProtoNum
+	id    uint16
+}
+
+// serve executes a request. No duplicate suppression: zero-or-more
+// semantics means every received copy runs.
+func (p *ReqRep) serve(h rrHeader, peer xk.IPAddr, m *msg.Msg, lls xk.Session) error {
+	proto := ip.ProtoNum(h.protoNum)
+	k := rrSrvKey{peer: peer, proto: proto, id: h.channel}
+	p.mu.Lock()
+	hlp := p.enables[proto]
+	if hlp == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%s: proto %d: %w", p.Name(), proto, xk.ErrNoSession)
+	}
+	ss := p.servers[k]
+	fresh := ss == nil
+	if fresh {
+		ss = &RRServerSession{p: p, key: k}
+		ss.InitSession(p, hlp, lls)
+		p.servers[k] = ss
+	}
+	p.stats.Executions++
+	p.mu.Unlock()
+
+	ss.mu.Lock()
+	ss.pendingXid = h.xid
+	ss.pendingOK = true
+	ss.SetDown(0, lls)
+	ss.mu.Unlock()
+
+	if fresh {
+		pps := xk.NewParticipants(
+			xk.NewParticipant(proto, channel.ID(h.channel)),
+			xk.NewParticipant(peer),
+		)
+		if err := hlp.OpenDone(p, ss, pps); err != nil {
+			return err
+		}
+	}
+	if err := hlp.Demux(ss, m); err != nil {
+		return ss.PushError(err.Error())
+	}
+	return nil
+}
+
+// RRSession is the client end: one outstanding call at a time.
+type RRSession struct {
+	xk.BaseSession
+	p      *ReqRep
+	proto  ip.ProtoNum
+	id     uint16
+	remote xk.IPAddr
+
+	mu      sync.Mutex
+	xid     uint32
+	active  bool
+	replyCh chan rrResult
+}
+
+type rrResult struct {
+	m   *msg.Msg
+	err error
+}
+
+// Call sends the request and waits for the reply, retransmitting
+// blindly on timeout — zero-or-more semantics.
+func (s *RRSession) Call(m *msg.Msg) (*msg.Msg, error) {
+	if s.Closed() {
+		return nil, xk.ErrClosed
+	}
+	p := s.p
+	p.mu.Lock()
+	p.stats.Calls++
+	p.nextXid++
+	xid := p.nextXid
+	p.mu.Unlock()
+
+	s.mu.Lock()
+	if s.active {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%s: session %d busy", p.Name(), s.id)
+	}
+	s.active = true
+	s.xid = xid
+	s.replyCh = make(chan rrResult, 1)
+	replyCh := s.replyCh
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active = false
+		s.mu.Unlock()
+	}()
+
+	h := rrHeader{typ: rrCall, protoNum: uint32(s.proto), channel: s.id, xid: xid}
+	var hb [ReqRepHeaderLen]byte
+	h.encode(hb[:])
+	lls := s.Down(0)
+
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		out := m.Clone()
+		out.MustPush(hb[:])
+		if err := lls.Push(out); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			p.mu.Lock()
+			p.stats.Retransmits++
+			p.mu.Unlock()
+		}
+		timeout := make(chan struct{})
+		ev := p.cfg.Clock.Schedule(p.cfg.Retransmit, func() { close(timeout) })
+		select {
+		case r := <-replyCh:
+			ev.Cancel()
+			return r.m, r.err
+		case <-timeout:
+		}
+	}
+	return nil, fmt.Errorf("%s: call id=%d xid=%d to %s: %w", p.Name(), s.id, xid, s.remote, xk.ErrTimeout)
+}
+
+// receive completes the outstanding call if the xid matches.
+func (s *RRSession) receive(h rrHeader, m *msg.Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active || h.xid != s.xid {
+		return nil // stale reply to an earlier transmission
+	}
+	var r rrResult
+	if h.status != rrOK {
+		r.err = &RemoteError{Msg: string(m.Bytes())}
+		s.p.mu.Lock()
+		s.p.stats.RemoteErrors++
+		s.p.mu.Unlock()
+	} else {
+		r.m = m
+	}
+	select {
+	case s.replyCh <- r:
+	default:
+	}
+	return nil
+}
+
+// Push is a call with the reply discarded.
+func (s *RRSession) Push(m *msg.Msg) error {
+	_, err := s.Call(m)
+	return err
+}
+
+// Pop is unused.
+func (s *RRSession) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters, delegating the rest downward.
+func (s *RRSession) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.remote, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.proto), nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}
+
+// Close unbinds the session.
+func (s *RRSession) Close() error {
+	if !s.MarkClosed() {
+		return nil
+	}
+	var kb pmap.Key
+	s.p.clients.Unbind(rrKey(&kb, s.proto, s.id, s.remote))
+	return nil
+}
+
+// RRServerSession is the server end: Push answers the pending request.
+type RRServerSession struct {
+	xk.BaseSession
+	p   *ReqRep
+	key rrSrvKey
+
+	mu         sync.Mutex
+	pendingXid uint32
+	pendingOK  bool
+}
+
+// Peer reports the client host.
+func (s *RRServerSession) Peer() xk.IPAddr { return s.key.peer }
+
+// Push sends the reply for the pending request.
+func (s *RRServerSession) Push(m *msg.Msg) error { return s.reply(m, rrOK) }
+
+// PushError reports a failure for the pending request.
+func (s *RRServerSession) PushError(text string) error {
+	return s.reply(msg.New([]byte(text)), rrError)
+}
+
+func (s *RRServerSession) reply(m *msg.Msg, status uint8) error {
+	s.mu.Lock()
+	if !s.pendingOK {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: no pending request on id %d", s.p.Name(), s.key.id)
+	}
+	xid := s.pendingXid
+	s.pendingOK = false
+	s.mu.Unlock()
+	h := rrHeader{typ: rrReply, protoNum: uint32(s.key.proto), channel: s.key.id, xid: xid, status: status}
+	var hb [ReqRepHeaderLen]byte
+	h.encode(hb[:])
+	m.MustPush(hb[:])
+	return s.Down(0).Push(m)
+}
+
+// Pop is unused.
+func (s *RRServerSession) Pop(lls xk.Session, m *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", s.p.Name(), xk.ErrOpNotSupported)
+}
+
+// Control reports session parameters, delegating the rest downward.
+func (s *RRServerSession) Control(op xk.ControlOp, arg any) (any, error) {
+	switch op {
+	case xk.CtlGetPeerHost:
+		return s.key.peer, nil
+	case xk.CtlGetMyProto, xk.CtlGetPeerProto:
+		return uint32(s.key.proto), nil
+	default:
+		return s.BaseSession.Control(op, arg)
+	}
+}

@@ -1,0 +1,98 @@
+package sunrpc
+
+import (
+	"fmt"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/rpc/xdr"
+	"xkernel/internal/xk"
+)
+
+// encodeCallHeader builds the XDR-encoded SUN_SELECT call header:
+// prog, vers, proc.
+func encodeCallHeader(prog, vers, proc uint32) *msg.Msg {
+	e := xdr.NewEncoder(12)
+	e.Uint32(prog).Uint32(vers).Uint32(proc)
+	m := msg.Empty()
+	m.MustPush(e.Bytes())
+	return m
+}
+
+// decodeCallHeader pops the call header off an incoming request.
+func decodeCallHeader(m *msg.Msg) (prog, vers, proc uint32, err error) {
+	hb, err := m.Pop(12)
+	if err != nil {
+		return 0, 0, 0, xk.ErrBadHeader
+	}
+	d := xdr.NewDecoder(hb)
+	if prog, err = d.Uint32(); err != nil {
+		return 0, 0, 0, err
+	}
+	if vers, err = d.Uint32(); err != nil {
+		return 0, 0, 0, err
+	}
+	if proc, err = d.Uint32(); err != nil {
+		return 0, 0, 0, err
+	}
+	return prog, vers, proc, nil
+}
+
+// encodeReplyHeader builds the reply: status word plus status-specific
+// body (mismatch range or error text).
+func encodeReplyHeader(serr *SelectError) *msg.Msg {
+	e := xdr.NewEncoder(16)
+	if serr == nil {
+		e.Uint32(StatusSuccess)
+	} else {
+		e.Uint32(serr.Status)
+		switch serr.Status {
+		case StatusProgMismatch:
+			e.Uint32(serr.Low).Uint32(serr.High)
+		case StatusSystemErr:
+			e.String(serr.Msg)
+		}
+	}
+	m := msg.Empty()
+	m.MustPush(e.Bytes())
+	return m
+}
+
+// decodeReplyHeader interprets a reply, returning the payload on
+// success or the decoded SelectError.
+func decodeReplyHeader(m *msg.Msg) (*msg.Msg, error) {
+	sb, err := m.Pop(4)
+	if err != nil {
+		return nil, xk.ErrBadHeader
+	}
+	d := xdr.NewDecoder(sb)
+	status, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusSuccess:
+		return m, nil
+	case StatusProgMismatch:
+		body := xdr.NewDecoder(m.Bytes())
+		low, err := body.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		high, err := body.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &SelectError{Status: status, Low: low, High: high}
+	case StatusSystemErr:
+		body := xdr.NewDecoder(m.Bytes())
+		text, err := body.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &SelectError{Status: status, Msg: text}
+	case StatusProgUnavail, StatusProcUnavail:
+		return nil, &SelectError{Status: status}
+	default:
+		return nil, fmt.Errorf("sun_select: reply status %d: %w", status, xk.ErrBadHeader)
+	}
+}

@@ -1,0 +1,206 @@
+// Package xdr implements External Data Representation encoding (RFC
+// 1014-style), the serialization Sun RPC uses for its call and reply
+// headers and its authentication bodies. Everything is big-endian and
+// padded to four-byte boundaries.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors.
+var (
+	ErrShort    = errors.New("xdr: buffer exhausted")
+	ErrBadValue = errors.New("xdr: malformed value")
+)
+
+// MaxStringLen bounds decoded strings and opaques, protecting decoders
+// from hostile length words.
+const MaxStringLen = 1 << 20
+
+// Encoder appends XDR-encoded values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the encoded size so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) *Encoder {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	return e
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) *Encoder { return e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR hyper).
+func (e *Encoder) Uint64(v uint64) *Encoder {
+	return e.Uint32(uint32(v >> 32)).Uint32(uint32(v))
+}
+
+// Bool encodes a boolean as 0 or 1.
+func (e *Encoder) Bool(v bool) *Encoder {
+	if v {
+		return e.Uint32(1)
+	}
+	return e.Uint32(0)
+}
+
+// Opaque encodes variable-length opaque data: length word, bytes, pad.
+func (e *Encoder) Opaque(b []byte) *Encoder {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+	return e
+}
+
+// FixedOpaque encodes fixed-length opaque data (no length word).
+func (e *Encoder) FixedOpaque(b []byte) *Encoder {
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+	return e
+}
+
+// String encodes a string as opaque bytes.
+func (e *Encoder) String(s string) *Encoder { return e.Opaque([]byte(s)) }
+
+// Uint32Slice encodes a counted array of 32-bit values.
+func (e *Encoder) Uint32Slice(vs []uint32) *Encoder {
+	e.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Uint32(v)
+	}
+	return e
+}
+
+// Decoder consumes XDR-encoded values from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder reads from b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Rest returns the unconsumed bytes without consuming them.
+func (d *Decoder) Rest() []byte { return d.buf[d.off:] }
+
+// Consumed reports how many bytes have been read.
+func (d *Decoder) Consumed() int { return d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShort
+	}
+	b := d.buf[d.off:]
+	d.off += 4
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	hi, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Bool decodes a boolean, rejecting values other than 0 and 1.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: bool %d", ErrBadValue, v)
+	}
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxStringLen {
+		return nil, fmt.Errorf("%w: opaque length %d", ErrBadValue, n)
+	}
+	padded := (int(n) + 3) &^ 3
+	if d.Remaining() < padded {
+		return nil, ErrShort
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += padded
+	return out, nil
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	padded := (n + 3) &^ 3
+	if n < 0 || d.Remaining() < padded {
+		return nil, ErrShort
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += padded
+	return out, nil
+}
+
+// String decodes a string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// Uint32Slice decodes a counted array of 32-bit values.
+func (d *Decoder) Uint32Slice() ([]uint32, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > d.Remaining()/4 {
+		return nil, ErrShort
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i], err = d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

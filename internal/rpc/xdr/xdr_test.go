@@ -1,0 +1,135 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32Layout(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(0xDEADBEEF)
+	if !bytes.Equal(e.Bytes(), []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Fatalf("encoded %x", e.Bytes())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	e := NewEncoder(16)
+	e.Opaque([]byte{1, 2, 3, 4, 5})
+	want := []byte{0, 0, 0, 5, 1, 2, 3, 4, 5, 0, 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("encoded %x, want %x", e.Bytes(), want)
+	}
+}
+
+func TestFixedOpaquePadding(t *testing.T) {
+	e := NewEncoder(8)
+	e.FixedOpaque([]byte{1, 2, 3})
+	if len(e.Bytes()) != 4 {
+		t.Fatalf("len = %d, want 4", len(e.Bytes()))
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := d.FixedOpaque(3)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("decode = %v, %v", got, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatal("padding not consumed")
+	}
+}
+
+func TestBoolStrict(t *testing.T) {
+	d := NewDecoder([]byte{0, 0, 0, 2})
+	if _, err := d.Bool(); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("bool 2: %v", err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); err != ErrShort {
+		t.Fatalf("got %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 8, 1, 2})
+	if _, err := d.Opaque(); err != ErrShort {
+		t.Fatalf("truncated opaque: %v", err)
+	}
+}
+
+func TestHostileLengthRejected(t *testing.T) {
+	d := NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := d.Opaque(); !errors.Is(err, ErrBadValue) && !errors.Is(err, ErrShort) {
+		t.Fatalf("hostile length: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d bool, s string, o []byte, vs []uint32) bool {
+		if len(s) > MaxStringLen || len(o) > MaxStringLen {
+			return true
+		}
+		e := NewEncoder(64)
+		e.Uint32(a).Int32(b).Uint64(c).Bool(d).String(s).Opaque(o).Uint32Slice(vs)
+		if e.Len()%4 != 0 {
+			return false
+		}
+		dec := NewDecoder(e.Bytes())
+		ga, err := dec.Uint32()
+		if err != nil || ga != a {
+			return false
+		}
+		gb, err := dec.Int32()
+		if err != nil || gb != b {
+			return false
+		}
+		gc, err := dec.Uint64()
+		if err != nil || gc != c {
+			return false
+		}
+		gd, err := dec.Bool()
+		if err != nil || gd != d {
+			return false
+		}
+		gs, err := dec.String()
+		if err != nil || gs != s {
+			return false
+		}
+		gobytes, err := dec.Opaque()
+		if err != nil || !bytes.Equal(gobytes, o) {
+			return false
+		}
+		gvs, err := dec.Uint32Slice()
+		if err != nil || len(gvs) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if gvs[i] != vs[i] {
+				return false
+			}
+		}
+		return dec.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderBookkeeping(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(1).Uint32(2)
+	d := NewDecoder(e.Bytes())
+	if d.Consumed() != 0 || d.Remaining() != 8 {
+		t.Fatal("fresh decoder bookkeeping wrong")
+	}
+	if _, err := d.Uint32(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Consumed() != 4 || d.Remaining() != 4 {
+		t.Fatal("bookkeeping after one read wrong")
+	}
+	if !bytes.Equal(d.Rest(), []byte{0, 0, 0, 2}) {
+		t.Fatalf("Rest = %x", d.Rest())
+	}
+}

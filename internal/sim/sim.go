@@ -1,0 +1,312 @@
+// Package sim provides the network substrate the protocol suite runs on:
+// in-memory ethernet segments that stand in for the paper's isolated
+// 10 Mbps ethernet between two Sun 3/75s.
+//
+// A Network is one broadcast domain. Hosts attach NICs; a frame sent to a
+// unicast address is delivered to the NIC bound to it, and a frame sent
+// to the broadcast address is delivered to every other NIC. Multiple
+// Networks joined by a host with two NICs (an IP router) model the
+// "destination is not on the local network" case that VIP distinguishes
+// (§3.1).
+//
+// Delivery is synchronous by default: the receiver's callback runs on the
+// sender's goroutine, which is exactly the x-kernel shepherd-process
+// model — sending a message costs procedure calls, not context switches.
+// A non-zero Latency switches a link to timer-driven asynchronous
+// delivery for demos that want to watch real time pass.
+//
+// Fault injection (loss, duplication, one-frame reordering, corruption)
+// is deterministic given the Seed, so protocol tests that drive
+// retransmission logic are reproducible.
+//
+// The Network also keeps virtual wire-occupancy accounting: every frame
+// charges its serialization time at the configured bandwidth to a
+// virtual clock. The benchmark harness uses that to compute the
+// wire-limited throughput bound that explains the paper's observation
+// that monolithic and layered RPC both saturate the ethernet (§4.2).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"xkernel/internal/xk"
+)
+
+// DefaultMTU is the ethernet maximum transmission unit used throughout
+// the paper: "ETH is able to deliver 1500-byte packets".
+const DefaultMTU = 1500
+
+// EthHeaderBytes is the framing overhead charged to the wire per frame in
+// addition to the payload (14-byte header; preamble/CRC/gap folded in to
+// keep the model simple but honest about per-frame cost).
+const EthHeaderBytes = 14 + 24
+
+// Config parameterizes a Network.
+type Config struct {
+	// MTU is the largest frame payload the network accepts (the
+	// ethernet header is not counted). Zero means DefaultMTU.
+	MTU int
+	// BandwidthBps is the wire rate in bits per second used for the
+	// virtual occupancy accounting. Zero means 10 Mbps.
+	BandwidthBps int64
+	// Latency, when non-zero, delays each delivery by that duration on
+	// a timer instead of delivering synchronously.
+	Latency time.Duration
+	// Async dispatches every delivery on its own goroutine even with
+	// zero latency — a dedicated shepherd process per frame, the
+	// x-kernel's concurrency model taken literally. Synchronous
+	// delivery (the default) is faster and deterministic; Async
+	// stresses the stacks' locking.
+	Async bool
+	// LossRate is the probability in [0,1) that a frame is silently
+	// dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1) that a frame is delivered
+	// twice.
+	DupRate float64
+	// ReorderRate is the probability in [0,1) that a frame is held and
+	// delivered after the next frame on the segment.
+	ReorderRate float64
+	// CorruptRate is the probability in [0,1) that one payload byte is
+	// flipped (for checksum tests).
+	CorruptRate float64
+	// Seed makes fault injection deterministic; zero means a fixed
+	// default seed (still deterministic).
+	Seed int64
+}
+
+// Stats counts network activity.
+type Stats struct {
+	FramesSent      int64
+	FramesDelivered int64
+	FramesDropped   int64 // fault-injected losses
+	FramesNoDest    int64 // unicast to an unattached address
+	FramesDuplicate int64
+	FramesReordered int64
+	FramesCorrupted int64
+	BytesSent       int64
+	WireTime        time.Duration // cumulative serialization time
+}
+
+// Network is one ethernet segment.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu    sync.Mutex
+	nics  map[xk.EthAddr]*NIC
+	held  *heldFrame // one-frame reorder buffer
+	stats Stats
+}
+
+type heldFrame struct {
+	dst   xk.EthAddr
+	src   *NIC
+	frame []byte
+}
+
+// ErrFrameTooBig is returned by Send for frames over the MTU plus header.
+var ErrFrameTooBig = errors.New("sim: frame exceeds MTU")
+
+// New creates a network segment.
+func New(cfg Config) *Network {
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.BandwidthBps == 0 {
+		cfg.BandwidthBps = 10_000_000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5053_1989 // deterministic default
+	}
+	return &Network{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		nics: make(map[xk.EthAddr]*NIC),
+	}
+}
+
+// NIC is a host's attachment to a Network. Receive delivery invokes the
+// handler installed with SetReceiver.
+type NIC struct {
+	net  *Network
+	addr xk.EthAddr
+
+	mu   sync.Mutex
+	recv func(frame []byte)
+}
+
+// Attach creates a NIC with the given hardware address. Attaching a
+// duplicate address fails.
+func (n *Network) Attach(addr xk.EthAddr) (*NIC, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nics[addr]; dup {
+		return nil, fmt.Errorf("sim: address %s already attached", addr)
+	}
+	nic := &NIC{net: n, addr: addr}
+	n.nics[addr] = nic
+	return nic, nil
+}
+
+// Detach removes the NIC from the segment.
+func (n *Network) Detach(nic *NIC) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nics, nic.addr)
+}
+
+// Stats returns a snapshot of the segment counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters (benchmark harness hook).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// MTU reports the segment MTU.
+func (n *Network) MTU() int { return n.cfg.MTU }
+
+// Addr returns the NIC's hardware address.
+func (nic *NIC) Addr() xk.EthAddr { return nic.addr }
+
+// MTU reports the segment MTU.
+func (nic *NIC) MTU() int { return nic.net.cfg.MTU }
+
+// SetReceiver installs the frame handler; it is the entry point of the
+// shepherd path upward through the protocol stack.
+func (nic *NIC) SetReceiver(f func(frame []byte)) {
+	nic.mu.Lock()
+	nic.recv = f
+	nic.mu.Unlock()
+}
+
+// Send transmits frame to dst. The frame includes the ethernet header
+// built by the ETH protocol; dst is passed out-of-band the way hardware
+// address-matches the header. Send applies fault injection and wire
+// accounting, then delivers synchronously (or on a timer when Latency is
+// configured).
+func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
+	n := nic.net
+	if len(frame) > n.cfg.MTU+EthHeaderBytes {
+		return ErrFrameTooBig
+	}
+
+	n.mu.Lock()
+	n.stats.FramesSent++
+	n.stats.BytesSent += int64(len(frame))
+	n.stats.WireTime += serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
+
+	// Fault injection.
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.FramesDropped++
+		n.mu.Unlock()
+		return nil
+	}
+	if n.cfg.CorruptRate > 0 && len(frame) > 14 && n.rng.Float64() < n.cfg.CorruptRate {
+		n.stats.FramesCorrupted++
+		frame = append([]byte(nil), frame...)
+		i := 14 + n.rng.Intn(len(frame)-14)
+		frame[i] ^= 0x40
+	}
+	dup := n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
+	if dup {
+		n.stats.FramesDuplicate++
+	}
+
+	// One-frame reordering: optionally hold this frame; any held frame
+	// is released behind the current one.
+	var deliverNow []heldFrame
+	if n.cfg.ReorderRate > 0 && n.held == nil && n.rng.Float64() < n.cfg.ReorderRate {
+		n.stats.FramesReordered++
+		n.held = &heldFrame{dst: dst, src: nic, frame: frame}
+	} else {
+		deliverNow = append(deliverNow, heldFrame{dst: dst, src: nic, frame: frame})
+		if dup {
+			deliverNow = append(deliverNow, heldFrame{dst: dst, src: nic, frame: frame})
+		}
+		if n.held != nil {
+			deliverNow = append(deliverNow, *n.held)
+			n.held = nil
+		}
+	}
+	n.mu.Unlock()
+
+	for _, f := range deliverNow {
+		n.deliver(f.src, f.dst, f.frame)
+	}
+	return nil
+}
+
+// Flush releases any frame held by the reorder buffer (test hook, and
+// called implicitly as traffic flows).
+func (n *Network) Flush() {
+	n.mu.Lock()
+	h := n.held
+	n.held = nil
+	n.mu.Unlock()
+	if h != nil {
+		n.deliver(h.src, h.dst, h.frame)
+	}
+}
+
+func (n *Network) deliver(src *NIC, dst xk.EthAddr, frame []byte) {
+	var targets []*NIC
+	n.mu.Lock()
+	if dst.IsBroadcast() {
+		for _, t := range n.nics {
+			if t != src {
+				targets = append(targets, t)
+			}
+		}
+	} else if t, ok := n.nics[dst]; ok {
+		targets = append(targets, t)
+	} else {
+		n.stats.FramesNoDest++
+	}
+	n.stats.FramesDelivered += int64(len(targets))
+	n.mu.Unlock()
+
+	for _, t := range targets {
+		t.handle(frame, n.cfg.Latency, n.cfg.Async)
+	}
+}
+
+func (t *NIC) handle(frame []byte, latency time.Duration, async bool) {
+	t.mu.Lock()
+	recv := t.recv
+	t.mu.Unlock()
+	if recv == nil {
+		return
+	}
+	switch {
+	case latency > 0:
+		f := frame
+		time.AfterFunc(latency, func() { recv(f) })
+	case async:
+		go recv(frame)
+	default:
+		recv(frame)
+	}
+}
+
+// serializationTime is the time len bytes occupy a wire of rate bps.
+func serializationTime(length int, bps int64) time.Duration {
+	return time.Duration(int64(length) * 8 * int64(time.Second) / bps)
+}
+
+// WireTimeFor exposes the serialization model for the analytic cost model.
+func WireTimeFor(bytes int, bps int64) time.Duration {
+	return serializationTime(bytes, bps)
+}

@@ -1,0 +1,192 @@
+package stacks
+
+import (
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/udp"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+func TestPingLocalSegment(t *testing.T) {
+	client, server, _, err := TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.ICMP.Ping(xk.IP(10, 0, 0, 2), 56, time.Second)
+	if err != nil {
+		t.Fatalf("ping server: %v", err)
+	}
+	if n != 56 {
+		t.Fatalf("echoed %d bytes, want 56", n)
+	}
+	// And the reverse direction.
+	if _, err := server.ICMP.Ping(xk.IP(10, 0, 0, 1), 8, time.Second); err != nil {
+		t.Fatalf("reverse ping: %v", err)
+	}
+}
+
+func TestPingAcrossRouter(t *testing.T) {
+	client, server, router, err := Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.ICMP.Ping(xk.IP(10, 0, 2, 1), 100, time.Second)
+	if err != nil {
+		t.Fatalf("ping across router: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("echoed %d bytes, want 100", n)
+	}
+	if fw := router.IP.Stats().Forwarded; fw < 2 {
+		t.Fatalf("router forwarded %d datagrams, want >= 2", fw)
+	}
+	_ = server
+}
+
+// udpEcho wires a server app that echoes every datagram back through the
+// session it arrived on.
+func udpEcho(t *testing.T, server *Host, port udp.Port) {
+	t.Helper()
+	app := xk.NewApp(server.Name+"/echo", nil)
+	app.Deliver = func(s xk.Session, m *msg.Msg) error {
+		return s.Push(msg.New(m.Bytes()))
+	}
+	if err := server.UDP.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(port))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPEchoSmall(t *testing.T) {
+	client, server, _, err := TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpEcho(t, server, 7)
+
+	got := make(chan []byte, 1)
+	app := xk.NewApp("client/app", func(s xk.Session, m *msg.Msg) error {
+		got <- m.Bytes()
+		return nil
+	})
+	sess, err := client.UDP.Open(app, xk.NewParticipants(
+		xk.NewParticipant(udp.Port(30000)),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2), udp.Port(7)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := msg.MakeData(64)
+	if err := sess.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if string(b) != string(payload) {
+			t.Fatalf("echo mismatch: got %d bytes", len(b))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no echo received")
+	}
+}
+
+func TestUDPEchoFragmented(t *testing.T) {
+	// 8000 bytes over a 1500-byte MTU forces IP fragmentation both ways.
+	client, server, network, err := TwoHosts(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpEcho(t, server, 7)
+
+	got := make(chan []byte, 1)
+	app := xk.NewApp("client/app", func(s xk.Session, m *msg.Msg) error {
+		got <- m.Bytes()
+		return nil
+	})
+	sess, err := client.UDP.Open(app, xk.NewParticipants(
+		xk.NewParticipant(udp.Port(30001)),
+		xk.NewParticipant(xk.IP(10, 0, 0, 2), udp.Port(7)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := msg.MakeData(8000)
+	if err := sess.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if len(b) != len(payload) {
+			t.Fatalf("echoed %d bytes, want %d", len(b), len(payload))
+		}
+		if string(b) != string(payload) {
+			t.Fatal("echo corrupted")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no echo received")
+	}
+	if client.IP.Stats().FragmentsSent < 2 {
+		t.Fatal("expected client to fragment the datagram")
+	}
+	if server.IP.Stats().Reassembled == 0 {
+		t.Fatal("expected server to reassemble")
+	}
+	st := network.Stats()
+	if st.FramesSent < 12 {
+		t.Fatalf("expected >= 12 frames for 8000 bytes each way, got %d", st.FramesSent)
+	}
+}
+
+func TestUDPEchoAcrossRouterFragmented(t *testing.T) {
+	client, server, _, err := Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpEcho(t, server, 9)
+
+	got := make(chan []byte, 1)
+	app := xk.NewApp("client/app", func(s xk.Session, m *msg.Msg) error {
+		got <- m.Bytes()
+		return nil
+	})
+	sess, err := client.UDP.Open(app, xk.NewParticipants(
+		xk.NewParticipant(udp.Port(30002)),
+		xk.NewParticipant(xk.IP(10, 0, 2, 1), udp.Port(9)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := msg.MakeData(4000)
+	if err := sess.Push(msg.New(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if len(b) != len(payload) {
+			t.Fatalf("echoed %d bytes, want %d", len(b), len(payload))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no echo received")
+	}
+}
+
+func TestARPLocalityTest(t *testing.T) {
+	// The VIP decision procedure: a local host resolves, a remote one
+	// times out.
+	client, _, _, err := Internet(sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ARP.Resolve(xk.IP(10, 0, 1, 254)); err != nil {
+		t.Fatalf("resolve local router: %v", err)
+	}
+	start := time.Now()
+	if _, err := client.ARP.Resolve(xk.IP(10, 0, 2, 1)); err == nil {
+		t.Fatal("resolving an off-segment host should fail")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("resolution gave up too slowly")
+	}
+}

@@ -1,0 +1,57 @@
+// Package trace is a lightweight, levelled tracing facility for watching
+// messages move through protocol stacks. It exists so examples and the
+// xktrace tool can show the shepherd's path through the protocol and
+// session objects without instrumenting every protocol with logging
+// dependencies.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Level controls verbosity.
+type Level int32
+
+// Trace levels, coarsest first.
+const (
+	Off     Level = iota // nothing
+	Events               // opens, session creation, retransmissions, drops
+	Packets              // plus every push/pop/demux
+)
+
+var (
+	level atomic.Int32
+
+	mu  sync.Mutex
+	out io.Writer = io.Discard
+)
+
+// SetLevel sets the global trace level.
+func SetLevel(l Level) { level.Store(int32(l)) }
+
+// SetOutput directs trace output to w; nil silences it.
+func SetOutput(w io.Writer) {
+	mu.Lock()
+	defer mu.Unlock()
+	if w == nil {
+		w = io.Discard
+	}
+	out = w
+}
+
+// Enabled reports whether messages at level l are being emitted, so hot
+// paths can skip argument formatting.
+func Enabled(l Level) bool { return Level(level.Load()) >= l }
+
+// Printf emits a trace line at level l, tagged with the component name.
+func Printf(l Level, who, format string, args ...any) {
+	if !Enabled(l) {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(out, "%-10s %s\n", who, fmt.Sprintf(format, args...))
+}

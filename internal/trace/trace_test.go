@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reset restores the package defaults after a test.
+func reset() {
+	SetLevel(Off)
+	SetOutput(nil)
+}
+
+func TestOffEmitsNothing(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	SetLevel(Off)
+	Printf(Events, "eth", "should not appear")
+	if buf.Len() != 0 {
+		t.Fatalf("emitted %q at level Off", buf.String())
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	SetLevel(Events)
+	Printf(Events, "eth", "event %d", 1)
+	Printf(Packets, "eth", "packet detail")
+	out := buf.String()
+	if !strings.Contains(out, "event 1") {
+		t.Fatalf("event line missing: %q", out)
+	}
+	if strings.Contains(out, "packet detail") {
+		t.Fatalf("packet line leaked at Events level: %q", out)
+	}
+	SetLevel(Packets)
+	Printf(Packets, "ip", "packet %s", "now")
+	if !strings.Contains(buf.String(), "packet now") {
+		t.Fatal("packet line missing at Packets level")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	defer reset()
+	SetLevel(Events)
+	if !Enabled(Events) || Enabled(Packets) {
+		t.Fatal("Enabled disagrees with level")
+	}
+}
+
+func TestComponentTag(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	SetLevel(Events)
+	Printf(Events, "client/vip", "opened")
+	if !strings.HasPrefix(buf.String(), "client/vip") {
+		t.Fatalf("line = %q", buf.String())
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	SetLevel(Packets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				Printf(Packets, "p", "line %d-%d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 400 {
+		t.Fatalf("got %d lines, want 400", lines)
+	}
+}

@@ -1,0 +1,52 @@
+package xk
+
+import "fmt"
+
+// EthAddr is a 48-bit ethernet (MAC) address.
+type EthAddr [6]byte
+
+// BroadcastEth is the all-ones ethernet broadcast address.
+var BroadcastEth = EthAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in the usual colon notation.
+func (a EthAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a EthAddr) IsBroadcast() bool { return a == BroadcastEth }
+
+// IPAddr is a 32-bit internet address. The paper's Sprite implementation
+// "uses IP addresses (also 32-bits) to identify hosts" (appendix), so the
+// RPC headers carry these directly.
+type IPAddr [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IP is a convenience constructor for literals in tests and examples.
+func IP(a, b, c, d byte) IPAddr { return IPAddr{a, b, c, d} }
+
+// U32 returns the address as a big-endian 32-bit integer, the form the
+// appendix header structs carry.
+func (a IPAddr) U32() uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// IPFromU32 is the inverse of U32.
+func IPFromU32(v uint32) IPAddr {
+	return IPAddr{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// SameNet reports whether two addresses fall in the same network under
+// the given mask.
+func (a IPAddr) SameNet(b IPAddr, mask IPAddr) bool {
+	for i := range a {
+		if a[i]&mask[i] != b[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package xk
+
+import (
+	"fmt"
+	"sync"
+
+	"xkernel/internal/msg"
+)
+
+// App adapts an application end-point to the Protocol interface so it can
+// sit at the top of a protocol stack: it is the "user" that shepherd
+// processes deliver messages to. Fields are callbacks; nil callbacks get
+// sensible defaults (Deliver is required).
+//
+// App also answers CtlHLPMaxMsg, the question a virtual protocol asks its
+// invoking protocol at open time (§3.1).
+type App struct {
+	BaseProtocol
+
+	// Deliver receives every message demultiplexed up to the app,
+	// along with the session it arrived through.
+	Deliver func(s Session, m *msg.Msg) error
+
+	// SessionDone, if set, is notified of passively created sessions
+	// (server side). If nil, passive sessions are accepted silently.
+	SessionDone func(llp Protocol, lls Session, ps *Participants) error
+
+	// MaxMsg is the answer to CtlHLPMaxMsg; zero means "unbounded"
+	// and is reported as the lower layer's concern (the UDP-style
+	// answer).
+	MaxMsg int
+
+	mu       sync.Mutex
+	sessions []Session
+}
+
+// NewApp returns an App named name delivering to deliver.
+func NewApp(name string, deliver func(s Session, m *msg.Msg) error) *App {
+	return &App{BaseProtocol: BaseProtocol{ProtoName: name}, Deliver: deliver}
+}
+
+// Demux hands the message to the Deliver callback.
+func (a *App) Demux(lls Session, m *msg.Msg) error {
+	if a.Deliver == nil {
+		return fmt.Errorf("%s: no deliver callback", a.Name())
+	}
+	return a.Deliver(lls, m)
+}
+
+// OpenDone records the passively created session and notifies
+// SessionDone.
+func (a *App) OpenDone(llp Protocol, lls Session, ps *Participants) error {
+	a.mu.Lock()
+	a.sessions = append(a.sessions, lls)
+	a.mu.Unlock()
+	if a.SessionDone != nil {
+		return a.SessionDone(llp, lls, ps)
+	}
+	return nil
+}
+
+// Control answers CtlHLPMaxMsg with the configured MaxMsg.
+func (a *App) Control(op ControlOp, arg any) (any, error) {
+	if op == CtlHLPMaxMsg {
+		return a.MaxMsg, nil
+	}
+	return nil, ErrOpNotSupported
+}
+
+// Sessions returns the passively created sessions seen so far.
+func (a *App) Sessions() []Session {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Session(nil), a.sessions...)
+}

@@ -1,0 +1,177 @@
+package xk
+
+import (
+	"fmt"
+	"sync"
+
+	"xkernel/internal/msg"
+)
+
+// BaseProtocol supplies default implementations of the optional Protocol
+// operations so concrete protocols only implement what they support.
+// Embed it by value.
+type BaseProtocol struct {
+	ProtoName string
+}
+
+// Name returns the configured protocol name.
+func (b *BaseProtocol) Name() string { return b.ProtoName }
+
+// Open fails by default; passive-only protocols (e.g. ARP's responder
+// half) never implement it.
+func (b *BaseProtocol) Open(Protocol, *Participants) (Session, error) {
+	return nil, fmt.Errorf("%s: open: %w", b.ProtoName, ErrOpNotSupported)
+}
+
+// OpenEnable fails by default.
+func (b *BaseProtocol) OpenEnable(Protocol, *Participants) error {
+	return fmt.Errorf("%s: open_enable: %w", b.ProtoName, ErrOpNotSupported)
+}
+
+// OpenDisable fails by default.
+func (b *BaseProtocol) OpenDisable(Protocol, *Participants) error {
+	return fmt.Errorf("%s: open_disable: %w", b.ProtoName, ErrOpNotSupported)
+}
+
+// OpenDone fails by default; protocols that never sit above a passive
+// open (pure clients) keep this.
+func (b *BaseProtocol) OpenDone(Protocol, Session, *Participants) error {
+	return fmt.Errorf("%s: open_done: %w", b.ProtoName, ErrOpNotSupported)
+}
+
+// Demux fails by default; protocols that never receive from below (pure
+// virtual open-time protocols like VIPaddr) keep this.
+func (b *BaseProtocol) Demux(Session, *msg.Msg) error {
+	return fmt.Errorf("%s: demux: %w", b.ProtoName, ErrOpNotSupported)
+}
+
+// Control rejects all opcodes by default.
+func (b *BaseProtocol) Control(ControlOp, any) (any, error) {
+	return nil, ErrOpNotSupported
+}
+
+// BaseSession supplies the bookkeeping every session shares: the owning
+// protocol, the high-level protocol messages are demultiplexed to, the
+// lower sessions this session pushes through, and a closed flag.
+// Embed it by value and call InitSession from the constructor.
+type BaseSession struct {
+	proto Protocol
+
+	mu     sync.Mutex
+	up     Protocol
+	lower  []Session
+	closed bool
+}
+
+// InitSession wires the embedded base. up may be nil for sessions whose
+// traffic never flows upward (pure senders).
+func (b *BaseSession) InitSession(proto, up Protocol, lower ...Session) {
+	b.proto = proto
+	b.up = up
+	b.lower = lower
+}
+
+// Protocol returns the owning protocol object.
+func (b *BaseSession) Protocol() Protocol { return b.proto }
+
+// Up returns the bound high-level protocol.
+func (b *BaseSession) Up() Protocol {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.up
+}
+
+// SetUp rebinds the high-level protocol.
+func (b *BaseSession) SetUp(hlp Protocol) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.up = hlp
+}
+
+// Down returns the i'th lower session, or nil when absent.
+func (b *BaseSession) Down(i int) Session {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.lower) {
+		return nil
+	}
+	return b.lower[i]
+}
+
+// SetDown replaces the i'th lower session, growing the slice as needed;
+// VIP sessions use it to install the ETH and/or IP sessions they open.
+func (b *BaseSession) SetDown(i int, s Session) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.lower) <= i {
+		b.lower = append(b.lower, nil)
+	}
+	b.lower[i] = s
+}
+
+// Closed reports whether Close has been called.
+func (b *BaseSession) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// MarkClosed sets the closed flag, reporting whether this call did the
+// closing (false if already closed).
+func (b *BaseSession) MarkClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.closed = true
+	return true
+}
+
+// Push fails by default; receive-only sessions keep this.
+func (b *BaseSession) Push(*msg.Msg) error {
+	return fmt.Errorf("%s: push: %w", b.protoName(), ErrOpNotSupported)
+}
+
+// Pop fails by default; send-only sessions keep this.
+func (b *BaseSession) Pop(Session, *msg.Msg) error {
+	return fmt.Errorf("%s: pop: %w", b.protoName(), ErrOpNotSupported)
+}
+
+// Control forwards unrecognized opcodes to the first lower session when
+// one exists (§5, "Information Loss": layered protocols learn what
+// monolithic ones read from globals by asking through control, and the
+// natural default is to ask the layer below).
+func (b *BaseSession) Control(op ControlOp, arg any) (any, error) {
+	if d := b.Down(0); d != nil {
+		return d.Control(op, arg)
+	}
+	return nil, ErrOpNotSupported
+}
+
+// Close marks the session closed and closes every lower session.
+func (b *BaseSession) Close() error {
+	if !b.MarkClosed() {
+		return nil
+	}
+	b.mu.Lock()
+	lower := append([]Session(nil), b.lower...)
+	b.mu.Unlock()
+	var first error
+	for _, s := range lower {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (b *BaseSession) protoName() string {
+	if b.proto == nil {
+		return "session"
+	}
+	return b.proto.Name()
+}

@@ -1,0 +1,101 @@
+package xk
+
+import "fmt"
+
+// Participant identifies one party to a communication as a stack of
+// address components (§2: "Participants identify themselves and their
+// peers with host addresses, port numbers, protocol numbers, and so on").
+//
+// Each protocol pops the component(s) it understands off the top of the
+// stack and passes the remainder to the protocol below: UDP pops a port
+// and hands the rest to IP, which pops an IPAddr; VIP pops an IPAddr and
+// decides whether to hand an EthAddr to ETH or the IPAddr to IP.
+type Participant struct {
+	stack []any
+}
+
+// NewParticipant builds a participant whose components are listed from
+// the bottom of the stack up; the last argument is the first popped.
+func NewParticipant(components ...any) Participant {
+	return Participant{stack: components}
+}
+
+// Push adds a component on top of the stack.
+func (p *Participant) Push(c any) {
+	p.stack = append(p.stack, c)
+}
+
+// Pop removes and returns the top component; ok is false when empty.
+func (p *Participant) Pop() (c any, ok bool) {
+	if len(p.stack) == 0 {
+		return nil, false
+	}
+	c = p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	return c, true
+}
+
+// Peek returns the top component without removing it.
+func (p *Participant) Peek() (c any, ok bool) {
+	if len(p.stack) == 0 {
+		return nil, false
+	}
+	return p.stack[len(p.stack)-1], true
+}
+
+// Len reports the number of components remaining.
+func (p *Participant) Len() int { return len(p.stack) }
+
+// Clone returns an independent copy; pops on the copy do not affect p.
+func (p Participant) Clone() Participant {
+	return Participant{stack: append([]any(nil), p.stack...)}
+}
+
+// PopAddr pops the top component and asserts it to type T, producing a
+// protocol-friendly error on mismatch.
+func PopAddr[T any](p *Participant, what string) (T, error) {
+	var zero T
+	c, ok := p.Pop()
+	if !ok {
+		return zero, fmt.Errorf("%w: missing %s component", ErrBadParticipants, what)
+	}
+	v, ok := c.(T)
+	if !ok {
+		return zero, fmt.Errorf("%w: %s component has type %T", ErrBadParticipants, what, c)
+	}
+	return v, nil
+}
+
+// Participants is the participant set passed to the open operations. The
+// paper's convention is that the first element identifies the local
+// participant; Local/Remote name that convention explicitly. Peers carries
+// additional parties for many-to-many protocols (Psync).
+type Participants struct {
+	Local  Participant
+	Remote Participant
+	Peers  []Participant
+}
+
+// NewParticipants builds a two-party set.
+func NewParticipants(local, remote Participant) *Participants {
+	return &Participants{Local: local, Remote: remote}
+}
+
+// LocalOnly builds the partially specified set used with OpenEnable,
+// where "not all the participants need be specified ... although an
+// identifier for the local participant must be present" (§2).
+func LocalOnly(local Participant) *Participants {
+	return &Participants{Local: local}
+}
+
+// Clone deep-copies the set so independent layers can pop independently.
+func (ps *Participants) Clone() *Participants {
+	c := &Participants{
+		Local:  ps.Local.Clone(),
+		Remote: ps.Remote.Clone(),
+	}
+	for _, p := range ps.Peers {
+		c.Peers = append(c.Peers, p.Clone())
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package xkernel
+
+import (
+	"xkernel/internal/proto/ip"
+	"xkernel/internal/proto/tcp"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/psync"
+	"xkernel/internal/rpc/auth"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/rpc/mrpc"
+	"xkernel/internal/rpc/nrpc"
+	"xkernel/internal/rpc/selectp"
+	"xkernel/internal/rpc/sunrpc"
+)
+
+// Typed views of the composable protocols, for callers that drive them
+// directly (register handlers, open sessions, read stats). Instances
+// come from Kernel.Compose plus the typed accessors (Kernel.Select,
+// Kernel.MRPC, ...) or Kernel.Get plus a type assertion.
+type (
+	// SelectProtocol is the SELECT layer: procedure dispatch and the
+	// channel pool.
+	SelectProtocol = selectp.Protocol
+	// SelectSession is a SELECT client binding to one server.
+	SelectSession = selectp.Session
+	// SelectHandler serves one SELECT command.
+	SelectHandler = selectp.Handler
+
+	// ChannelProtocol is the CHANNEL layer: request/reply with
+	// at-most-once semantics.
+	ChannelProtocol = channel.Protocol
+	// ChannelSession is a client channel.
+	ChannelSession = channel.Session
+	// ChannelID is the channel-number participant component.
+	ChannelID = channel.ID
+
+	// FragmentProtocol is FRAGMENT: unreliable, persistent bulk
+	// transfer.
+	FragmentProtocol = fragment.Protocol
+
+	// MRPCProtocol is monolithic Sprite RPC.
+	MRPCProtocol = mrpc.Protocol
+	// MRPCSession is an M.RPC client binding.
+	MRPCSession = mrpc.Session
+	// MRPCHandler serves one M.RPC command.
+	MRPCHandler = mrpc.Handler
+
+	// NRPCProtocol is the native-kernel Sprite RPC analogue.
+	NRPCProtocol = nrpc.Protocol
+	// NRPCSession is an N.RPC client binding (with crash probing).
+	NRPCSession = nrpc.Session
+
+	// SunSelectProtocol is the SUN_SELECT layer of decomposed Sun RPC.
+	SunSelectProtocol = sunrpc.Select
+	// SunSelectSession is a SUN_SELECT client binding.
+	SunSelectSession = sunrpc.SelectSession
+	// SunHandler serves one ⟨program, version, procedure⟩.
+	SunHandler = sunrpc.Handler
+	// ReqRepProtocol is REQUEST_REPLY: request/reply with zero-or-more
+	// semantics.
+	ReqRepProtocol = sunrpc.ReqRep
+
+	// AuthMechanism produces and verifies credentials for an auth
+	// layer.
+	AuthMechanism = auth.Mechanism
+	// AuthIdentity is the verified caller identity.
+	AuthIdentity = auth.Identity
+
+	// PsyncProtocol is the simplified Psync conversation protocol.
+	PsyncProtocol = psync.Protocol
+	// PsyncConversation is one many-to-many exchange.
+	PsyncConversation = psync.Conversation
+	// PsyncMessage is a delivered conversation message.
+	PsyncMessage = psync.Message
+	// PsyncOrdered is the total-order view of a conversation (the
+	// fault-tolerant building-block use of Psync from §6).
+	PsyncOrdered = psync.Ordered
+
+	// ProtoNum is the 8-bit protocol-number participant component used
+	// throughout the suite (IP's protocol field, VIP's virtual address
+	// space, the layered headers' protocol number fields).
+	ProtoNum = ip.ProtoNum
+	// VIPProtocol is the virtual IP protocol.
+	VIPProtocol = vip.Protocol
+	// VIPDirectory is the advertisement table of VIP-speaking hosts.
+	VIPDirectory = vip.Directory
+	// VIPAnnouncer broadcasts and collects VIP advertisements.
+	VIPAnnouncer = vip.Announcer
+	// Forwarder is the forwarding selection layer.
+	Forwarder = selectp.Forwarder
+
+	// TCPProtocol is the stream protocol, designed per §5's lesson
+	// without IP-header dependencies so it composes over IP and VIP
+	// alike.
+	TCPProtocol = tcp.Protocol
+	// TCPConn is one TCP connection.
+	TCPConn = tcp.Conn
+	// TCPPort is the TCP port participant component.
+	TCPPort = tcp.Port
+)
+
+// AuthIdentityAttr is the message attribute carrying the verified
+// identity to handlers behind an auth layer.
+const AuthIdentityAttr = auth.IdentityAttr
+
+// Authentication mechanism constructors.
+var (
+	// AuthNone is the empty credential.
+	AuthNone = func() AuthMechanism { return auth.None{} }
+	// AuthSys builds an AUTH_SYS-style credential.
+	AuthSys = func(machine string, uid uint32, gids ...uint32) AuthMechanism {
+		return &auth.Sys{Machine: machine, UID: uid, GIDs: gids}
+	}
+	// AuthSysPolicy builds the server side of AUTH_SYS with an
+	// acceptance policy.
+	AuthSysPolicy = func(policy func(AuthIdentity) error) AuthMechanism {
+		return &auth.Sys{Policy: policy}
+	}
+	// AuthDigest builds the keyed-MAC mechanism.
+	AuthDigest = func(name string, key []byte) AuthMechanism {
+		return &auth.Digest{Name: name, Key: key}
+	}
+)

@@ -1,0 +1,179 @@
+// Package xkernel is a Go reproduction of the system described in
+// "RPC in the x-Kernel: Evaluating New Design Techniques" (Hutchinson,
+// Peterson, Abbott, O'Malley; SOSP 1989): the x-kernel's object-oriented
+// protocol-composition infrastructure, the conventional protocol suite
+// it hosts (ETH, ARP, IP, ICMP, UDP), the paper's two design techniques
+// — virtual protocols (VIP, VIPaddr, VIPsize) and layered protocols
+// (SELECT, CHANNEL, FRAGMENT) — monolithic and layered Sprite RPC, the
+// Sun RPC decomposition with composable authentication layers, and a
+// simplified Psync, all running over an in-memory simulated ethernet.
+//
+// This package is the public face: it re-exports the core vocabulary
+// types and provides Kernel, a per-host container that plays the role
+// of x-kernel configuration — protocols are instantiated and wired into
+// a graph when a kernel is built, while sessions (the actual bindings)
+// are created later at run time by opens.
+//
+// A protocol graph is described by a small spec language modeled on the
+// x-kernel's graph.comp file: one line per protocol instance, naming
+// the protocol kind and the previously declared instances below it.
+// For example, the paper's Figure 3(a) configuration
+// (SELECT-CHANNEL-FRAGMENT-VIP) is:
+//
+//	k, _ := xkernel.NewKernel(cfg)
+//	err := k.Compose(`
+//	    vip      eth ip
+//	    fragment vip
+//	    channel  fragment
+//	    select   channel
+//	`)
+//
+// and Figure 3(b), which dynamically removes FRAGMENT for
+// single-packet messages, is:
+//
+//	err := k.Compose(`
+//	    vipaddr  eth ip
+//	    fragment vipaddr
+//	    vipsize  fragment vipaddr
+//	    channel  vipsize
+//	    select   channel
+//	`)
+//
+// See the examples directory for complete programs and cmd/xkbench for
+// the harness that regenerates the paper's evaluation tables.
+package xkernel
+
+import (
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/trace"
+	"xkernel/internal/xk"
+)
+
+// Re-exported vocabulary types: the uniform protocol interface (§2 of
+// the paper) and the addressing and message tools every protocol
+// shares.
+type (
+	// Protocol is the uniform protocol object interface.
+	Protocol = xk.Protocol
+	// Session is the uniform session object interface.
+	Session = xk.Session
+	// ControlOp identifies a control operation.
+	ControlOp = xk.ControlOp
+	// Participants is the participant set passed to opens.
+	Participants = xk.Participants
+	// Participant is one party's address-component stack.
+	Participant = xk.Participant
+	// App adapts an application endpoint to the Protocol interface.
+	App = xk.App
+	// Msg is the x-kernel message: header stack plus payload chain.
+	Msg = msg.Msg
+	// IPAddr is a 32-bit internet address.
+	IPAddr = xk.IPAddr
+	// EthAddr is a 48-bit ethernet address.
+	EthAddr = xk.EthAddr
+	// Network is a simulated ethernet segment.
+	Network = sim.Network
+	// NetConfig parameterizes a simulated segment.
+	NetConfig = sim.Config
+	// Clock abstracts time for protocol timers.
+	Clock = event.Clock
+	// FakeClock is a manually advanced clock for deterministic tests.
+	FakeClock = event.FakeClock
+)
+
+// Re-exported constructors and helpers.
+var (
+	// NewMsg builds a message around a payload.
+	NewMsg = msg.New
+	// EmptyMsg builds an empty message.
+	EmptyMsg = msg.Empty
+	// MakeData builds a patterned test payload.
+	MakeData = msg.MakeData
+	// NewNetwork creates a simulated ethernet segment.
+	NewNetwork = sim.New
+	// NewApp wraps a delivery callback as a top-of-stack Protocol.
+	NewApp = xk.NewApp
+	// NewParticipant builds an address-component stack (bottom-up).
+	NewParticipant = xk.NewParticipant
+	// NewParticipants builds a two-party participant set.
+	NewParticipants = xk.NewParticipants
+	// LocalOnly builds the partial set used with OpenEnable.
+	LocalOnly = xk.LocalOnly
+	// IP builds an IPAddr from four octets.
+	IP = xk.IP
+	// RealClock returns the wall clock.
+	RealClock = event.Real
+	// NewFakeClock returns a manually advanced clock.
+	NewFakeClock = event.NewFake
+)
+
+// Commonly used control opcodes, re-exported.
+const (
+	CtlGetMTU       = xk.CtlGetMTU
+	CtlGetOptPacket = xk.CtlGetOptPacket
+	CtlGetMyHost    = xk.CtlGetMyHost
+	CtlGetPeerHost  = xk.CtlGetPeerHost
+	CtlResolve      = xk.CtlResolve
+	CtlHLPMaxMsg    = xk.CtlHLPMaxMsg
+	CtlFreeChannels = xk.CtlFreeChannels
+)
+
+// TraceLevel controls global protocol tracing.
+type TraceLevel = trace.Level
+
+// Trace levels.
+const (
+	TraceOff     = trace.Off
+	TraceEvents  = trace.Events
+	TracePackets = trace.Packets
+)
+
+// SetTrace directs protocol tracing at the given level to standard
+// error via trace.SetOutput; see the trace package for details.
+var (
+	// SetTraceLevel sets the global trace verbosity.
+	SetTraceLevel = trace.SetLevel
+	// SetTraceOutput directs trace output.
+	SetTraceOutput = trace.SetOutput
+)
+
+// Config describes one host: its link-layer and internet addresses and
+// the segment it attaches to.
+type Config struct {
+	// Name tags the host's protocol instances in traces and errors.
+	Name string
+	// Eth is the host's hardware address.
+	Eth EthAddr
+	// Addr is the host's internet address; Mask defaults to /24.
+	Addr IPAddr
+	Mask IPAddr
+	// Network is the segment the host attaches to.
+	Network *Network
+	// Clock drives all the host's timers; nil means the real clock.
+	Clock Clock
+	// Forward enables IP forwarding (router hosts).
+	Forward bool
+}
+
+// TwoHosts builds the paper's standard testbed: a fresh 10 Mbps segment
+// with a client kernel at 10.0.0.1 and a server kernel at 10.0.0.2.
+func TwoHosts(netCfg NetConfig, clock Clock) (client, server *Kernel, network *Network, err error) {
+	c, s, n, err := stacks.TwoHosts(netCfg, clock)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wrap(c), wrap(s), n, nil
+}
+
+// Internet builds the multi-segment topology with a router between the
+// client's and server's ethernets — the case where VIP must choose IP.
+func Internet(netCfg NetConfig, clock Clock) (client, server, router *Kernel, err error) {
+	c, s, r, err := stacks.Internet(netCfg, clock)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wrap(c), wrap(s), wrap(r), nil
+}
