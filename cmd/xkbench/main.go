@@ -15,6 +15,12 @@
 //	xkbench -table 1        # just Table I
 //	xkbench -extra udp      # just the UDP/IP round trip
 //	xkbench -quick          # fewer iterations
+//	xkbench -table 1 -json  # write BENCH_table1.json instead
+//
+// With -json each selected table is written to BENCH_table<N>.json:
+// the timing numbers from the usual uninstrumented run plus per-layer
+// counter and latency breakdowns from a separate run of the same stack
+// with an observability wrap at every protocol boundary.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	tableFlag := flag.Int("table", 0, "regenerate only this table (1-4); 0 means all")
 	extraFlag := flag.String("extra", "", "run one supplementary measurement: udp, fragment, vip")
 	quick := flag.Bool("quick", false, "fewer iterations for a fast pass")
+	jsonOut := flag.Bool("json", false, "write each table as BENCH_table<N>.json with per-layer breakdowns")
 	flag.Parse()
 
 	opt := bench.Options{}
@@ -42,6 +49,22 @@ func main() {
 		if err := runExtra(*extraFlag, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut {
+		tables := []int{1, 2, 3, 4}
+		if *tableFlag != 0 {
+			tables = []int{*tableFlag}
+		}
+		for _, n := range tables {
+			name := fmt.Sprintf("BENCH_table%d.json", n)
+			if err := writeTableJSON(name, n, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "xkbench: table %d: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", name)
 		}
 		return
 	}
@@ -85,6 +108,19 @@ func runExtra(name string, opt Options) error {
 
 // Options aliases bench.Options for the helpers below.
 type Options = bench.Options
+
+// writeTableJSON measures table n and writes the JSON report to name.
+func writeTableJSON(name string, n int, opt Options) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteTableJSON(f, n, opt); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // extraUDP measures the §1 claim: the UDP/IP user-to-user round trip
 // (2.00 msec in the x-kernel vs 5.36 msec in SunOS on Sun 3/75s).

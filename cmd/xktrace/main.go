@@ -8,11 +8,20 @@
 //	xktrace -stack bypass      # the §4.3 VIPsize composition
 //	xktrace -packets           # per-packet detail
 //	xktrace -size 8192         # a fragmented call
+//	xktrace -jsonl             # structured JSONL records on stdout
+//	xktrace -jsonl -filter vip # only VIP-boundary records (plus app/wire)
+//
+// With -jsonl the graph is composed with an observability wrap at every
+// boundary (see xkernel.Metered): stdout carries one JSON record per
+// push/pop/call/return/open crossing plus every wire frame, correlated
+// leg-by-leg by msgid, and the human-readable trace, the per-layer
+// summary table, and the reconstructed path move to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xkernel"
@@ -42,6 +51,8 @@ func main() {
 	stack := flag.String("stack", "layered", "configuration: layered, mono, or bypass")
 	packets := flag.Bool("packets", false, "trace every push/pop/demux, not just events")
 	size := flag.Int("size", 0, "request payload bytes (0 = null call)")
+	jsonl := flag.Bool("jsonl", false, "emit structured JSONL records on stdout; human output moves to stderr")
+	filter := flag.String("filter", "", "with -jsonl, keep only records whose layer contains this substring")
 	flag.Parse()
 
 	spec, ok := specs[*stack]
@@ -50,24 +61,53 @@ func main() {
 		os.Exit(1)
 	}
 
-	xkernel.SetTraceOutput(os.Stdout)
+	human := io.Writer(os.Stdout)
+	if *jsonl {
+		human = os.Stderr
+	}
+	xkernel.SetTraceOutput(human)
 	if *packets {
 		xkernel.SetTraceLevel(xkernel.TracePackets)
 	} else {
 		xkernel.SetTraceLevel(xkernel.TraceEvents)
 	}
 
-	if err := run(spec, *stack, *size); err != nil {
+	if err := run(human, spec, *stack, *size, *jsonl, *filter); err != nil {
 		fmt.Fprintf(os.Stderr, "xktrace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, stack string, size int) error {
-	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+func run(human io.Writer, spec, stack string, size int, jsonl bool, filter string) error {
+	client, server, network, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
 	if err != nil {
 		return err
 	}
+
+	var meter *xkernel.Meter
+	var tracer *xkernel.Tracer
+	var path []xkernel.TraceEvent
+	if jsonl {
+		meter = xkernel.NewMeter()
+		client.SetMeter(meter)
+		server.SetMeter(meter)
+		spec = xkernel.Metered(spec)
+		tracer = xkernel.NewTracer(os.Stdout)
+		if filter != "" {
+			tracer.SetFilter(xkernel.TraceFilterSubstring(filter))
+		}
+		tracer.SetObserver(func(ev xkernel.TraceEvent) {
+			if ev.Event != "frame" {
+				path = append(path, ev)
+			}
+		})
+		meter.SetTracer(tracer)
+		network.SetCapture(func(r xkernel.FrameRecord) {
+			tracer.EmitDetail("wire", "frame", 0, r.Len, "",
+				fmt.Sprintf("%s %s->%s", r.Disposition, r.Src, r.Dst))
+		})
+	}
+
 	if err := client.Compose(spec); err != nil {
 		return err
 	}
@@ -75,16 +115,17 @@ func run(spec, stack string, size int) error {
 		return err
 	}
 
-	fmt.Println("--- client kernel ---")
-	fmt.Print(client.Graph())
-	fmt.Println("--- server kernel ---")
-	fmt.Print(server.Graph())
-	fmt.Printf("--- one call, %d-byte request ---\n", size)
+	fmt.Fprintln(human, "--- client kernel ---")
+	fmt.Fprint(human, client.Graph())
+	fmt.Fprintln(human, "--- server kernel ---")
+	fmt.Fprint(human, server.Graph())
+	fmt.Fprintf(human, "--- one call, %d-byte request ---\n", size)
 
 	echo := func(_ uint16, args *xkernel.Msg) (*xkernel.Msg, error) {
 		return xkernel.NewMsg(args.Bytes()), nil
 	}
 
+	var sess xkernel.Session
 	if stack == "mono" {
 		srv, err := server.MRPC("mrpc")
 		if err != nil {
@@ -95,34 +136,30 @@ func run(spec, stack string, size int) error {
 		if err != nil {
 			return err
 		}
-		sess, err := cli.Open(xkernel.NewApp("app", nil),
+		sess, err = cli.Open(xkernel.NewApp("app", nil),
 			&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
 		if err != nil {
 			return err
 		}
-		reply, err := sess.(interface {
-			CallBytes(uint16, []byte) ([]byte, error)
-		}).CallBytes(1, xkernel.MakeData(size))
+	} else {
+		ssel, err := server.Select("select")
 		if err != nil {
 			return err
 		}
-		fmt.Printf("--- reply: %d bytes ---\n", len(reply))
-		return nil
+		ssel.Register(1, echo)
+		csel, err := client.Select("select")
+		if err != nil {
+			return err
+		}
+		sess, err = csel.Open(xkernel.NewApp("app", nil),
+			&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+		if err != nil {
+			return err
+		}
 	}
 
-	ssel, err := server.Select("select")
-	if err != nil {
-		return err
-	}
-	ssel.Register(1, echo)
-	csel, err := client.Select("select")
-	if err != nil {
-		return err
-	}
-	sess, err := csel.Open(xkernel.NewApp("app", nil),
-		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
-	if err != nil {
-		return err
+	if tracer != nil {
+		tracer.Emit("app", "call", 0, size, "")
 	}
 	reply, err := sess.(interface {
 		CallBytes(uint16, []byte) ([]byte, error)
@@ -130,6 +167,44 @@ func run(spec, stack string, size int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("--- reply: %d bytes ---\n", len(reply))
+	if tracer != nil {
+		tracer.Emit("app", "return", 0, len(reply), "")
+		if err := tracer.Flush(); err != nil {
+			return err
+		}
+	}
+	xkernel.FlushTrace()
+	fmt.Fprintf(human, "--- reply: %d bytes ---\n", len(reply))
+
+	if jsonl {
+		printSummary(human, meter, path)
+	}
 	return nil
+}
+
+// printSummary renders the per-layer counter table and the
+// msgid-correlated path of the traced call.
+func printSummary(w io.Writer, m *xkernel.Meter, path []xkernel.TraceEvent) {
+	fmt.Fprintf(w, "\n--- per-layer summary ---\n")
+	fmt.Fprintf(w, "%-18s %7s %7s %8s %6s %11s %11s %10s %10s\n",
+		"layer", "pushes", "pops", "demuxes", "drops", "bytes_down", "bytes_up", "push_p50", "push_p99")
+	for _, ls := range m.Snapshot() {
+		fmt.Fprintf(w, "%-18s %7d %7d %8d %6d %11d %11d %10s %10s\n",
+			ls.Layer, ls.Pushes, ls.Pops, ls.Demuxes, ls.Drops,
+			ls.BytesDown, ls.BytesUp,
+			us(ls.PushLatency.P50Ns), us(ls.PushLatency.P99Ns))
+	}
+	fmt.Fprintf(w, "\n--- reconstructed path ---\n")
+	for _, ev := range path {
+		fmt.Fprintf(w, "  seq=%-4d %-18s %-7s msgid=%-4d len=%d\n",
+			ev.Seq, ev.Layer, ev.Event, ev.MsgID, ev.Len)
+	}
+}
+
+// us renders a nanosecond quantity in microseconds.
+func us(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fus", float64(ns)/1000)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"xkernel/internal/obs"
 	"xkernel/internal/proto/tcp"
 	"xkernel/internal/proto/vip"
 	"xkernel/internal/psync"
@@ -30,6 +31,8 @@ type Kernel struct {
 	below map[string][]string // graph edges for printing
 	order []string
 	mechs map[string]auth.Mechanism
+	meter *obs.Meter
+	wraps map[string]*obs.W // interposed instrumentation, one per "@name"
 }
 
 // NewKernel attaches a host to its network and builds the base graph.
@@ -55,6 +58,7 @@ func wrap(h *stacks.Host) *Kernel {
 		protl: make(map[string]Protocol),
 		below: make(map[string][]string),
 		mechs: map[string]auth.Mechanism{"auth": auth.None{}},
+		wraps: make(map[string]*obs.W),
 	}
 	for name, p := range map[string]Protocol{
 		"eth":  h.Eth,
@@ -111,6 +115,37 @@ func (k *Kernel) AddMechanism(name string, mech auth.Mechanism) {
 	k.mechs[name] = mech
 }
 
+// Meter returns the kernel's observability meter, creating one on
+// first use. Every "@name" boundary composed into this kernel counts
+// into it under the layer name "<host>/<name>".
+func (k *Kernel) Meter() *obs.Meter {
+	if k.meter == nil {
+		k.meter = obs.NewMeter()
+	}
+	return k.meter
+}
+
+// SetMeter shares a meter across kernels (layer names are
+// host-prefixed, so one meter can hold both ends of a conversation).
+// Call it before Compose; boundaries already composed keep the meter
+// they were created with.
+func (k *Kernel) SetMeter(m *obs.Meter) {
+	k.meter = m
+}
+
+// wrapFor returns the cached instrumentation boundary above instance
+// name, creating it on first use. All spec lines that say "@name"
+// share one boundary, so its counters see every message entering the
+// instance from any layer above.
+func (k *Kernel) wrapFor(name string, p Protocol) *obs.W {
+	w, ok := k.wraps[name]
+	if !ok {
+		w = obs.Wrap(k.host.Name+"/"+name, p, k.Meter())
+		k.wraps[name] = w
+	}
+	return w
+}
+
 // Compose extends the kernel's protocol graph from a spec: one line per
 // instance, "name[:kind] lower...", where kind defaults to name and
 // lower instances must already exist. Blank lines and #-comments are
@@ -119,6 +154,13 @@ func (k *Kernel) AddMechanism(name string, mech auth.Mechanism) {
 // Kinds: vip, vipaddr, vipsize, ethmap, fragment, channel, select,
 // mrpc, nrpc, reqrep, sunselect, auth, psync, tcp (plus the builtins
 // eth, arp, ip, udp, icmp, which exist in every kernel).
+//
+// A lower protocol written "@name" interposes an obs.Wrap
+// instrumentation boundary above instance name: the layer above binds
+// to the wrap instead of the instance, and every push, pop, open and
+// byte crossing that edge is counted into the kernel's Meter under the
+// layer name "<host>/<name>". The wrap adds no header and changes no
+// wire bytes; see Metered for instrumenting a whole spec.
 func (k *Kernel) Compose(spec string) error {
 	for lineno, raw := range strings.Split(spec, "\n") {
 		line := raw
@@ -138,9 +180,14 @@ func (k *Kernel) Compose(spec string) error {
 		}
 		var lower []Protocol
 		for _, dep := range fields[1:] {
-			p, ok := k.protl[dep]
+			instrument := strings.HasPrefix(dep, "@")
+			base := strings.TrimPrefix(dep, "@")
+			p, ok := k.protl[base]
 			if !ok {
-				return fmt.Errorf("xkernel: line %d: unknown lower protocol %q", lineno+1, dep)
+				return fmt.Errorf("xkernel: line %d: unknown lower protocol %q", lineno+1, base)
+			}
+			if instrument {
+				p = k.wrapFor(base, p)
 			}
 			lower = append(lower, p)
 		}

@@ -1,6 +1,7 @@
 // Quickstart: build the paper's layered RPC stack
-// (SELECT-CHANNEL-FRAGMENT-VIP) on two simulated hosts and make a
-// remote procedure call.
+// (SELECT-CHANNEL-FRAGMENT-VIP) on two simulated hosts, make a remote
+// procedure call, then rebuild the same graph with an observability
+// wrap at every boundary and show the per-layer cost of one more call.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"xkernel"
 )
@@ -69,4 +71,60 @@ func main() {
 	fmt.Printf("server said: %s\n", reply)
 	fmt.Println()
 	fmt.Print(client.Graph())
+
+	// The same graph, instrumented: Metered rewrites the spec so every
+	// boundary carries a transparent wrap feeding one shared meter. The
+	// wire bytes are identical; only the bookkeeping is new.
+	fmt.Println()
+	if err := metered(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func metered() error {
+	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		return err
+	}
+	meter := xkernel.NewMeter()
+	client.SetMeter(meter)
+	server.SetMeter(meter)
+	for _, k := range []*xkernel.Kernel{client, server} {
+		if err := k.Compose(xkernel.Metered(spec)); err != nil {
+			return err
+		}
+	}
+	ssel, err := server.Select("select")
+	if err != nil {
+		return err
+	}
+	ssel.Register(procGreet, func(_ uint16, args *xkernel.Msg) (*xkernel.Msg, error) {
+		return xkernel.NewMsg(args.Bytes()), nil
+	})
+	csel, err := client.Select("select")
+	if err != nil {
+		return err
+	}
+	sess, err := csel.Open(xkernel.NewApp("app", nil),
+		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+	if err != nil {
+		return err
+	}
+	meter.Reset() // count the call, not the session setup
+	if _, err := sess.(interface {
+		CallBytes(uint16, []byte) ([]byte, error)
+	}).CallBytes(procGreet, []byte("again")); err != nil {
+		return err
+	}
+
+	fmt.Println("one metered call, layer by layer:")
+	for _, ls := range meter.Snapshot() {
+		if ls.Pushes == 0 && ls.Pops == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s %d push / %d pop, %d bytes down, round trip below p50 %v\n",
+			ls.Layer, ls.Pushes, ls.Pops, ls.BytesDown,
+			time.Duration(ls.PushLatency.P50Ns))
+	}
+	return nil
 }

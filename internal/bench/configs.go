@@ -14,6 +14,7 @@ import (
 
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
+	"xkernel/internal/obs"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/proto/udp"
 	"xkernel/internal/proto/vip"
@@ -77,6 +78,14 @@ type Testbed struct {
 
 	// MaxMsg is the largest payload the endpoint accepts.
 	MaxMsg int
+
+	// Meter aggregates per-layer counters when the testbed was built
+	// with BuildInstrumented; nil otherwise.
+	Meter *obs.Meter
+	// Collect copies protocol-internal statistics (retransmission
+	// counters) into the meter; call it before snapshotting. Nil when
+	// the testbed is uninstrumented or the stack keeps no such stats.
+	Collect func()
 }
 
 // ServerAddr is where every testbed's server lives.
@@ -84,30 +93,49 @@ var ServerAddr = xk.IP(10, 0, 0, 2)
 
 // Build assembles the named configuration over a fresh two-host network.
 func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) {
+	return build(stack, netCfg, clock, nil)
+}
+
+// BuildInstrumented assembles the named configuration with an obs.Wrap
+// interposed at every protocol boundary below the endpoint, all feeding
+// the returned meter. The wire bytes are identical to Build's (the wrap
+// is a passthrough), but the extra bookkeeping costs time — keep using
+// Build for timing and reserve instrumented testbeds for counting,
+// tracing, and per-layer breakdowns.
+func BuildInstrumented(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, *obs.Meter, error) {
+	m := obs.NewMeter()
+	tb, err := build(stack, netCfg, clock, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tb, m, nil
+}
+
+func build(stack Stack, netCfg sim.Config, clock event.Clock, m *obs.Meter) (*Testbed, error) {
 	client, server, network, err := stacks.TwoHosts(netCfg, clock)
 	if err != nil {
 		return nil, err
 	}
-	tb := &Testbed{Stack: stack, Client: client, Server: server, Network: network, MaxMsg: 16 * 1024}
+	tb := &Testbed{Stack: stack, Client: client, Server: server, Network: network, MaxMsg: 16 * 1024, Meter: m}
 
 	switch stack {
 	case NRPC:
-		tb.End, err = buildNRPC(client, server, clock)
+		err = buildNRPC(tb, clock, m)
 	case MRPCEth, MRPCIP, MRPCVIP:
-		tb.End, err = buildMRPC(stack, client, server, clock)
+		err = buildMRPC(tb, clock, m)
 	case LRPCVIP, SelChanFragVIP:
-		tb.End, err = buildLayered(client, server, clock, 4)
+		err = buildLayered(tb, clock, 4, m)
 	case ChanFragVIP:
-		tb.End, err = buildLayered(client, server, clock, 3)
+		err = buildLayered(tb, clock, 3, m)
 	case FragVIP:
-		tb.End, err = buildLayered(client, server, clock, 2)
+		err = buildLayered(tb, clock, 2, m)
 	case VIPOnly:
-		tb.End, err = buildLayered(client, server, clock, 1)
+		err = buildLayered(tb, clock, 1, m)
 	case SelChanVIPsize:
-		tb.End, err = buildVIPsize(client, server, clock)
+		err = buildVIPsize(tb, clock, m)
 	case UDPIP:
 		tb.MaxMsg = 60 * 1024
-		tb.End, err = buildUDP(client, server)
+		err = buildUDP(tb, m)
 	default:
 		return nil, fmt.Errorf("bench: unknown stack %q", stack)
 	}
@@ -115,6 +143,15 @@ func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) 
 		return nil, fmt.Errorf("bench: building %s: %w", stack, err)
 	}
 	return tb, nil
+}
+
+// wrapIf interposes an instrumentation boundary above p when a meter is
+// present; uninstrumented builds compose the bare protocol.
+func wrapIf(m *obs.Meter, p xk.Protocol) xk.Protocol {
+	if m == nil {
+		return p
+	}
+	return obs.Wrap(p.Name(), p, m)
 }
 
 // benchFragCfg configures FRAGMENT for timing runs: protocol behaviour is
@@ -125,9 +162,10 @@ func benchFragCfg(clock event.Clock) fragment.Config {
 	return fragment.Config{Clock: clock, SendHold: 10 * time.Millisecond}
 }
 
-// newVIP composes a VIP instance for one host.
-func newVIP(h *stacks.Host) (*vip.Protocol, error) {
-	return vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+// newVIP composes a VIP instance for one host; with a meter the two
+// lower boundaries (ethernet and IP paths) are instrumented.
+func newVIP(h *stacks.Host, m *obs.Meter) (*vip.Protocol, error) {
+	return vip.New(h.Name+"/vip", wrapIf(m, h.Eth), wrapIf(m, h.IP), h.ARP)
 }
 
 func hostAddr(h *stacks.Host) xk.IPAddr {
@@ -151,34 +189,35 @@ func (e *mrpcEndpoint) Echo(payload []byte) ([]byte, error) {
 	return e.s.CallBytes(CmdEcho, payload)
 }
 
-func buildMRPC(stack Stack, client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
+func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
+	client, server := tb.Client, tb.Server
 	lower := func(h *stacks.Host) (xk.Protocol, error) {
-		switch stack {
+		switch tb.Stack {
 		case MRPCEth:
 			return vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP), nil
 		case MRPCIP:
 			return h.IP, nil
 		default:
-			return newVIP(h)
+			return newVIP(h, m)
 		}
 	}
 	cfg := mrpc.Config{Clock: clock}
 
 	cllp, err := lower(client)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	cli, err := mrpc.New(client.Name+"/mrpc", cllp, hostAddr(client), cfg)
+	cli, err := mrpc.New(client.Name+"/mrpc", wrapIf(m, cllp), hostAddr(client), cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sllp, err := lower(server)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	srv, err := mrpc.New(server.Name+"/mrpc", sllp, hostAddr(server), cfg)
+	srv, err := mrpc.New(server.Name+"/mrpc", wrapIf(m, sllp), hostAddr(server), cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	registerMRPCHandlers(srv)
 
@@ -186,9 +225,16 @@ func buildMRPC(stack Stack, client, server *stacks.Host, clock event.Clock) (End
 	app.MaxMsg = 1500
 	s, err := cli.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &mrpcEndpoint{s: s.(*mrpc.Session)}, nil
+	if m != nil {
+		tb.Collect = func() {
+			m.Layer(cli.Name()).Retransmits.Store(cli.Stats().Retransmits)
+			m.Layer(srv.Name()).Retransmits.Store(srv.Stats().Retransmits)
+		}
+	}
+	tb.End = &mrpcEndpoint{s: s.(*mrpc.Session)}
+	return nil
 }
 
 func registerMRPCHandlers(srv *mrpc.Protocol) {
@@ -202,26 +248,27 @@ func registerMRPCHandlers(srv *mrpc.Protocol) {
 
 // ---- N.RPC analogue ----
 
-func buildNRPC(client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
+func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	build := func(h *stacks.Host) (*nrpc.Protocol, error) {
 		llp := vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP)
-		return nrpc.New(h.Name+"/nrpc", llp, hostAddr(h), nrpc.Config{Clock: clock})
+		return nrpc.New(h.Name+"/nrpc", wrapIf(m, llp), hostAddr(h), nrpc.Config{Clock: clock})
 	}
-	cli, err := build(client)
+	cli, err := build(tb.Client)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	srv, err := build(server)
+	srv, err := build(tb.Server)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) { return msg.Empty(), nil })
 	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) { return args, nil })
 	s, err := cli.OpenSession(ServerAddr)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &nrpcEndpoint{s: s}, nil
+	tb.End = &nrpcEndpoint{s: s}
+	return nil
 }
 
 type nrpcEndpoint struct{ s *nrpc.Session }
@@ -251,27 +298,28 @@ type layeredParts struct {
 
 // buildLayeredHost composes depth layers over VIP on host h:
 // 1=VIP, 2=FRAGMENT-VIP, 3=CHANNEL-FRAGMENT-VIP, 4=SELECT-CHANNEL-FRAGMENT-VIP.
-func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int) (*layeredParts, error) {
+// With a meter, every boundary between layers carries an obs.Wrap.
+func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int, m *obs.Meter) (*layeredParts, error) {
 	parts := &layeredParts{}
 	var err error
-	parts.vip, err = newVIP(h)
+	parts.vip, err = newVIP(h, m)
 	if err != nil {
 		return nil, err
 	}
 	if depth >= 2 {
-		parts.frag, err = fragment.New(h.Name+"/fragment", parts.vip, hostAddr(h), benchFragCfg(clock))
+		parts.frag, err = fragment.New(h.Name+"/fragment", wrapIf(m, parts.vip), hostAddr(h), benchFragCfg(clock))
 		if err != nil {
 			return nil, err
 		}
 	}
 	if depth >= 3 {
-		parts.chn, err = channel.New(h.Name+"/channel", parts.frag, channel.Config{Clock: clock})
+		parts.chn, err = channel.New(h.Name+"/channel", wrapIf(m, parts.frag), channel.Config{Clock: clock})
 		if err != nil {
 			return nil, err
 		}
 	}
 	if depth >= 4 {
-		parts.sel, err = selectp.New(h.Name+"/select", parts.chn, selectp.Config{})
+		parts.sel, err = selectp.New(h.Name+"/select", wrapIf(m, parts.chn), selectp.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -279,30 +327,43 @@ func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int) (*layeredPar
 	return parts, nil
 }
 
-func buildLayered(client, server *stacks.Host, clock event.Clock, depth int) (Endpoint, error) {
-	cp, err := buildLayeredHost(client, clock, depth)
+func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error {
+	cp, err := buildLayeredHost(tb.Client, clock, depth, m)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	sp, err := buildLayeredHost(server, clock, depth)
+	sp, err := buildLayeredHost(tb.Server, clock, depth, m)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if m != nil && depth >= 3 {
+		ccp, scp := cp.chn, sp.chn
+		tb.Collect = func() {
+			m.Layer(ccp.Name()).Retransmits.Store(ccp.Stats().Retransmits)
+			m.Layer(scp.Name()).Retransmits.Store(scp.Stats().Retransmits)
+		}
 	}
 	switch depth {
 	case 4:
+		// The endpoint drives SELECT directly — the wrap boundaries sit
+		// below it, so the select session keeps its concrete type.
 		registerSelectHandlers(sp.sel)
 		app := xk.NewApp("client/app", nil)
 		s, err := cp.sel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &selectEndpoint{s: s.(*selectp.Session)}, nil
+		tb.End = &selectEndpoint{s: s.(*selectp.Session)}
+		return nil
 	case 3:
-		return newChannelEndpoint(cp.chn, sp.chn)
+		tb.End, err = newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn))
+		return err
 	case 2:
-		return newPushEndpoint(cp.frag, sp.frag, ip.ProtoRDG)
+		tb.End, err = newPushEndpoint(wrapIf(m, cp.frag), wrapIf(m, sp.frag), ip.ProtoRDG)
+		return err
 	default:
-		return newPushEndpoint(cp.vip, sp.vip, ip.ProtoRDG)
+		tb.End, err = newPushEndpoint(wrapIf(m, cp.vip), wrapIf(m, sp.vip), ip.ProtoRDG)
+		return err
 	}
 }
 
@@ -330,24 +391,28 @@ func (e *selectEndpoint) Echo(payload []byte) ([]byte, error) {
 
 // channelEndpoint drives a bare CHANNEL session: the server side is an
 // App that answers every request with a null reply (or an echo of the
-// request for Echo, signalled by a one-byte prefix).
-type channelEndpoint struct{ s *channel.Session }
+// request for Echo, signalled by a one-byte prefix). The session is
+// held by its synchronous-call shape rather than its concrete type so
+// an instrumentation wrapper can stand in for it.
+type channelEndpoint struct {
+	s interface {
+		Call(*msg.Msg) (*msg.Msg, error)
+	}
+}
 
-func newChannelEndpoint(cli, srv *channel.Protocol) (Endpoint, error) {
+func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, error) {
 	serverApp := xk.NewApp("server/app", nil)
 	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
-		ss, ok := s.(*channel.ServerSession)
-		if !ok {
-			return fmt.Errorf("channel endpoint: unexpected session %T", s)
-		}
+		// s is the channel ServerSession (possibly instrumented); Push
+		// on it sends the reply for the request being delivered.
 		kind, err := m.Pop(1)
 		if err != nil {
-			return ss.Push(msg.Empty())
+			return s.Push(msg.Empty())
 		}
 		if kind[0] == 'e' {
-			return ss.Push(m)
+			return s.Push(m)
 		}
-		return ss.Push(msg.Empty())
+		return s.Push(msg.Empty())
 	}
 	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(ip.ProtoRDG))); err != nil {
 		return nil, err
@@ -361,7 +426,13 @@ func newChannelEndpoint(cli, srv *channel.Protocol) (Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &channelEndpoint{s: s.(*channel.Session)}, nil
+	caller, ok := s.(interface {
+		Call(*msg.Msg) (*msg.Msg, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("channel endpoint: session %T has no Call", s)
+	}
+	return &channelEndpoint{s: caller}, nil
 }
 
 func (e *channelEndpoint) RoundTrip(payload []byte) error {
@@ -446,42 +517,56 @@ func (e *pushEndpoint) Echo([]byte) ([]byte, error) {
 
 // ---- §4.3: SELECT-CHANNEL-VIPsize over {FRAGMENT-VIPaddr, VIPaddr} ----
 
-func buildVIPsizeHost(h *stacks.Host, clock event.Clock) (*selectp.Protocol, error) {
+func buildVIPsizeHost(h *stacks.Host, clock event.Clock, m *obs.Meter) (*selectp.Protocol, *channel.Protocol, error) {
 	addr, err := vip.NewAddr(h.Name+"/vipaddr", h.Eth, h.IP, h.ARP)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	frag, err := fragment.New(h.Name+"/fragment", addr, hostAddr(h), benchFragCfg(clock))
+	// VIPaddr serves two boundaries — under FRAGMENT (bulk path) and
+	// directly under VIPsize (single-packet path). Each gets its own
+	// wrap; both feed the same "<host>/vipaddr" layer in the meter.
+	frag, err := fragment.New(h.Name+"/fragment", wrapIf(m, addr), hostAddr(h), benchFragCfg(clock))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	size, err := vip.NewSize(h.Name+"/vipsize", frag, addr, h.ARP)
+	size, err := vip.NewSize(h.Name+"/vipsize", wrapIf(m, frag), wrapIf(m, addr), h.ARP)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	chn, err := channel.New(h.Name+"/channel", size, channel.Config{Clock: clock})
+	chn, err := channel.New(h.Name+"/channel", wrapIf(m, size), channel.Config{Clock: clock})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return selectp.New(h.Name+"/select", chn, selectp.Config{})
+	sel, err := selectp.New(h.Name+"/select", wrapIf(m, chn), selectp.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sel, chn, nil
 }
 
-func buildVIPsize(client, server *stacks.Host, clock event.Clock) (Endpoint, error) {
-	csel, err := buildVIPsizeHost(client, clock)
+func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
+	csel, cchn, err := buildVIPsizeHost(tb.Client, clock, m)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ssel, err := buildVIPsizeHost(server, clock)
+	ssel, schn, err := buildVIPsizeHost(tb.Server, clock, m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	registerSelectHandlers(ssel)
 	app := xk.NewApp("client/app", nil)
 	s, err := csel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &selectEndpoint{s: s.(*selectp.Session)}, nil
+	if m != nil {
+		tb.Collect = func() {
+			m.Layer(cchn.Name()).Retransmits.Store(cchn.Stats().Retransmits)
+			m.Layer(schn.Name()).Retransmits.Store(schn.Stats().Retransmits)
+		}
+	}
+	tb.End = &selectEndpoint{s: s.(*selectp.Session)}
+	return nil
 }
 
 // ---- UDP/IP (§1 claim) ----
@@ -491,13 +576,15 @@ type udpEndpoint struct {
 	reply chan *msg.Msg
 }
 
-func buildUDP(client, server *stacks.Host) (Endpoint, error) {
+func buildUDP(tb *Testbed, m *obs.Meter) error {
+	cudp := wrapIf(m, tb.Client.UDP)
+	sudp := wrapIf(m, tb.Server.UDP)
 	serverApp := xk.NewApp("server/echo", nil)
 	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
 		return s.Push(msg.Empty())
 	}
-	if err := server.UDP.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
-		return nil, err
+	if err := sudp.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(udp.Port(7)))); err != nil {
+		return err
 	}
 	e := &udpEndpoint{reply: make(chan *msg.Msg, 1)}
 	clientApp := xk.NewApp("client/app", func(s xk.Session, m *msg.Msg) error {
@@ -507,15 +594,16 @@ func buildUDP(client, server *stacks.Host) (Endpoint, error) {
 		}
 		return nil
 	})
-	s, err := client.UDP.Open(clientApp, xk.NewParticipants(
+	s, err := cudp.Open(clientApp, xk.NewParticipants(
 		xk.NewParticipant(udp.Port(40000)),
 		xk.NewParticipant(ServerAddr, udp.Port(7)),
 	))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e.s = s
-	return e, nil
+	tb.End = e
+	return nil
 }
 
 func (e *udpEndpoint) RoundTrip(payload []byte) error {

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"xkernel/internal/obs"
+	"xkernel/internal/sim"
+)
+
+// echoStacks can run the Echo workload (the push and UDP endpoints
+// cannot — they have no request/reply pairing above the null reply).
+var echoStacks = map[Stack]bool{
+	NRPC: true, MRPCEth: true, MRPCIP: true, MRPCVIP: true,
+	LRPCVIP: true, SelChanFragVIP: true, ChanFragVIP: true, SelChanVIPsize: true,
+}
+
+// equivStacks lists every distinct configuration (LRPCVIP and
+// SelChanFragVIP are the same build, so only one appears).
+var equivStacks = []Stack{
+	NRPC, MRPCEth, MRPCIP, MRPCVIP, SelChanFragVIP,
+	ChanFragVIP, FragVIP, VIPOnly, SelChanVIPsize, UDPIP,
+}
+
+// runWorkload drives a fixed, deterministic exchange and returns the
+// captured wire frames and any echo replies.
+func runWorkload(t *testing.T, stack Stack, instrumented bool) (frames []sim.FrameRecord, echoes [][]byte, m *obs.Meter) {
+	t.Helper()
+	var tb *Testbed
+	var err error
+	if instrumented {
+		tb, m, err = BuildInstrumented(stack, sim.Config{}, nil)
+	} else {
+		tb, err = Build(stack, sim.Config{}, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Network.SetCapture(func(r sim.FrameRecord) { frames = append(frames, r) })
+
+	for i := 0; i < 5; i++ {
+		if err := tb.End.RoundTrip(nil); err != nil {
+			t.Fatalf("%s null round trip %d: %v", stack, i, err)
+		}
+	}
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := tb.End.RoundTrip(payload); err != nil {
+		t.Fatalf("%s 1000-byte round trip: %v", stack, err)
+	}
+	if echoStacks[stack] {
+		for _, n := range []int{64, 3000} {
+			req := make([]byte, n)
+			for i := range req {
+				req[i] = byte(i * 7)
+			}
+			got, err := tb.End.Echo(req)
+			if err != nil {
+				t.Fatalf("%s echo(%d): %v", stack, n, err)
+			}
+			echoes = append(echoes, got)
+		}
+	}
+	if m != nil && tb.Collect != nil {
+		tb.Collect()
+	}
+	return frames, echoes, m
+}
+
+// TestInterpositionTransparency is the satellite equivalence check: for
+// every configuration, composing an obs.Wrap at every protocol boundary
+// must leave the wire byte-for-byte identical and the RPC results
+// unchanged versus the uninstrumented graph. The simulator is
+// deterministic (fixed seed, zero fault rates), so the two runs are
+// directly comparable frame by frame.
+func TestInterpositionTransparency(t *testing.T) {
+	for _, stack := range equivStacks {
+		t.Run(string(stack), func(t *testing.T) {
+			plainFrames, plainEchoes, _ := runWorkload(t, stack, false)
+			instFrames, instEchoes, m := runWorkload(t, stack, true)
+
+			if len(plainFrames) != len(instFrames) {
+				t.Fatalf("frame count: plain %d, instrumented %d", len(plainFrames), len(instFrames))
+			}
+			for i := range plainFrames {
+				p, q := plainFrames[i], instFrames[i]
+				if !bytes.Equal(p.Frame, q.Frame) {
+					t.Fatalf("frame %d differs on the wire:\n plain %x\n inst  %x", i, p.Frame, q.Frame)
+				}
+				if p.Src != q.Src || p.Dst != q.Dst || p.Disposition != q.Disposition {
+					t.Fatalf("frame %d metadata differs: %+v vs %+v", i, p, q)
+				}
+			}
+			if len(plainEchoes) != len(instEchoes) {
+				t.Fatalf("echo count: plain %d, instrumented %d", len(plainEchoes), len(instEchoes))
+			}
+			for i := range plainEchoes {
+				if !bytes.Equal(plainEchoes[i], instEchoes[i]) {
+					t.Fatalf("echo %d reply differs", i)
+				}
+			}
+			// The lossless wire admits no drops anywhere in the graph.
+			for _, ls := range m.Snapshot() {
+				if ls.Drops != 0 {
+					t.Errorf("layer %s: %d drops on a lossless wire", ls.Layer, ls.Drops)
+				}
+				if ls.Retransmits != 0 {
+					t.Errorf("layer %s: %d retransmits on a lossless wire", ls.Layer, ls.Retransmits)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentedLayerCounts is the consistency acceptance check at
+// bench level: N null RPCs through the instrumented Figure 3(a) stack
+// count exactly N pushes and N pops at every boundary on both hosts.
+func TestInstrumentedLayerCounts(t *testing.T) {
+	tb, m, err := BuildInstrumented(SelChanFragVIP, sim.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup traffic (opens, ARP) settles before counting.
+	if err := tb.End.RoundTrip(nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+
+	const N = 25
+	for i := 0; i < N; i++ {
+		if err := tb.End.RoundTrip(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layers := []string{
+		"client/channel", "client/fragment", "client/vip", "client/eth",
+		"server/eth", "server/vip", "server/fragment", "server/channel",
+	}
+	for _, name := range layers {
+		ls := m.Layer(name)
+		if got := ls.Pushes.Load(); got != N {
+			t.Errorf("%s: pushes = %d, want %d", name, got, N)
+		}
+		if got := ls.Pops.Load(); got != N {
+			t.Errorf("%s: pops = %d, want %d", name, got, N)
+		}
+		if got := ls.Drops.Load(); got != 0 {
+			t.Errorf("%s: drops = %d, want 0", name, got)
+		}
+	}
+}
+
+// TestTableJSONSmoke produces a tiny Table I report and sanity-checks
+// its shape: every configuration carries latency and non-empty
+// per-layer breakdowns with balanced counters.
+func TestTableJSONSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures latency; skipped in -short")
+	}
+	opt := Options{LatencyIters: 50, SweepIters: 2, Warmup: 10, Repeats: 1,
+		SweepSizes: []int{1024, 16 * 1024}}
+	rep, err := TableJSON(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Table != 1 || len(rep.Configs) != 4 {
+		t.Fatalf("report shape: table %d, %d configs", rep.Table, len(rep.Configs))
+	}
+	for _, c := range rep.Configs {
+		if c.LatencyUs <= 0 {
+			t.Errorf("%s: latency %v", c.Stack, c.LatencyUs)
+		}
+		if len(c.Layers) == 0 {
+			t.Errorf("%s: no layer breakdown", c.Stack)
+		}
+		var pushes int64
+		for _, ls := range c.Layers {
+			pushes += ls.Pushes
+			if ls.Drops != 0 {
+				t.Errorf("%s/%s: %d drops", c.Stack, ls.Layer, ls.Drops)
+			}
+		}
+		if pushes == 0 {
+			t.Errorf("%s: instrumented run counted no pushes", c.Stack)
+		}
+	}
+	if err := WriteTableJSON(discard{}, 3, Options{LatencyIters: 30, SweepIters: 1, Warmup: 5, Repeats: 1, SweepSizes: []int{1024}}); err != nil {
+		t.Fatalf("table 3 json: %v", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"xkernel/internal/obs"
+	"xkernel/internal/sim"
+)
+
+// SweepPoint is one size/latency sample from the throughput sweep.
+type SweepPoint struct {
+	SizeBytes int     `json:"size_bytes"`
+	LatencyUs float64 `json:"latency_us"`
+}
+
+// ConfigReport is one configuration's measurements in exportable form:
+// the timing numbers from an uninstrumented run plus per-layer counters
+// and latency histograms from a separate instrumented run of the same
+// stack. The split matters — interposing meters costs time, so the
+// timed graph never carries them.
+type ConfigReport struct {
+	Stack            string  `json:"stack"`
+	LatencyUs        float64 `json:"latency_us"`
+	PaperLatencyMs   string  `json:"paper_latency_ms,omitempty"`
+	FramesPerNullRPC float64 `json:"frames_per_null_rpc"`
+
+	ThroughputWireKBs  float64 `json:"throughput_wire_kb_s,omitempty"`
+	ThroughputCPUKBs   float64 `json:"throughput_cpu_kb_s,omitempty"`
+	PaperThroughput    string  `json:"paper_throughput_kb_s,omitempty"`
+	IncrementalUsPerKB float64 `json:"incremental_us_per_kb,omitempty"`
+	PaperIncrementalMs string  `json:"paper_incremental_ms_per_kb,omitempty"`
+
+	// IncrementalVsPrevUs is Table III's per-layer cost: this row's
+	// latency minus the previous row's. Nil outside Table III rows.
+	IncrementalVsPrevUs *float64 `json:"incremental_vs_prev_us,omitempty"`
+
+	Sweep []SweepPoint `json:"sweep,omitempty"`
+
+	// InstrumentedRPCs is how many null RPCs the per-layer counters
+	// below describe (a smaller run than the timed one).
+	InstrumentedRPCs int                 `json:"instrumented_rpcs"`
+	Layers           []obs.LayerSnapshot `json:"layers"`
+}
+
+// TableReport is one paper table in exportable form.
+type TableReport struct {
+	Table   int    `json:"table"`
+	Title   string `json:"title"`
+	Options struct {
+		LatencyIters     int `json:"latency_iters"`
+		SweepIters       int `json:"sweep_iters"`
+		InstrumentedRPCs int `json:"instrumented_rpcs"`
+	} `json:"options"`
+	Configs []ConfigReport `json:"configs"`
+}
+
+// tableStacks maps a table number to its configurations and title.
+func tableStacks(n int) ([]Stack, string, error) {
+	switch n {
+	case 1:
+		return []Stack{NRPC, MRPCEth, MRPCIP, MRPCVIP}, "Table I: Evaluating VIP", nil
+	case 2:
+		return []Stack{MRPCVIP, LRPCVIP}, "Table II: Monolithic RPC versus Layered RPC", nil
+	case 3:
+		return []Stack{VIPOnly, FragVIP, ChanFragVIP, SelChanFragVIP}, "Table III: Cost of Individual RPC Layers", nil
+	case 4:
+		return []Stack{SelChanFragVIP, SelChanVIPsize, MRPCVIP}, "Section 4.3: Dynamically Removing Layers", nil
+	}
+	return nil, "", fmt.Errorf("bench: no table %d", n)
+}
+
+// instrumentedLayers rebuilds the stack with a wrap at every boundary,
+// drives rpcs null round trips, and returns the per-layer snapshots.
+// Counting starts after warmup, so session setup (opens, ARP) and
+// first-use costs do not pollute the steady-state numbers.
+func instrumentedLayers(stack Stack, rpcs int) ([]obs.LayerSnapshot, error) {
+	tb, m, err := BuildInstrumented(stack, sim.Config{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 10; i++ {
+		if err := tb.End.RoundTrip(nil); err != nil {
+			return nil, err
+		}
+	}
+	m.Reset()
+	for i := 0; i < rpcs; i++ {
+		if err := tb.End.RoundTrip(nil); err != nil {
+			return nil, err
+		}
+	}
+	if tb.Collect != nil {
+		tb.Collect()
+	}
+	return m.Snapshot(), nil
+}
+
+// TableJSON measures one paper table and returns it in exportable form.
+func TableJSON(n int, opt Options) (*TableReport, error) {
+	opt.fill()
+	stacks, title, err := tableStacks(n)
+	if err != nil {
+		return nil, err
+	}
+	rpcs := opt.LatencyIters
+	if rpcs > 1000 {
+		rpcs = 1000
+	}
+	rep := &TableReport{Table: n, Title: title}
+	rep.Options.LatencyIters = opt.LatencyIters
+	rep.Options.SweepIters = opt.SweepIters
+	rep.Options.InstrumentedRPCs = rpcs
+
+	var prev time.Duration
+	for i, s := range stacks {
+		r, err := Measure(s, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s, err)
+		}
+		p := PaperNumbers[s]
+		c := ConfigReport{
+			Stack:            string(s),
+			LatencyUs:        float64(r.Latency.Nanoseconds()) / 1000,
+			PaperLatencyMs:   p.Latency,
+			FramesPerNullRPC: r.FramesPerNullRPC,
+			PaperThroughput:  p.Throughput,
+		}
+		if r.ThroughputWire > 0 {
+			c.ThroughputWireKBs = r.ThroughputWire
+			c.ThroughputCPUKBs = r.ThroughputCPU
+			c.IncrementalUsPerKB = float64(r.IncrementalPerKB.Nanoseconds()) / 1000
+			c.PaperIncrementalMs = p.Incremental
+		}
+		for _, size := range opt.SweepSizes {
+			if lat, ok := r.SweepLatency[size]; ok {
+				c.Sweep = append(c.Sweep, SweepPoint{SizeBytes: size, LatencyUs: float64(lat.Nanoseconds()) / 1000})
+			}
+		}
+		if n == 3 && i > 0 {
+			incr := float64((r.Latency - prev).Nanoseconds()) / 1000
+			c.IncrementalVsPrevUs = &incr
+		}
+		prev = r.Latency
+
+		drain()
+		c.Layers, err = instrumentedLayers(s, rpcs)
+		if err != nil {
+			return nil, fmt.Errorf("%s (instrumented): %w", s, err)
+		}
+		c.InstrumentedRPCs = rpcs
+		rep.Configs = append(rep.Configs, c)
+	}
+	return rep, nil
+}
+
+// WriteTableJSON measures one table and writes it as indented JSON.
+func WriteTableJSON(w io.Writer, n int, opt Options) error {
+	rep, err := TableJSON(n, opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

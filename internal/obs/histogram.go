@@ -1,0 +1,174 @@
+// Package obs is the observability layer for protocol graphs: per-layer
+// counters and latency histograms (Meter), an interposable passthrough
+// protocol that measures any boundary of a composed graph without
+// touching protocol code (Wrap), and a structured JSONL event stream
+// (Tracer) that threads a per-message id through push/pop so a
+// message's full shepherd path can be reconstructed.
+//
+// The same uniform-interface property the paper exploits to insert VIP
+// between any two protocols (§3.1) is what lets Wrap interpose an
+// instrumentation layer anywhere: a Wrap is a Protocol/Session pair
+// that adds no header, forwards every operation, and is therefore
+// wire-invisible — the instrumented graph produces byte-identical
+// frames (asserted by the equivalence tests in internal/bench).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential histogram buckets. Bucket 0
+// holds observations under 256ns; bucket i (i ≥ 1) holds observations
+// in [2^(7+i), 2^(8+i)) ns, so the top bucket reaches past 30 seconds —
+// wide enough for any round trip the simulator produces.
+const histBuckets = 28
+
+// Histogram is a lock-cheap latency histogram: fixed exponential
+// buckets with atomic counters, safe for concurrent Observe calls from
+// shepherd goroutines with no mutex on the data path.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	minNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minNs.Store(math.MaxInt64)
+	return h
+}
+
+// bucketFor maps a duration in nanoseconds to its bucket index.
+func bucketFor(ns int64) int {
+	if ns < 256 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns)) - 8
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper reports the exclusive upper bound of bucket i in
+// nanoseconds; the last bucket is unbounded and reports its lower edge
+// times two.
+func BucketUpper(i int) int64 { return int64(1) << (8 + uint(i)) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.minNs.Load()
+		if ns >= cur || h.minNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean reports the mean observation, zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile estimates the q'th quantile (0 ≤ q ≤ 1) from the bucket
+// boundaries; the answer is the upper bound of the bucket holding the
+// q'th observation, zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return time.Duration(BucketUpper(i))
+		}
+	}
+	return time.Duration(BucketUpper(histBuckets - 1))
+}
+
+// BucketCount is one non-empty bucket in a snapshot.
+type BucketCount struct {
+	// UpperNs is the bucket's exclusive upper bound in nanoseconds.
+	UpperNs int64 `json:"upper_ns"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, shaped for
+// JSON output.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumNs   int64         `json:"sum_ns"`
+	MinNs   int64         `json:"min_ns"`
+	MaxNs   int64         `json:"max_ns"`
+	MeanNs  int64         `json:"mean_ns"`
+	P50Ns   int64         `json:"p50_ns"`
+	P99Ns   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sumNs.Load(),
+		MaxNs: h.maxNs.Load(),
+	}
+	if min := h.minNs.Load(); min != math.MaxInt64 {
+		s.MinNs = min
+	}
+	if s.Count > 0 {
+		s.MeanNs = s.SumNs / s.Count
+		s.P50Ns = h.Quantile(0.50).Nanoseconds()
+		s.P99Ns = h.Quantile(0.99).Nanoseconds()
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperNs: BucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := 0; i < histBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNs.Store(0)
+	h.minNs.Store(math.MaxInt64)
+	h.maxNs.Store(0)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// LayerStats holds the counters and latency histograms for one
+// instrumented boundary. All counters are atomic; the data path never
+// takes a lock.
+type LayerStats struct {
+	// Pushes counts messages crossing the boundary downward (toward
+	// the wire); Pops counts messages crossing upward. A Call through
+	// the boundary counts one of each.
+	Pushes atomic.Int64
+	Pops   atomic.Int64
+	// Demuxes counts upward deliveries handed to the higher protocol's
+	// Demux (equal to Pops unless a delivery fails before dispatch).
+	Demuxes atomic.Int64
+	// Opens / OpenEnables / OpenDones count session establishment
+	// traffic through the boundary (active opens, passive enables,
+	// passive-open completions).
+	Opens       atomic.Int64
+	OpenEnables atomic.Int64
+	OpenDones   atomic.Int64
+	// Drops counts crossings that returned an error in either
+	// direction.
+	Drops atomic.Int64
+	// Retransmits counts wire-level resends attributed to this layer;
+	// the passthrough wrap cannot see inside a protocol, so this is
+	// fed from the protocol's own statistics (see bench.Testbed).
+	Retransmits atomic.Int64
+	// BytesDown / BytesUp total message lengths crossing in each
+	// direction, measured at the boundary (headers of layers above
+	// included, headers below excluded).
+	BytesDown atomic.Int64
+	BytesUp   atomic.Int64
+
+	// PushLatency observes the time spent below this boundary per
+	// downward crossing (for a Call, the full round trip). PopLatency
+	// observes the time spent above the boundary per upward delivery.
+	PushLatency *Histogram
+	PopLatency  *Histogram
+}
+
+func newLayerStats() *LayerStats {
+	return &LayerStats{
+		PushLatency: NewHistogram(),
+		PopLatency:  NewHistogram(),
+	}
+}
+
+// LayerSnapshot is a point-in-time copy of one layer's stats, shaped
+// for JSON output.
+type LayerSnapshot struct {
+	Layer       string            `json:"layer"`
+	Pushes      int64             `json:"pushes"`
+	Pops        int64             `json:"pops"`
+	Demuxes     int64             `json:"demuxes"`
+	Opens       int64             `json:"opens"`
+	OpenEnables int64             `json:"open_enables"`
+	OpenDones   int64             `json:"open_dones"`
+	Drops       int64             `json:"drops"`
+	Retransmits int64             `json:"retransmits"`
+	BytesDown   int64             `json:"bytes_down"`
+	BytesUp     int64             `json:"bytes_up"`
+	PushLatency HistogramSnapshot `json:"push_latency"`
+	PopLatency  HistogramSnapshot `json:"pop_latency"`
+}
+
+// Snapshot copies the layer's current state.
+func (ls *LayerStats) Snapshot(name string) LayerSnapshot {
+	return LayerSnapshot{
+		Layer:       name,
+		Pushes:      ls.Pushes.Load(),
+		Pops:        ls.Pops.Load(),
+		Demuxes:     ls.Demuxes.Load(),
+		Opens:       ls.Opens.Load(),
+		OpenEnables: ls.OpenEnables.Load(),
+		OpenDones:   ls.OpenDones.Load(),
+		Drops:       ls.Drops.Load(),
+		Retransmits: ls.Retransmits.Load(),
+		BytesDown:   ls.BytesDown.Load(),
+		BytesUp:     ls.BytesUp.Load(),
+		PushLatency: ls.PushLatency.Snapshot(),
+		PopLatency:  ls.PopLatency.Snapshot(),
+	}
+}
+
+// Meter aggregates per-layer stats for one or more protocol graphs.
+// Layer names are host-prefixed ("client/vip", "server/channel"), so a
+// single meter can cover both ends of a conversation. The registry is
+// guarded by a mutex, but Layer handles are meant to be resolved once
+// at wrap time — the message path only touches atomics.
+type Meter struct {
+	mu     sync.Mutex
+	layers map[string]*LayerStats
+	tracer atomic.Pointer[Tracer]
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{layers: make(map[string]*LayerStats)}
+}
+
+// Layer returns the stats for name, creating them on first use.
+func (m *Meter) Layer(name string) *LayerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.layers[name]
+	if !ok {
+		ls = newLayerStats()
+		m.layers[name] = ls
+	}
+	return ls
+}
+
+// Layers reports the registered layer names in sorted order.
+func (m *Meter) Layers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.layers))
+	for name := range m.layers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetTracer attaches a tracer; every instrumented boundary using this
+// meter starts emitting structured events. Pass nil to detach.
+func (m *Meter) SetTracer(t *Tracer) {
+	m.tracer.Store(t)
+}
+
+// Tracer reports the attached tracer, nil when none.
+func (m *Meter) Tracer() *Tracer {
+	return m.tracer.Load()
+}
+
+// Snapshot copies every layer's stats, sorted by layer name.
+func (m *Meter) Snapshot() []LayerSnapshot {
+	names := m.Layers()
+	out := make([]LayerSnapshot, 0, len(names))
+	for _, name := range names {
+		out = append(out, m.Layer(name).Snapshot(name))
+	}
+	return out
+}
+
+// Reset zeroes every layer's counters and histograms, keeping the
+// registered layers and handles valid.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ls := range m.layers {
+		ls.Pushes.Store(0)
+		ls.Pops.Store(0)
+		ls.Demuxes.Store(0)
+		ls.Opens.Store(0)
+		ls.OpenEnables.Store(0)
+		ls.OpenDones.Store(0)
+		ls.Drops.Store(0)
+		ls.Retransmits.Store(0)
+		ls.BytesDown.Store(0)
+		ls.BytesUp.Store(0)
+		ls.PushLatency.Reset()
+		ls.PopLatency.Reset()
+	}
+}

@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/xk"
+)
+
+// fakeLower is a minimal lower protocol: sessions record pushes and can
+// deliver messages upward through whatever hlp they were opened with.
+type fakeLower struct {
+	xk.BaseProtocol
+	mu      sync.Mutex
+	opened  []*fakeSession
+	enabled xk.Protocol
+}
+
+type fakeSession struct {
+	xk.BaseSession
+	p      *fakeLower
+	pushed []*msg.Msg
+}
+
+func newFakeLower() *fakeLower {
+	return &fakeLower{BaseProtocol: xk.BaseProtocol{ProtoName: "fake"}}
+}
+
+func (p *fakeLower) Open(hlp xk.Protocol, ps *xk.Participants) (xk.Session, error) {
+	s := &fakeSession{p: p}
+	s.InitSession(p, hlp)
+	p.mu.Lock()
+	p.opened = append(p.opened, s)
+	p.mu.Unlock()
+	return s, nil
+}
+
+func (p *fakeLower) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
+	p.mu.Lock()
+	p.enabled = hlp
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *fakeLower) Control(op xk.ControlOp, arg any) (any, error) {
+	if op == xk.CtlGetMTU {
+		return 1500, nil
+	}
+	return nil, xk.ErrOpNotSupported
+}
+
+func (s *fakeSession) Push(m *msg.Msg) error {
+	s.pushed = append(s.pushed, m)
+	return nil
+}
+
+// deliver simulates an arriving message: hand it up to whatever the
+// session believes its high-level protocol is.
+func (s *fakeSession) deliver(m *msg.Msg) error {
+	return s.Up().Demux(s, m)
+}
+
+// passiveDeliver simulates a first message for an enabled binding: the
+// protocol creates a session, announces it via OpenDone, then delivers.
+func (p *fakeLower) passiveDeliver(m *msg.Msg) error {
+	s := &fakeSession{p: p}
+	s.InitSession(p, p.enabled)
+	if err := p.enabled.OpenDone(p, s, nil); err != nil {
+		return err
+	}
+	return s.deliver(m)
+}
+
+// sink is a higher protocol that records deliveries.
+type sink struct {
+	xk.BaseProtocol
+	got   []*msg.Msg
+	froms []xk.Session
+	done  []xk.Session
+}
+
+func (k *sink) Demux(lls xk.Session, m *msg.Msg) error {
+	k.got = append(k.got, m)
+	k.froms = append(k.froms, lls)
+	return nil
+}
+
+func (k *sink) OpenDone(llp xk.Protocol, lls xk.Session, ps *xk.Participants) error {
+	lls.SetUp(k)
+	k.done = append(k.done, lls)
+	return nil
+}
+
+func (k *sink) Control(op xk.ControlOp, arg any) (any, error) {
+	return nil, xk.ErrOpNotSupported
+}
+
+func TestWrapCountsActivePath(t *testing.T) {
+	lower := newFakeLower()
+	meter := NewMeter()
+	w := Wrap("host/fake", lower, meter)
+	hlp := &sink{BaseProtocol: xk.BaseProtocol{ProtoName: "hlp"}}
+
+	s, err := w.Open(hlp, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if s.Protocol() != w {
+		t.Fatalf("wrapped session must report the wrap as its protocol")
+	}
+
+	for i := 0; i < 3; i++ {
+		m := msg.NewWithLeader([]byte("hello"), 64)
+		if err := s.Push(m); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	inner := lower.opened[0]
+	if len(inner.pushed) != 3 {
+		t.Fatalf("inner session saw %d pushes, want 3", len(inner.pushed))
+	}
+	for i := 0; i < 2; i++ {
+		if err := inner.deliver(msg.NewWithLeader([]byte("up!"), 64)); err != nil {
+			t.Fatalf("deliver: %v", err)
+		}
+	}
+	if len(hlp.got) != 2 {
+		t.Fatalf("hlp saw %d deliveries, want 2", len(hlp.got))
+	}
+	if hlp.froms[0] != s {
+		t.Fatalf("hlp must see the wrapped session as the source")
+	}
+
+	ls := meter.Layer("host/fake")
+	if got := ls.Pushes.Load(); got != 3 {
+		t.Errorf("pushes = %d, want 3", got)
+	}
+	if got := ls.Pops.Load(); got != 2 {
+		t.Errorf("pops = %d, want 2", got)
+	}
+	if got := ls.Opens.Load(); got != 1 {
+		t.Errorf("opens = %d, want 1", got)
+	}
+	if got := ls.Drops.Load(); got != 0 {
+		t.Errorf("drops = %d, want 0", got)
+	}
+	if got := ls.BytesDown.Load(); got != 15 {
+		t.Errorf("bytes down = %d, want 15", got)
+	}
+	if got := ls.BytesUp.Load(); got != 6 {
+		t.Errorf("bytes up = %d, want 6", got)
+	}
+	if got := ls.PushLatency.Count(); got != 3 {
+		t.Errorf("push latency observations = %d, want 3", got)
+	}
+}
+
+func TestWrapPassivePathAndControlForwarding(t *testing.T) {
+	lower := newFakeLower()
+	meter := NewMeter()
+	w := Wrap("host/fake", lower, meter)
+	hlp := &sink{BaseProtocol: xk.BaseProtocol{ProtoName: "hlp"}}
+
+	if err := w.OpenEnable(hlp, nil); err != nil {
+		t.Fatalf("open_enable: %v", err)
+	}
+	if err := lower.passiveDeliver(msg.NewWithLeader([]byte("first"), 64)); err != nil {
+		t.Fatalf("passive deliver: %v", err)
+	}
+	if len(hlp.done) != 1 {
+		t.Fatalf("hlp saw %d open_done, want 1", len(hlp.done))
+	}
+	ws := hlp.done[0]
+	if ws.Protocol() != w {
+		t.Fatalf("passively announced session must report the wrap as its protocol")
+	}
+	if len(hlp.got) != 1 || hlp.froms[0] != ws {
+		t.Fatalf("delivery must come through the announced wrapped session")
+	}
+
+	// Control forwards through the wrap to the lower protocol.
+	v, err := w.Control(xk.CtlGetMTU, nil)
+	if err != nil || v.(int) != 1500 {
+		t.Fatalf("control through wrap = %v, %v; want 1500", v, err)
+	}
+
+	ls := meter.Layer("host/fake")
+	if got := ls.OpenDones.Load(); got != 1 {
+		t.Errorf("open_dones = %d, want 1", got)
+	}
+	if got := ls.OpenEnables.Load(); got != 1 {
+		t.Errorf("open_enables = %d, want 1", got)
+	}
+	if got := ls.Pops.Load(); got != 1 {
+		t.Errorf("pops = %d, want 1", got)
+	}
+}
+
+func TestTracerEmitsCorrelatedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	lower := newFakeLower()
+	meter := NewMeter()
+	meter.SetTracer(tr)
+	w := Wrap("host/fake", lower, meter)
+	hlp := &sink{BaseProtocol: xk.BaseProtocol{ProtoName: "hlp"}}
+
+	s, err := w.Open(hlp, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m := msg.NewWithLeader([]byte("payload"), 64)
+	if err := s.Push(m); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (open, push): %+v", len(events), events)
+	}
+	if events[0].Event != EventOpen || events[1].Event != EventPush {
+		t.Fatalf("event sequence = %s, %s; want open, push", events[0].Event, events[1].Event)
+	}
+	if events[1].MsgID == 0 {
+		t.Fatalf("push record must carry a message id")
+	}
+	id, ok := MsgID(m)
+	if !ok || id != events[1].MsgID {
+		t.Fatalf("message attr id = %d (%v), record id = %d", id, ok, events[1].MsgID)
+	}
+	if events[1].Seq <= events[0].Seq {
+		t.Fatalf("seq must be strictly increasing")
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetFilter(FilterSubstring("vip"))
+	tr.Emit("client/vip", EventPush, 1, 10, "")
+	tr.Emit("client/eth", EventPush, 1, 10, "")
+	tr.Emit("app", EventCall, 1, 10, "")
+	tr.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "client/vip") || strings.Contains(out, "client/eth") {
+		t.Fatalf("filter failed: %q", out)
+	}
+	if !strings.Contains(out, `"app"`) {
+		t.Fatalf("app records must always pass the substring filter: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram must report zeros")
+	}
+	durations := []time.Duration{
+		100 * time.Nanosecond,
+		time.Microsecond,
+		10 * time.Microsecond,
+		100 * time.Microsecond,
+		time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	wantMean := (100 + 1000 + 10000 + 100000 + 1000000) / 5
+	if got := h.Mean().Nanoseconds(); got != int64(wantMean) {
+		t.Fatalf("mean = %dns, want %dns", got, wantMean)
+	}
+	s := h.Snapshot()
+	if s.MinNs != 100 || s.MaxNs != 1000000 {
+		t.Fatalf("min/max = %d/%d, want 100/1000000", s.MinNs, s.MaxNs)
+	}
+	if len(s.Buckets) == 0 {
+		t.Fatalf("snapshot must carry non-empty buckets")
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+	// The median estimate must bracket the true median (10µs).
+	med := h.Quantile(0.5).Nanoseconds()
+	if med < 10000 || med > 32768 {
+		t.Fatalf("p50 = %dns, want within the 10µs bucket", med)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Snapshot().MinNs != 0 {
+		t.Fatalf("reset must zero the histogram")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	if bucketFor(0) != 0 || bucketFor(255) != 0 {
+		t.Fatalf("sub-256ns must land in bucket 0")
+	}
+	if bucketFor(256) != 1 {
+		t.Fatalf("256ns must land in bucket 1, got %d", bucketFor(256))
+	}
+	if got := bucketFor(1 << 62); got != histBuckets-1 {
+		t.Fatalf("huge values must clamp to the last bucket, got %d", got)
+	}
+}
+
+func TestMeterSnapshotAndReset(t *testing.T) {
+	m := NewMeter()
+	m.Layer("b").Pushes.Add(2)
+	m.Layer("a").Pops.Add(1)
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Layer != "a" || snap[1].Layer != "b" {
+		t.Fatalf("snapshot must be sorted by layer: %+v", snap)
+	}
+	if snap[1].Pushes != 2 || snap[0].Pops != 1 {
+		t.Fatalf("snapshot counters wrong: %+v", snap)
+	}
+	m.Reset()
+	for _, ls := range m.Snapshot() {
+		if ls.Pushes != 0 || ls.Pops != 0 {
+			t.Fatalf("reset must zero counters: %+v", ls)
+		}
+	}
+}
+
+func TestEnsureMsgIDStableAcrossClone(t *testing.T) {
+	m := msg.NewWithLeader([]byte("x"), 32)
+	id := EnsureMsgID(m)
+	if id2 := EnsureMsgID(m); id2 != id {
+		t.Fatalf("EnsureMsgID must be stable: %d vs %d", id, id2)
+	}
+	c := m.Clone()
+	cid, ok := MsgID(c)
+	if !ok || cid != id {
+		t.Fatalf("clone must carry the same id: %d (%v) vs %d", cid, ok, id)
+	}
+	fresh := msg.NewWithLeader([]byte("y"), 32)
+	if fid := EnsureMsgID(fresh); fid == id {
+		t.Fatalf("fresh messages must get fresh ids")
+	}
+}

@@ -97,10 +97,53 @@ type Network struct {
 	cfg Config
 	rng *rand.Rand
 
-	mu    sync.Mutex
-	nics  map[xk.EthAddr]*NIC
-	held  *heldFrame // one-frame reorder buffer
-	stats Stats
+	mu      sync.Mutex
+	nics    map[xk.EthAddr]*NIC
+	held    *heldFrame // one-frame reorder buffer
+	stats   Stats
+	capture func(FrameRecord)
+}
+
+// Frame dispositions recorded by the capture hook. A frame's
+// disposition is what the fault injector decided at send time;
+// modifiers are joined with "+" ("deliver+corrupt+dup").
+const (
+	FrameDelivered = "deliver" // sent on toward its destination
+	FrameDropped   = "drop"    // silently lost
+	FrameCorrupted = "corrupt" // one payload byte flipped (modifier)
+	FrameDup       = "dup"     // delivered twice (modifier)
+	FrameReordered = "reorder" // held one frame, delivered behind the next
+)
+
+// FrameRecord describes one frame observed on the wire. Records are
+// emitted once per Send, in transmission order; a frame held for
+// reordering is recorded when sent (disposition "reorder"), not again
+// when released.
+type FrameRecord struct {
+	// Index is the 1-based transmission ordinal on this segment.
+	Index int64 `json:"index"`
+	// Time is the wall-clock capture time.
+	Time time.Time `json:"time"`
+	// Src and Dst are the sending NIC's address and the out-of-band
+	// destination.
+	Src xk.EthAddr `json:"src"`
+	Dst xk.EthAddr `json:"dst"`
+	// Len is the frame length in bytes (header included).
+	Len int `json:"len"`
+	// Disposition is what the segment did with the frame.
+	Disposition string `json:"disposition"`
+	// Frame is a copy of the bytes as transmitted (post-corruption).
+	Frame []byte `json:"-"`
+}
+
+// SetCapture installs a packet-capture callback invoked once per sent
+// frame, in transmission order, before delivery. Pass nil to detach.
+// The callback runs on the sender's goroutine; the record's Frame is a
+// private copy.
+func (n *Network) SetCapture(f func(FrameRecord)) {
+	n.mu.Lock()
+	n.capture = f
+	n.mu.Unlock()
 }
 
 type heldFrame struct {
@@ -207,15 +250,22 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	n.stats.FramesSent++
 	n.stats.BytesSent += int64(len(frame))
 	n.stats.WireTime += serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
+	index := n.stats.FramesSent
+	capture := n.capture
 
 	// Fault injection.
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.FramesDropped++
 		n.mu.Unlock()
+		if capture != nil {
+			capture(record(index, nic.addr, dst, frame, FrameDropped))
+		}
 		return nil
 	}
+	corrupted := false
 	if n.cfg.CorruptRate > 0 && len(frame) > 14 && n.rng.Float64() < n.cfg.CorruptRate {
 		n.stats.FramesCorrupted++
+		corrupted = true
 		frame = append([]byte(nil), frame...)
 		i := 14 + n.rng.Intn(len(frame)-14)
 		frame[i] ^= 0x40
@@ -228,9 +278,11 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	// One-frame reordering: optionally hold this frame; any held frame
 	// is released behind the current one.
 	var deliverNow []heldFrame
+	disposition := FrameDelivered
 	if n.cfg.ReorderRate > 0 && n.held == nil && n.rng.Float64() < n.cfg.ReorderRate {
 		n.stats.FramesReordered++
 		n.held = &heldFrame{dst: dst, src: nic, frame: frame}
+		disposition = FrameReordered
 	} else {
 		deliverNow = append(deliverNow, heldFrame{dst: dst, src: nic, frame: frame})
 		if dup {
@@ -243,10 +295,32 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	}
 	n.mu.Unlock()
 
+	if capture != nil {
+		if corrupted {
+			disposition += "+" + FrameCorrupted
+		}
+		if dup {
+			disposition += "+" + FrameDup
+		}
+		capture(record(index, nic.addr, dst, frame, disposition))
+	}
 	for _, f := range deliverNow {
 		n.deliver(f.src, f.dst, f.frame)
 	}
 	return nil
+}
+
+// record builds a FrameRecord with a private copy of the frame bytes.
+func record(index int64, src, dst xk.EthAddr, frame []byte, disposition string) FrameRecord {
+	return FrameRecord{
+		Index:       index,
+		Time:        time.Now(),
+		Src:         src,
+		Dst:         dst,
+		Len:         len(frame),
+		Disposition: disposition,
+		Frame:       append([]byte(nil), frame...),
+	}
 }
 
 // Flush releases any frame held by the reorder buffer (test hook, and

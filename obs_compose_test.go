@@ -1,0 +1,197 @@
+package xkernel_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"xkernel"
+)
+
+func TestMeteredSpecRewriting(t *testing.T) {
+	in := "vip eth ip\nfragment vip # bulk path\n\nchannel @fragment\n"
+	want := "vip @eth @ip\nfragment @vip # bulk path\n\nchannel @fragment\n"
+	if got := xkernel.Metered(in); got != want {
+		t.Fatalf("Metered:\n got %q\nwant %q", got, want)
+	}
+	// Idempotent.
+	if got := xkernel.Metered(xkernel.Metered(in)); got != want {
+		t.Fatalf("Metered not idempotent: %q", got)
+	}
+}
+
+// meteredPair composes the Figure 3(a) stack with every boundary
+// instrumented into one shared meter, and registers an echo handler.
+func meteredPair(t *testing.T) (cli, srv *xkernel.Kernel, m *xkernel.Meter) {
+	t.Helper()
+	client, server, _, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = xkernel.NewMeter()
+	client.SetMeter(m)
+	server.SetMeter(m)
+	spec := xkernel.Metered(lrpcSpec)
+	if err := client.Compose(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Compose(spec); err != nil {
+		t.Fatal(err)
+	}
+	ssel, err := server.Select("select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssel.Register(1, func(_ uint16, args *xkernel.Msg) (*xkernel.Msg, error) {
+		return xkernel.NewMsg(args.Bytes()), nil
+	})
+	return client, server, m
+}
+
+// TestMeteredComposition is the Table III consistency check: N null
+// RPCs through an instrumented SELECT-CHANNEL-FRAGMENT-VIP stack must
+// count exactly N pushes and N pops at every layer on both hosts, with
+// zero drops on a lossless wire.
+func TestMeteredComposition(t *testing.T) {
+	client, server, m := meteredPair(t)
+
+	csel, err := client.Select("select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := csel.Open(xkernel.NewApp("app", nil),
+		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := sess.(interface {
+		CallBytes(uint16, []byte) ([]byte, error)
+	})
+
+	// Session setup (opens, ARP) settles before counting begins.
+	m.Reset()
+
+	const N = 7
+	payload := []byte("null rpc")
+	for i := 0; i < N; i++ {
+		got, err := call.CallBytes(1, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("echo mismatch")
+		}
+	}
+
+	layers := []string{
+		"client/channel", "client/fragment", "client/vip", "client/eth",
+		"server/eth", "server/vip", "server/fragment", "server/channel",
+	}
+	for _, name := range layers {
+		ls := m.Layer(name)
+		if got := ls.Pushes.Load(); got != N {
+			t.Errorf("%s: pushes = %d, want %d", name, got, N)
+		}
+		if got := ls.Pops.Load(); got != N {
+			t.Errorf("%s: pops = %d, want %d", name, got, N)
+		}
+		if got := ls.Drops.Load(); got != 0 {
+			t.Errorf("%s: drops = %d, want 0", name, got)
+		}
+		if got := ls.PushLatency.Count(); got != N {
+			t.Errorf("%s: push latency observations = %d, want %d", name, got, N)
+		}
+	}
+	// The unused IP path stays silent.
+	for _, name := range []string{"client/ip", "server/ip"} {
+		ls := m.Layer(name)
+		if ls.Pushes.Load() != 0 || ls.Pops.Load() != 0 {
+			t.Errorf("%s: saw traffic on the local-network path", name)
+		}
+	}
+	// Byte accounting: every layer moved at least the payload each way.
+	for _, name := range layers {
+		ls := m.Layer(name)
+		if ls.BytesDown.Load() < int64(N*len(payload)) || ls.BytesUp.Load() < int64(N*len(payload)) {
+			t.Errorf("%s: bytes down/up = %d/%d, want at least %d each",
+				name, ls.BytesDown.Load(), ls.BytesUp.Load(), N*len(payload))
+		}
+	}
+}
+
+// TestTracedPathReconstruction drives one null RPC with a tracer
+// attached and asserts the structured records reconstruct the full
+// shepherd path: every layer's push on the way down and pop on the way
+// up, client and server, in order, with adjacent records correlated by
+// message id leg by leg.
+func TestTracedPathReconstruction(t *testing.T) {
+	client, server, m := meteredPair(t)
+
+	csel, err := client.Select("select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := csel.Open(xkernel.NewApp("app", nil),
+		&xkernel.Participants{Remote: xkernel.NewParticipant(server.Addr())})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []xkernel.TraceEvent
+	tr := xkernel.NewTracer(io.Discard)
+	tr.SetObserver(func(ev xkernel.TraceEvent) { events = append(events, ev) })
+	m.SetTracer(tr)
+
+	if _, err := sess.(interface {
+		CallBytes(uint16, []byte) ([]byte, error)
+	}).CallBytes(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTracer(nil)
+
+	want := []string{
+		"client/channel call",
+		"client/fragment push",
+		"client/vip push",
+		"client/eth push",
+		"server/eth pop",
+		"server/vip pop",
+		"server/fragment pop",
+		"server/channel pop",
+		"server/channel push",
+		"server/fragment push",
+		"server/vip push",
+		"server/eth push",
+		"client/eth pop",
+		"client/vip pop",
+		"client/fragment pop",
+		"client/channel return",
+	}
+	var got []string
+	var path []xkernel.TraceEvent
+	for _, ev := range events {
+		switch ev.Event {
+		case "push", "pop", "call", "return":
+			got = append(got, ev.Layer+" "+ev.Event)
+			path = append(path, ev)
+		}
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("traced path:\n got %v\nwant %v", got, want)
+	}
+	// Seq totally orders the records.
+	for i := 1; i < len(path); i++ {
+		if path[i].Seq <= path[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %+v", i, path[i])
+		}
+	}
+	// Message ids correlate the path leg by leg: each adjacent pair
+	// (app boundary → wire, wire → app boundary) shares one id.
+	for i := 0; i+1 < len(path); i += 2 {
+		if path[i].MsgID == 0 || path[i].MsgID != path[i+1].MsgID {
+			t.Errorf("records %d,%d (%s, %s) ids = %d, %d; want equal non-zero",
+				i, i+1, got[i], got[i+1], path[i].MsgID, path[i+1].MsgID)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repository health check: formatting, vet, build, race-enabled tests,
+# and a one-iteration smoke of the Table I benchmarks. Run from
+# anywhere; it operates on the repository that contains it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== Table I benchmark smoke (1 iteration each) =="
+go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
+
+echo "OK"

@@ -44,8 +44,11 @@
 package xkernel
 
 import (
+	"strings"
+
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
+	"xkernel/internal/obs"
 	"xkernel/internal/sim"
 	"xkernel/internal/stacks"
 	"xkernel/internal/trace"
@@ -82,6 +85,16 @@ type (
 	Clock = event.Clock
 	// FakeClock is a manually advanced clock for deterministic tests.
 	FakeClock = event.FakeClock
+	// Meter aggregates per-layer counters and latency histograms.
+	Meter = obs.Meter
+	// LayerSnapshot is a JSON-ready copy of one layer's stats.
+	LayerSnapshot = obs.LayerSnapshot
+	// Tracer emits structured JSONL trace records.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// FrameRecord is one captured wire frame with its disposition.
+	FrameRecord = sim.FrameRecord
 )
 
 // Re-exported constructors and helpers.
@@ -108,6 +121,21 @@ var (
 	RealClock = event.Real
 	// NewFakeClock returns a manually advanced clock.
 	NewFakeClock = event.NewFake
+	// NewMeter creates an empty observability meter.
+	NewMeter = obs.NewMeter
+	// NewTracer creates a JSONL tracer writing to an io.Writer.
+	NewTracer = obs.NewTracer
+	// WrapProtocol interposes an instrumentation boundary above a
+	// protocol (the programmatic form of "@name" in a spec).
+	WrapProtocol = obs.Wrap
+	// MsgID reports a message's observability id, if tagged.
+	MsgID = obs.MsgID
+	// TraceFilterSubstring builds a tracer filter keeping layers that
+	// contain a substring (app- and wire-level records always pass).
+	TraceFilterSubstring = obs.FilterSubstring
+	// FlushTrace drains buffered trace output; call it before
+	// interleaving other writes to the trace destination.
+	FlushTrace = trace.Flush
 )
 
 // Commonly used control opcodes, re-exported.
@@ -139,6 +167,39 @@ var (
 	// SetTraceOutput directs trace output.
 	SetTraceOutput = trace.SetOutput
 )
+
+// Metered rewrites a composition spec so every boundary is
+// instrumented: each lower-protocol reference gains an "@" prefix
+// (idempotent; comments and instance names untouched). Composing the
+// result measures the graph layer-by-layer into the kernel's Meter:
+//
+//	m := xkernel.NewMeter()
+//	k.SetMeter(m)
+//	err := k.Compose(xkernel.Metered(spec))
+func Metered(spec string) string {
+	lines := strings.Split(spec, "\n")
+	for i, raw := range lines {
+		line, comment := raw, ""
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line, comment = line[:j], line[j:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		for j, dep := range fields[1:] {
+			if !strings.HasPrefix(dep, "@") {
+				fields[1+j] = "@" + dep
+			}
+		}
+		rewritten := strings.Join(fields, " ")
+		if comment != "" {
+			rewritten += " " + comment
+		}
+		lines[i] = rewritten
+	}
+	return strings.Join(lines, "\n")
+}
 
 // Config describes one host: its link-layer and internet addresses and
 // the segment it attaches to.
