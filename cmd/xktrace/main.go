@@ -10,6 +10,14 @@
 //	xktrace -size 8192         # a fragmented call
 //	xktrace -jsonl             # structured JSONL records on stdout
 //	xktrace -jsonl -filter vip # only VIP-boundary records (plus app/wire)
+//	xktrace -chaos             # partition+reboot scenario, invariants checked
+//	xktrace -chaos -stack mono # same scenario against monolithic Sprite RPC
+//
+// With -chaos the tool runs the partition+server-reboot scenario from
+// the chaos library against the chosen stack instead of tracing one
+// call: the workload's calls, typed failures, stale-epoch rejections,
+// the full wire log (every frame with its disposition), and the
+// invariant verdict are printed.
 //
 // With -jsonl the graph is composed with an observability wrap at every
 // boundary (see xkernel.Metered): stdout carries one JSON record per
@@ -53,12 +61,21 @@ func main() {
 	size := flag.Int("size", 0, "request payload bytes (0 = null call)")
 	jsonl := flag.Bool("jsonl", false, "emit structured JSONL records on stdout; human output moves to stderr")
 	filter := flag.String("filter", "", "with -jsonl, keep only records whose layer contains this substring")
+	chaosRun := flag.Bool("chaos", false, "run the partition+reboot chaos scenario against the stack instead of tracing a call")
 	flag.Parse()
 
 	spec, ok := specs[*stack]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "xktrace: unknown stack %q (want layered, mono, or bypass)\n", *stack)
 		os.Exit(1)
+	}
+
+	if *chaosRun {
+		if err := runChaos(*stack, *size); err != nil {
+			fmt.Fprintf(os.Stderr, "xktrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	human := io.Writer(os.Stdout)
@@ -207,4 +224,58 @@ func us(ns int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1fus", float64(ns)/1000)
+}
+
+// chaosStacks maps the -stack names onto bench configurations with a
+// reliability layer (the ones whose invariants a chaos run can check).
+var chaosStacks = map[string]xkernel.Stack{
+	"layered": xkernel.StackLRPCVIP,
+	"mono":    xkernel.StackMRPCVIP,
+	"bypass":  xkernel.StackVIPsize,
+}
+
+// runChaos drives the partition+server-reboot scenario against the
+// chosen stack and prints the call ledger, wire log, and invariant
+// verdict.
+func runChaos(stack string, size int) error {
+	target := chaosStacks[stack]
+	const calls = 12
+	res, err := xkernel.ChaosExecute(xkernel.ChaosConfig{
+		Stack:        target,
+		Net:          xkernel.NetConfig{Seed: 7},
+		Workload:     xkernel.ChaosWorkload{Calls: calls, Payload: size},
+		Scenario:     xkernel.ChaosPartitionReboot(calls / 3),
+		ConvergeTail: 3,
+		Instrument:   true,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("--- chaos: %s against %s ---\n", res.Scenario, res.Stack)
+	for _, c := range res.Calls {
+		status := "ok"
+		if c.Err != nil {
+			status = c.Err.Error()
+		}
+		fmt.Printf("  call %2d: %s\n", c.Index, status)
+	}
+	fmt.Printf("--- ledger ---\n")
+	fmt.Printf("  completed=%d failed=%d (rebooted=%d timed-out=%d)\n",
+		res.Completed, res.Failed, res.Rebooted, res.TimedOut)
+	fmt.Printf("  server executions=%d stale-epoch rejects=%d retransmits=%d\n",
+		res.ServerExecs, res.StaleRejects, res.Retransmits)
+	fmt.Printf("--- wire (%d frames) ---\n", len(res.Wire))
+	for _, line := range res.Wire {
+		fmt.Printf("  %s\n", line)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Printf("--- INVARIANTS VIOLATED ---\n")
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return fmt.Errorf("%d invariant violation(s)", len(res.Violations))
+	}
+	fmt.Printf("--- invariants held: at-most-once, convergence, bounded retransmission, clean shutdown ---\n")
+	return nil
 }

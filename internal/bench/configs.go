@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"xkernel/internal/event"
@@ -82,10 +83,28 @@ type Testbed struct {
 	// Meter aggregates per-layer counters when the testbed was built
 	// with BuildInstrumented; nil otherwise.
 	Meter *obs.Meter
-	// Collect copies protocol-internal statistics (retransmission
-	// counters) into the meter; call it before snapshotting. Nil when
-	// the testbed is uninstrumented or the stack keeps no such stats.
+	// Collect copies protocol-internal statistics (retransmission and
+	// stale-epoch-reject counters) into the meter; call it before
+	// snapshotting. Nil when the testbed is uninstrumented or the stack
+	// keeps no such stats.
 	Collect func()
+
+	// Chaos hooks — populated for stacks whose reliability layer has
+	// crash/reboot semantics (CHANNEL, M.RPC, N.RPC); nil elsewhere.
+	// The chaos engine drives crash scenarios and checks invariants
+	// through them.
+
+	// ServerReboot models a server crash and restart at the RPC layer:
+	// the boot id advances and all server-side channel state is lost.
+	ServerReboot func()
+	// ServerExecs counts requests the server's handlers actually ran —
+	// the ledger the at-most-once invariant is checked against.
+	ServerExecs func() int64
+	// StaleRejects counts requests the server refused to execute
+	// because their boot-epoch hint named a dead incarnation.
+	StaleRejects func() int64
+	// Retransmits counts the client's wire-level retransmissions.
+	Retransmits func() int64
 }
 
 // ServerAddr is where every testbed's server lives.
@@ -219,7 +238,7 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	registerMRPCHandlers(srv)
+	execs := registerMRPCHandlers(srv)
 
 	app := xk.NewApp("client/app", nil)
 	app.MaxMsg = 1500
@@ -231,19 +250,28 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 		tb.Collect = func() {
 			m.Layer(cli.Name()).Retransmits.Store(cli.Stats().Retransmits)
 			m.Layer(srv.Name()).Retransmits.Store(srv.Stats().Retransmits)
+			m.Layer(srv.Name()).Rejects.Store(srv.Stats().StaleEpochRejects)
 		}
 	}
+	tb.ServerReboot = srv.Reboot
+	tb.ServerExecs = execs.Load
+	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
+	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
 	tb.End = &mrpcEndpoint{s: s.(*mrpc.Session)}
 	return nil
 }
 
-func registerMRPCHandlers(srv *mrpc.Protocol) {
+func registerMRPCHandlers(srv *mrpc.Protocol) *atomic.Int64 {
+	execs := new(atomic.Int64)
 	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
 		return msg.Empty(), nil
 	})
 	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
 		return args, nil
 	})
+	return execs
 }
 
 // ---- N.RPC analogue ----
@@ -261,12 +289,25 @@ func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) { return msg.Empty(), nil })
-	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) { return args, nil })
+	execs := new(atomic.Int64)
+	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
+		return msg.Empty(), nil
+	})
+	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
+		return args, nil
+	})
 	s, err := cli.OpenSession(ServerAddr)
 	if err != nil {
 		return err
 	}
+	// N.RPC runs on the monolithic Sprite engine, so the crash model is
+	// inherited from it.
+	tb.ServerReboot = srv.Reboot
+	tb.ServerExecs = execs.Load
+	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
+	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
 	tb.End = &nrpcEndpoint{s: s}
 	return nil
 }
@@ -341,13 +382,20 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 		tb.Collect = func() {
 			m.Layer(ccp.Name()).Retransmits.Store(ccp.Stats().Retransmits)
 			m.Layer(scp.Name()).Retransmits.Store(scp.Stats().Retransmits)
+			m.Layer(scp.Name()).Rejects.Store(scp.Stats().StaleEpochRejects)
 		}
+	}
+	if depth >= 3 {
+		ccp, scp := cp.chn, sp.chn
+		tb.ServerReboot = scp.Reboot
+		tb.StaleRejects = func() int64 { return scp.Stats().StaleEpochRejects }
+		tb.Retransmits = func() int64 { return ccp.Stats().Retransmits }
 	}
 	switch depth {
 	case 4:
 		// The endpoint drives SELECT directly — the wrap boundaries sit
 		// below it, so the select session keeps its concrete type.
-		registerSelectHandlers(sp.sel)
+		tb.ServerExecs = registerSelectHandlers(sp.sel).Load
 		app := xk.NewApp("client/app", nil)
 		s, err := cp.sel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 		if err != nil {
@@ -356,8 +404,13 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 		tb.End = &selectEndpoint{s: s.(*selectp.Session)}
 		return nil
 	case 3:
-		tb.End, err = newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn))
-		return err
+		end, execs, err := newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn))
+		if err != nil {
+			return err
+		}
+		tb.End = end
+		tb.ServerExecs = execs.Load
+		return nil
 	case 2:
 		tb.End, err = newPushEndpoint(wrapIf(m, cp.frag), wrapIf(m, sp.frag), ip.ProtoRDG)
 		return err
@@ -367,13 +420,17 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 	}
 }
 
-func registerSelectHandlers(sel *selectp.Protocol) {
+func registerSelectHandlers(sel *selectp.Protocol) *atomic.Int64 {
+	execs := new(atomic.Int64)
 	sel.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
 		return msg.Empty(), nil
 	})
 	sel.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
 		return args, nil
 	})
+	return execs
 }
 
 type selectEndpoint struct{ s *selectp.Session }
@@ -400,11 +457,13 @@ type channelEndpoint struct {
 	}
 }
 
-func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, error) {
+func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, *atomic.Int64, error) {
+	execs := new(atomic.Int64)
 	serverApp := xk.NewApp("server/app", nil)
 	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
 		// s is the channel ServerSession (possibly instrumented); Push
 		// on it sends the reply for the request being delivered.
+		execs.Add(1)
 		kind, err := m.Pop(1)
 		if err != nil {
 			return s.Push(msg.Empty())
@@ -415,7 +474,7 @@ func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, error) {
 		return s.Push(msg.Empty())
 	}
 	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(ip.ProtoRDG))); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	clientApp := xk.NewApp("client/app", nil)
@@ -424,15 +483,15 @@ func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, error) {
 		xk.NewParticipant(ServerAddr),
 	))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	caller, ok := s.(interface {
 		Call(*msg.Msg) (*msg.Msg, error)
 	})
 	if !ok {
-		return nil, fmt.Errorf("channel endpoint: session %T has no Call", s)
+		return nil, nil, fmt.Errorf("channel endpoint: session %T has no Call", s)
 	}
-	return &channelEndpoint{s: caller}, nil
+	return &channelEndpoint{s: caller}, execs, nil
 }
 
 func (e *channelEndpoint) RoundTrip(payload []byte) error {
@@ -553,7 +612,7 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	registerSelectHandlers(ssel)
+	execs := registerSelectHandlers(ssel)
 	app := xk.NewApp("client/app", nil)
 	s, err := csel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 	if err != nil {
@@ -563,8 +622,13 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 		tb.Collect = func() {
 			m.Layer(cchn.Name()).Retransmits.Store(cchn.Stats().Retransmits)
 			m.Layer(schn.Name()).Retransmits.Store(schn.Stats().Retransmits)
+			m.Layer(schn.Name()).Rejects.Store(schn.Stats().StaleEpochRejects)
 		}
 	}
+	tb.ServerReboot = schn.Reboot
+	tb.ServerExecs = execs.Load
+	tb.StaleRejects = func() int64 { return schn.Stats().StaleEpochRejects }
+	tb.Retransmits = func() int64 { return cchn.Stats().Retransmits }
 	tb.End = &selectEndpoint{s: s.(*selectp.Session)}
 	return nil
 }

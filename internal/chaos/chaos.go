@@ -1,0 +1,393 @@
+// Package chaos is the deterministic fault-scenario engine and
+// invariant-checking harness for the RPC stacks.
+//
+// The paper's robustness claims (§3.2) — at-most-once execution across
+// retransmission, duplicate suppression via channel sequence numbers,
+// crash detection via boot ids — are stated for an adversarial network,
+// but the benchmark harness only ever exercises a clean wire. This
+// package closes that gap: a Scenario scripts faults (partitions, link
+// flaps, deterministic frame drops, server crash + reboot) against any
+// bench.Stack while a sequential workload of RPC calls runs, and the
+// engine checks the invariants that must survive the abuse:
+//
+//   - at-most-once: the server executed every completed call exactly
+//     once, and no failed call more than once;
+//   - typed failure: every call finishes — with a reply, xk.ErrTimeout,
+//     or xk.ErrPeerRebooted — rather than hanging;
+//   - convergence: after the last fault heals, calls succeed again;
+//   - bounded retransmission: the client never retransmits more than
+//     its configured budget per call;
+//   - clean shutdown: no goroutines or pending timer events leak.
+//
+// Everything is driven by a virtual clock and the simulator's
+// deterministic scenario faults, so a run's wire log (the capture
+// dispositions, wall-clock excluded) is reproducible bit for bit from
+// the seed and scenario.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"xkernel/internal/bench"
+	"xkernel/internal/event"
+	"xkernel/internal/obs"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+// Workload is the client activity a scenario runs against: sequential
+// round trips through the testbed endpoint.
+type Workload struct {
+	// Calls is the number of sequential calls; zero means 12.
+	Calls int
+	// Payload is the request size in bytes; zero means a null call.
+	Payload int
+}
+
+func (w *Workload) fill() {
+	if w.Calls == 0 {
+		w.Calls = 12
+	}
+}
+
+// Step is one scripted fault action, fired deterministically at a call
+// boundary: all steps with BeforeCall == i run, in order, immediately
+// before the workload's i-th call (0-based) starts.
+type Step struct {
+	BeforeCall int
+	Name       string
+	Do         func(*Run)
+}
+
+// Scenario is a named, ordered fault script.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Stack names the bench configuration under test.
+	Stack bench.Stack
+	// Net is the simulated segment's config (seed, probabilistic rates).
+	Net sim.Config
+	// Workload is the client activity.
+	Workload Workload
+	// Scenario is the fault script.
+	Scenario Scenario
+	// ConvergeTail is how many final calls must succeed for the
+	// convergence invariant; zero skips the check (for scenarios that
+	// deliberately end broken).
+	ConvergeTail int
+	// Instrument builds the stack with METER boundaries and collects
+	// protocol counters (retransmits, stale-epoch rejects) into it.
+	Instrument bool
+}
+
+// CallResult is the outcome of one workload call.
+type CallResult struct {
+	Index int
+	Err   error
+}
+
+// Result is what a chaos run produced.
+type Result struct {
+	Stack    bench.Stack
+	Scenario string
+
+	Calls     []CallResult
+	Completed int // calls that returned a reply
+	Failed    int // calls that returned an error
+	Rebooted  int // failures matching xk.ErrPeerRebooted
+	TimedOut  int // failures matching xk.ErrTimeout
+	Hung      bool
+
+	// Protocol ledgers (zero when the stack has no chaos hooks).
+	ServerExecs  int64
+	StaleRejects int64
+	Retransmits  int64
+
+	// Wire is the capture log projected to its deterministic fields:
+	// "index src>dst disposition len", one line per sent frame.
+	Wire []string
+
+	// Violations lists every invariant the run broke; empty means the
+	// stack survived the scenario.
+	Violations []string
+
+	// Meter is the run's METER when Config.Instrument was set.
+	Meter *obs.Meter
+}
+
+// Run is the live state a Step acts on.
+type Run struct {
+	Testbed *bench.Testbed
+	Network *sim.Network
+	Clock   *event.FakeClock
+
+	clientMAC, serverMAC xk.EthAddr
+}
+
+// PartitionClientServer splits the segment between the two hosts.
+func (r *Run) PartitionClientServer() {
+	r.Network.Partition([]xk.EthAddr{r.clientMAC}, []xk.EthAddr{r.serverMAC})
+}
+
+// Heal removes the partition.
+func (r *Run) Heal() { r.Network.Heal() }
+
+// CrashServer models the server host dying: its NIC leaves the segment
+// and the RPC layer's volatile state is dropped (the boot id advances).
+func (r *Run) CrashServer() {
+	r.Network.Detach(r.Testbed.Server.NIC)
+	if r.Testbed.ServerReboot != nil {
+		r.Testbed.ServerReboot()
+	}
+}
+
+// RestartServer reattaches the crashed server's NIC; with the state
+// already dropped by CrashServer this completes the reboot.
+func (r *Run) RestartServer() {
+	if err := r.Network.Reattach(r.Testbed.Server.NIC); err != nil {
+		panic(fmt.Sprintf("chaos: restart server: %v", err))
+	}
+}
+
+// ServerLink raises or cuts the server's link (a cable pull, not a crash:
+// protocol state survives).
+func (r *Run) ServerLink(up bool) { r.Network.SetLinkState(r.serverMAC, up) }
+
+// ClientLink raises or cuts the client's link.
+func (r *Run) ClientLink(up bool) { r.Network.SetLinkState(r.clientMAC, up) }
+
+// DropNext installs a burst-loss rule eating the next count frames on
+// the segment, whoever sends them.
+func (r *Run) DropNext(count int) {
+	r.Network.AddRule(sim.BurstLoss(r.Network.Stats().FramesSent, count))
+}
+
+// maxRetriesPerCall is the bound the retransmission invariant enforces:
+// every stack here runs its reliability layer at the default budget of 8
+// retries per call (plus crash-detection probes on N.RPC, which are
+// calls of their own).
+const maxRetriesPerCall = 8
+
+// settle is how long the driver yields real time to the worker before
+// concluding it is parked and advancing the virtual clock. Generous
+// relative to the nanoseconds of in-memory work a synchronous delivery
+// chain needs, which is what keeps runs reproducible in practice.
+const settle = 300 * time.Microsecond
+
+// idleLimit is how many consecutive driver iterations with no pending
+// timers and no call progress are tolerated before the call is declared
+// hung (a real hang has nothing scheduled and nothing moving).
+const idleLimit = 2000
+
+// Execute runs the scenario's fault script against a freshly built
+// stack while the workload's calls run sequentially, then checks the
+// invariants. The returned Result always carries the full per-call
+// outcome; Violations is empty when the stack survived.
+func Execute(cfg Config) (*Result, error) {
+	cfg.Workload.fill()
+	baseline := runtime.NumGoroutine()
+
+	clock := event.NewFake()
+	var tb *bench.Testbed
+	var meter *obs.Meter
+	var err error
+	if cfg.Instrument {
+		tb, meter, err = bench.BuildInstrumented(cfg.Stack, cfg.Net, clock)
+	} else {
+		tb, err = bench.Build(cfg.Stack, cfg.Net, clock)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Stack: cfg.Stack, Scenario: cfg.Scenario.Name, Meter: meter}
+	var wireMu sync.Mutex
+	tb.Network.SetCapture(func(fr sim.FrameRecord) {
+		line := fmt.Sprintf("%04d %s>%s %s %d", fr.Index, fr.Src, fr.Dst, fr.Disposition, fr.Len)
+		wireMu.Lock()
+		res.Wire = append(res.Wire, line)
+		wireMu.Unlock()
+	})
+
+	r := &Run{
+		Testbed:   tb,
+		Network:   tb.Network,
+		Clock:     clock,
+		clientMAC: tb.Client.NIC.Addr(),
+		serverMAC: tb.Server.NIC.Addr(),
+	}
+
+	steps := make([]Step, len(cfg.Scenario.Steps))
+	copy(steps, cfg.Scenario.Steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].BeforeCall < steps[j].BeforeCall })
+
+	payload := make([]byte, cfg.Workload.Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	start := make(chan int)
+	results := make(chan CallResult)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range start {
+			err := tb.End.RoundTrip(payload)
+			results <- CallResult{Index: i, Err: err}
+		}
+	}()
+
+	next := 0
+	for i := 0; i < cfg.Workload.Calls && !res.Hung; i++ {
+		for next < len(steps) && steps[next].BeforeCall <= i {
+			steps[next].Do(r)
+			next = next + 1
+		}
+		start <- i
+		cr, ok := r.await(results)
+		if !ok {
+			res.Hung = true
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("call %d hung: no reply, no timers pending, no progress", i))
+			break
+		}
+		res.Calls = append(res.Calls, cr)
+		switch {
+		case cr.Err == nil:
+			res.Completed++
+		default:
+			res.Failed++
+			if errors.Is(cr.Err, xk.ErrPeerRebooted) {
+				res.Rebooted++
+			}
+			if errors.Is(cr.Err, xk.ErrTimeout) {
+				res.TimedOut++
+			}
+		}
+	}
+	close(start)
+	if !res.Hung {
+		wg.Wait()
+	}
+
+	// Drain: run every self-terminating timer (fragment send-hold
+	// sweeps, gap chases) to completion.
+	for i := 0; i < 10_000; i++ {
+		if !clock.AdvanceToNext() {
+			break
+		}
+	}
+
+	if tb.Collect != nil {
+		tb.Collect()
+	}
+	res.check(cfg, tb, clock, baseline)
+	return res, nil
+}
+
+// await waits for the in-flight call to finish, advancing the virtual
+// clock only when the worker has had real time to make progress and has
+// not. Returns ok=false when the call is hung.
+func (r *Run) await(results chan CallResult) (CallResult, bool) {
+	idle := 0
+	for {
+		select {
+		case cr := <-results:
+			return cr, true
+		default:
+		}
+		time.Sleep(settle)
+		select {
+		case cr := <-results:
+			return cr, true
+		default:
+		}
+		if r.Clock.AdvanceToNext() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= idleLimit {
+			return CallResult{}, false
+		}
+	}
+}
+
+// check fills Result.Violations from the run's ledgers.
+func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, baseline int) {
+	if tb.ServerExecs != nil {
+		res.ServerExecs = tb.ServerExecs()
+	}
+	if tb.StaleRejects != nil {
+		res.StaleRejects = tb.StaleRejects()
+	}
+	if tb.Retransmits != nil {
+		res.Retransmits = tb.Retransmits()
+	}
+
+	// At-most-once: every completed call executed exactly once; a failed
+	// call may have executed at most once (it died after the server ran
+	// it but before the reply survived).
+	if tb.ServerExecs != nil {
+		if res.ServerExecs < int64(res.Completed) {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"at-most-once: %d calls completed but server executed only %d",
+				res.Completed, res.ServerExecs))
+		}
+		if max := int64(res.Completed + res.Failed); res.ServerExecs > max {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"at-most-once: server executed %d requests for %d calls — a call ran twice",
+				res.ServerExecs, max))
+		}
+	}
+
+	// Convergence: the healed stack serves the tail of the workload.
+	for i := 0; i < cfg.ConvergeTail && i < len(res.Calls); i++ {
+		cr := res.Calls[len(res.Calls)-1-i]
+		if cr.Err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"convergence: call %d still failing after heal: %v", cr.Index, cr.Err))
+		}
+	}
+
+	// Bounded retransmission.
+	if tb.Retransmits != nil {
+		calls := int64(len(res.Calls))
+		if probes := cfg.Stack == bench.NRPC; probes {
+			calls *= 2 // every call may be preceded by a crash-detection probe
+		}
+		if budget := calls * maxRetriesPerCall; res.Retransmits > budget {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"retransmission: %d retransmits for %d calls (budget %d)",
+				res.Retransmits, len(res.Calls), budget))
+		}
+	}
+
+	// Clean shutdown: nothing scheduled, nothing running.
+	if _, pending := clock.NextDeadline(); pending {
+		res.Violations = append(res.Violations, "shutdown: timer events still pending after drain")
+	}
+	leaked := -1
+	for i := 0; i < 200; i++ {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			leaked = 0
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if leaked != 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"shutdown: %d goroutines leaked (baseline %d, now %d)",
+			runtime.NumGoroutine()-baseline, baseline, runtime.NumGoroutine()))
+	}
+}

@@ -1,0 +1,139 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"xkernel/internal/bench"
+	"xkernel/internal/chaos"
+	"xkernel/internal/sim"
+)
+
+// acceptance runs the partition+server-reboot scenario against one
+// stack and checks the §3.2 at-most-once story end to end.
+func acceptance(t *testing.T, stack bench.Stack, serverLayer string) {
+	t.Helper()
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        stack,
+		Net:          sim.Config{Seed: 7},
+		Workload:     chaos.Workload{Calls: 12},
+		Scenario:     chaos.PartitionReboot(4),
+		ConvergeTail: 3,
+		Instrument:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.Hung {
+		t.Fatal("a call hung instead of failing typed")
+	}
+	// Call 4 dies against the partition, call 5 is rejected for its
+	// stale boot epoch; everything else completes.
+	if res.TimedOut < 1 {
+		t.Errorf("no typed timeout from the partitioned call (failures: %+v)", res.Calls)
+	}
+	if res.Rebooted < 1 {
+		t.Errorf("no typed reboot error after the crash (failures: %+v)", res.Calls)
+	}
+	if res.Completed != 10 || res.Failed != 2 {
+		t.Errorf("completed=%d failed=%d, want 10/2", res.Completed, res.Failed)
+	}
+	// Exactly one server-side execution per completed call: the
+	// partitioned call never arrived, the stale one was rejected.
+	if res.ServerExecs != int64(res.Completed) {
+		t.Errorf("server executed %d requests for %d completed calls", res.ServerExecs, res.Completed)
+	}
+	if res.StaleRejects < 1 {
+		t.Error("server rejected no stale-epoch requests")
+	}
+	// The rejection is observable through METER.
+	if got := res.Meter.Layer(serverLayer).Rejects.Load(); got != res.StaleRejects {
+		t.Errorf("meter %s rejects = %d, want %d", serverLayer, got, res.StaleRejects)
+	}
+}
+
+func TestPartitionRebootLayered(t *testing.T) {
+	acceptance(t, bench.LRPCVIP, "server/channel")
+}
+
+func TestPartitionRebootMRPC(t *testing.T) {
+	acceptance(t, bench.MRPCVIP, "server/mrpc")
+}
+
+func TestWireLogReproducible(t *testing.T) {
+	cfg := chaos.Config{
+		Stack:        bench.LRPCVIP,
+		Net:          sim.Config{Seed: 3},
+		Workload:     chaos.Workload{Calls: 10, Payload: 2000},
+		Scenario:     chaos.PartitionReboot(3),
+		ConvergeTail: 2,
+	}
+	a, err := chaos.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations)+len(b.Violations) > 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if len(a.Wire) != len(b.Wire) {
+		t.Fatalf("wire logs differ in length: %d vs %d", len(a.Wire), len(b.Wire))
+	}
+	for i := range a.Wire {
+		if a.Wire[i] != b.Wire[i] {
+			t.Fatalf("wire logs diverge at frame %d: %q vs %q", i, a.Wire[i], b.Wire[i])
+		}
+	}
+}
+
+// soakStacks are the configurations with a reliability layer — the ones
+// whose robustness claims the scenario library tests.
+var soakStacks = []bench.Stack{
+	bench.MRPCVIP,
+	bench.LRPCVIP,
+	bench.ChanFragVIP,
+	bench.SelChanVIPsize,
+	bench.NRPC,
+}
+
+func TestScenarioLibrarySoak(t *testing.T) {
+	payloads := []int{0, 3000}
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		payloads = []int{0}
+		seeds = []int64{1}
+	}
+	const calls = 9
+	for _, stack := range soakStacks {
+		for _, sc := range chaos.Library(calls) {
+			for _, payload := range payloads {
+				for _, seed := range seeds {
+					name := string(stack) + "/" + sc.Name
+					t.Run(name, func(t *testing.T) {
+						res, err := chaos.Execute(chaos.Config{
+							Stack:        stack,
+							Net:          sim.Config{Seed: seed},
+							Workload:     chaos.Workload{Calls: calls, Payload: payload},
+							Scenario:     sc,
+							ConvergeTail: 2,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, v := range res.Violations {
+							t.Errorf("invariant violated: %s", v)
+						}
+						if res.Hung {
+							t.Fatal("hung")
+						}
+					})
+				}
+			}
+		}
+	}
+}

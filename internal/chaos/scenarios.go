@@ -1,0 +1,82 @@
+package chaos
+
+// The canned scenario library. Each scenario maps to a robustness claim
+// the paper makes for Sprite RPC (§3.2): duplicate suppression and
+// at-most-once execution under retransmission, crash detection via boot
+// ids, and recovery once the network heals. EXPERIMENTS.md describes
+// how the library is swept across the bench stacks.
+
+// BurstDrop eats `count` frames starting right before call `at`: the
+// reliability layer must retransmit through the hole without the server
+// executing anything twice.
+func BurstDrop(at, count int) Scenario {
+	return Scenario{
+		Name: "burst-drop",
+		Steps: []Step{
+			{BeforeCall: at, Name: "drop-burst", Do: func(r *Run) { r.DropNext(count) }},
+		},
+	}
+}
+
+// LinkFlap cuts the server's link before call `at` and restores it
+// before the next call: call `at` fails typed (nothing reaches the
+// server), everything after succeeds.
+func LinkFlap(at int) Scenario {
+	return Scenario{
+		Name: "link-flap",
+		Steps: []Step{
+			{BeforeCall: at, Name: "link-down", Do: func(r *Run) { r.ServerLink(false) }},
+			{BeforeCall: at + 1, Name: "link-up", Do: func(r *Run) { r.ServerLink(true) }},
+		},
+	}
+}
+
+// CrashReboot crashes and restarts the server between calls: the next
+// call's stale epoch hint is rejected with a boot-id mismatch (typed
+// error, no execution), and the call after that succeeds against the
+// new incarnation.
+func CrashReboot(at int) Scenario {
+	return Scenario{
+		Name: "crash-reboot",
+		Steps: []Step{
+			{BeforeCall: at, Name: "crash", Do: func(r *Run) {
+				r.CrashServer()
+				r.RestartServer()
+			}},
+		},
+	}
+}
+
+// PartitionReboot is the acceptance scenario: the segment partitions
+// mid-workload (call `at` times out against an unreachable server), the
+// server crashes and reboots while cut off, then the partition heals —
+// the first post-heal call is rejected for its stale boot epoch and
+// every later call runs exactly once against the new incarnation.
+func PartitionReboot(at int) Scenario {
+	return Scenario{
+		Name: "partition-reboot",
+		Steps: []Step{
+			{BeforeCall: at, Name: "partition", Do: func(r *Run) { r.PartitionClientServer() }},
+			{BeforeCall: at + 1, Name: "crash-behind-partition", Do: func(r *Run) {
+				r.CrashServer()
+				r.RestartServer()
+			}},
+			{BeforeCall: at + 1, Name: "heal", Do: func(r *Run) { r.Heal() }},
+		},
+	}
+}
+
+// Library is the canned scenario sweep the soak harness runs: one of
+// each fault family, placed a third of the way into the workload.
+func Library(calls int) []Scenario {
+	at := calls / 3
+	if at < 1 {
+		at = 1
+	}
+	return []Scenario{
+		BurstDrop(at, 3),
+		LinkFlap(at),
+		CrashReboot(at),
+		PartitionReboot(at),
+	}
+}

@@ -185,3 +185,39 @@ func (c *FakeClock) PendingCount() int {
 	defer c.mu.Unlock()
 	return len(c.pending)
 }
+
+// NextDeadline reports how far the clock must advance for the earliest
+// pending timer to fire, and whether any timer is pending at all. An
+// already-due timer (scheduled with a non-positive delay) reports zero.
+func (c *FakeClock) NextDeadline() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) == 0 {
+		return 0, false
+	}
+	earliest := c.pending[0].at
+	for _, t := range c.pending[1:] {
+		if t.at.Before(earliest) {
+			earliest = t.at
+		}
+	}
+	d := earliest.Sub(c.now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// AdvanceToNext advances the clock exactly to the earliest pending
+// deadline and fires everything due at it, reporting whether a timer
+// was pending. It is the step function of a deterministic scheduler:
+// drivers that alternate "let the workload run" with AdvanceToNext
+// visit every timer in order without overshooting any of them.
+func (c *FakeClock) AdvanceToNext() bool {
+	d, ok := c.NextDeadline()
+	if !ok {
+		return false
+	}
+	c.Advance(d)
+	return true
+}

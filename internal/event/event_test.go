@@ -168,3 +168,34 @@ func TestConcurrentScheduleAndCancel(t *testing.T) {
 	wg.Wait()
 	<-done
 }
+
+func TestNextDeadlineAndAdvanceToNext(t *testing.T) {
+	c := NewFake()
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("empty clock reported a deadline")
+	}
+	if c.AdvanceToNext() {
+		t.Fatal("empty clock advanced")
+	}
+	var order []int
+	c.Schedule(30*time.Millisecond, func() { order = append(order, 30) })
+	c.Schedule(10*time.Millisecond, func() { order = append(order, 10) })
+	d, ok := c.NextDeadline()
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("NextDeadline = %v,%v, want 10ms,true", d, ok)
+	}
+	if !c.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found nothing")
+	}
+	if len(order) != 1 || order[0] != 10 {
+		t.Fatalf("fired %v, want [10] only", order)
+	}
+	// The later timer is untouched and 20ms away now.
+	if d, _ := c.NextDeadline(); d != 20*time.Millisecond {
+		t.Fatalf("NextDeadline = %v, want 20ms", d)
+	}
+	c.AdvanceToNext()
+	if len(order) != 2 || order[1] != 30 {
+		t.Fatalf("fired %v, want [10 30]", order)
+	}
+}

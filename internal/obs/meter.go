@@ -31,6 +31,10 @@ type LayerStats struct {
 	// the passthrough wrap cannot see inside a protocol, so this is
 	// fed from the protocol's own statistics (see bench.Testbed).
 	Retransmits atomic.Int64
+	// Rejects counts requests this layer refused to execute — stale
+	// boot-epoch rejections on the server side of CHANNEL and M.RPC.
+	// Fed from protocol statistics like Retransmits.
+	Rejects atomic.Int64
 	// BytesDown / BytesUp total message lengths crossing in each
 	// direction, measured at the boundary (headers of layers above
 	// included, headers below excluded).
@@ -63,6 +67,7 @@ type LayerSnapshot struct {
 	OpenDones   int64             `json:"open_dones"`
 	Drops       int64             `json:"drops"`
 	Retransmits int64             `json:"retransmits"`
+	Rejects     int64             `json:"rejects"`
 	BytesDown   int64             `json:"bytes_down"`
 	BytesUp     int64             `json:"bytes_up"`
 	PushLatency HistogramSnapshot `json:"push_latency"`
@@ -81,6 +86,7 @@ func (ls *LayerStats) Snapshot(name string) LayerSnapshot {
 		OpenDones:   ls.OpenDones.Load(),
 		Drops:       ls.Drops.Load(),
 		Retransmits: ls.Retransmits.Load(),
+		Rejects:     ls.Rejects.Load(),
 		BytesDown:   ls.BytesDown.Load(),
 		BytesUp:     ls.BytesUp.Load(),
 		PushLatency: ls.PushLatency.Snapshot(),
@@ -163,6 +169,7 @@ func (m *Meter) Reset() {
 		ls.OpenDones.Store(0)
 		ls.Drops.Store(0)
 		ls.Retransmits.Store(0)
+		ls.Rejects.Store(0)
 		ls.BytesDown.Store(0)
 		ls.BytesUp.Store(0)
 		ls.PushLatency.Reset()

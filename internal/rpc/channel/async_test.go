@@ -1,0 +1,156 @@
+package channel_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/proto/vip"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/fragment"
+	"xkernel/internal/sim"
+	"xkernel/internal/stacks"
+	"xkernel/internal/xk"
+)
+
+// buildAsync assembles the CHANNEL bed on the real clock with async
+// frame delivery: every frame arrives on its own goroutine, so these
+// tests exercise the retransmission machinery under the race detector
+// with genuinely concurrent timers, deliveries, and duplicates.
+func buildAsync(t *testing.T, netCfg sim.Config, ccfg channel.Config) *bed {
+	t.Helper()
+	netCfg.Async = true
+	client, server, network, err := stacks.TwoHosts(netCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.ARP.AddEntry(xk.IP(10, 0, 0, 2), xk.EthAddr{0x02, 0, 0, 0, 0, 2})
+	server.ARP.AddEntry(xk.IP(10, 0, 0, 1), xk.EthAddr{0x02, 0, 0, 0, 0, 1})
+	b := &bed{client: client, server: server, network: network}
+	mk := func(h *stacks.Host) (*channel.Protocol, *fragment.Protocol) {
+		v, err := vip.New(h.Name+"/vip", h.Eth, h.IP, h.ARP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _ := h.IP.Control(xk.CtlGetMyHost, nil)
+		f, err := fragment.New(h.Name+"/fragment", v, hv.(xk.IPAddr), fragment.Config{
+			GapTimeout: 3 * time.Millisecond,
+			GapRetries: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := channel.New(h.Name+"/channel", f, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, f
+	}
+	b.cc, _ = mk(client)
+	b.sc, b.sf = mk(server)
+	return b
+}
+
+// TestAsyncLossDupReorder hammers four concurrent channels through a
+// lossy, duplicating, reordering async network. Every call must still
+// succeed, every reply must match, and — the paper's at-most-once claim
+// — the server must execute each request exactly once no matter how
+// many copies of it the wire manufactures.
+func TestAsyncLossDupReorder(t *testing.T) {
+	b := buildAsync(t, sim.Config{
+		Seed:        11,
+		Latency:     50 * time.Microsecond,
+		LossRate:    0.15,
+		DupRate:     0.15,
+		ReorderRate: 0.15,
+	}, channel.Config{
+		RetransmitBase:    2 * time.Millisecond,
+		RetransmitPerFrag: time.Millisecond,
+		MaxRetries:        300,
+	})
+
+	var served atomic.Int64
+	app := xk.NewApp("srv", nil)
+	app.Deliver = func(s xk.Session, m *msg.Msg) error {
+		served.Add(1)
+		return s.(*channel.ServerSession).Push(msg.New(m.Bytes()))
+	}
+	if err := b.sc.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(hlpProto))); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, calls = 4, 20
+	sessions := make([]*channel.Session, workers)
+	for w := range sessions {
+		sessions[w] = open(t, b.cc, uint16(w))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := sessions[w]
+			for i := 0; i < calls; i++ {
+				payload := []byte(fmt.Sprintf("worker%d-call%d", w, i))
+				reply, err := s.Call(msg.New(payload))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d call %d: %w", w, i, err)
+					return
+				}
+				if !bytes.Equal(reply.Bytes(), payload) {
+					errs <- fmt.Errorf("worker %d call %d: reply %q", w, i, reply.Bytes())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := served.Load(); got != workers*calls {
+		t.Errorf("server executed %d requests for %d calls", got, workers*calls)
+	}
+	st := b.cc.Stats()
+	if st.Retransmits == 0 {
+		t.Error("a 15%-loss run retransmitted nothing")
+	}
+}
+
+// TestAsyncLossLargePayload drives multi-fragment requests and replies
+// through the same adversity, so CHANNEL's step-function timeout and
+// FRAGMENT's gap chase both run concurrently with fresh deliveries.
+func TestAsyncLossLargePayload(t *testing.T) {
+	b := buildAsync(t, sim.Config{
+		Seed:        12,
+		Latency:     50 * time.Microsecond,
+		LossRate:    0.1,
+		DupRate:     0.1,
+		ReorderRate: 0.1,
+	}, channel.Config{
+		RetransmitBase:    3 * time.Millisecond,
+		RetransmitPerFrag: time.Millisecond,
+		MaxRetries:        300,
+	})
+	served := echoServer(t, b.sc)
+	s := open(t, b.cc, 0)
+	payload := msg.MakeData(6000)
+	for i := 0; i < 10; i++ {
+		reply, err := s.Call(msg.New(payload))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(reply.Bytes(), payload) {
+			t.Fatalf("call %d: echo mismatch", i)
+		}
+	}
+	if *served != 10 {
+		t.Errorf("served = %d, want 10", *served)
+	}
+}

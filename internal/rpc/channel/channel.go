@@ -28,6 +28,7 @@ package channel
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"xkernel/internal/msg"
 	"xkernel/internal/pmap"
 	"xkernel/internal/proto/ip"
+	"xkernel/internal/rpc/retry"
 	"xkernel/internal/trace"
 	"xkernel/internal/xk"
 )
@@ -54,16 +56,52 @@ const (
 	flagPleaseAck uint16 = 1 << 3
 )
 
-// Error codes carried in the error field.
+// Error codes carried in the error field of replies. In requests the
+// same field carries the client's epoch hint: the low 16 bits of the
+// server boot id the client last observed, or 0 for "unknown". A server
+// whose boot id no longer matches a non-zero hint rejects the request
+// with errRebooted instead of executing it — that is how a request
+// retransmitted across a server crash is kept from executing a second
+// time in the new incarnation (at-most-once across reboots, §3.2).
 const (
-	errOK     uint16 = 0
-	errRemote uint16 = 1 // reply payload is an error string
+	errOK       uint16 = 0
+	errRemote   uint16 = 1 // reply payload is an error string
+	errRebooted uint16 = 2 // server rebooted since the client's epoch hint
 )
 
 // RemoteError is a failure reported by the peer through the error field.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "channel: remote error: " + e.Msg }
+
+// PeerRebootedError reports that the server crashed and rebooted while
+// a call was outstanding. The call executed at most once — either in
+// the old incarnation (its reply died with the crash) or not at all
+// (the new incarnation rejected the stale retransmission). It matches
+// errors.Is(err, xk.ErrPeerRebooted).
+type PeerRebootedError struct {
+	// Host is the rebooted server.
+	Host xk.IPAddr
+	// BootID is the server's new boot incarnation.
+	BootID uint32
+}
+
+func (e *PeerRebootedError) Error() string {
+	return fmt.Sprintf("channel: peer %s rebooted (boot id now %d)", e.Host, e.BootID)
+}
+
+// Is makes errors.Is(err, xk.ErrPeerRebooted) true.
+func (e *PeerRebootedError) Is(target error) bool { return target == xk.ErrPeerRebooted }
+
+// ErrChannelBusy is returned by Call when the channel already has a
+// request outstanding (one request per channel; concurrency is SELECT's
+// job). It is wrapped with the channel number: match with errors.Is.
+var ErrChannelBusy = errors.New("channel busy: one request per channel")
+
+// NoRetries configures MaxRetries to mean literally none: the request
+// is sent once and the call fails on the first timeout. (Zero keeps the
+// default; any negative value behaves like NoRetries.)
+const NoRetries = -1
 
 // Config parameterizes the protocol.
 type Config struct {
@@ -73,7 +111,8 @@ type Config struct {
 	// RetransmitPerFrag is added per expected fragment beyond the
 	// first (the step function); zero means 20ms.
 	RetransmitPerFrag time.Duration
-	// MaxRetries bounds request retransmissions; zero means 8.
+	// MaxRetries bounds request retransmissions; zero means 8,
+	// NoRetries (or any negative value) means none.
 	MaxRetries int
 	// BootID is this host's boot incarnation; zero means 1.
 	BootID uint32
@@ -82,6 +121,10 @@ type Config struct {
 	Proto ip.ProtoNum
 	// Clock drives retransmission timers; nil means the real clock.
 	Clock event.Clock
+	// Retry shapes the retransmission schedule around the step-function
+	// base interval; nil means the paper's constant-interval policy
+	// (retry.Step).
+	Retry retry.Policy
 }
 
 func (c *Config) fill() {
@@ -93,6 +136,8 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
 	}
 	if c.BootID == 0 {
 		c.BootID = 1
@@ -103,6 +148,9 @@ func (c *Config) fill() {
 	if c.Clock == nil {
 		c.Clock = event.Real()
 	}
+	if c.Retry == nil {
+		c.Retry = retry.Default
+	}
 }
 
 // Stats counts protocol activity.
@@ -110,6 +158,12 @@ type Stats struct {
 	Calls, Retransmits, AcksSent, AcksReceived int64
 	DuplicateRequests, ReplayedReplies         int64
 	RequestsServed, RemoteErrors               int64
+	// StaleEpochRejects counts requests this server refused to execute
+	// because their epoch hint named an earlier boot incarnation.
+	StaleEpochRejects int64
+	// PeerReboots counts calls this client failed with
+	// PeerRebootedError.
+	PeerReboots int64
 }
 
 // header is the decoded CHANNEL_HDR.
@@ -153,6 +207,10 @@ type Protocol struct {
 	servers map[srvKey]*srvChan
 	stats   Stats
 	bootID  uint32
+	// peerBoots is the client-side record of each server's last
+	// observed boot id, learned from reply and ack headers and sent
+	// back (truncated) as the epoch hint in requests.
+	peerBoots map[xk.IPAddr]uint32
 
 	clients *pmap.Map // proto(1) ++ chan(2) ++ remote(4) → *Session
 }
@@ -169,6 +227,7 @@ func New(name string, llp xk.Protocol, cfg Config) (*Protocol, error) {
 		enables:      make(map[ip.ProtoNum]xk.Protocol),
 		servers:      make(map[srvKey]*srvChan),
 		bootID:       cfg.BootID,
+		peerBoots:    make(map[xk.IPAddr]uint32),
 		clients:      pmap.New(16),
 	}
 	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
@@ -198,6 +257,21 @@ func (p *Protocol) Reboot() {
 	p.servers = make(map[srvKey]*srvChan)
 	p.mu.Unlock()
 	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+}
+
+// PeerBootID reports the last boot incarnation observed from host in a
+// reply or ack header, or 0 if the host has never answered.
+func (p *Protocol) PeerBootID(host xk.IPAddr) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerBoots[host]
+}
+
+// notePeerBoot records host's boot id as carried in a reply or ack.
+func (p *Protocol) notePeerBoot(host xk.IPAddr, boot uint32) {
+	p.mu.Lock()
+	p.peerBoots[host] = boot
+	p.mu.Unlock()
 }
 
 // Control: CHANNEL never pushes more than its client's message plus one

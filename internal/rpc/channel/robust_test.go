@@ -1,0 +1,247 @@
+package channel_test
+
+// Robustness behaviour added with the chaos engine: typed busy and
+// reboot errors, the NoRetries sentinel, boot-epoch rejection of stale
+// requests, and pluggable retransmission policies.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkernel/internal/msg"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/retry"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+func TestBusyChannelReturnsTypedError(t *testing.T) {
+	b := build(t, sim.Config{LossRate: 1.0, Seed: 1}, channel.Config{MaxRetries: 100})
+	echoServer(t, b.sc)
+	s := open(t, b.cc, 0)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = s.Call(msg.Empty()) // parked under total loss
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	_, err := s.Call(msg.Empty())
+	if !errors.Is(err, channel.ErrChannelBusy) {
+		t.Fatalf("got %v, want ErrChannelBusy", err)
+	}
+}
+
+func TestNoRetriesMeansExactlyOneSend(t *testing.T) {
+	b := build(t, sim.Config{LossRate: 1.0, Seed: 1}, channel.Config{MaxRetries: channel.NoRetries})
+	echoServer(t, b.sc)
+	done := make(chan error, 1)
+	go func() {
+		s := open(t, b.cc, 0)
+		_, err := s.Call(msg.Empty())
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			if rt := b.cc.Stats().Retransmits; rt != 0 {
+				t.Fatalf("NoRetries still retransmitted %d times", rt)
+			}
+			return
+		default:
+			b.clock.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("call never timed out")
+}
+
+func TestZeroMaxRetriesKeepsDefault(t *testing.T) {
+	// The satellite fix must not change the default: zero still means 8.
+	b := build(t, sim.Config{LossRate: 1.0, Seed: 1}, channel.Config{})
+	echoServer(t, b.sc)
+	done := make(chan error, 1)
+	go func() {
+		s := open(t, b.cc, 0)
+		_, err := s.Call(msg.Empty())
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			if rt := b.cc.Stats().Retransmits; rt != 8 {
+				t.Fatalf("default retransmitted %d times, want 8", rt)
+			}
+			return
+		default:
+			b.clock.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("call never timed out")
+}
+
+func TestServerRebootYieldsTypedErrorThenRecovers(t *testing.T) {
+	b := build(t, sim.Config{}, channel.Config{})
+	served := echoServer(t, b.sc)
+	s := open(t, b.cc, 0)
+
+	// First contact teaches the client the server's incarnation.
+	if _, err := s.Call(msg.New([]byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.cc.PeerBootID(xk.IP(10, 0, 0, 2)); got != 1 {
+		t.Fatalf("learned boot id %d, want 1", got)
+	}
+
+	// The server crashes and reboots; the next call's epoch hint names
+	// the dead incarnation, so the server rejects it without executing.
+	b.sc.Reboot()
+	_, err := s.Call(msg.New([]byte("b")))
+	if !errors.Is(err, xk.ErrPeerRebooted) {
+		t.Fatalf("got %v, want ErrPeerRebooted", err)
+	}
+	var pr *channel.PeerRebootedError
+	if !errors.As(err, &pr) || pr.BootID != 2 {
+		t.Fatalf("got %v, want PeerRebootedError with boot id 2", err)
+	}
+	if *served != 1 {
+		t.Fatalf("rejected call executed: served = %d", *served)
+	}
+	if rj := b.sc.Stats().StaleEpochRejects; rj != 1 {
+		t.Fatalf("StaleEpochRejects = %d, want 1", rj)
+	}
+	if rb := b.cc.Stats().PeerReboots; rb != 1 {
+		t.Fatalf("PeerReboots = %d, want 1", rb)
+	}
+
+	// The reject carried the new boot id, so the client has converged:
+	// the next call executes normally.
+	if _, err := s.Call(msg.New([]byte("c"))); err != nil {
+		t.Fatalf("call after observed reboot: %v", err)
+	}
+	if *served != 2 {
+		t.Fatalf("served = %d, want 2", *served)
+	}
+}
+
+func TestRebootMidCallRejectsRetransmission(t *testing.T) {
+	// A server that crashes while executing a request must not execute
+	// the retransmitted copy in its next incarnation: the retransmission
+	// carries the old epoch hint and is rejected, and the client
+	// surfaces a typed error instead of hanging.
+	b := build(t, sim.Config{}, channel.Config{
+		RetransmitBase: 50 * time.Millisecond,
+		MaxRetries:     20,
+	})
+	// The first handler invocation finds a token and replies at once;
+	// the second parks until the test ends.
+	block := make(chan struct{}, 1)
+	block <- struct{}{}
+	var served atomic.Int64
+	app := xk.NewApp("srv", nil)
+	app.Deliver = func(s xk.Session, m *msg.Msg) error {
+		served.Add(1)
+		ss := s.(*channel.ServerSession)
+		go func() {
+			<-block
+			_ = ss.Push(msg.Empty())
+		}()
+		return nil
+	}
+	if err := b.sc.OpenEnable(app, xk.LocalOnly(xk.NewParticipant(hlpProto))); err != nil {
+		t.Fatal(err)
+	}
+	defer close(block)
+
+	s := open(t, b.cc, 0)
+	if _, err := s.Call(msg.Empty()); err != nil { // learn the epoch
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Call(msg.New([]byte("doomed")))
+		done <- err
+	}()
+	// Wait for the request to land in the handler, then crash the server.
+	for i := 0; i < 1000 && served.Load() < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if served.Load() != 2 {
+		t.Fatal("second call never reached the handler")
+	}
+	b.sc.Reboot()
+
+	// The client's retransmission timer fires; the stale-epoch copy is
+	// rejected and the call fails typed.
+	var err error
+	for i := 0; i < 200; i++ {
+		select {
+		case err = <-done:
+			i = 200
+		default:
+			b.clock.Advance(60 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !errors.Is(err, xk.ErrPeerRebooted) {
+		t.Fatalf("got %v, want ErrPeerRebooted", err)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("handler ran %d times: post-reboot retransmission executed", got)
+	}
+	if b.sc.Stats().StaleEpochRejects == 0 {
+		t.Fatal("no stale-epoch reject recorded")
+	}
+}
+
+func TestExponentialBackoffRetransmitsLessOften(t *testing.T) {
+	run := func(pol retry.Policy) int64 {
+		b := build(t, sim.Config{LossRate: 1.0, Seed: 1}, channel.Config{
+			RetransmitBase: 50 * time.Millisecond,
+			MaxRetries:     8,
+			Retry:          pol,
+		})
+		echoServer(t, b.sc)
+		done := make(chan error, 1)
+		go func() {
+			s := open(t, b.cc, 0)
+			_, err := s.Call(msg.Empty())
+			done <- err
+		}()
+		// Advance exactly 1s of virtual time in base-sized steps, then
+		// count how many retransmissions the policy allowed.
+		for i := 0; i < 20; i++ {
+			b.clock.Advance(50 * time.Millisecond)
+			time.Sleep(500 * time.Microsecond)
+		}
+		rt := b.cc.Stats().Retransmits
+		for {
+			select {
+			case <-done:
+				return rt
+			default:
+				b.clock.Advance(10 * time.Second)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}
+	step := run(retry.Step{})
+	exp := run(retry.Exponential{Cap: 400 * time.Millisecond})
+	if step != 8 {
+		t.Fatalf("step policy retransmitted %d times in 1s, want all 8", step)
+	}
+	// Exponential within 1s: retries at 50,150,350,750ms → 4.
+	if exp >= step {
+		t.Fatalf("exponential (%d) not sparser than step (%d)", exp, step)
+	}
+}

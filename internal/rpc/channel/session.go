@@ -56,7 +56,7 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 	s.mu.Lock()
 	if s.active {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%s: chan %d busy: one request per channel", p.Name(), s.id)
+		return nil, fmt.Errorf("%s: chan %d: %w", p.Name(), s.id, ErrChannelBusy)
 	}
 	s.seq++
 	seq := s.seq
@@ -71,8 +71,13 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 		s.mu.Unlock()
 	}()
 
-	interval := s.stepTimeout(m.Len())
+	base := s.stepTimeout(m.Len())
 	lls := s.Down(0)
+	// The epoch hint is snapshotted once per call: every transmission of
+	// this request names the same server incarnation, so a server that
+	// reboots mid-call rejects the retransmissions rather than executing
+	// the request a second time in its new life.
+	hint := uint16(p.PeerBootID(s.remote))
 
 	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
 		h := header{
@@ -80,6 +85,7 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 			channel:  s.id,
 			protoNum: uint32(s.proto),
 			seq:      seq,
+			errCode:  hint,
 			bootID:   boot,
 		}
 		if attempt > 0 {
@@ -106,7 +112,7 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 		}
 
 		timeout := make(chan struct{})
-		ev := p.cfg.Clock.Schedule(interval, func() { close(timeout) })
+		ev := p.cfg.Clock.Schedule(p.cfg.Retry.Interval(attempt, base), func() { close(timeout) })
 		select {
 		case r := <-replyCh:
 			ev.Cancel()
@@ -144,6 +150,9 @@ func (s *Session) stepTimeout(msgLen int) time.Duration {
 // receive handles a reply or ack for this channel.
 func (s *Session) receive(h header, m *msg.Msg) error {
 	p := s.p
+	// Every reply and ack teaches the client the server's current
+	// incarnation; the next call's epoch hint names it.
+	p.notePeerBoot(s.remote, h.bootID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.active || h.seq != s.seq {
@@ -158,13 +167,19 @@ func (s *Session) receive(h header, m *msg.Msg) error {
 		return nil
 	}
 	var r result
-	if h.errCode != errOK {
+	switch h.errCode {
+	case errOK:
+		r.m = m
+	case errRebooted:
+		r.err = &PeerRebootedError{Host: s.remote, BootID: h.bootID}
+		p.mu.Lock()
+		p.stats.PeerReboots++
+		p.mu.Unlock()
+	default:
 		r.err = &RemoteError{Msg: string(m.Bytes())}
 		p.mu.Lock()
 		p.stats.RemoteErrors++
 		p.mu.Unlock()
-	} else {
-		r.m = m
 	}
 	select {
 	case s.replyCh <- r:
@@ -325,6 +340,19 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		p.mu.Unlock()
 		return fmt.Errorf("%s: proto %d: %w", p.Name(), proto, xk.ErrNoSession)
 	}
+	// A non-zero epoch hint naming another incarnation means the request
+	// was first sent to a previous life of this server (which may have
+	// executed it before crashing). Refuse to execute it again; tell the
+	// client which incarnation is answering. Checked before any per-chan
+	// state so a rejected request leaves no trace.
+	if h.errCode != 0 && h.errCode != uint16(p.bootID) {
+		p.stats.StaleEpochRejects++
+		boot := p.bootID
+		p.mu.Unlock()
+		trace.Printf(trace.Events, p.Name(), "reject stale-epoch chan=%d seq=%d from %s (hint %d, boot %d)",
+			h.channel, h.seq, peer, h.errCode, boot)
+		return p.sendReject(h, boot, lls)
+	}
 	sc := p.servers[k]
 	newSession := false
 	if sc == nil {
@@ -398,6 +426,25 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		}
 		return nil
 	}
+}
+
+// sendReject answers a stale-epoch request with errRebooted so the
+// client fails its call immediately (and learns the new boot id)
+// instead of retransmitting into the void until its timeout.
+func (p *Protocol) sendReject(req header, boot uint32, lls xk.Session) error {
+	h := header{
+		flags:    flagReply,
+		channel:  req.channel,
+		protoNum: req.protoNum,
+		seq:      req.seq,
+		errCode:  errRebooted,
+		bootID:   boot,
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	m := msg.Empty()
+	m.MustPush(hb[:])
+	return lls.Push(m)
 }
 
 // sendAck tells the client its request arrived and is being worked on.

@@ -36,12 +36,19 @@ import (
 	"xkernel/internal/msg"
 	"xkernel/internal/pmap"
 	"xkernel/internal/proto/ip"
+	"xkernel/internal/rpc/retry"
 	"xkernel/internal/trace"
 	"xkernel/internal/xk"
 )
 
 // HeaderLen is the FRAGMENT_HDR size.
 const HeaderLen = 23
+
+// NoRetries configures GapRetries to mean literally none: an incomplete
+// message is abandoned at the first gap timeout without ever requesting
+// a resend. (Zero keeps the default; any negative value behaves like
+// NoRetries.)
+const NoRetries = -1
 
 // Message types.
 const (
@@ -67,15 +74,18 @@ type Config struct {
 	// GapTimeout is the receiver's patience with an incomplete message
 	// before requesting the missing fragments; zero means 30ms.
 	GapTimeout time.Duration
-	// GapRetries bounds resend requests per message; zero means 4.
-	// After the last one the partial message is discarded (delivery is
-	// not guaranteed).
+	// GapRetries bounds resend requests per message; zero means 4,
+	// NoRetries (or any negative value) means none. After the last one
+	// the partial message is discarded (delivery is not guaranteed).
 	GapRetries int
 	// Proto is this protocol's number on the layer below; zero means
 	// ip.ProtoFragment.
 	Proto ip.ProtoNum
 	// Clock drives both timers; nil means the real clock.
 	Clock event.Clock
+	// Retry shapes the gap-request schedule around GapTimeout; nil
+	// means the constant-interval policy (retry.Step).
+	Retry retry.Policy
 }
 
 func (c *Config) fill() {
@@ -96,12 +106,17 @@ func (c *Config) fill() {
 	}
 	if c.GapRetries == 0 {
 		c.GapRetries = 4
+	} else if c.GapRetries < 0 {
+		c.GapRetries = 0
 	}
 	if c.Proto == 0 {
 		c.Proto = ip.ProtoFragment
 	}
 	if c.Clock == nil {
 		c.Clock = event.Real()
+	}
+	if c.Retry == nil {
+		c.Retry = retry.Default
 	}
 }
 

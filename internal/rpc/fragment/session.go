@@ -222,11 +222,11 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 	return up.Demux(s, full)
 }
 
-// armGapTimer schedules the missing-fragment chase for seq. Caller holds
-// s.mu.
+// armGapTimer schedules the missing-fragment chase for seq; the retry
+// policy spaces successive chases. Caller holds s.mu.
 func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
 	p := s.p
-	r.timer = p.cfg.Clock.Schedule(p.cfg.GapTimeout, func() {
+	r.timer = p.cfg.Clock.Schedule(p.cfg.Retry.Interval(r.retries, p.cfg.GapTimeout), func() {
 		s.mu.Lock()
 		if s.rcv[seq] != r {
 			s.mu.Unlock()

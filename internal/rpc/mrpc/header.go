@@ -21,7 +21,17 @@ const (
 	flagAck       uint16 = 1 << 2 // explicit acknowledgement
 	flagPleaseAck uint16 = 1 << 3 // sender wants an explicit ack
 	flagError     uint16 = 1 << 4 // reply payload is an error string
+	flagRebooted  uint16 = 1 << 5 // server rebooted since the request's epoch hint
 )
+
+// Epoch hint: in request headers the srvr_process field (which this
+// implementation does not otherwise use — there is one server process,
+// the protocol itself) carries the low 16 bits of the server boot id
+// the client last observed, or 0 for "unknown". A server whose boot id
+// no longer matches a non-zero hint answers flagReply|flagRebooted
+// without executing, which is what keeps a request retransmitted across
+// a server crash from running twice — the same at-most-once-across-
+// reboots guarantee the layered CHANNEL provides.
 
 // header is the decoded SPRITE_HDR.
 type header struct {

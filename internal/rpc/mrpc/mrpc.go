@@ -23,9 +23,15 @@ import (
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
 	"xkernel/internal/proto/ip"
+	"xkernel/internal/rpc/retry"
 	"xkernel/internal/trace"
 	"xkernel/internal/xk"
 )
+
+// NoRetries configures MaxRetries to mean literally none: every
+// fragment is sent once and the call fails on the first timeout. (Zero
+// keeps the default; any negative value behaves like NoRetries.)
+const NoRetries = -1
 
 // Handler serves one RPC command on the server: it receives the request
 // payload and returns the reply payload.
@@ -46,7 +52,8 @@ type Config struct {
 	// RetransmitInterval is the client's base patience before
 	// retransmitting; zero means 50ms.
 	RetransmitInterval time.Duration
-	// MaxRetries bounds retransmissions per call; zero means 8.
+	// MaxRetries bounds retransmissions per call; zero means 8,
+	// NoRetries (or any negative value) means none.
 	MaxRetries int
 	// BootID is this host's boot incarnation; zero means 1.
 	BootID uint32
@@ -55,6 +62,10 @@ type Config struct {
 	Proto ip.ProtoNum
 	// Clock drives retransmission timers; nil means the real clock.
 	Clock event.Clock
+	// Retry shapes the retransmission schedule around the base interval
+	// (with its multi-fragment increment); nil means the constant-
+	// interval policy the paper describes (retry.Step).
+	Retry retry.Policy
 }
 
 func (c *Config) fill() {
@@ -72,6 +83,8 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
 	}
 	if c.BootID == 0 {
 		c.BootID = 1
@@ -82,6 +95,9 @@ func (c *Config) fill() {
 	if c.Clock == nil {
 		c.Clock = event.Real()
 	}
+	if c.Retry == nil {
+		c.Retry = retry.Default
+	}
 }
 
 // Stats counts protocol activity.
@@ -89,6 +105,12 @@ type Stats struct {
 	Calls, Retransmits, AcksSent, AcksReceived int64
 	DuplicateRequests, ReplayedReplies         int64
 	RequestsServed, Errors                     int64
+	// StaleEpochRejects counts requests this server refused to execute
+	// because their epoch hint named an earlier boot incarnation.
+	StaleEpochRejects int64
+	// PeerReboots counts calls this client failed with
+	// PeerRebootedError.
+	PeerReboots int64
 }
 
 // RemoteError is a server-reported failure, distinguished from transport
@@ -97,6 +119,23 @@ type Stats struct {
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "mrpc: remote error: " + e.Msg }
+
+// PeerRebootedError reports that the server crashed and rebooted while
+// a call was outstanding; the call executed at most once (in the old
+// incarnation, if at all). Matches errors.Is(err, xk.ErrPeerRebooted).
+type PeerRebootedError struct {
+	// Host is the rebooted server.
+	Host xk.IPAddr
+	// BootID is the server's new boot incarnation.
+	BootID uint32
+}
+
+func (e *PeerRebootedError) Error() string {
+	return fmt.Sprintf("mrpc: peer %s rebooted (boot id now %d)", e.Host, e.BootID)
+}
+
+// Is makes errors.Is(err, xk.ErrPeerRebooted) true.
+func (e *PeerRebootedError) Is(target error) bool { return target == xk.ErrPeerRebooted }
 
 // Protocol is the monolithic Sprite RPC protocol object. One instance
 // serves both roles: client calls go out through sessions, and
@@ -116,6 +155,10 @@ type Protocol struct {
 	servers  map[srvKey]*srvChan
 	stats    Stats
 	bootID   uint32
+	// peerBoots is the client-side record of each server's last
+	// observed boot id, learned from reply and ack headers and sent
+	// back (truncated) as the epoch hint in requests.
+	peerBoots map[xk.IPAddr]uint32
 }
 
 // New creates the protocol for the host with address local above llp,
@@ -131,6 +174,7 @@ func New(name string, llp xk.Protocol, local xk.IPAddr, cfg Config) (*Protocol, 
 		handlers:     make(map[uint16]Handler),
 		servers:      make(map[srvKey]*srvChan),
 		bootID:       cfg.BootID,
+		peerBoots:    make(map[xk.IPAddr]uint32),
 		free:         make(chan *chanState, cfg.NumChannels),
 	}
 	for i := 0; i < cfg.NumChannels; i++ {
@@ -181,6 +225,21 @@ func (p *Protocol) Reboot() {
 	p.servers = make(map[srvKey]*srvChan)
 	p.mu.Unlock()
 	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+}
+
+// PeerBootID reports the last boot incarnation observed from host in a
+// reply or ack header, or 0 if the host has never answered.
+func (p *Protocol) PeerBootID(host xk.IPAddr) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerBoots[host]
+}
+
+// notePeerBoot records host's boot id as carried in a reply or ack.
+func (p *Protocol) notePeerBoot(host xk.IPAddr, boot uint32) {
+	p.mu.Lock()
+	p.peerBoots[host] = boot
+	p.mu.Unlock()
 }
 
 // Control answers CtlHLPMaxMsg — the question VIP asks at open time.
@@ -269,6 +328,10 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 	p.mu.Lock()
 	p.stats.Calls++
 	boot := p.bootID
+	// Snapshot the server's last known boot id once per call: if the
+	// server reboots mid-call, every retransmission still carries the
+	// old hint and is rejected rather than executed twice.
+	hint := uint16(p.peerBoots[s.server])
 	p.mu.Unlock()
 
 	// "the SELECT layer simply chooses one of the existing channels
@@ -292,7 +355,7 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 		cs.mu.Unlock()
 	}()
 
-	frags, hdrs, err := s.fragment(command, seq, boot, cs.id, args)
+	frags, hdrs, err := s.fragment(command, seq, boot, hint, cs.id, args)
 	if err != nil {
 		return nil, err
 	}
@@ -305,8 +368,17 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 	}
 
 	lls := s.Down(0)
+	full := fullMask(uint16(len(frags)))
 	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
 		cs.mu.Lock()
+		if attempt > 0 && cs.acked == full {
+			// The server acknowledged every fragment but the reply is
+			// overdue: it may have crashed and lost the request. Clear
+			// the mask and re-probe with a full resend — if the server
+			// did reboot, the stale epoch hint gets the call rejected
+			// (typed) instead of silently timing out.
+			cs.acked = 0
+		}
 		acked := cs.acked
 		cs.mu.Unlock()
 		pleaseAck := attempt > 0
@@ -334,7 +406,7 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 		}
 
 		timeout := make(chan struct{})
-		ev := p.cfg.Clock.Schedule(interval, func() { close(timeout) })
+		ev := p.cfg.Clock.Schedule(p.cfg.Retry.Interval(attempt, interval), func() { close(timeout) })
 		select {
 		case r := <-replyCh:
 			ev.Cancel()
@@ -347,7 +419,8 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 
 // fragment splits args into at most 16 fragments and builds the header
 // for each (flags set to request; retransmission twiddles them later).
-func (s *Session) fragment(command uint16, seq, boot uint32, channel uint16, args *msg.Msg) ([]*msg.Msg, []header, error) {
+// hint is the epoch hint carried in srvr_process (see header.go).
+func (s *Session) fragment(command uint16, seq, boot uint32, hint, channel uint16, args *msg.Msg) ([]*msg.Msg, []header, error) {
 	p := s.p
 	maxFrag := p.cfg.MaxPacket - HeaderLen
 	frags, err := args.Split(maxFrag, msg.DefaultLeader)
@@ -364,6 +437,7 @@ func (s *Session) fragment(command uint16, seq, boot uint32, channel uint16, arg
 			clntHost: p.local,
 			srvrHost: s.server,
 			channel:  channel,
+			srvrProc: hint,
 			seq:      seq,
 			numFrags: uint16(len(frags)),
 			fragMask: 1 << i,
@@ -433,6 +507,9 @@ func (p *Protocol) clientReceive(h header, m *msg.Msg) error {
 	if int(h.channel) >= len(p.channels) {
 		return fmt.Errorf("%s: channel %d: %w", p.Name(), h.channel, xk.ErrBadHeader)
 	}
+	// Every reply or ack teaches us the server's current incarnation;
+	// the next call's epoch hint is built from it.
+	p.notePeerBoot(h.srvrHost, h.bootID)
 	cs := p.channels[h.channel]
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -459,9 +536,15 @@ func (p *Protocol) clientReceive(h header, m *msg.Msg) error {
 		full := cs.reply.assemble()
 		cs.reply = nil
 		var res callResult
-		if h.flags&flagError != 0 {
+		switch {
+		case h.flags&flagRebooted != 0:
+			p.mu.Lock()
+			p.stats.PeerReboots++
+			p.mu.Unlock()
+			res.err = &PeerRebootedError{Host: h.srvrHost, BootID: h.bootID}
+		case h.flags&flagError != 0:
 			res.err = &RemoteError{Msg: string(full.Bytes())}
-		} else {
+		default:
 			res.m = full
 		}
 		select {

@@ -29,6 +29,10 @@ func testbed(t *testing.T, lower string, netCfg sim.Config, clock event.Clock, c
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Static ARP entries keep opens from blocking on resolution when the
+	// network is configured lossy.
+	client.ARP.AddEntry(xk.IP(10, 0, 0, 2), xk.EthAddr{0x02, 0, 0, 0, 0, 2})
+	server.ARP.AddEntry(xk.IP(10, 0, 0, 1), xk.EthAddr{0x02, 0, 0, 0, 0, 1})
 	cfg.Clock = clock
 	build := func(h *stacks.Host, name string) *mrpc.Protocol {
 		var llp xk.Protocol

@@ -1,0 +1,220 @@
+package mrpc_test
+
+// Robustness behaviour added with the chaos engine: boot-epoch rejection
+// parity with CHANNEL, the NoRetries sentinel, and pluggable
+// retransmission policies.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+	"xkernel/internal/rpc/mrpc"
+	"xkernel/internal/rpc/retry"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+var srvAddr = xk.IP(10, 0, 0, 2)
+
+func TestNoRetriesMeansExactlyOneSend(t *testing.T) {
+	clock := event.NewFake()
+	cli, _, _ := testbed(t, "ip", sim.Config{LossRate: 1.0, Seed: 1}, clock,
+		mrpc.Config{MaxRetries: mrpc.NoRetries})
+	s := open(t, cli, srvAddr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Call(cmdEcho, msg.Empty())
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			if rt := cli.Stats().Retransmits; rt != 0 {
+				t.Fatalf("NoRetries still retransmitted %d times", rt)
+			}
+			return
+		default:
+			clock.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("call never timed out")
+}
+
+func TestZeroMaxRetriesKeepsDefault(t *testing.T) {
+	// The satellite fix must not change the default: zero still means 8.
+	clock := event.NewFake()
+	cli, _, _ := testbed(t, "ip", sim.Config{LossRate: 1.0, Seed: 1}, clock, mrpc.Config{})
+	s := open(t, cli, srvAddr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Call(cmdEcho, msg.Empty())
+		done <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, xk.ErrTimeout) {
+				t.Fatalf("got %v, want ErrTimeout", err)
+			}
+			if rt := cli.Stats().Retransmits; rt != 8 {
+				t.Fatalf("default retransmitted %d times, want 8", rt)
+			}
+			return
+		default:
+			clock.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("call never timed out")
+}
+
+func TestServerRebootYieldsTypedErrorThenRecovers(t *testing.T) {
+	cli, srv, _ := testbed(t, "ip", sim.Config{}, nil, mrpc.Config{})
+	s := open(t, cli, srvAddr)
+
+	// First contact teaches the client the server's incarnation.
+	if _, err := s.Call(cmdEcho, msg.New([]byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.PeerBootID(srvAddr); got != 1 {
+		t.Fatalf("learned boot id %d, want 1", got)
+	}
+
+	// The server crashes and reboots; the next call's epoch hint names
+	// the dead incarnation, so the server rejects it without executing.
+	srv.Reboot()
+	_, err := s.Call(cmdEcho, msg.New([]byte("b")))
+	if !errors.Is(err, xk.ErrPeerRebooted) {
+		t.Fatalf("got %v, want ErrPeerRebooted", err)
+	}
+	var pr *mrpc.PeerRebootedError
+	if !errors.As(err, &pr) || pr.BootID != 2 {
+		t.Fatalf("got %v, want PeerRebootedError with boot id 2", err)
+	}
+	if served := srv.Stats().RequestsServed; served != 1 {
+		t.Fatalf("rejected call executed: served = %d", served)
+	}
+	if rj := srv.Stats().StaleEpochRejects; rj != 1 {
+		t.Fatalf("StaleEpochRejects = %d, want 1", rj)
+	}
+	if rb := cli.Stats().PeerReboots; rb != 1 {
+		t.Fatalf("PeerReboots = %d, want 1", rb)
+	}
+
+	// The reject carried the new boot id, so the client has converged:
+	// the next call executes normally.
+	if _, err := s.Call(cmdEcho, msg.New([]byte("c"))); err != nil {
+		t.Fatalf("call after observed reboot: %v", err)
+	}
+	if served := srv.Stats().RequestsServed; served != 2 {
+		t.Fatalf("served = %d, want 2", served)
+	}
+}
+
+func TestRebootMidCallRejectsRetransmission(t *testing.T) {
+	// A server that crashes while executing a request must not execute
+	// the retransmitted copy in its next incarnation: the retransmission
+	// carries the old epoch hint and is rejected, and the client
+	// surfaces a typed error instead of hanging. Async delivery so the
+	// parked handler does not block the client's shepherd.
+	clock := event.NewFake()
+	cli, srv, _ := testbed(t, "ip", sim.Config{Async: true}, clock, mrpc.Config{})
+	const cmdBlock uint16 = 9
+	var entered atomic.Int64
+	block := make(chan struct{})
+	srv.Register(cmdBlock, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+		entered.Add(1)
+		<-block
+		return msg.Empty(), nil
+	})
+	defer close(block)
+
+	s := open(t, cli, srvAddr)
+	if _, err := s.Call(cmdEcho, msg.Empty()); err != nil { // learn the epoch
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Call(cmdBlock, msg.Empty())
+		done <- err
+	}()
+	// Wait for the request to park in the handler, then crash the server.
+	for i := 0; i < 1000 && entered.Load() < 1; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if entered.Load() != 1 {
+		t.Fatal("second call never reached the handler")
+	}
+	srv.Reboot()
+
+	// The client's retransmission timer fires; the stale-epoch copy is
+	// rejected and the call fails typed.
+	var err error
+	for i := 0; i < 200; i++ {
+		select {
+		case err = <-done:
+			i = 200
+		default:
+			clock.Advance(60 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !errors.Is(err, xk.ErrPeerRebooted) {
+		t.Fatalf("got %v, want ErrPeerRebooted", err)
+	}
+	if n := entered.Load(); n != 1 {
+		t.Fatalf("handler ran %d times: post-reboot retransmission executed", n)
+	}
+	if srv.Stats().StaleEpochRejects == 0 {
+		t.Fatal("no stale-epoch reject recorded")
+	}
+}
+
+func TestExponentialBackoffRetransmitsLessOften(t *testing.T) {
+	run := func(pol retry.Policy) int64 {
+		clock := event.NewFake()
+		cli, _, _ := testbed(t, "ip", sim.Config{LossRate: 1.0, Seed: 1}, clock, mrpc.Config{
+			RetransmitInterval: 50 * time.Millisecond,
+			Retry:              pol,
+		})
+		s := open(t, cli, srvAddr)
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Call(cmdEcho, msg.Empty())
+			done <- err
+		}()
+		// Advance exactly 1s of virtual time in base-sized steps, then
+		// count how many retransmissions the policy allowed.
+		for i := 0; i < 20; i++ {
+			clock.Advance(50 * time.Millisecond)
+			time.Sleep(500 * time.Microsecond)
+		}
+		rt := cli.Stats().Retransmits
+		for {
+			select {
+			case <-done:
+				return rt
+			default:
+				clock.Advance(10 * time.Second)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}
+	step := run(retry.Step{})
+	exp := run(retry.Exponential{Cap: 400 * time.Millisecond})
+	if step != 8 {
+		t.Fatalf("step policy retransmitted %d times in 1s, want all 8", step)
+	}
+	if exp >= step {
+		t.Fatalf("exponential (%d) not sparser than step (%d)", exp, step)
+	}
+}

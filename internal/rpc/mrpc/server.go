@@ -36,6 +36,19 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 	key := srvKey{client: h.clntHost, channel: h.channel}
 
 	p.mu.Lock()
+	if h.srvrProc != 0 && h.srvrProc != uint16(p.bootID) {
+		// The request's epoch hint names an earlier incarnation of this
+		// server: it may already have executed before the crash, so it
+		// must not run again. Reject before touching any channel state;
+		// the reject reply carries the new boot id so the client
+		// converges.
+		p.stats.StaleEpochRejects++
+		boot := p.bootID
+		p.mu.Unlock()
+		trace.Printf(trace.Events, p.Name(), "reject stale epoch %d (now %d) from %s seq=%d",
+			h.srvrProc, boot, h.clntHost, h.seq)
+		return p.sendReject(h, boot, lls)
+	}
 	sc := p.servers[key]
 	if sc == nil {
 		sc = &srvChan{bootID: h.bootID}
@@ -203,6 +216,27 @@ func (p *Protocol) frameReply(req header, flags uint16, reply *msg.Msg) ([]*msg.
 		f.MustPush(hb[:])
 	}
 	return frags, nil
+}
+
+// sendReject answers a stale-epoch request with a single-fragment
+// flagReply|flagRebooted reply carrying the server's current boot id.
+func (p *Protocol) sendReject(req header, boot uint32, lls xk.Session) error {
+	h := header{
+		flags:    flagReply | flagRebooted,
+		clntHost: req.clntHost,
+		srvrHost: req.srvrHost,
+		channel:  req.channel,
+		seq:      req.seq,
+		numFrags: 1,
+		fragMask: 1,
+		command:  req.command,
+		bootID:   boot,
+	}
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	m := msg.Empty()
+	m.MustPush(hb[:])
+	return lls.Push(m)
 }
 
 // sendAck sends an explicit acknowledgement carrying the mask of request

@@ -1,0 +1,54 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepIsConstant(t *testing.T) {
+	p := Step{}
+	for attempt := 0; attempt < 10; attempt++ {
+		if got := p.Interval(attempt, 50*time.Millisecond); got != 50*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want 50ms", attempt, got)
+		}
+	}
+}
+
+func TestExponentialDoublesAndCaps(t *testing.T) {
+	p := Exponential{Cap: 400 * time.Millisecond}
+	base := 50 * time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Interval(attempt, base); got != w {
+			t.Fatalf("attempt %d: %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestExponentialDefaultCap(t *testing.T) {
+	p := Exponential{}
+	base := time.Millisecond
+	if got := p.Interval(20, base); got != 64*base {
+		t.Fatalf("default cap: %v, want %v", got, 64*base)
+	}
+}
+
+func TestExponentialOverflowGuard(t *testing.T) {
+	p := Exponential{Cap: time.Hour}
+	if got := p.Interval(200, time.Second); got != time.Hour {
+		t.Fatalf("huge attempt: %v, want cap", got)
+	}
+}
+
+func TestExponentialZeroBase(t *testing.T) {
+	if got := (Exponential{}).Interval(3, 0); got != 0 {
+		t.Fatalf("zero base: %v, want 0", got)
+	}
+}

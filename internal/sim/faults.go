@@ -1,0 +1,265 @@
+// Scenario-level fault injection: deterministic, scriptable adversity
+// layered on top of the per-frame probability knobs in Config.
+//
+// The rate knobs (LossRate, DupRate, ...) answer "what if 5% of frames
+// vanish"; the scenario faults answer "what if the *third reply*
+// vanishes", "what if the segment partitions mid-call", "what if the
+// server's NIC goes away and comes back". None of them consult the
+// RNG: a rule either matches a frame or it does not, a link is either
+// down or it is not, so a scripted scenario replays bit-identically
+// under the same seed and workload.
+//
+// Every scenario decision is visible to the capture hook through its
+// own disposition (FrameLinkDown, FramePartitioned, FrameRuleDropped),
+// so a chaos run's packet log shows exactly which frames the scenario
+// ate and why.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"xkernel/internal/xk"
+)
+
+// FaultInfo describes one frame at scenario-fault decision time.
+type FaultInfo struct {
+	// Index is the frame's 1-based transmission ordinal on the segment
+	// (the same value the capture record carries).
+	Index int64
+	// Src and Dst are the sender's and destination's hardware addresses.
+	Src, Dst xk.EthAddr
+	// Frame is the frame as transmitted, ethernet header included. It is
+	// shared with the delivery path: treat it as read-only.
+	Frame []byte
+}
+
+// Rule is a predicate-targeted frame drop. A frame is dropped when the
+// rule is armed (Index > After), has budget left (fewer than Count
+// drops so far, or Count is zero for unlimited), and Match accepts it
+// (nil Match accepts every frame).
+//
+// Match runs with the network lock held on the sender's goroutine:
+// keep it a pure function of the FaultInfo and do not call back into
+// the Network from inside it.
+type Rule struct {
+	// Name labels the rule in capture dispositions ("ruledrop:<name>").
+	Name string
+	// Match reports whether the frame should be dropped; nil matches all.
+	Match func(FaultInfo) bool
+	// After arms the rule only for frames with Index > After. Zero arms
+	// it immediately.
+	After int64
+	// Count caps how many frames the rule drops; zero means unlimited.
+	Count int
+}
+
+// BurstLoss is a canned Rule dropping the next count frames after frame
+// index `after` — a deterministic loss burst.
+func BurstLoss(after int64, count int) Rule {
+	return Rule{Name: fmt.Sprintf("burst@%d", after), After: after, Count: count}
+}
+
+// ruleState is an installed rule plus its drop accounting.
+type ruleState struct {
+	Rule
+	id   int
+	hits int
+}
+
+// AddRule installs a scenario drop rule and returns an id for RemoveRule.
+// Rules are evaluated in installation order; the first match wins.
+func (n *Network) AddRule(r Rule) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ruleSeq++
+	n.rules = append(n.rules, &ruleState{Rule: r, id: n.ruleSeq})
+	return n.ruleSeq
+}
+
+// RemoveRule uninstalls the rule with the given id; unknown ids are a no-op.
+func (n *Network) RemoveRule(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, r := range n.rules {
+		if r.id == id {
+			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClearRules uninstalls every scenario drop rule.
+func (n *Network) ClearRules() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rules = nil
+}
+
+// RuleDrops reports how many frames the rule with the given id has
+// dropped so far (0 for unknown ids).
+func (n *Network) RuleDrops(id int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, r := range n.rules {
+		if r.id == id {
+			return r.hits
+		}
+	}
+	return 0
+}
+
+// SetLinkState raises (up=true) or cuts (up=false) the link of the NIC
+// bound to addr. A frame sent from or unicast to a down link is dropped
+// with disposition FrameLinkDown; a broadcast frame skips down
+// receivers silently. The NIC stays attached — a down link models a
+// cable pull or a powered-off interface, while Detach models the
+// interface itself going away.
+func (n *Network) SetLinkState(addr xk.EthAddr, up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if up {
+		delete(n.linkDown, addr)
+		return
+	}
+	if n.linkDown == nil {
+		n.linkDown = make(map[xk.EthAddr]bool)
+	}
+	n.linkDown[addr] = true
+}
+
+// LinkUp reports whether addr's link is up (unknown addresses are up).
+func (n *Network) LinkUp(addr xk.EthAddr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.linkDown[addr]
+}
+
+// Partition splits the segment into sides: a unicast frame between
+// addresses on different sides is dropped with disposition
+// FramePartitioned, and a broadcast frame reaches only the sender's
+// side. Addresses not named in any side are unaffected (they can still
+// talk to everyone). A new Partition replaces the previous one; Heal
+// removes it.
+func (n *Network) Partition(sides ...[]xk.EthAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[xk.EthAddr]int)
+	for i, side := range sides {
+		for _, a := range side {
+			n.partition[a] = i + 1
+		}
+	}
+}
+
+// Heal removes the partition installed by Partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = nil
+}
+
+// Partitioned reports whether a unicast frame from a to b would
+// currently be dropped by the partition.
+func (n *Network) Partitioned(a, b xk.EthAddr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitionedLocked(a, b)
+}
+
+func (n *Network) partitionedLocked(a, b xk.EthAddr) bool {
+	if n.partition == nil {
+		return false
+	}
+	ga, gb := n.partition[a], n.partition[b]
+	return ga != 0 && gb != 0 && ga != gb
+}
+
+// Reattach restores a previously detached NIC at its old address — the
+// second half of the crash model (Detach is the NIC vanishing with the
+// crashed host; Reattach is the rebooted host's interface coming back).
+// The NIC keeps its receiver, so the host's stack resumes receiving
+// frames; protocol state above it is the host's problem (that is what
+// Reboot on the RPC layers models). Reattaching while another NIC holds
+// the address fails.
+func (n *Network) Reattach(nic *NIC) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, dup := n.nics[nic.addr]; dup {
+		if cur == nic {
+			return nil
+		}
+		return fmt.Errorf("sim: address %s already attached", nic.addr)
+	}
+	n.nics[nic.addr] = nic
+	return nil
+}
+
+// vetoLocked applies scenario faults to a frame about to be
+// transmitted, in precedence order: sender link, receiver link (unicast
+// only), partition (unicast only), then drop rules. It returns the
+// capture disposition for a vetoed frame, or "" to let the frame
+// proceed to the probabilistic injector. Called with n.mu held.
+func (n *Network) vetoLocked(src, dst xk.EthAddr, index int64, frame []byte) string {
+	if n.linkDown[src] {
+		n.stats.FramesLinkDown++
+		return FrameLinkDown
+	}
+	if !dst.IsBroadcast() {
+		if n.linkDown[dst] {
+			n.stats.FramesLinkDown++
+			return FrameLinkDown
+		}
+		if n.partitionedLocked(src, dst) {
+			n.stats.FramesPartitioned++
+			return FramePartitioned
+		}
+	}
+	if len(n.rules) > 0 {
+		info := FaultInfo{Index: index, Src: src, Dst: dst, Frame: frame}
+		for _, r := range n.rules {
+			if r.After != 0 && index <= r.After {
+				continue
+			}
+			if r.Count != 0 && r.hits >= r.Count {
+				continue
+			}
+			if r.Match != nil && !r.Match(info) {
+				continue
+			}
+			r.hits++
+			n.stats.FramesRuleDropped++
+			if r.Name != "" {
+				return FrameRuleDropped + ":" + r.Name
+			}
+			return FrameRuleDropped
+		}
+	}
+	return ""
+}
+
+// receivableLocked reports whether a frame from src may still reach dst
+// at delivery time. Send-time vetoes cover the common unicast case;
+// this second check covers broadcast fan-out and frames that sat in the
+// reorder hold across a link or partition change. Called with n.mu held.
+func (n *Network) receivableLocked(src, dst xk.EthAddr) bool {
+	if n.linkDown[dst] {
+		n.stats.FramesLinkDown++
+		return false
+	}
+	if n.partitionedLocked(src, dst) {
+		n.stats.FramesPartitioned++
+		return false
+	}
+	return true
+}
+
+// sortNICs orders NICs by hardware address so broadcast fan-out is
+// deterministic (map iteration order is not).
+func sortNICs(nics []*NIC) {
+	for i := 1; i < len(nics); i++ {
+		for j := i; j > 0 && bytes.Compare(nics[j].addr[:], nics[j-1].addr[:]) < 0; j-- {
+			nics[j], nics[j-1] = nics[j-1], nics[j]
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"xkernel/internal/xk"
+)
+
+func TestRuleDropsMatchingFrames(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+
+	var dispositions []string
+	n.SetCapture(func(r FrameRecord) { dispositions = append(dispositions, r.Disposition) })
+
+	id := n.AddRule(Rule{
+		Name:  "first-x",
+		Match: func(f FaultInfo) bool { return len(f.Frame) > 0 && f.Frame[0] == 'x' },
+		Count: 1,
+	})
+	for _, b := range []byte{'a', 'x', 'x'} {
+		if err := a.Send(addrB, []byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 'a' delivered, first 'x' eaten by the rule, second 'x' delivered
+	// (Count budget spent).
+	if len(*bFrames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(*bFrames))
+	}
+	if got := n.RuleDrops(id); got != 1 {
+		t.Fatalf("RuleDrops = %d, want 1", got)
+	}
+	if n.Stats().FramesRuleDropped != 1 {
+		t.Fatalf("FramesRuleDropped = %d, want 1", n.Stats().FramesRuleDropped)
+	}
+	want := []string{"deliver", "ruledrop:first-x", "deliver"}
+	for i, d := range want {
+		if dispositions[i] != d {
+			t.Fatalf("dispositions = %v, want %v", dispositions, want)
+		}
+	}
+}
+
+func TestRuleAfterArmsLate(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+	n.AddRule(Rule{After: 2}) // nil Match: drop everything past frame 2
+	for i := 0; i < 4; i++ {
+		if err := a.Send(addrB, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*bFrames) != 2 {
+		t.Fatalf("delivered %d frames, want the first 2", len(*bFrames))
+	}
+}
+
+func TestRemoveRuleRestoresDelivery(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+	id := n.AddRule(Rule{})
+	if err := a.Send(addrB, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	n.RemoveRule(id)
+	if err := a.Send(addrB, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bFrames) != 1 || (*bFrames)[0][0] != 2 {
+		t.Fatalf("frames = %v, want only frame 2", *bFrames)
+	}
+}
+
+func TestBurstLoss(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+	n.AddRule(BurstLoss(1, 2)) // drop frames 2 and 3
+	for i := 1; i <= 4; i++ {
+		if err := a.Send(addrB, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*bFrames) != 2 || (*bFrames)[0][0] != 1 || (*bFrames)[1][0] != 4 {
+		t.Fatalf("frames = %v, want [1 4]", *bFrames)
+	}
+}
+
+func TestLinkDownCutsBothDirections(t *testing.T) {
+	n := New(Config{})
+	a, aFrames := collect(t, n, addrA)
+	b, bFrames := collect(t, n, addrB)
+
+	n.SetLinkState(addrB, false)
+	if err := a.Send(addrB, []byte{1}); err != nil { // into the down link
+		t.Fatal(err)
+	}
+	if err := b.Send(addrA, []byte{2}); err != nil { // out of the down link
+		t.Fatal(err)
+	}
+	if len(*aFrames) != 0 || len(*bFrames) != 0 {
+		t.Fatal("down link passed traffic")
+	}
+	if n.Stats().FramesLinkDown != 2 {
+		t.Fatalf("FramesLinkDown = %d, want 2", n.Stats().FramesLinkDown)
+	}
+
+	n.SetLinkState(addrB, true)
+	if err := a.Send(addrB, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bFrames) != 1 {
+		t.Fatal("link up did not restore delivery")
+	}
+	if !n.LinkUp(addrB) || !n.LinkUp(addrA) {
+		t.Fatal("LinkUp misreported")
+	}
+}
+
+func TestLinkDownSkipsBroadcastReceiver(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+	_, cFrames := collect(t, n, addrC)
+	n.SetLinkState(addrB, false)
+	if err := a.Send(xk.BroadcastEth, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bFrames) != 0 {
+		t.Fatal("broadcast reached a down link")
+	}
+	if len(*cFrames) != 1 {
+		t.Fatal("broadcast missed an up link")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	a, aFrames := collect(t, n, addrA)
+	b, bFrames := collect(t, n, addrB)
+	c, cFrames := collect(t, n, addrC)
+
+	var dispositions []string
+	n.SetCapture(func(r FrameRecord) { dispositions = append(dispositions, r.Disposition) })
+
+	n.Partition([]xk.EthAddr{addrA}, []xk.EthAddr{addrB})
+	if !n.Partitioned(addrA, addrB) || n.Partitioned(addrA, addrC) {
+		t.Fatal("Partitioned misreported")
+	}
+	if err := a.Send(addrB, []byte{1}); err != nil { // crosses the cut
+		t.Fatal(err)
+	}
+	if err := b.Send(addrA, []byte{2}); err != nil { // crosses the cut
+		t.Fatal(err)
+	}
+	if err := a.Send(addrC, []byte{3}); err != nil { // C unlisted: unaffected
+		t.Fatal(err)
+	}
+	if err := c.Send(addrB, []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*aFrames) != 0 || len(*bFrames) != 1 || len(*cFrames) != 1 {
+		t.Fatalf("a=%d b=%d c=%d frames, want 0/1/1", len(*aFrames), len(*bFrames), len(*cFrames))
+	}
+	if dispositions[0] != FramePartitioned || dispositions[1] != FramePartitioned {
+		t.Fatalf("dispositions = %v", dispositions)
+	}
+	if n.Stats().FramesPartitioned != 2 {
+		t.Fatalf("FramesPartitioned = %d, want 2", n.Stats().FramesPartitioned)
+	}
+
+	n.Heal()
+	if err := a.Send(addrB, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bFrames) != 2 {
+		t.Fatal("heal did not restore delivery")
+	}
+}
+
+func TestPartitionLimitsBroadcastToSendersSide(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	_, bFrames := collect(t, n, addrB)
+	_, cFrames := collect(t, n, addrC)
+	n.Partition([]xk.EthAddr{addrA, addrC}, []xk.EthAddr{addrB})
+	if err := a.Send(xk.BroadcastEth, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bFrames) != 0 {
+		t.Fatal("broadcast crossed the partition")
+	}
+	if len(*cFrames) != 1 {
+		t.Fatal("broadcast missed the sender's own side")
+	}
+}
+
+// TestDetachDropsHeldFrameForDeadReceiver is the regression test for
+// the reorder-hold/Detach interaction: a frame held for reordering and
+// addressed to a NIC that detaches before release must be dropped, not
+// delivered to the NIC's post-reattach incarnation.
+func TestDetachDropsHeldFrameForDeadReceiver(t *testing.T) {
+	n := New(Config{ReorderRate: 1.0, Seed: 1})
+	a, _ := collect(t, n, addrA)
+	b, bFrames := collect(t, n, addrB)
+
+	if err := a.Send(addrB, []byte{1}); err != nil { // held for reorder
+		t.Fatal(err)
+	}
+	n.Detach(b)
+	if err := n.Reattach(b); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if len(*bFrames) != 0 {
+		t.Fatal("pre-detach held frame reached the reattached NIC")
+	}
+	if n.Stats().FramesDropped != 1 {
+		t.Fatalf("FramesDropped = %d, want 1", n.Stats().FramesDropped)
+	}
+	// Fresh traffic flows normally after reattach.
+	n.ResetStats()
+	if err := a.Send(addrB, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush() // frame 2 may itself be held (ReorderRate 1.0)
+	if len(*bFrames) != 1 || (*bFrames)[0][0] != 2 {
+		t.Fatalf("post-reattach frames = %v, want [2]", *bFrames)
+	}
+}
+
+// TestDetachDropsHeldFrameFromDeadSender covers the other direction: a
+// held frame whose sender detaches is dropped too.
+func TestDetachDropsHeldFrameFromDeadSender(t *testing.T) {
+	n := New(Config{ReorderRate: 1.0, Seed: 1})
+	a, _ := collect(t, n, addrA)
+	collect(t, n, addrB)
+	if err := a.Send(addrB, []byte{1}); err != nil { // held
+		t.Fatal(err)
+	}
+	n.Detach(a)
+	if n.Stats().FramesDropped != 1 {
+		t.Fatalf("FramesDropped = %d, want 1", n.Stats().FramesDropped)
+	}
+}
+
+func TestReattachRejectsOccupiedAddress(t *testing.T) {
+	n := New(Config{})
+	a, _ := collect(t, n, addrA)
+	n.Detach(a)
+	if _, err := n.Attach(addrA); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Reattach(a); err == nil {
+		t.Fatal("Reattach over a live NIC accepted")
+	}
+}
+
+// TestScenarioFaultsAreDeterministic replays a mixed scenario twice and
+// compares the capture logs byte for byte.
+func TestScenarioFaultsAreDeterministic(t *testing.T) {
+	run := func() string {
+		n := New(Config{LossRate: 0.2, ReorderRate: 0.2, Seed: 7})
+		a, _ := collect(t, n, addrA)
+		b, _ := collect(t, n, addrB)
+		var log strings.Builder
+		n.SetCapture(func(r FrameRecord) {
+			log.WriteString(r.Disposition)
+			log.WriteByte('\n')
+		})
+		n.AddRule(Rule{Name: "mid", After: 10, Count: 3})
+		for i := 0; i < 20; i++ {
+			if i == 8 {
+				n.Partition([]xk.EthAddr{addrA}, []xk.EthAddr{addrB})
+			}
+			if i == 12 {
+				n.Heal()
+			}
+			if err := a.Send(addrB, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Send(addrA, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return log.String()
+	}
+	if l1, l2 := run(), run(); l1 != l2 {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", l1, l2)
+	}
+}

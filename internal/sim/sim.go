@@ -81,15 +81,18 @@ type Config struct {
 
 // Stats counts network activity.
 type Stats struct {
-	FramesSent      int64
-	FramesDelivered int64
-	FramesDropped   int64 // fault-injected losses
-	FramesNoDest    int64 // unicast to an unattached address
-	FramesDuplicate int64
-	FramesReordered int64
-	FramesCorrupted int64
-	BytesSent       int64
-	WireTime        time.Duration // cumulative serialization time
+	FramesSent        int64
+	FramesDelivered   int64
+	FramesDropped     int64 // fault-injected losses
+	FramesNoDest      int64 // unicast to an unattached address
+	FramesDuplicate   int64
+	FramesReordered   int64
+	FramesCorrupted   int64
+	FramesLinkDown    int64 // scenario: sender or receiver link down
+	FramesPartitioned int64 // scenario: endpoints on different sides
+	FramesRuleDropped int64 // scenario: matched a drop rule
+	BytesSent         int64
+	WireTime          time.Duration // cumulative serialization time
 }
 
 // Network is one ethernet segment.
@@ -102,6 +105,12 @@ type Network struct {
 	held    *heldFrame // one-frame reorder buffer
 	stats   Stats
 	capture func(FrameRecord)
+
+	// Scenario faults (see faults.go).
+	rules     []*ruleState
+	ruleSeq   int
+	linkDown  map[xk.EthAddr]bool
+	partition map[xk.EthAddr]int
 }
 
 // Frame dispositions recorded by the capture hook. A frame's
@@ -113,6 +122,11 @@ const (
 	FrameCorrupted = "corrupt" // one payload byte flipped (modifier)
 	FrameDup       = "dup"     // delivered twice (modifier)
 	FrameReordered = "reorder" // held one frame, delivered behind the next
+
+	// Scenario-fault dispositions (see faults.go).
+	FrameLinkDown    = "linkdown"  // sender or receiver link is down
+	FramePartitioned = "partition" // endpoints are on different sides
+	FrameRuleDropped = "ruledrop"  // matched a drop rule (":<name>" appended)
 )
 
 // FrameRecord describes one frame observed on the wire. Records are
@@ -197,11 +211,19 @@ func (n *Network) Attach(addr xk.EthAddr) (*NIC, error) {
 	return nic, nil
 }
 
-// Detach removes the NIC from the segment.
+// Detach removes the NIC from the segment. A frame sitting in the
+// reorder hold that was sent by or addressed to the detached NIC is
+// dropped deterministically — it must not be delivered to a dead
+// receiver, nor survive to greet a later reattachment at the same
+// address with pre-crash traffic.
 func (n *Network) Detach(nic *NIC) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.nics, nic.addr)
+	if h := n.held; h != nil && (h.src == nic || h.dst == nic.addr) {
+		n.held = nil
+		n.stats.FramesDropped++
+	}
 }
 
 // Stats returns a snapshot of the segment counters.
@@ -252,6 +274,17 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	n.stats.WireTime += serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
 	index := n.stats.FramesSent
 	capture := n.capture
+
+	// Scenario faults (link state, partition, drop rules) veto frames
+	// before the probabilistic injector sees them; a vetoed frame does
+	// not release the reorder hold.
+	if disp := n.vetoLocked(nic.addr, dst, index, frame); disp != "" {
+		n.mu.Unlock()
+		if capture != nil {
+			capture(record(index, nic.addr, dst, frame, disp))
+		}
+		return nil
+	}
 
 	// Fault injection.
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
@@ -340,12 +373,18 @@ func (n *Network) deliver(src *NIC, dst xk.EthAddr, frame []byte) {
 	n.mu.Lock()
 	if dst.IsBroadcast() {
 		for _, t := range n.nics {
-			if t != src {
+			if t != src && n.receivableLocked(src.addr, t.addr) {
 				targets = append(targets, t)
 			}
 		}
+		sortNICs(targets)
 	} else if t, ok := n.nics[dst]; ok {
-		targets = append(targets, t)
+		// Re-check scenario faults at delivery time: a frame released
+		// from the reorder hold may have crossed a link or partition
+		// change since its send-time veto check.
+		if n.receivableLocked(src.addr, t.addr) {
+			targets = append(targets, t)
+		}
 	} else {
 		n.stats.FramesNoDest++
 	}

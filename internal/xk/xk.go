@@ -47,6 +47,10 @@ var (
 	ErrTimeout = errors.New("xk: timed out")
 	// ErrMsgTooBig means a message exceeds what the session can carry.
 	ErrMsgTooBig = errors.New("xk: message too large for session")
+	// ErrPeerRebooted is matched (via errors.Is) by the typed errors
+	// the RPC layers return when the server crashed and rebooted while
+	// a call was outstanding; the call executed at most once.
+	ErrPeerRebooted = errors.New("xk: peer rebooted")
 	// ErrBadParticipants means an open call's participants are not in
 	// the shape the protocol requires.
 	ErrBadParticipants = errors.New("xk: bad participant set")

@@ -22,6 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos smoke (partition+reboot per stack family) =="
+# The -short sweep runs one canned scenario set per reliability stack;
+# the acceptance tests cover partition+reboot against both the layered
+# and the monolithic family. chaos.Execute's shutdown invariant fails
+# the run if goroutines leak or timers stay pending.
+go test -short ./internal/chaos/ -run 'TestPartitionReboot|TestScenarioLibrarySoak'
+
 echo "== Table I benchmark smoke (1 iteration each) =="
 go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
 

@@ -46,9 +46,13 @@ package xkernel
 import (
 	"strings"
 
+	"xkernel/internal/bench"
+	"xkernel/internal/chaos"
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/rpc/retry"
 	"xkernel/internal/sim"
 	"xkernel/internal/stacks"
 	"xkernel/internal/trace"
@@ -95,6 +99,29 @@ type (
 	TraceEvent = obs.Event
 	// FrameRecord is one captured wire frame with its disposition.
 	FrameRecord = sim.FrameRecord
+	// FaultRule is a deterministic, predicate-targeted frame drop.
+	FaultRule = sim.Rule
+	// FaultInfo describes a frame at fault-rule decision time.
+	FaultInfo = sim.FaultInfo
+	// Stack names a measured protocol configuration from the paper.
+	Stack = bench.Stack
+	// ChaosConfig parameterizes one chaos run: stack, network,
+	// workload, and fault scenario.
+	ChaosConfig = chaos.Config
+	// ChaosScenario is a scripted fault sequence keyed to the workload.
+	ChaosScenario = chaos.Scenario
+	// ChaosWorkload sizes the call sequence a chaos run drives.
+	ChaosWorkload = chaos.Workload
+	// ChaosResult carries a chaos run's tallies, wire log, and any
+	// invariant violations.
+	ChaosResult = chaos.Result
+	// RetryPolicy shapes a retransmission schedule around a base
+	// interval.
+	RetryPolicy = retry.Policy
+	// RetryStep is the paper's constant-interval policy.
+	RetryStep = retry.Step
+	// RetryExponential doubles the interval per attempt up to a cap.
+	RetryExponential = retry.Exponential
 )
 
 // Re-exported constructors and helpers.
@@ -136,6 +163,41 @@ var (
 	// FlushTrace drains buffered trace output; call it before
 	// interleaving other writes to the trace destination.
 	FlushTrace = trace.Flush
+	// ChaosExecute runs a fault scenario against a stack and checks
+	// the robustness invariants (at-most-once, convergence, bounded
+	// retransmission, clean shutdown).
+	ChaosExecute = chaos.Execute
+	// ChaosLibrary returns the canned scenario sweep for a workload of
+	// the given length.
+	ChaosLibrary = chaos.Library
+	// ChaosPartitionReboot scripts the acceptance scenario: partition,
+	// crash+reboot behind it, heal.
+	ChaosPartitionReboot = chaos.PartitionReboot
+)
+
+// Typed failure sentinels clients should match with errors.Is.
+var (
+	// ErrTimeout is returned when a bounded operation gives up.
+	ErrTimeout = xk.ErrTimeout
+	// ErrPeerRebooted matches the typed errors the RPC layers return
+	// when the server crashed and rebooted mid-call.
+	ErrPeerRebooted = xk.ErrPeerRebooted
+	// ErrChannelBusy is CHANNEL's one-outstanding-request refusal.
+	ErrChannelBusy = channel.ErrChannelBusy
+)
+
+// The measured stack configurations chaos runs target, re-exported.
+const (
+	// StackMRPCVIP is monolithic Sprite RPC over VIP (Tables I, II).
+	StackMRPCVIP = bench.MRPCVIP
+	// StackLRPCVIP is SELECT-CHANNEL-FRAGMENT-VIP (Table II).
+	StackLRPCVIP = bench.LRPCVIP
+	// StackChanFragVIP is CHANNEL-FRAGMENT-VIP (Table III).
+	StackChanFragVIP = bench.ChanFragVIP
+	// StackVIPsize is the §4.3 SELECT-CHANNEL-VIPsize composition.
+	StackVIPsize = bench.SelChanVIPsize
+	// StackNRPC is the native-style N_RPC analogue.
+	StackNRPC = bench.NRPC
 )
 
 // Commonly used control opcodes, re-exported.
