@@ -1,0 +1,86 @@
+// Command xkvet runs the repository's invariant analyzers (DESIGN.md
+// §7) over the packages named by its arguments:
+//
+//	go run ./cmd/xkvet ./...
+//
+// Findings print as file:line:col: message (pass), one per line, and
+// the exit status is 1 if there were any. Suppress a finding the
+// invariant should tolerate with
+//
+//	//xk:allow <pass>[,<pass>...] — <reason>
+//
+// on (or immediately above) the offending line; the reason is
+// mandatory.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"xkernel/internal/analysis"
+	"xkernel/internal/analysis/load"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+		pass      string
+	}
+	var findings []finding
+	// A malformed //xk:allow comment is re-reported by every pass that
+	// scans its package; keep one copy per position.
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All {
+			diags, err := xkanalysis.Execute(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xkvet: %s: %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				p := pkg.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, d.Message)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				findings = append(findings, finding{
+					file: p.Filename, line: p.Line, col: p.Column,
+					msg: d.Message, pass: a.Name,
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.pass)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xkvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

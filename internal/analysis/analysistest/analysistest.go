@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its findings against expectations written in the source — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt
+// on the repository's own loader so the suite needs no third-party
+// modules.
+//
+// Layout: <testdata>/src/<import/path>/*.go, GOPATH-style. Testdata
+// packages use the repository's real import paths (for example
+// xkernel/internal/sim), so analyzers that scope themselves by package
+// path see exactly what they see in the real tree; imports of both the
+// standard library and the module's own packages resolve from compiled
+// export data.
+//
+// Expectations: a comment `// want "re1" "re2"` at the end of a line
+// demands one finding on that line matching each regexp, in any order.
+// Lines without a want comment must produce no findings.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xkernel/internal/analysis/load"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// wantRe pulls the quoted regexps out of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one line's set of expected finding patterns.
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+// Run loads each testdata package, applies the analyzer, and reports
+// every mismatch between findings and want comments as a test error.
+func Run(t *testing.T, testdata string, a *xkanalysis.Analyzer, paths ...string) {
+	t.Helper()
+	exports, err := load.ModuleExports(".")
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	for _, path := range paths {
+		runOne(t, testdata, a, exports, path)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *xkanalysis.Analyzer, exports map[string]string, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, exports)
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	pkg, err := load.CheckDir(fset, imp, path, dir)
+	if err != nil {
+		t.Fatalf("%s: loading testdata package: %v", path, err)
+	}
+
+	diags, err := xkanalysis.Execute(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", path, a.Name, err)
+	}
+
+	expects := collectWants(t, pkg)
+
+	// Match every finding against its line's expectations.
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		exp := expects[key]
+		matched := false
+		if exp != nil {
+			for i, re := range exp.patterns {
+				if !exp.matched[i] && re.MatchString(d.Message) {
+					exp.matched[i] = true
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+		}
+	}
+	for _, exp := range expects {
+		for i, re := range exp.patterns {
+			if !exp.matched[i] {
+				t.Errorf("%s:%d: no finding matched %q", exp.file, exp.line, re)
+			}
+		}
+	}
+}
+
+// collectWants parses the // want comments of every file in the package.
+func collectWants(t *testing.T, pkg *load.Package) map[string]*expectation {
+	t.Helper()
+	expects := make(map[string]*expectation)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				exp := &expectation{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					exp.patterns = append(exp.patterns, re)
+				}
+				if len(exp.patterns) == 0 {
+					t.Fatalf("%s: want comment with no patterns", pos)
+				}
+				exp.matched = make([]bool, len(exp.patterns))
+				expects[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = exp
+			}
+		}
+	}
+	return expects
+}

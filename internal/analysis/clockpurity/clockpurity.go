@@ -1,0 +1,91 @@
+// Package clockpurity forbids wall-clock time and ambient randomness in
+// the deterministic core of the repository.
+//
+// PR 2 made determinism a load-bearing property: chaos scenarios promise
+// bit-reproducible wire captures per seed, and every protocol timer runs
+// on the injected event.Clock so a FakeClock can drive it. A single
+// time.Now, time.AfterFunc, or global math/rand call re-introduces
+// nondeterminism that no test catches until a soak run flakes. This pass
+// turns the discipline into a compile-time error:
+//
+//   - time.Now/Since/Until, time.Sleep, time.After/AfterFunc/Tick,
+//     time.NewTimer/NewTicker are forbidden in internal/{sim,rpc,proto,
+//     psync,stacks,chaos,xk} — schedule through event.Clock instead;
+//   - package-level math/rand functions (Intn, Float64, Seed, ...) are
+//     forbidden there too — thread a seeded *rand.Rand; the constructors
+//     rand.New/NewSource/NewZipf stay legal.
+//
+// internal/event (the realClock itself) and the wall-timing packages
+// internal/obs and internal/bench are outside the pass's scope by
+// construction. Elsewhere, wall-clock use that is genuinely the point
+// carries //xk:allow clockpurity — <reason>.
+package clockpurity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// Analyzer is the clockpurity pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name: "clockpurity",
+	Doc:  "forbid wall-clock time and global math/rand in deterministic packages; use event.Clock and seeded RNGs",
+	Run:  run,
+}
+
+// deterministic lists the package subtrees the invariant governs.
+var deterministic = []string{
+	"xkernel/internal/sim",
+	"xkernel/internal/rpc",
+	"xkernel/internal/proto",
+	"xkernel/internal/psync",
+	"xkernel/internal/stacks",
+	"xkernel/internal/chaos",
+	"xkernel/internal/xk",
+}
+
+// forbiddenTime is the wall-clock surface of package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors build seeded generators and stay legal; everything
+// else at package level draws from the shared, unseeded source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *xkanalysis.Pass) error {
+	if !xkanalysis.PkgIn(pass.Pkg, deterministic...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case xkanalysis.IsPkgLevelFunc(obj, "time") && forbiddenTime[obj.Name()]:
+				pass.Reportf(id.Pos(),
+					"wall clock: time.%s in deterministic package %s; use the injected event.Clock (//xk:allow clockpurity — reason, if wall time is the point)",
+					obj.Name(), pass.Pkg.Path())
+			case (xkanalysis.IsPkgLevelFunc(obj, "math/rand") || xkanalysis.IsPkgLevelFunc(obj, "math/rand/v2")) &&
+				!randConstructors[obj.Name()]:
+				pass.Reportf(id.Pos(),
+					"ambient randomness: global rand.%s in deterministic package %s; draw from a seeded *rand.Rand",
+					obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

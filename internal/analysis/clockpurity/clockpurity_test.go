@@ -1,0 +1,18 @@
+package clockpurity_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/clockpurity"
+)
+
+// TestClockPurity includes a replica of internal/sim carrying the exact
+// wall-clock calls PR 3 migrated onto event.Clock: if that migration is
+// ever reverted, this is the diff shape xkvet rejects.
+func TestClockPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", clockpurity.Analyzer,
+		"xkernel/internal/sim",
+		"xkernel/internal/obs",
+	)
+}

@@ -1,0 +1,14 @@
+// Replica of a wall-timing package: internal/obs is outside
+// clockpurity's scope by construction, so nothing here fires.
+package obs
+
+import "time"
+
+type sample struct {
+	at time.Time
+	d  time.Duration
+}
+
+func observe(start time.Time) sample {
+	return sample{at: time.Now(), d: time.Since(start)}
+}

@@ -1,0 +1,65 @@
+// Replica of the determinism-critical corner of internal/sim. The
+// firing lines are exactly the wall-clock calls PR 3 removed from the
+// real package: if someone reverts that migration, this is the shape
+// xkvet fails on.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"xkernel/internal/event"
+)
+
+type network struct {
+	clock event.Clock
+	rng   *rand.Rand
+}
+
+func newNetwork(seed int64) *network {
+	return &network{
+		clock: event.Real(),
+		rng:   rand.New(rand.NewSource(seed)), // constructors are legal
+	}
+}
+
+type frameRecord struct {
+	when time.Time
+}
+
+func (n *network) record() frameRecord {
+	return frameRecord{when: time.Now()} // want "wall clock: time\.Now"
+}
+
+func (n *network) recordOnClock() frameRecord {
+	return frameRecord{when: n.clock.Now()}
+}
+
+func (n *network) handle(frame []byte, latency time.Duration, recv func([]byte)) {
+	time.AfterFunc(latency, func() { recv(frame) }) // want "wall clock: time\.AfterFunc"
+}
+
+func (n *network) handleOnClock(frame []byte, latency time.Duration, recv func([]byte)) {
+	n.clock.Schedule(latency, func() { recv(frame) })
+}
+
+func (n *network) drop() bool {
+	if rand.Float64() < 0.5 { // want "ambient randomness: global rand\.Float64"
+		return true
+	}
+	return n.rng.Float64() < 0.5
+}
+
+func (n *network) settle() {
+	//xk:allow clockpurity — demo path that deliberately watches real time pass
+	time.Sleep(time.Millisecond)
+}
+
+func (n *network) settleTrailing() {
+	time.Sleep(time.Millisecond) //xk:allow clockpurity — same suppression, trailing form
+}
+
+func (n *network) badAllow() {
+	//xk:allow clockpurity // want "malformed suppression"
+	time.Sleep(time.Millisecond) // want "wall clock: time\.Sleep"
+}

@@ -1,0 +1,277 @@
+// Package headersymmetry cross-checks each protocol's header framing:
+// the number of bytes a protocol pushes on the way down must be the
+// number it pops (or peeks) on the way up. An asymmetric pair is the
+// classic layering bug — every message is misparsed by exactly the
+// difference, usually far from where the header changed (the paper's §5
+// warning that layer boundaries hide each other's framing).
+//
+// The pass runs in any package that declares a header-size constant
+// (HeaderLen, headerSize, HdrBytes, ...). It collects
+//
+//   - push lengths: statically known sizes handed to msg.Push/MustPush —
+//     a slice of a [N]byte array (hb[:]), a variable assigned from
+//     make([]byte, C), or a call of a package-local helper that
+//     transparently returns such a buffer;
+//   - pop lengths: constant arguments to msg.Pop/Peek.
+//
+// If both sets are non-empty they must be equal; each length present on
+// one side and missing from the other is reported. Packages where
+// either side is dynamic (variable-length credentials, raw Bytes()
+// parsing) are out of the pass's reach and are skipped rather than
+// guessed at.
+package headersymmetry
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// Analyzer is the headersymmetry pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name: "headersymmetry",
+	Doc:  "the byte length pushed by a protocol's push must match the length popped in its demux/pop",
+	Run:  run,
+}
+
+// msgPath is the message tool's import path.
+const msgPath = "xkernel/internal/msg"
+
+// headerConstRe names the per-package header-size constant.
+var headerConstRe = regexp.MustCompile(`(?i)^(h(ea)?d(e)?r|header)(len|size|bytes)$`)
+
+// site is one statically sized push or pop call.
+type site struct {
+	n   int64
+	pos token.Pos
+}
+
+func run(pass *xkanalysis.Pass) error {
+	if !hasHeaderConst(pass.Pkg) {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	var pushes, pops []site
+	for _, f := range pass.Files {
+		// makeSizes maps a variable object to the constant length it was
+		// made with, per file sweep (objects are globally unique).
+		makeSizes := map[types.Object]int64{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				recordMakes(info, as, makeSizes)
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := xkanalysis.FuncObj(info, call)
+			if !xkanalysis.MethodOfPkg(obj, msgPath) || len(call.Args) < 1 {
+				return true
+			}
+			switch obj.Name() {
+			case "Push", "MustPush":
+				if n, ok := staticLen(pass, call.Args[0], makeSizes); ok {
+					pushes = append(pushes, site{n: n, pos: call.Pos()})
+				}
+			case "Pop", "Peek":
+				if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v > 0 {
+						pops = append(pops, site{n: v, pos: call.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(pushes) == 0 || len(pops) == 0 {
+		return nil
+	}
+
+	pushSet, popSet := lengths(pushes), lengths(pops)
+	for _, s := range pushes {
+		if !popSet[s.n] {
+			pass.Reportf(s.pos,
+				"header asymmetry: %s pushes %d-byte headers but pops %s — demux will misparse by the difference",
+				pass.Pkg.Name(), s.n, setString(popSet))
+		}
+	}
+	for _, s := range pops {
+		if !pushSet[s.n] {
+			pass.Reportf(s.pos,
+				"header asymmetry: %s pops %d bytes but pushes %s — demux will misparse by the difference",
+				pass.Pkg.Name(), s.n, setString(pushSet))
+		}
+	}
+	return nil
+}
+
+// hasHeaderConst reports whether the package declares an integer
+// header-size constant.
+func hasHeaderConst(pkg *types.Package) bool {
+	for _, name := range pkg.Scope().Names() {
+		if c, ok := pkg.Scope().Lookup(name).(*types.Const); ok && headerConstRe.MatchString(name) {
+			if c.Val().Kind() == constant.Int {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordMakes notes variables assigned from make([]byte, C) with
+// constant C.
+func recordMakes(info *types.Info, as *ast.AssignStmt, out map[types.Object]int64) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		mk, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || mk.Name != "make" || len(call.Args) < 2 {
+			continue
+		}
+		if _, isBuiltin := info.Uses[mk].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		tv, ok := info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = v
+		}
+	}
+}
+
+// staticLen determines the byte length of a push argument when it is
+// statically evident.
+func staticLen(pass *xkanalysis.Pass, arg ast.Expr, makeSizes map[types.Object]int64) (int64, bool) {
+	info := pass.TypesInfo
+	arg = ast.Unparen(arg)
+
+	// hb[:] over an array: the array length.
+	if se, ok := arg.(*ast.SliceExpr); ok && se.Low == nil && se.High == nil {
+		if t := info.Types[se.X].Type; t != nil {
+			u := t.Underlying()
+			if p, ok := u.(*types.Pointer); ok {
+				u = p.Elem().Underlying()
+			}
+			if a, ok := u.(*types.Array); ok {
+				return a.Len(), true
+			}
+		}
+	}
+
+	// A variable assigned from make([]byte, C) in the same file.
+	if id, ok := arg.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if n, ok := makeSizes[obj]; ok {
+				return n, true
+			}
+		}
+	}
+
+	// A package-local helper whose every return is a traceable buffer.
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if fn := xkanalysis.FuncObj(info, call); fn != nil && fn.Pkg() == pass.Pkg {
+			if n, ok := helperLen(pass, fn); ok {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// helperLen resolves the static length of a package-local func whose
+// returns are all make([]byte, C) buffers of one size.
+func helperLen(pass *xkanalysis.Pass, fn *types.Func) (int64, bool) {
+	var body *ast.BlockStmt
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == fn {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return 0, false
+	}
+	makeSizes := map[types.Object]int64{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			recordMakes(pass.TypesInfo, as, makeSizes)
+		}
+		return true
+	})
+	size := int64(-1)
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet || len(ret.Results) != 1 {
+			return true
+		}
+		id, isIdent := ast.Unparen(ret.Results[0]).(*ast.Ident)
+		if !isIdent {
+			ok = false
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		n2, have := makeSizes[obj]
+		if !have || (size >= 0 && size != n2) {
+			ok = false
+			return true
+		}
+		size = n2
+		return true
+	})
+	if !ok || size < 0 {
+		return 0, false
+	}
+	return size, true
+}
+
+func lengths(sites []site) map[int64]bool {
+	out := make(map[int64]bool, len(sites))
+	for _, s := range sites {
+		out[s.n] = true
+	}
+	return out
+}
+
+func setString(set map[int64]bool) string {
+	var ns []int64
+	for n := range set {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	s := ""
+	for i, n := range ns {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(n)
+	}
+	return "{" + s + "} bytes"
+}

@@ -1,0 +1,15 @@
+package headersymmetry_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/headersymmetry"
+)
+
+func TestHeaderSymmetry(t *testing.T) {
+	analysistest.Run(t, "testdata", headersymmetry.Analyzer,
+		"xkernel/internal/proto/asym",
+		"xkernel/internal/proto/sym",
+	)
+}

@@ -1,0 +1,21 @@
+// A protocol whose push and pop disagree about the header size: the
+// encode side grew a field and the demux side was not updated. Every
+// message is misparsed by the two-byte difference.
+package asym
+
+import "xkernel/internal/msg"
+
+const HeaderLen = 8
+
+type session struct{}
+
+func (s *session) Push(m *msg.Msg) error {
+	var hb [10]byte   // HeaderLen no longer matches the pushed array
+	m.MustPush(hb[:]) // want "pushes 10-byte headers but pops"
+	return nil
+}
+
+func (s *session) Demux(m *msg.Msg) error {
+	_, err := m.Pop(HeaderLen) // want "pops 8 bytes but pushes"
+	return err
+}

@@ -1,0 +1,38 @@
+// A symmetric protocol: every statically sized push and pop agrees on
+// HeaderLen, through all three recognized push shapes (stack array,
+// make variable, helper buffer). Nothing fires.
+package sym
+
+import "xkernel/internal/msg"
+
+const HeaderLen = 8
+
+type session struct{}
+
+func header() []byte {
+	b := make([]byte, HeaderLen)
+	return b
+}
+
+func (s *session) Push(m *msg.Msg) error {
+	var hb [HeaderLen]byte
+	m.MustPush(hb[:])
+	return nil
+}
+
+func (s *session) pushMade(m *msg.Msg) error {
+	b := make([]byte, HeaderLen)
+	return m.Push(b)
+}
+
+func (s *session) pushHelper(m *msg.Msg) error {
+	return m.Push(header())
+}
+
+func (s *session) Demux(m *msg.Msg) error {
+	if _, err := m.Peek(HeaderLen); err != nil {
+		return err
+	}
+	_, err := m.Pop(HeaderLen)
+	return err
+}

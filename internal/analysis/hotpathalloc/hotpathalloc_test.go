@@ -1,0 +1,14 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer,
+		"xkernel/internal/proto/hptest",
+	)
+}

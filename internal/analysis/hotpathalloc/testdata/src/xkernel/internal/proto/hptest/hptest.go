@@ -1,0 +1,69 @@
+// Exercises the no-alloc hot-path rule inside protocol Push/Pop/Demux.
+package hptest
+
+import "xkernel/internal/msg"
+
+const HeaderLen = 8
+
+type header struct {
+	seq uint32
+	len uint16
+}
+
+type session struct {
+	hdr   [HeaderLen]byte
+	stats map[uint32]int
+}
+
+func (s *session) Push(m *msg.Msg) error {
+	buf := make([]byte, HeaderLen) // want "make in hot path Push"
+	_ = buf
+	m.MustPush(s.hdr[:])
+	return nil
+}
+
+func (s *session) Pop(m *msg.Msg) error {
+	h := &header{seq: 1} // want "pointer composite literal in hot path Pop"
+	_ = h
+	extras := []byte{0, 1} // want "slice literal in hot path Pop"
+	_ = extras
+	return nil
+}
+
+func (s *session) Demux(m *msg.Msg) error {
+	hb, err := m.Pop(HeaderLen)
+	if err != nil {
+		return err
+	}
+	var scratch [HeaderLen]byte
+	copy(scratch[:], hb) // stack-array fill: the blessed idiom
+	h := header{seq: 1}  // value literal lives on the stack
+	_ = h
+	key := string(hb) // want "conversion in hot path Demux"
+	_ = key
+	grown := append(hb, 0) // want "append in hot path Demux"
+	_ = grown
+	heap := m.Bytes()
+	copy(heap, hb) // want "byte-slice copy in hot path Demux"
+	return nil
+}
+
+// push is an unexported hot method; timer callbacks inside it are not
+// the per-message path.
+func (s *session) push(m *msg.Msg) error {
+	retransmit := func() {
+		buf := make([]byte, HeaderLen) // allocation inside a deferred callback is legal
+		_ = buf
+	}
+	_ = retransmit
+	//xk:allow hotpathalloc — reassembly slow path exercised once per timeout
+	slow := make([]byte, HeaderLen)
+	_ = slow
+	return nil
+}
+
+// Open is not a hot method: setup may allocate freely.
+func (s *session) Open() error {
+	s.stats = make(map[uint32]int)
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package load type-checks the packages xkvet analyzes.
+//
+// It is a self-contained, offline replacement for the subset of
+// golang.org/x/tools/go/packages the analyzer suite needs: package
+// metadata comes from `go list -export -deps -json`, target packages
+// are parsed from source, and their imports are satisfied from the
+// compiler's export data via go/importer — no network, no third-party
+// modules, only the toolchain the repository already builds with.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Standard,DepOnly,Export,GoFiles,Error"
+
+// goList runs `go list -e -export -deps` for the patterns in dir and
+// decodes the JSON stream.
+func goList(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Importer resolves import paths to type information from export data.
+type Importer struct {
+	gc      types.Importer
+	exports map[string]string // import path -> export data file
+}
+
+// Import satisfies types.Importer.
+func (im *Importer) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}
+
+// NewImporter builds an Importer over the export-data map, resolving
+// positions into fset.
+func NewImporter(fset *token.FileSet, exports map[string]string) *Importer {
+	im := &Importer{exports: exports}
+	im.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := im.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not a dependency of the listed patterns)", path)
+		}
+		return os.Open(file)
+	})
+	return im
+}
+
+// exportCache memoizes the expensive `go list -export -deps ./...` walk
+// per module root, so a test binary running several analyzers lists the
+// module once.
+var exportCache sync.Map // module dir -> map[string]string
+
+// ModuleExports returns the import path -> export data file map for the
+// module rooted at (or above) dir, including the whole transitive
+// dependency closure of ./... — every standard library package the
+// repository touches is in it.
+func ModuleExports(dir string) (map[string]string, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := exportCache.Load(root); ok {
+		return m.(map[string]string), nil
+	}
+	pkgs, err := goList(root, "./...")
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	exportCache.Store(root, exports)
+	return exports, nil
+}
+
+// moduleRoot locates the enclosing module directory.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m in %s: %v", dir, err)
+	}
+	return string(bytes.TrimSpace(out)), nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load lists, parses, and type-checks the non-test files of every
+// package matching the patterns (relative to dir; "" means the current
+// directory). It fails on the first package that does not compile —
+// xkvet is meant to run on code that already builds.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Check parses and type-checks one package from explicit files — the
+// entry point the analysistest harness shares with Load.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// CheckDir parses and type-checks every .go file in dir as the package
+// named by path, importing through imp. The analysistest harness loads
+// testdata packages with it.
+func CheckDir(fset *token.FileSet, imp types.Importer, path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return check(fset, imp, path, dir, goFiles)
+}

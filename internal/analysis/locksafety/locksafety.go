@@ -1,0 +1,290 @@
+// Package locksafety flags blocking protocol work done while a mutex is
+// held.
+//
+// The x-kernel's shepherd model makes a Push/Pop a synchronous walk of
+// the whole protocol graph: calling into a neighbor session while
+// holding your own mutex composes your critical section with every
+// layer below (latency) and, when the walk re-enters the protocol on
+// the same goroutine or a timer fires into it, deadlocks. The chaos
+// harness only catches the dynamic shape (a hung call with nothing
+// scheduled); this pass catches the static one. While a
+// sync.Mutex/RWMutex is held in a protocol package it reports:
+//
+//   - event.Clock.Schedule / event.Event.Cancel — Cancel synchronizes
+//     with a possibly running handler that may need the same lock;
+//   - Push/Pop/Demux on sessions and protocols (msg.Msg's methods of
+//     the same names are data operations and exempt);
+//   - blocking channel sends (a select with a default branch is the
+//     sanctioned non-blocking pattern and passes).
+//
+// The analysis is per-function and lexical: a branch gets a copy of the
+// held set, so "if busy { mu.Unlock(); return }" does not leak a false
+// release into the fall-through path. The repository's own discipline —
+// snapshot under the lock, unlock, then call — passes untouched.
+package locksafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// Analyzer is the locksafety pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name: "locksafety",
+	Doc:  "no event scheduling, session Push/Pop/Demux, or blocking channel sends while holding a mutex in protocol packages",
+	Run:  run,
+}
+
+// lockedPackages are the protocol subtrees the invariant governs.
+var lockedPackages = []string{
+	"xkernel/internal/proto",
+	"xkernel/internal/rpc",
+	"xkernel/internal/psync",
+	"xkernel/internal/stacks",
+}
+
+// paths the flagged callees come from.
+const (
+	eventPath = "xkernel/internal/event"
+	msgPath   = "xkernel/internal/msg"
+)
+
+func run(pass *xkanalysis.Pass) error {
+	if !xkanalysis.PkgIn(pass.Pkg, lockedPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBlock(pass, fd.Body, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// mutexCall matches x.Lock/Unlock/RLock/RUnlock where x is a
+// sync.Mutex/RWMutex (or pointer to one) and returns the method name
+// and the rendering of x.
+func mutexCall(info *types.Info, call *ast.CallExpr) (method, key string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	obj := xkanalysis.FuncObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, types.ExprString(sel.X)
+}
+
+// checkBlock walks stmts linearly, tracking the held-mutex set. Nested
+// scopes inspect a copy: releases inside a branch do not propagate out,
+// so early-unlock-and-return branches stay precise.
+func checkBlock(pass *xkanalysis.Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		checkStmt(pass, stmt, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
+	info := pass.TypesInfo
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if m, key := mutexCall(info, call); m != "" {
+				switch m {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		inspectExpr(pass, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the lock stays held for
+		// the statements that follow, which is exactly what the walk
+		// already models, so nothing to do. Other deferred calls run
+		// after the function body; skip them.
+		if m, _ := mutexCall(info, s.Call); m != "" {
+			return
+		}
+	case *ast.BlockStmt:
+		checkBlock(pass, s, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		inspectExpr(pass, s.Cond, held)
+		checkBlock(pass, s.Body, copyHeld(held))
+		if s.Else != nil {
+			checkStmt(pass, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			inspectExpr(pass, s.Cond, held)
+		}
+		checkBlock(pass, s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		inspectExpr(pass, s.X, held)
+		checkBlock(pass, s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			inspectExpr(pass, s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					checkStmt(pass, st, sub)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					checkStmt(pass, st, sub)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				sub := copyHeld(held)
+				// The comm itself: a send in a select with a default is
+				// non-blocking; without one it blocks like a bare send.
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault(s) {
+					flagSend(pass, send, sub)
+				}
+				for _, st := range cc.Body {
+					checkStmt(pass, st, sub)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		flagSend(pass, s, held)
+		inspectExpr(pass, s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			inspectExpr(pass, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			inspectExpr(pass, e, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.LabeledStmt:
+		checkStmt(pass, s.Stmt, held)
+	}
+}
+
+// hasDefault reports whether the select has a default branch.
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// flagSend reports a blocking channel send under a held lock.
+func flagSend(pass *xkanalysis.Pass, send *ast.SendStmt, held map[string]bool) {
+	if lock := anyHeld(held); lock != "" {
+		pass.Reportf(send.Arrow,
+			"blocking channel send while holding %s: a full channel parks the shepherd inside the critical section (use select with default, or send after unlocking)",
+			lock)
+	}
+}
+
+func anyHeld(held map[string]bool) string {
+	for k := range held {
+		return k
+	}
+	return ""
+}
+
+// inspectExpr flags forbidden calls appearing anywhere in an expression
+// evaluated under the held set. Function literals are skipped — they
+// run later, without the caller's locks.
+func inspectExpr(pass *xkanalysis.Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := xkanalysis.FuncObj(info, call)
+		if obj == nil {
+			return true
+		}
+		lock := anyHeld(held)
+		switch {
+		case obj.Pkg() != nil && obj.Pkg().Path() == eventPath &&
+			(obj.Name() == "Schedule" || obj.Name() == "Cancel"):
+			pass.Reportf(call.Pos(),
+				"event.%s while holding %s: timer handlers may need the same lock (snapshot, unlock, then schedule)",
+				obj.Name(), lock)
+		case isSessionOp(obj):
+			pass.Reportf(call.Pos(),
+				"%s.%s while holding %s: pushing into a neighbor session composes critical sections across layers (unlock first)",
+				pkgName(obj), obj.Name(), lock)
+		}
+		return true
+	})
+}
+
+// isSessionOp reports whether obj is a Push/Pop/Demux method on
+// anything other than the message tool (whose same-named methods are
+// pure data operations).
+func isSessionOp(obj *types.Func) bool {
+	switch obj.Name() {
+	case "Push", "Pop", "Demux":
+	default:
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return obj.Pkg() == nil || obj.Pkg().Path() != msgPath
+}
+
+func pkgName(obj *types.Func) string {
+	if obj.Pkg() == nil {
+		return "?"
+	}
+	return obj.Pkg().Name()
+}

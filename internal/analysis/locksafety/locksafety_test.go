@@ -1,0 +1,14 @@
+package locksafety_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/locksafety"
+)
+
+func TestLockSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafety.Analyzer,
+		"xkernel/internal/rpc/lstest",
+	)
+}

@@ -1,0 +1,111 @@
+// Exercises the no-blocking-work-under-mutex rule.
+package lstest
+
+import (
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/msg"
+)
+
+type session interface {
+	Push(m *msg.Msg) error
+}
+
+type proto struct {
+	mu      sync.Mutex
+	clock   event.Clock
+	timer   *event.Event
+	down    session
+	replyCh chan *msg.Msg
+	pending int
+}
+
+func (p *proto) scheduleUnderLock() {
+	p.mu.Lock()
+	p.timer = p.clock.Schedule(time.Second, p.tick) // want "event.Schedule while holding p.mu"
+	p.mu.Unlock()
+}
+
+func (p *proto) cancelUnderLock() {
+	p.mu.Lock()
+	p.timer.Cancel() // want "event.Cancel while holding p.mu"
+	p.mu.Unlock()
+}
+
+func (p *proto) pushUnderLock(m *msg.Msg) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down.Push(m) // want "Push while holding p.mu"
+}
+
+func (p *proto) sendUnderLock(m *msg.Msg) {
+	p.mu.Lock()
+	p.replyCh <- m // want "blocking channel send while holding p.mu"
+	p.mu.Unlock()
+}
+
+// The repository's discipline: snapshot under the lock, release, then
+// do the blocking work.
+func (p *proto) snapshotThenPush(m *msg.Msg) error {
+	p.mu.Lock()
+	down := p.down
+	p.mu.Unlock()
+	p.clock.Schedule(time.Second, p.tick)
+	return down.Push(m)
+}
+
+// Non-blocking handoff: a select with a default never parks.
+func (p *proto) tryReply(m *msg.Msg) {
+	p.mu.Lock()
+	select {
+	case p.replyCh <- m:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+// A select without a default blocks like a bare send.
+func (p *proto) blockingSelect(m *msg.Msg) {
+	p.mu.Lock()
+	select {
+	case p.replyCh <- m: // want "blocking channel send while holding p.mu"
+	}
+	p.mu.Unlock()
+}
+
+// An early-unlock branch must not leak its release into the
+// fall-through path.
+func (p *proto) branchUnlock(m *msg.Msg) error {
+	p.mu.Lock()
+	if p.pending > 8 {
+		p.mu.Unlock()
+		return p.down.Push(m)
+	}
+	p.pending++
+	err := p.down.Push(m) // want "Push while holding p.mu"
+	p.mu.Unlock()
+	return err
+}
+
+// msg.Msg's Push is a data operation, not a session walk.
+func (p *proto) msgOpsUnderLock(m *msg.Msg) {
+	p.mu.Lock()
+	m.MustPush([]byte{1})
+	if _, err := m.Pop(1); err != nil {
+		p.pending = 0
+	}
+	p.mu.Unlock()
+}
+
+// Goroutines launched under the lock do not inherit it.
+func (p *proto) spawnUnderLock(m *msg.Msg) {
+	p.mu.Lock()
+	go func() {
+		_ = p.down.Push(m)
+	}()
+	p.mu.Unlock()
+}
+
+func (p *proto) tick() {}

@@ -1,0 +1,205 @@
+// Package msgdiscipline enforces the message tool's ownership contract
+// (internal/msg doc comment, from the paper's §3.2/§5 buffer-management
+// lessons): bytes returned by Pop and Peek alias the message's leader or
+// shared immutable payload blocks, so they are
+//
+//  1. read-only — writing through them corrupts storage other messages
+//     alias (`b[i] = x`, `append(b, ...)`, `copy(b, ...)` where b came
+//     from Pop/Peek), and
+//  2. valid only until the message's next mutation — using the slice
+//     after a subsequent Push/Pop/Append/Join/Truncate of the same Msg
+//     reads bytes that may have been overwritten.
+//
+// The pass checks both rules within each function body: conservative,
+// flow-insensitive statement ordering by source position, which matches
+// how the hot paths are written (straight-line header parsing). Copy the
+// bytes, or finish with them before mutating, to satisfy it.
+package msgdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// Analyzer is the msgdiscipline pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name: "msgdiscipline",
+	Doc:  "slices from msg.Pop/Peek are read-only and die at the Msg's next mutation",
+	Run:  run,
+}
+
+// msgPath is the message tool's import path.
+const msgPath = "xkernel/internal/msg"
+
+// mutators are the *msg.Msg methods that invalidate outstanding
+// Pop/Peek slices. Peek, Len, Bytes, Clone, Fragment, Split, Attr and
+// SetAttr leave the stored bytes alone.
+var mutators = map[string]bool{
+	"Push": true, "MustPush": true, "Pop": true,
+	"Append": true, "Join": true, "Truncate": true,
+}
+
+// taint records one slice variable obtained from Pop/Peek.
+type taint struct {
+	obj    types.Object // the slice variable
+	msgKey string       // rendering of the Msg expression it came from
+	method string       // "Pop" or "Peek"
+	pos    token.Pos    // where the taint was created
+}
+
+func run(pass *xkanalysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// msgMethod returns the method name and receiver rendering when call is
+// a method call on *msg.Msg, else "".
+func msgMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := xkanalysis.FuncObj(info, call)
+	if !xkanalysis.MethodOfPkg(obj, msgPath) {
+		return "", ""
+	}
+	return obj.Name(), types.ExprString(sel.X)
+}
+
+func checkBody(pass *xkanalysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// First sweep: collect taints (b, _ := m.Pop(n) / b := m.Peek(n))
+	// and every mutation of a Msg expression, in source order.
+	var taints []*taint
+	type mutation struct {
+		msgKey string
+		name   string
+		pos    token.Pos
+	}
+	var mutations []mutation
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, recv := msgMethod(info, call)
+				if name != "Pop" && name != "Peek" {
+					continue
+				}
+				// The slice result is the first LHS (Pop and Peek both
+				// return ([]byte, error)); with a single call RHS the
+				// assignment spreads, with parallel assignment it lines
+				// up by index.
+				lhsIdx := 0
+				if len(n.Rhs) == len(n.Lhs) {
+					lhsIdx = i
+				}
+				id, ok := n.Lhs[lhsIdx].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				taints = append(taints, &taint{obj: obj, msgKey: recv, method: name, pos: call.Pos()})
+			}
+		case *ast.CallExpr:
+			if name, recv := msgMethod(info, n); name != "" && mutators[name] {
+				mutations = append(mutations, mutation{msgKey: recv, name: name, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	if len(taints) == 0 {
+		return
+	}
+	taintOf := func(e ast.Expr) *taint {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		for _, t := range taints {
+			if t.obj == obj {
+				return t
+			}
+		}
+		return nil
+	}
+
+	// Second sweep: writes through tainted slices, and uses of tainted
+	// slices positioned after a mutation of their source Msg.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if t := taintOf(ix.X); t != nil {
+					pass.Reportf(lhs.Pos(),
+						"write into slice returned by %s.%s: the bytes alias the message's shared storage (copy them first)",
+						t.msgKey, t.method)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				_, isBuiltin := info.Uses[id].(*types.Builtin)
+				switch {
+				case isBuiltin && id.Name == "append":
+					if t := taintOf(n.Args[0]); t != nil {
+						pass.Reportf(n.Pos(),
+							"append to slice returned by %s.%s may grow into the message's shared storage (copy it first)",
+							t.msgKey, t.method)
+					}
+				case isBuiltin && id.Name == "copy" && len(n.Args) == 2:
+					if t := taintOf(n.Args[0]); t != nil {
+						pass.Reportf(n.Pos(),
+							"copy into slice returned by %s.%s overwrites the message's shared storage",
+							t.msgKey, t.method)
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			for _, t := range taints {
+				if t.obj != obj || n.Pos() <= t.pos {
+					continue
+				}
+				for _, m := range mutations {
+					if m.msgKey == t.msgKey && m.pos > t.pos && m.pos < n.Pos() {
+						pass.Reportf(n.Pos(),
+							"slice returned by %s.%s used after %s.%s mutated the message: the bytes may be gone (copy before mutating)",
+							t.msgKey, t.method, m.msgKey, m.name)
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package msgdiscipline_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/msgdiscipline"
+)
+
+func TestMsgDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", msgdiscipline.Analyzer,
+		"xkernel/internal/proto/mdtest",
+	)
+}

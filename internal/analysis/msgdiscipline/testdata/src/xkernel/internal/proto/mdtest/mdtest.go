@@ -1,0 +1,69 @@
+// Exercises the msg ownership contract: Pop/Peek slices are read-only
+// and die at the message's next mutation.
+package mdtest
+
+import "xkernel/internal/msg"
+
+func useAfterMutation(m *msg.Msg) byte {
+	hb, err := m.Pop(4)
+	if err != nil {
+		return 0
+	}
+	m.MustPush([]byte{1, 2, 3, 4})
+	return hb[0] // want "used after m.MustPush mutated the message"
+}
+
+func useBeforeMutation(m *msg.Msg) byte {
+	hb, err := m.Pop(4)
+	if err != nil {
+		return 0
+	}
+	b := hb[0]
+	m.MustPush([]byte{1, 2, 3, 4})
+	return b
+}
+
+func copyThenMutate(m *msg.Msg) []byte {
+	hb, err := m.Peek(4)
+	if err != nil {
+		return nil
+	}
+	saved := make([]byte, 4)
+	copy(saved, hb)
+	m.Truncate(0)
+	return saved
+}
+
+func writeThrough(m *msg.Msg) {
+	hb, err := m.Pop(2)
+	if err != nil {
+		return
+	}
+	hb[0] = 0xff // want "write into slice returned by m.Pop"
+}
+
+func appendTo(m *msg.Msg) []byte {
+	hb, err := m.Peek(2)
+	if err != nil {
+		return nil
+	}
+	return append(hb, 0xff) // want "append to slice returned by m.Peek"
+}
+
+func copyInto(m *msg.Msg, src []byte) {
+	hb, err := m.Pop(2)
+	if err != nil {
+		return
+	}
+	copy(hb, src) // want "copy into slice returned by m.Pop"
+}
+
+// Mutating a different message leaves the slice alive.
+func twoMessages(a, b *msg.Msg) byte {
+	hb, err := a.Pop(4)
+	if err != nil {
+		return 0
+	}
+	b.MustPush([]byte{9})
+	return hb[0]
+}

@@ -1,0 +1,23 @@
+// Package analysis gathers the repository's invariant-enforcing passes
+// (see DESIGN.md §7). cmd/xkvet runs All over every package in the
+// module; each pass scopes itself to the subtrees its invariant
+// governs.
+package analysis
+
+import (
+	"xkernel/internal/analysis/clockpurity"
+	"xkernel/internal/analysis/headersymmetry"
+	"xkernel/internal/analysis/hotpathalloc"
+	"xkernel/internal/analysis/locksafety"
+	"xkernel/internal/analysis/msgdiscipline"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// All is every pass, in report order.
+var All = []*xkanalysis.Analyzer{
+	clockpurity.Analyzer,
+	msgdiscipline.Analyzer,
+	hotpathalloc.Analyzer,
+	headersymmetry.Analyzer,
+	locksafety.Analyzer,
+}

@@ -1,0 +1,183 @@
+// Package xkanalysis is the x-kernel's static-analysis framework: a
+// self-contained analogue of golang.org/x/tools/go/analysis sized to
+// this repository's needs (the toolchain image carries no third-party
+// modules, so the framework is built on the standard library alone).
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. The framework owns the suppression mechanism shared by
+// every pass: a finding on a line covered by
+//
+//	//xk:allow <pass>[,<pass>...] — <reason>
+//
+// is dropped. The separator may be "—", "--", or ":"; the reason is
+// mandatory — an allow without one is itself reported, so suppressions
+// stay auditable. A trailing comment covers its own line; a standalone
+// comment covers the line below it.
+package xkanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the pass in output and in //xk:allow comments.
+	Name string
+	// Doc states the invariant the pass enforces and the paper section
+	// it comes from.
+	Doc string
+	// Run inspects the pass and reports findings via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgIn reports whether the package's import path is, or is below, one
+// of the given paths. Testdata packages in analyzer tests use the same
+// fully qualified paths as the real tree, so path-scoped analyzers
+// behave identically under test.
+func PkgIn(pkg *types.Package, paths ...string) bool {
+	got := pkg.Path()
+	for _, p := range paths {
+		if got == p || strings.HasPrefix(got, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncObj resolves the called function or method object of a call
+// expression, or nil.
+func FuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgLevelFunc reports whether obj is a package-level function (not a
+// method) of the package with the given import path.
+func IsPkgLevelFunc(obj *types.Func, pkgPath string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// MethodOfPkg reports whether obj is a method whose defining package
+// has the given import path.
+func MethodOfPkg(obj *types.Func, pkgPath string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// allowRe matches the head of a suppression comment.
+var allowRe = regexp.MustCompile(`^//xk:allow\s+([A-Za-z0-9_,\s]+?)\s*(?:—|--|:)\s*(.*)$`)
+
+// allow is one parsed suppression comment.
+type allow struct {
+	names  map[string]bool
+	line   int
+	reason string
+	pos    token.Pos
+}
+
+// parseAllows extracts every //xk:allow comment in the files. Malformed
+// allows (no separator or no reason) are returned separately so the
+// framework can report them — a suppression must say why.
+func parseAllows(fset *token.FileSet, files []*ast.File) (allows []allow, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//xk:allow") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed suppression: want //xk:allow <pass>[,<pass>...] — <reason> (the reason is required)",
+					})
+					continue
+				}
+				a := allow{
+					names:  make(map[string]bool),
+					line:   fset.Position(c.Pos()).Line,
+					reason: strings.TrimSpace(m[2]),
+					pos:    c.Pos(),
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					a.names[name] = true
+				}
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// Execute runs the analyzer over the package and returns its findings
+// after applying //xk:allow suppressions. Malformed allow comments are
+// reported through every pass (they are findings about the suppression
+// mechanism itself, not about any one invariant).
+func Execute(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	allows, malformed := parseAllows(fset, files)
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		line := fset.Position(d.Pos).Line
+		suppressed := false
+		for _, al := range allows {
+			// A trailing allow covers its own line; a standalone allow
+			// covers the next line.
+			if al.names[a.Name] && (al.line == line || al.line == line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

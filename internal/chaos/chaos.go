@@ -31,7 +31,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/event"
@@ -177,11 +176,13 @@ func (r *Run) DropNext(count int) {
 // calls of their own).
 const maxRetriesPerCall = 8
 
-// settle is how long the driver yields real time to the worker before
-// concluding it is parked and advancing the virtual clock. Generous
-// relative to the nanoseconds of in-memory work a synchronous delivery
-// chain needs, which is what keeps runs reproducible in practice.
-const settle = 300 * time.Microsecond
+// settleYields is how many scheduler yields the driver gives the worker
+// before concluding it is parked and advancing the virtual clock. Each
+// runtime.Gosched surrenders the processor to every other runnable
+// goroutine, so a few hundred rounds dwarf the handful of handoffs a
+// synchronous delivery chain needs — which is what keeps runs
+// reproducible in practice, without touching the wall clock.
+const settleYields = 256
 
 // idleLimit is how many consecutive driver iterations with no pending
 // timers and no call progress are tolerated before the call is declared
@@ -306,7 +307,9 @@ func (r *Run) await(results chan CallResult) (CallResult, bool) {
 			return cr, true
 		default:
 		}
-		time.Sleep(settle)
+		for i := 0; i < settleYields; i++ {
+			runtime.Gosched()
+		}
 		select {
 		case cr := <-results:
 			return cr, true
@@ -378,12 +381,12 @@ func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, 
 		res.Violations = append(res.Violations, "shutdown: timer events still pending after drain")
 	}
 	leaked := -1
-	for i := 0; i < 200; i++ {
+	for i := 0; i < 200_000; i++ {
 		if n := runtime.NumGoroutine(); n <= baseline {
 			leaked = 0
 			break
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	if leaked != 0 {
 		res.Violations = append(res.Violations, fmt.Sprintf(

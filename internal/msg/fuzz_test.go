@@ -1,0 +1,151 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPushPopFragmentJoin drives a Msg through a random op sequence and
+// checks it against the naive model — a flat []byte — after every step.
+// The directed tests pin down each operation's contract; the fuzzer
+// hunts for interactions between them (a Truncate that re-slices the
+// leader followed by a Push, a Pop straddling the header/payload
+// boundary after a Join, ...).
+func FuzzPushPopFragmentJoin(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 1, 2, 3, 1, 2, 5, 6, 0, 7})
+	f.Add([]byte{3, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 6, 4, 2, 1, 4, 3})
+	f.Add(bytes.Repeat([]byte{0, 8, 1, 1, 2, 4, 5, 7}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cursor := 0
+		next := func() byte {
+			if cursor >= len(data) {
+				return 0
+			}
+			b := data[cursor]
+			cursor++
+			return b
+		}
+		// chunk returns up to n bytes of fuzz input to use as content.
+		chunk := func(n int) []byte {
+			out := make([]byte, n)
+			for i := range out {
+				out[i] = next()
+			}
+			return out
+		}
+
+		m := Empty()
+		var model []byte
+
+		verify := func(op string) {
+			t.Helper()
+			if m.Len() != len(model) {
+				t.Fatalf("%s: Len=%d, model has %d bytes", op, m.Len(), len(model))
+			}
+			if got := m.Bytes(); !bytes.Equal(got, model) {
+				t.Fatalf("%s: Bytes=%x, model=%x", op, got, model)
+			}
+		}
+
+		for steps := 0; steps < 64 && cursor < len(data); steps++ {
+			switch next() % 8 {
+			case 0: // Push
+				hdr := chunk(int(next()) % 24)
+				if err := m.Push(hdr); err != nil {
+					if err != ErrLeaderFull {
+						t.Fatalf("Push: %v", err)
+					}
+					break // leader exhausted: message unchanged
+				}
+				model = append(append([]byte(nil), hdr...), model...)
+			case 1: // Pop
+				n := int(next()) % (len(model) + 4)
+				got, err := m.Pop(n)
+				if n > len(model) {
+					if err == nil {
+						t.Fatalf("Pop(%d) beyond %d bytes succeeded", n, len(model))
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("Pop(%d): %v", n, err)
+				}
+				if !bytes.Equal(got, model[:n]) {
+					t.Fatalf("Pop(%d)=%x, model prefix %x", n, got, model[:n])
+				}
+				model = model[n:]
+			case 2: // Peek
+				n := int(next()) % (len(model) + 4)
+				got, err := m.Peek(n)
+				if n > len(model) {
+					if err == nil {
+						t.Fatalf("Peek(%d) beyond %d bytes succeeded", n, len(model))
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("Peek(%d): %v", n, err)
+				}
+				if !bytes.Equal(got, model[:n]) {
+					t.Fatalf("Peek(%d)=%x, model prefix %x", n, got, model[:n])
+				}
+			case 3: // Append (the Msg adopts the slice, so hand it a copy)
+				data := chunk(int(next()) % 24)
+				m.Append(append([]byte(nil), data...))
+				model = append(model, data...)
+			case 4: // Truncate
+				n := int(next()) % (len(model) + 4)
+				err := m.Truncate(n)
+				if n > len(model) {
+					if err == nil {
+						t.Fatalf("Truncate(%d) beyond %d bytes succeeded", n, len(model))
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("Truncate(%d): %v", n, err)
+				}
+				model = model[:n]
+			case 5: // Fragment: reads [off, off+n) without touching m
+				if len(model) == 0 {
+					break
+				}
+				off := int(next()) % len(model)
+				n := int(next()) % (len(model) - off + 1)
+				frag, err := m.Fragment(off, n, 16)
+				if err != nil {
+					t.Fatalf("Fragment(%d,%d) of %d bytes: %v", off, n, len(model), err)
+				}
+				if got := frag.Bytes(); !bytes.Equal(got, model[off:off+n]) {
+					t.Fatalf("Fragment(%d,%d)=%x, want %x", off, n, got, model[off:off+n])
+				}
+			case 6: // Split + Join round trip rebuilds the message
+				size := 1 + int(next())%64
+				frags, err := m.Split(size, 16)
+				if err != nil {
+					t.Fatalf("Split(%d): %v", size, err)
+				}
+				rebuilt := Empty()
+				for _, fr := range frags {
+					rebuilt.Join(fr)
+				}
+				if got := rebuilt.Bytes(); !bytes.Equal(got, model) {
+					t.Fatalf("Split(%d)+Join=%x, want %x", size, got, model)
+				}
+			case 7: // Clone: same bytes, independent header space
+				c := m.Clone()
+				if got := c.Bytes(); !bytes.Equal(got, model) {
+					t.Fatalf("Clone=%x, want %x", got, model)
+				}
+				if err := c.Push([]byte{0xAA}); err == nil {
+					if m.Len() != len(model) {
+						t.Fatalf("Push on clone changed original: Len=%d, want %d", m.Len(), len(model))
+					}
+				}
+			}
+			verify("step")
+		}
+	})
+}

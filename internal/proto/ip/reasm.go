@@ -40,6 +40,9 @@ func (p *Protocol) reassemble(h header, m *msg.Msg) (*msg.Msg, header, bool) {
 	if !ok {
 		buf = &reasmBuf{total: -1}
 		p.reasm[k] = buf
+		// The timer must be armed atomically with the buffer's insertion
+		// or a timeout could race a second fragment of the same datagram.
+		//xk:allow locksafety — Schedule only enqueues; the handler re-locks p.mu asynchronously, never under this call
 		buf.timer = p.cfg.Clock.Schedule(p.cfg.ReassemblyTimeout, func() {
 			p.mu.Lock()
 			if p.reasm[k] == buf {

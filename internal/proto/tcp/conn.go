@@ -190,6 +190,7 @@ func (c *Conn) Push(m *msg.Msg) error {
 		c.mu.Unlock()
 		return fmt.Errorf("%s: push after close: %w", c.p.Name(), xk.ErrClosed)
 	}
+	//xk:allow hotpathalloc — the stream send queue must own its bytes for retransmission; growth is amortized
 	c.sendQ = append(c.sendQ, m.Bytes()...)
 	outs := c.buildSendableLocked()
 	c.mu.Unlock()

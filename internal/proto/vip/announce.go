@@ -158,6 +158,8 @@ func (a *Announcer) schedule() {
 	if a.stopped {
 		return
 	}
+	// Armed under a.mu so Stop cannot miss a ticker created concurrently.
+	//xk:allow locksafety — Schedule only enqueues; the rearm callback takes a.mu on a later event dispatch
 	a.ticker = a.clock.Schedule(a.interval, func() {
 		if err := a.Announce(); err != nil {
 			trace.Printf(trace.Events, a.Name(), "announce: %v", err)
@@ -171,6 +173,7 @@ func (a *Announcer) Stop() {
 	a.mu.Lock()
 	a.stopped = true
 	if a.ticker != nil {
+		//xk:allow locksafety — Cancel is a non-blocking flag; it never waits for a running handler
 		a.ticker.Cancel()
 	}
 	a.mu.Unlock()
@@ -209,6 +212,7 @@ func (a *Announcer) Demux(lls xk.Session, m *msg.Msg) error {
 	if len(b) < 11+n {
 		return fmt.Errorf("%s: %w", a.Name(), xk.ErrBadHeader)
 	}
+	//xk:allow hotpathalloc — announcements are control-plane traffic, one per interval, not per data message
 	protos := make([]ip.ProtoNum, n)
 	for i := 0; i < n; i++ {
 		protos[i] = ip.ProtoNum(b[11+i])

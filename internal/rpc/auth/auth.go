@@ -327,11 +327,13 @@ func (l *Layer) Demux(lls xk.Session, m *msg.Msg) error {
 		if up == nil {
 			return fmt.Errorf("%s: %w", l.Name(), xk.ErrNoSession)
 		}
+		//xk:allow hotpathalloc — session establishment, once per peer, not per message
 		ss = &serverSession{l: l}
 		ss.InitSession(l, up, lls)
 		l.mu.Lock()
 		l.sessions[lls] = ss
 		l.mu.Unlock()
+		//xk:allow hotpathalloc — session establishment, once per peer, not per message
 		if err := up.OpenDone(l, ss, &xk.Participants{}); err != nil {
 			return err
 		}

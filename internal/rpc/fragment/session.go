@@ -103,6 +103,7 @@ func (s *session) Push(m *msg.Msg) error {
 		f.MustPush(hb[:])
 	}
 
+	//xk:allow hotpathalloc — one send-hold record per fragmented message; bookkeeping for retransmit, not a payload copy
 	sm := &sentMsg{frames: frags, expires: p.cfg.Clock.Now().Add(p.cfg.SendHold)}
 	s.mu.Lock()
 	s.sent[seq] = sm
@@ -202,6 +203,7 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 	}
 	delete(s.rcv, h.seq)
 	if r.timer != nil {
+		//xk:allow locksafety — Cancel is a non-blocking flag; it never waits for a running handler
 		r.timer.Cancel()
 	}
 	full := msg.Empty()
@@ -340,11 +342,13 @@ func (s *session) Close() error {
 		delete(s.sent, seq)
 	}
 	if s.sweep != nil {
+		//xk:allow locksafety — Cancel is a non-blocking flag; it never waits for a running handler
 		s.sweep.Cancel()
 		s.sweep = nil
 	}
 	for seq, r := range s.rcv {
 		if r.timer != nil {
+			//xk:allow locksafety — Cancel is a non-blocking flag; it never waits for a running handler
 			r.timer.Cancel()
 		}
 		delete(s.rcv, seq)

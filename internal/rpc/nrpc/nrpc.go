@@ -230,6 +230,7 @@ func (h *shim) Demux(lls xk.Session, m *msg.Msg) error {
 		if up == nil {
 			return fmt.Errorf("%s: %w", h.Name(), xk.ErrNoSession)
 		}
+		//xk:allow hotpathalloc — session establishment, once per peer, not per message
 		s = &shimSession{h: h}
 		s.InitSession(h, up, lls)
 		h.mu.Lock()

@@ -30,6 +30,9 @@ type Forwarder struct {
 type fwdRoute struct {
 	lo, hi  uint16
 	backend xk.IPAddr
+	// parts is the Open argument for this backend, built once at
+	// AddRoute so Demux does not allocate it per forwarded call.
+	parts *xk.Participants
 }
 
 // NewForwarder creates a forwarding selection layer above llp
@@ -60,20 +63,23 @@ func NewForwarder(name string, llp xk.Protocol, cfg Config) (*Forwarder, error) 
 // on overlap.
 func (f *Forwarder) AddRoute(lo, hi uint16, backend xk.IPAddr) {
 	f.mu.Lock()
-	f.routes = append(f.routes, fwdRoute{lo: lo, hi: hi, backend: backend})
+	f.routes = append(f.routes, fwdRoute{
+		lo: lo, hi: hi, backend: backend,
+		parts: &xk.Participants{Remote: xk.NewParticipant(backend)},
+	})
 	f.mu.Unlock()
 }
 
-func (f *Forwarder) lookup(cmd uint16) (xk.IPAddr, bool) {
+func (f *Forwarder) lookup(cmd uint16) (fwdRoute, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i := len(f.routes) - 1; i >= 0; i-- {
 		r := f.routes[i]
 		if cmd >= r.lo && cmd <= r.hi {
-			return r.backend, true
+			return r, true
 		}
 	}
-	return xk.IPAddr{}, false
+	return fwdRoute{}, false
 }
 
 // OpenDone accepts the server sessions CHANNEL creates for incoming
@@ -97,26 +103,30 @@ func (f *Forwarder) Demux(lls xk.Session, m *msg.Msg) error {
 
 	status := StatusOK
 	var reply *msg.Msg
-	backend, ok := f.lookup(command)
+	route, ok := f.lookup(command)
 	if !ok {
 		status = StatusNoCommand
+		//xk:allow hotpathalloc — routing-failure reply, never on the forwarding path
 		reply = msg.New([]byte(fmt.Sprintf("no route for command %d", command)))
 	} else {
-		sess, err := f.client.Open(f, &xk.Participants{Remote: xk.NewParticipant(backend)})
+		sess, err := f.client.Open(f, route.parts)
 		if err != nil {
 			status = StatusError
+			//xk:allow hotpathalloc — backend-unreachable reply, error path only
 			reply = msg.New([]byte(err.Error()))
 		} else {
-			trace.Printf(trace.Events, f.Name(), "forward command=%d to %s", command, backend)
+			trace.Printf(trace.Events, f.Name(), "forward command=%d to %s", command, route.backend)
 			reply, err = sess.(*Session).Call(command, m)
 			if err != nil {
 				// Backend-reported failures travel back with their
 				// status; transport failures become StatusError.
 				if re, okErr := err.(*RemoteError); okErr {
 					status = re.Status
+					//xk:allow hotpathalloc — relaying a backend failure, error path only
 					reply = msg.New([]byte(re.Msg))
 				} else {
 					status = StatusError
+					//xk:allow hotpathalloc — transport-failure reply, error path only
 					reply = msg.New([]byte(err.Error()))
 				}
 			}

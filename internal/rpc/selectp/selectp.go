@@ -202,12 +202,14 @@ func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
 	var reply *msg.Msg
 	if h == nil {
 		status = StatusNoCommand
+		//xk:allow hotpathalloc — unknown-command reply, never on the dispatch path
 		reply = msg.New([]byte(fmt.Sprintf("no procedure for command %d", command)))
 	} else {
 		var herr error
 		reply, herr = h(command, m)
 		if herr != nil {
 			status = StatusError
+			//xk:allow hotpathalloc — handler-failure reply, error path only
 			reply = msg.New([]byte(herr.Error()))
 		}
 	}

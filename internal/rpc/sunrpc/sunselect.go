@@ -214,6 +214,7 @@ func (p *Select) Demux(lls xk.Session, m *msg.Msg) error {
 		var herr error
 		reply, herr = h(m)
 		if herr != nil {
+			//xk:allow hotpathalloc — handler-failure record, error path only
 			serr = &SelectError{Status: StatusSystemErr, Msg: herr.Error()}
 		}
 	}

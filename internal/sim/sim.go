@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"xkernel/internal/event"
 	"xkernel/internal/xk"
 )
 
@@ -77,6 +78,10 @@ type Config struct {
 	// Seed makes fault injection deterministic; zero means a fixed
 	// default seed (still deterministic).
 	Seed int64
+	// Clock drives latency timers and capture timestamps. Nil means
+	// event.Real(); chaos scenarios inject a FakeClock so that even
+	// latency-bearing links stay bit-reproducible.
+	Clock event.Clock
 }
 
 // Stats counts network activity.
@@ -97,8 +102,9 @@ type Stats struct {
 
 // Network is one ethernet segment.
 type Network struct {
-	cfg Config
-	rng *rand.Rand
+	cfg   Config
+	rng   *rand.Rand
+	clock event.Clock
 
 	mu      sync.Mutex
 	nics    map[xk.EthAddr]*NIC
@@ -181,10 +187,15 @@ func New(cfg Config) *Network {
 	if seed == 0 {
 		seed = 0x5053_1989 // deterministic default
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = event.Real()
+	}
 	return &Network{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(seed)),
-		nics: make(map[xk.EthAddr]*NIC),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		clock: clock,
+		nics:  make(map[xk.EthAddr]*NIC),
 	}
 }
 
@@ -281,7 +292,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	if disp := n.vetoLocked(nic.addr, dst, index, frame); disp != "" {
 		n.mu.Unlock()
 		if capture != nil {
-			capture(record(index, nic.addr, dst, frame, disp))
+			capture(n.record(index, nic.addr, dst, frame, disp))
 		}
 		return nil
 	}
@@ -291,7 +302,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 		n.stats.FramesDropped++
 		n.mu.Unlock()
 		if capture != nil {
-			capture(record(index, nic.addr, dst, frame, FrameDropped))
+			capture(n.record(index, nic.addr, dst, frame, FrameDropped))
 		}
 		return nil
 	}
@@ -335,7 +346,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 		if dup {
 			disposition += "+" + FrameDup
 		}
-		capture(record(index, nic.addr, dst, frame, disposition))
+		capture(n.record(index, nic.addr, dst, frame, disposition))
 	}
 	for _, f := range deliverNow {
 		n.deliver(f.src, f.dst, f.frame)
@@ -343,11 +354,12 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	return nil
 }
 
-// record builds a FrameRecord with a private copy of the frame bytes.
-func record(index int64, src, dst xk.EthAddr, frame []byte, disposition string) FrameRecord {
+// record builds a FrameRecord with a private copy of the frame bytes,
+// timestamped on the network's injected clock.
+func (n *Network) record(index int64, src, dst xk.EthAddr, frame []byte, disposition string) FrameRecord {
 	return FrameRecord{
 		Index:       index,
-		Time:        time.Now(),
+		Time:        n.clock.Now(),
 		Src:         src,
 		Dst:         dst,
 		Len:         len(frame),
@@ -406,7 +418,7 @@ func (t *NIC) handle(frame []byte, latency time.Duration, async bool) {
 	switch {
 	case latency > 0:
 		f := frame
-		time.AfterFunc(latency, func() { recv(f) })
+		t.net.clock.Schedule(latency, func() { recv(f) })
 	case async:
 		go recv(frame)
 	default:

@@ -164,6 +164,9 @@ func (h *Host) AddInterface(network *sim.Network, ethAddr xk.EthAddr, ipAddr, ma
 // connected by an isolated 10Mbps ethernet". It returns a fresh network
 // with a client and a server attached.
 func TwoHosts(netCfg sim.Config, clock event.Clock) (client, server *Host, network *sim.Network, err error) {
+	if netCfg.Clock == nil {
+		netCfg.Clock = clock
+	}
 	network = sim.New(netCfg)
 	client, err = NewHost(HostConfig{
 		Name:    "client",
@@ -199,6 +202,9 @@ func Internet(netCfg sim.Config, clock event.Clock) (client, server, router *Hos
 // InternetWithTTL is Internet with the client originating datagrams at
 // the given TTL (0 means the IP default) — used by TTL-expiry tests.
 func InternetWithTTL(netCfg sim.Config, clock event.Clock, ttl uint8) (client, server, router *Host, err error) {
+	if netCfg.Clock == nil {
+		netCfg.Clock = clock
+	}
 	segA := sim.New(netCfg)
 	segB := sim.New(netCfg)
 	client, err = NewHost(HostConfig{

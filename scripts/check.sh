@@ -19,6 +19,9 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== xkvet (invariant analyzers, see DESIGN.md §7) =="
+go run ./cmd/xkvet ./...
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -28,6 +31,9 @@ echo "== chaos smoke (partition+reboot per stack family) =="
 # and the monolithic family. chaos.Execute's shutdown invariant fails
 # the run if goroutines leak or timers stay pending.
 go test -short ./internal/chaos/ -run 'TestPartitionReboot|TestScenarioLibrarySoak'
+
+echo "== msg fuzz smoke (op sequences vs naive model) =="
+go test ./internal/msg/ -fuzz FuzzPushPopFragmentJoin -fuzztime 5s
 
 echo "== Table I benchmark smoke (1 iteration each) =="
 go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
