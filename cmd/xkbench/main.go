@@ -11,22 +11,34 @@
 //
 // Usage:
 //
-//	xkbench                 # everything
-//	xkbench -table 1        # just Table I
-//	xkbench -extra udp      # just the UDP/IP round trip
-//	xkbench -quick          # fewer iterations
-//	xkbench -table 1 -json  # write BENCH_table1.json instead
+//	xkbench                         # everything
+//	xkbench -table 1                # just Table I
+//	xkbench -extra udp              # just the UDP/IP round trip
+//	xkbench -quick                  # fewer iterations
+//	xkbench -table 1 -json          # write BENCH_table1.json instead
+//	xkbench -compare BENCH_table1.json   # regression gate vs a baseline
+//	xkbench -cpuprofile cpu.out     # profile the run (add -labels for
+//	                                # per-layer attribution in -json runs)
 //
 // With -json each selected table is written to BENCH_table<N>.json:
 // the timing numbers from the usual uninstrumented run plus per-layer
 // counter and latency breakdowns from a separate run of the same stack
 // with an observability wrap at every protocol boundary.
+//
+// With -compare the named baseline report is re-measured (same table,
+// quick-sized by default) and diffed; the exit status is nonzero when
+// any configuration's latency regresses beyond -threshold percent. The
+// default -compare-mode rel normalizes latencies by the table mean
+// first, so a baseline committed from another machine stays
+// comparable; use -compare-mode abs for same-machine diffs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/model"
@@ -34,23 +46,70 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	tableFlag := flag.Int("table", 0, "regenerate only this table (1-4); 0 means all")
 	extraFlag := flag.String("extra", "", "run one supplementary measurement: udp, fragment, vip")
 	quick := flag.Bool("quick", false, "fewer iterations for a fast pass")
 	jsonOut := flag.Bool("json", false, "write each table as BENCH_table<N>.json with per-layer breakdowns")
+	compare := flag.String("compare", "", "diff a fresh measurement against this baseline BENCH_table JSON; exit nonzero on regression")
+	threshold := flag.Float64("threshold", 25, "with -compare, the regression threshold in percent")
+	compareMode := flag.String("compare-mode", bench.CompareRelative, "with -compare: rel (normalize by table mean, machine-independent) or abs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	labels := flag.Bool("labels", false, "attach per-layer pprof labels during instrumented runs (with -json)")
 	flag.Parse()
 
-	opt := bench.Options{}
-	if *quick {
-		opt = bench.Options{LatencyIters: 1000, SweepIters: 50, Warmup: 50}
+	opt := bench.Options{ProfileLabels: *labels}
+	if *quick || *compare != "" {
+		opt.LatencyIters, opt.SweepIters, opt.Warmup = 1000, 50, 50
+		opt.ProfileLabels = *labels
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *compare != "" {
+		code, err := runCompare(*compare, *compareMode, *threshold, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+			return 1
+		}
+		return code
 	}
 
 	if *extraFlag != "" {
 		if err := runExtra(*extraFlag, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *jsonOut {
@@ -62,35 +121,62 @@ func main() {
 			name := fmt.Sprintf("BENCH_table%d.json", n)
 			if err := writeTableJSON(name, n, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "xkbench: table %d: %v\n", n, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %s\n", name)
 		}
-		return
+		return 0
 	}
 
-	run := func(n int, f func() error) {
+	run := func(n int, f func() error) bool {
 		if *tableFlag != 0 && *tableFlag != n {
-			return
+			return true
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xkbench: table %d: %v\n", n, err)
-			os.Exit(1)
+			return false
 		}
+		return true
 	}
-	run(1, func() error { return bench.Table1(os.Stdout, opt) })
-	run(2, func() error { return bench.Table2(os.Stdout, opt) })
-	run(3, func() error { _, err := bench.Table3(os.Stdout, opt); return err })
-	run(4, func() error { return bench.Table4(os.Stdout, opt) })
+	if !run(1, func() error { return bench.Table1(os.Stdout, opt) }) ||
+		!run(2, func() error { return bench.Table2(os.Stdout, opt) }) ||
+		!run(3, func() error { _, err := bench.Table3(os.Stdout, opt); return err }) ||
+		!run(4, func() error { return bench.Table4(os.Stdout, opt) }) {
+		return 1
+	}
 
 	if *tableFlag == 0 {
 		for _, extra := range []string{"udp", "fragment", "vip"} {
 			if err := runExtra(extra, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "xkbench: extra %s: %v\n", extra, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
+}
+
+// runCompare re-measures the baseline's table and diffs the two
+// reports; the returned code is nonzero when a regression crosses the
+// threshold.
+func runCompare(path, mode string, thresholdPct float64, opt Options) (int, error) {
+	base, err := bench.ReadTableReport(path)
+	if err != nil {
+		return 1, err
+	}
+	cur, err := bench.TableJSON(base.Table, opt)
+	if err != nil {
+		return 1, err
+	}
+	res, err := bench.CompareReports(base, cur, mode, thresholdPct)
+	if err != nil {
+		return 1, err
+	}
+	res.Print(os.Stdout)
+	if res.Regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 func runExtra(name string, opt Options) error {

@@ -10,6 +10,7 @@
 //	xktrace -size 8192         # a fragmented call
 //	xktrace -jsonl             # structured JSONL records on stdout
 //	xktrace -jsonl -filter vip # only VIP-boundary records (plus app/wire)
+//	xktrace -spans             # causal span capture; prints the cause tree
 //	xktrace -chaos             # partition+reboot scenario, invariants checked
 //	xktrace -chaos -stack mono # same scenario against monolithic Sprite RPC
 //
@@ -24,6 +25,12 @@
 // push/pop/call/return/open crossing plus every wire frame, correlated
 // leg-by-leg by msgid, and the human-readable trace, the per-layer
 // summary table, and the reconstructed path move to stderr.
+//
+// With -spans the graph is instrumented the same way but the call is
+// captured as causal spans (see cmd/xkanatomy for the measurement
+// harness): the reconstructed cause tree — every layer crossing, the
+// wire transits with their serialization/latency split, the handler —
+// is printed with per-span durations and self times.
 package main
 
 import (
@@ -61,6 +68,7 @@ func main() {
 	size := flag.Int("size", 0, "request payload bytes (0 = null call)")
 	jsonl := flag.Bool("jsonl", false, "emit structured JSONL records on stdout; human output moves to stderr")
 	filter := flag.String("filter", "", "with -jsonl, keep only records whose layer contains this substring")
+	spans := flag.Bool("spans", false, "capture the call as causal spans and print the cause tree")
 	chaosRun := flag.Bool("chaos", false, "run the partition+reboot chaos scenario against the stack instead of tracing a call")
 	flag.Parse()
 
@@ -89,13 +97,13 @@ func main() {
 		xkernel.SetTraceLevel(xkernel.TraceEvents)
 	}
 
-	if err := run(human, spec, *stack, *size, *jsonl, *filter); err != nil {
+	if err := run(human, spec, *stack, *size, *jsonl, *filter, *spans); err != nil {
 		fmt.Fprintf(os.Stderr, "xktrace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(human io.Writer, spec, stack string, size int, jsonl bool, filter string) error {
+func run(human io.Writer, spec, stack string, size int, jsonl bool, filter string, spans bool) error {
 	client, server, network, err := xkernel.TwoHosts(xkernel.NetConfig{}, nil)
 	if err != nil {
 		return err
@@ -104,11 +112,19 @@ func run(human io.Writer, spec, stack string, size int, jsonl bool, filter strin
 	var meter *xkernel.Meter
 	var tracer *xkernel.Tracer
 	var path []xkernel.TraceEvent
-	if jsonl {
+	if jsonl || spans {
 		meter = xkernel.NewMeter()
 		client.SetMeter(meter)
 		server.SetMeter(meter)
 		spec = xkernel.Metered(spec)
+	}
+	var rec *xkernel.SpanRecorder
+	if spans {
+		rec = xkernel.NewSpanRecorder(0)
+		meter.SetSpans(rec)
+		network.SetSpans(rec)
+	}
+	if jsonl {
 		tracer = xkernel.NewTracer(os.Stdout)
 		if filter != "" {
 			tracer.SetFilter(xkernel.TraceFilterSubstring(filter))
@@ -178,9 +194,18 @@ func run(human io.Writer, spec, stack string, size int, jsonl bool, filter strin
 	if tracer != nil {
 		tracer.Emit("app", "call", 0, size, "")
 	}
+	var sid uint64
+	if rec != nil {
+		rec.Enable()
+		sid = rec.Begin("app", "call", 0, 0, size, rec.NowNs())
+	}
 	reply, err := sess.(interface {
 		CallBytes(uint16, []byte) ([]byte, error)
 	}).CallBytes(1, xkernel.MakeData(size))
+	if rec != nil {
+		rec.End(sid, rec.NowNs(), "")
+		rec.Disable()
+	}
 	if err != nil {
 		return err
 	}
@@ -195,6 +220,13 @@ func run(human io.Writer, spec, stack string, size int, jsonl bool, filter strin
 
 	if jsonl {
 		printSummary(human, meter, path)
+	}
+	if rec != nil {
+		a := xkernel.AnalyzeSpans(rec.Spans())
+		fmt.Fprintf(human, "\n--- cause tree (%d spans, %d open) ---\n", a.Total, a.Open)
+		for _, root := range a.Roots {
+			fmt.Fprint(human, xkernel.FormatSpanTree(root))
+		}
 	}
 	return nil
 }

@@ -40,10 +40,16 @@ var Analyzer = &xkanalysis.Analyzer{
 }
 
 // hotPackages are the protocol subtrees whose sessions carry messages.
+// The obs tree is included because its wrap boundary interposes on
+// every crossing of every instrumented graph: an allocation in
+// wrapSession.Push or W.Demux is paid per message per layer even with
+// metering and span capture disabled, which is exactly the regression
+// the span recorder's disabled-path contract forbids.
 var hotPackages = []string{
 	"xkernel/internal/proto",
 	"xkernel/internal/rpc",
 	"xkernel/internal/psync",
+	"xkernel/internal/obs",
 }
 
 // hotMethods are the per-message entry points.

@@ -10,5 +10,6 @@ import (
 func TestHotPathAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", hotpathalloc.Analyzer,
 		"xkernel/internal/proto/hptest",
+		"xkernel/internal/obs/obstest",
 	)
 }

@@ -1,0 +1,51 @@
+// Exercises the no-alloc rule inside the observability boundary's hot
+// methods: the wrap interposes on every message of every instrumented
+// graph, so its Push/Demux must follow the same discipline as the
+// protocol layers — guarded span capture, no per-message allocation.
+package obstest
+
+import "xkernel/internal/msg"
+
+type recorder struct{ on bool }
+
+func (r *recorder) Enabled() bool { return r != nil && r.on }
+
+func (r *recorder) BeginMsg(layer string, m *msg.Msg) uint64 { return 1 }
+
+func (r *recorder) EndMsg(id uint64, m *msg.Msg, errStr string) {}
+
+type boundary struct {
+	rec  *recorder
+	name string
+}
+
+// Push shows the blessed capture shape: the guard is checked before
+// any argument is materialized, and nothing on the path allocates.
+func (b *boundary) Push(m *msg.Msg) error {
+	var sid uint64
+	if b.rec.Enabled() {
+		sid = b.rec.BeginMsg(b.name, m)
+	}
+	if sid != 0 {
+		b.rec.EndMsg(sid, m, "")
+	}
+	return nil
+}
+
+// Demux shows the violations the pass exists to catch — capture
+// bookkeeping that allocates per message even before the guard.
+func (b *boundary) Demux(m *msg.Msg) error {
+	label := []byte(b.name) // want "conversion in hot path Demux"
+	_ = label
+	ids := make([]uint64, 0, 4) // want "make in hot path Demux"
+	_ = ids
+	ctx := &recorder{} // want "pointer composite literal in hot path Demux"
+	_ = ctx
+	if b.rec.Enabled() {
+		// Being behind the guard does not excuse a per-message
+		// allocation on the enabled path either.
+		tags := []string{b.name} // want "slice literal in hot path Demux"
+		_ = tags
+	}
+	return nil
+}

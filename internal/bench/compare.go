@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Comparison modes for CompareReports.
+const (
+	// CompareAbsolute diffs raw values: right when baseline and
+	// current ran on the same machine.
+	CompareAbsolute = "abs"
+	// CompareRelative normalizes each latency by the mean latency of
+	// the configurations the two reports share, then diffs the
+	// normalized shares. Absolute speed divides out, so a committed
+	// baseline stays comparable across machines; what it catches is a
+	// configuration growing more expensive relative to its peers —
+	// which is what a layer-cost regression looks like.
+	CompareRelative = "rel"
+)
+
+// CompareRow is one metric of one configuration diffed between
+// baseline and current.
+type CompareRow struct {
+	Stack    string  `json:"stack"`
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Current  float64 `json:"current"`
+	DeltaPct float64 `json:"delta_pct"`
+	// Regressed marks a delta beyond the threshold in the harmful
+	// direction (up for latencies, down for throughput).
+	Regressed bool `json:"regressed"`
+}
+
+// CompareResult is the full diff of two table reports.
+type CompareResult struct {
+	Table        int          `json:"table"`
+	Mode         string       `json:"mode"`
+	ThresholdPct float64      `json:"threshold_pct"`
+	Rows         []CompareRow `json:"rows"`
+	Regressions  int          `json:"regressions"`
+	// Missing lists configurations present in only one report; they
+	// are not compared but are worth the reader's attention.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// ReadTableReport loads a BENCH_table JSON report written by
+// WriteTableJSON.
+func ReadTableReport(path string) (*TableReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep TableReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Configs) == 0 {
+		return nil, fmt.Errorf("%s: no configurations in report", path)
+	}
+	return &rep, nil
+}
+
+// CompareReports diffs current against base. A configuration regresses
+// when a latency metric rises, or throughput falls, by more than
+// thresholdPct percent (in relative mode, after normalizing latencies
+// by the shared-configuration mean).
+func CompareReports(base, cur *TableReport, mode string, thresholdPct float64) (*CompareResult, error) {
+	if mode != CompareAbsolute && mode != CompareRelative {
+		return nil, fmt.Errorf("bench: unknown compare mode %q (want %s or %s)", mode, CompareAbsolute, CompareRelative)
+	}
+	res := &CompareResult{Table: cur.Table, Mode: mode, ThresholdPct: thresholdPct}
+
+	baseBy := make(map[string]*ConfigReport, len(base.Configs))
+	for i := range base.Configs {
+		baseBy[base.Configs[i].Stack] = &base.Configs[i]
+	}
+	type pair struct{ b, c *ConfigReport }
+	var shared []pair
+	for i := range cur.Configs {
+		c := &cur.Configs[i]
+		if b, ok := baseBy[c.Stack]; ok {
+			shared = append(shared, pair{b, c})
+			delete(baseBy, c.Stack)
+		} else {
+			res.Missing = append(res.Missing, c.Stack+" (current only)")
+		}
+	}
+	for stack := range baseBy {
+		res.Missing = append(res.Missing, stack+" (baseline only)")
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("bench: reports share no configurations")
+	}
+
+	// Normalization divisors for relative mode: the mean latency of the
+	// shared configurations on each side.
+	baseDiv, curDiv := 1.0, 1.0
+	if mode == CompareRelative {
+		var bSum, cSum float64
+		for _, p := range shared {
+			bSum += p.b.LatencyUs
+			cSum += p.c.LatencyUs
+		}
+		baseDiv = bSum / float64(len(shared))
+		curDiv = cSum / float64(len(shared))
+		if baseDiv == 0 || curDiv == 0 {
+			return nil, fmt.Errorf("bench: zero mean latency, cannot normalize")
+		}
+	}
+
+	add := func(stack, metric string, b, c float64, higherIsWorse bool) {
+		if b == 0 {
+			return
+		}
+		delta := 100 * (c - b) / b
+		bad := delta
+		if !higherIsWorse {
+			bad = -delta
+		}
+		row := CompareRow{
+			Stack: stack, Metric: metric,
+			Base: b, Current: c, DeltaPct: delta,
+			Regressed: bad > thresholdPct,
+		}
+		if row.Regressed {
+			res.Regressions++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, p := range shared {
+		add(p.c.Stack, "latency_us", p.b.LatencyUs/baseDiv, p.c.LatencyUs/curDiv, true)
+		if p.b.IncrementalUsPerKB > 0 && p.c.IncrementalUsPerKB > 0 {
+			add(p.c.Stack, "incremental_us_per_kb", p.b.IncrementalUsPerKB/baseDiv, p.c.IncrementalUsPerKB/curDiv, true)
+		}
+		// Throughput is already a ratio of work to time; normalization
+		// would cancel, so it is only diffed in absolute mode.
+		if mode == CompareAbsolute && p.b.ThroughputWireKBs > 0 && p.c.ThroughputWireKBs > 0 {
+			add(p.c.Stack, "throughput_wire_kb_s", p.b.ThroughputWireKBs, p.c.ThroughputWireKBs, false)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the comparison as a table.
+func (r *CompareResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "baseline comparison (table %d, mode %s, threshold %.0f%%)\n", r.Table, r.Mode, r.ThresholdPct)
+	fmt.Fprintf(w, "%-30s %-24s | %12s %12s %9s\n", "configuration", "metric", "baseline", "current", "delta")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-30s %-24s | %12.3f %12.3f %+8.1f%%%s\n",
+			row.Stack, row.Metric, row.Base, row.Current, row.DeltaPct, mark)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(w, "  not compared: %s\n", m)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond %.0f%%\n", r.Regressions, r.ThresholdPct)
+	} else {
+		fmt.Fprintf(w, "no regressions beyond %.0f%%\n", r.ThresholdPct)
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(latencies map[string]float64) *TableReport {
+	rep := &TableReport{Table: 1, Title: "test"}
+	for stack, lat := range latencies {
+		rep.Configs = append(rep.Configs, ConfigReport{Stack: stack, LatencyUs: lat})
+	}
+	return rep
+}
+
+func TestCompareAbsoluteFlagsRegression(t *testing.T) {
+	base := report(map[string]float64{"A": 10, "B": 20})
+	cur := report(map[string]float64{"A": 10.5, "B": 30})
+
+	res, err := CompareReports(base, cur, CompareAbsolute, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (B rose 50%%)", res.Regressions)
+	}
+	for _, row := range res.Rows {
+		want := row.Stack == "B"
+		if row.Regressed != want {
+			t.Errorf("%s regressed = %v, want %v (delta %.1f%%)", row.Stack, row.Regressed, want, row.DeltaPct)
+		}
+	}
+}
+
+func TestCompareRelativeIgnoresUniformSlowdown(t *testing.T) {
+	base := report(map[string]float64{"A": 10, "B": 20, "C": 30})
+	// Everything 3x slower — a different machine, not a regression.
+	cur := report(map[string]float64{"A": 30, "B": 60, "C": 90})
+
+	res, err := CompareReports(base, cur, CompareRelative, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0 after normalization: %+v", res.Regressions, res.Rows)
+	}
+
+	// But one stack growing relative to its peers is caught even under
+	// the uniform scale.
+	cur = report(map[string]float64{"A": 30, "B": 60, "C": 180})
+	res, err = CompareReports(base, cur, CompareRelative, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cRegressed bool
+	for _, row := range res.Rows {
+		if row.Stack == "C" && row.Regressed {
+			cRegressed = true
+		}
+	}
+	if !cRegressed {
+		t.Fatalf("C tripled relative to peers but was not flagged: %+v", res.Rows)
+	}
+}
+
+func TestCompareThroughputDirection(t *testing.T) {
+	base := report(map[string]float64{"A": 10})
+	cur := report(map[string]float64{"A": 10})
+	base.Configs[0].ThroughputWireKBs = 800
+	cur.Configs[0].ThroughputWireKBs = 500 // fell 37%
+
+	res, err := CompareReports(base, cur, CompareAbsolute, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, row := range res.Rows {
+		if row.Metric == "throughput_wire_kb_s" {
+			found = true
+			if !row.Regressed {
+				t.Errorf("throughput fell 37%% but not flagged (delta %.1f%%)", row.DeltaPct)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("throughput metric not compared in absolute mode")
+	}
+}
+
+func TestCompareMissingConfigs(t *testing.T) {
+	base := report(map[string]float64{"A": 10, "OLD": 5})
+	cur := report(map[string]float64{"A": 10, "NEW": 7})
+
+	res, err := CompareReports(base, cur, CompareAbsolute, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Missing, ";")
+	if !strings.Contains(joined, "OLD (baseline only)") || !strings.Contains(joined, "NEW (current only)") {
+		t.Fatalf("missing = %v, want both OLD and NEW noted", res.Missing)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Stack != "A" {
+		t.Fatalf("rows = %+v, want only the shared configuration A", res.Rows)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	base := report(map[string]float64{"A": 10})
+	if _, err := CompareReports(base, base, "sideways", 10); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := CompareReports(base, report(map[string]float64{"B": 1}), CompareAbsolute, 10); err == nil {
+		t.Error("disjoint reports accepted")
+	}
+}
+
+func TestReadTableReportRoundTrip(t *testing.T) {
+	rep := report(map[string]float64{"A": 12.5})
+	rep.Table = 3
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rep.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTableReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != 3 || len(got.Configs) != 1 || got.Configs[0].LatencyUs != 12.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadTableReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"table":1,"configs":[]}`), 0o644)
+	if _, err := ReadTableReport(empty); err == nil {
+		t.Error("report with no configurations accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
+	"xkernel/internal/obs/span"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/proto/udp"
 	"xkernel/internal/proto/vip"
@@ -109,6 +110,37 @@ type Testbed struct {
 
 // ServerAddr is where every testbed's server lives.
 var ServerAddr = xk.IP(10, 0, 0, 2)
+
+// SetSpans attaches a span recorder to every capture point the testbed
+// owns: the meter's instrumented boundaries, the simulated wire, and
+// the server-side handler wrappers. Only instrumented testbeds
+// (BuildInstrumented) have boundaries to capture at; on a bare testbed
+// this wires the wire spans alone.
+func (tb *Testbed) SetSpans(r *span.Recorder) {
+	if tb.Meter != nil {
+		tb.Meter.SetSpans(r)
+	}
+	tb.Network.SetSpans(r)
+}
+
+// spanHandler wraps a server procedure body so its execution is
+// recorded as a handler span (the paper's "user stub + procedure"
+// share of the round trip) when the meter carries an enabled recorder.
+func spanHandler(m *obs.Meter, layer string, h func(uint16, *msg.Msg) (*msg.Msg, error)) func(uint16, *msg.Msg) (*msg.Msg, error) {
+	if m == nil {
+		return h
+	}
+	return func(cmd uint16, args *msg.Msg) (*msg.Msg, error) {
+		rec := m.Spans()
+		if !rec.Enabled() {
+			return h(cmd, args)
+		}
+		sid := rec.BeginMsg(layer, span.DirHandler, obs.EnsureMsgID(args), args)
+		reply, err := h(cmd, args)
+		rec.EndMsg(sid, args, span.ErrString(err))
+		return reply, err
+	}
+}
 
 // Build assembles the named configuration over a fresh two-host network.
 func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) {
@@ -238,7 +270,7 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	execs := registerMRPCHandlers(srv)
+	execs := registerMRPCHandlers(srv, m)
 
 	app := xk.NewApp("client/app", nil)
 	app.MaxMsg = 1500
@@ -261,16 +293,16 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	return nil
 }
 
-func registerMRPCHandlers(srv *mrpc.Protocol) *atomic.Int64 {
+func registerMRPCHandlers(srv *mrpc.Protocol, m *obs.Meter) *atomic.Int64 {
 	execs := new(atomic.Int64)
-	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+	srv.Register(CmdNull, spanHandler(m, "server/handler", func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return msg.Empty(), nil
-	})
-	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+	}))
+	srv.Register(CmdEcho, spanHandler(m, "server/handler", func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return args, nil
-	})
+	}))
 	return execs
 }
 
@@ -290,14 +322,14 @@ func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 		return err
 	}
 	execs := new(atomic.Int64)
-	srv.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+	srv.Register(CmdNull, spanHandler(m, "server/handler", func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return msg.Empty(), nil
-	})
-	srv.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+	}))
+	srv.Register(CmdEcho, spanHandler(m, "server/handler", func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return args, nil
-	})
+	}))
 	s, err := cli.OpenSession(ServerAddr)
 	if err != nil {
 		return err
@@ -395,7 +427,7 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 	case 4:
 		// The endpoint drives SELECT directly — the wrap boundaries sit
 		// below it, so the select session keeps its concrete type.
-		tb.ServerExecs = registerSelectHandlers(sp.sel).Load
+		tb.ServerExecs = registerSelectHandlers(sp.sel, m).Load
 		app := xk.NewApp("client/app", nil)
 		s, err := cp.sel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 		if err != nil {
@@ -404,7 +436,7 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 		tb.End = &selectEndpoint{s: s.(*selectp.Session)}
 		return nil
 	case 3:
-		end, execs, err := newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn))
+		end, execs, err := newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn), m)
 		if err != nil {
 			return err
 		}
@@ -420,16 +452,16 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 	}
 }
 
-func registerSelectHandlers(sel *selectp.Protocol) *atomic.Int64 {
+func registerSelectHandlers(sel *selectp.Protocol, m *obs.Meter) *atomic.Int64 {
 	execs := new(atomic.Int64)
-	sel.Register(CmdNull, func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
+	sel.Register(CmdNull, spanHandler(m, "server/handler", func(_ uint16, _ *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return msg.Empty(), nil
-	})
-	sel.Register(CmdEcho, func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
+	}))
+	sel.Register(CmdEcho, spanHandler(m, "server/handler", func(_ uint16, args *msg.Msg) (*msg.Msg, error) {
 		execs.Add(1)
 		return args, nil
-	})
+	}))
 	return execs
 }
 
@@ -457,10 +489,10 @@ type channelEndpoint struct {
 	}
 }
 
-func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, *atomic.Int64, error) {
+func newChannelEndpoint(cli, srv xk.Protocol, mtr *obs.Meter) (Endpoint, *atomic.Int64, error) {
 	execs := new(atomic.Int64)
 	serverApp := xk.NewApp("server/app", nil)
-	serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+	deliver := func(s xk.Session, m *msg.Msg) error {
 		// s is the channel ServerSession (possibly instrumented); Push
 		// on it sends the reply for the request being delivered.
 		execs.Add(1)
@@ -472,6 +504,19 @@ func newChannelEndpoint(cli, srv xk.Protocol) (Endpoint, *atomic.Int64, error) {
 			return s.Push(m)
 		}
 		return s.Push(msg.Empty())
+	}
+	serverApp.Deliver = deliver
+	if mtr != nil {
+		serverApp.Deliver = func(s xk.Session, m *msg.Msg) error {
+			rec := mtr.Spans()
+			if !rec.Enabled() {
+				return deliver(s, m)
+			}
+			sid := rec.BeginMsg("server/handler", span.DirHandler, obs.EnsureMsgID(m), m)
+			err := deliver(s, m)
+			rec.EndMsg(sid, m, span.ErrString(err))
+			return err
+		}
 	}
 	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(ip.ProtoRDG))); err != nil {
 		return nil, nil, err
@@ -612,7 +657,7 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	execs := registerSelectHandlers(ssel)
+	execs := registerSelectHandlers(ssel, m)
 	app := xk.NewApp("client/app", nil)
 	s, err := csel.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
 	if err != nil {

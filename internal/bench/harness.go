@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"xkernel/internal/model"
@@ -30,6 +32,11 @@ type Options struct {
 	// damping GC and scheduler noise at microsecond scale; zero means
 	// 3.
 	Repeats int
+	// ProfileLabels turns on per-layer pprof goroutine labels during
+	// instrumented runs, so a CPU profile attributes samples to
+	// protocol layers. Costs time per boundary crossing — only set it
+	// when collecting a profile.
+	ProfileLabels bool
 }
 
 func (o *Options) fill() {
@@ -80,63 +87,78 @@ type Result struct {
 }
 
 // MeasureLatency runs the null-call latency test on a fresh testbed.
-func MeasureLatency(tb *Testbed, opt Options) (time.Duration, float64, error) {
+// The timed loop runs under a {stack=<name>} pprof label set, so a CPU
+// profile collected across a whole table attributes samples per
+// configuration (and, on instrumented graphs with profile labels on,
+// per layer).
+func MeasureLatency(tb *Testbed, opt Options) (best time.Duration, frames float64, err error) {
 	opt.fill()
-	for i := 0; i < opt.Warmup; i++ {
-		if err := tb.End.RoundTrip(nil); err != nil {
-			return 0, 0, err
-		}
-	}
-	var best time.Duration
-	var frames float64
-	for r := 0; r < opt.Repeats; r++ {
-		runtime.GC()
-		tb.Network.ResetStats()
-		start := time.Now()
-		for i := 0; i < opt.LatencyIters; i++ {
-			if err := tb.End.RoundTrip(nil); err != nil {
-				return 0, 0, err
+	pprof.Do(context.Background(), pprof.Labels("stack", string(tb.Stack)), func(context.Context) {
+		for i := 0; i < opt.Warmup; i++ {
+			if err = tb.End.RoundTrip(nil); err != nil {
+				return
 			}
 		}
-		elapsed := time.Since(start) / time.Duration(opt.LatencyIters)
-		if r == 0 || elapsed < best {
-			best = elapsed
-			frames = float64(tb.Network.Stats().FramesSent) / float64(opt.LatencyIters)
+		for r := 0; r < opt.Repeats; r++ {
+			runtime.GC()
+			tb.Network.ResetStats()
+			start := time.Now()
+			for i := 0; i < opt.LatencyIters; i++ {
+				if err = tb.End.RoundTrip(nil); err != nil {
+					return
+				}
+			}
+			elapsed := time.Since(start) / time.Duration(opt.LatencyIters)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				frames = float64(tb.Network.Stats().FramesSent) / float64(opt.LatencyIters)
+			}
 		}
+	})
+	if err != nil {
+		return 0, 0, err
 	}
 	return best, frames, nil
 }
 
 // MeasureSweep runs the large-message workload (request of each size,
-// null reply) and fits the incremental cost per kilobyte.
-func MeasureSweep(tb *Testbed, opt Options) (map[int]time.Duration, time.Duration, error) {
+// null reply) and fits the incremental cost per kilobyte. Like
+// MeasureLatency, the loop carries a {stack=<name>} pprof label set.
+func MeasureSweep(tb *Testbed, opt Options) (out map[int]time.Duration, slope time.Duration, err error) {
 	opt.fill()
-	out := make(map[int]time.Duration, len(opt.SweepSizes))
-	for _, n := range opt.SweepSizes {
-		if n > tb.MaxMsg {
-			continue
-		}
-		payload := msg.MakeData(n)
-		for i := 0; i < opt.Warmup/10+1; i++ {
-			if err := tb.End.RoundTrip(payload); err != nil {
-				return nil, 0, fmt.Errorf("size %d: %w", n, err)
+	out = make(map[int]time.Duration, len(opt.SweepSizes))
+	pprof.Do(context.Background(), pprof.Labels("stack", string(tb.Stack)), func(context.Context) {
+		for _, n := range opt.SweepSizes {
+			if n > tb.MaxMsg {
+				continue
 			}
-		}
-		var best time.Duration
-		for r := 0; r < opt.Repeats; r++ {
-			runtime.GC()
-			start := time.Now()
-			for i := 0; i < opt.SweepIters; i++ {
-				if err := tb.End.RoundTrip(payload); err != nil {
-					return nil, 0, fmt.Errorf("size %d: %w", n, err)
+			payload := msg.MakeData(n)
+			for i := 0; i < opt.Warmup/10+1; i++ {
+				if err = tb.End.RoundTrip(payload); err != nil {
+					err = fmt.Errorf("size %d: %w", n, err)
+					return
 				}
 			}
-			elapsed := time.Since(start) / time.Duration(opt.SweepIters)
-			if r == 0 || elapsed < best {
-				best = elapsed
+			var best time.Duration
+			for r := 0; r < opt.Repeats; r++ {
+				runtime.GC()
+				start := time.Now()
+				for i := 0; i < opt.SweepIters; i++ {
+					if err = tb.End.RoundTrip(payload); err != nil {
+						err = fmt.Errorf("size %d: %w", n, err)
+						return
+					}
+				}
+				elapsed := time.Since(start) / time.Duration(opt.SweepIters)
+				if r == 0 || elapsed < best {
+					best = elapsed
+				}
 			}
+			out[n] = best
 		}
-		out[n] = best
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	return out, slopePerKB(out), nil
 }

@@ -76,11 +76,12 @@ func tableStacks(n int) ([]Stack, string, error) {
 // drives rpcs null round trips, and returns the per-layer snapshots.
 // Counting starts after warmup, so session setup (opens, ARP) and
 // first-use costs do not pollute the steady-state numbers.
-func instrumentedLayers(stack Stack, rpcs int) ([]obs.LayerSnapshot, error) {
+func instrumentedLayers(stack Stack, rpcs int, labels bool) ([]obs.LayerSnapshot, error) {
 	tb, m, err := BuildInstrumented(stack, sim.Config{}, nil)
 	if err != nil {
 		return nil, err
 	}
+	m.SetProfileLabels(labels)
 	for i := 0; i < 10; i++ {
 		if err := tb.End.RoundTrip(nil); err != nil {
 			return nil, err
@@ -146,7 +147,7 @@ func TableJSON(n int, opt Options) (*TableReport, error) {
 		prev = r.Latency
 
 		drain()
-		c.Layers, err = instrumentedLayers(s, rpcs)
+		c.Layers, err = instrumentedLayers(s, rpcs, opt.ProfileLabels)
 		if err != nil {
 			return nil, fmt.Errorf("%s (instrumented): %w", s, err)
 		}

@@ -1,0 +1,252 @@
+package anatomy
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xkernel/internal/obs/span"
+)
+
+// mk builds a closed span.
+func mk(id, parent uint64, layer, dir string, start, end int64) span.Span {
+	return span.Span{ID: id, Parent: parent, Layer: layer, Dir: dir,
+		StartNs: start, EndNs: end, Done: true}
+}
+
+func TestAnalyzeContainmentStitching(t *testing.T) {
+	// A client push containing a wire transit and a server leg whose
+	// spans carry no explicit parent — the cross-wire case.
+	spans := []span.Span{
+		mk(1, 0, "app", span.DirCall, 0, 100),
+		mk(2, 1, "client/eth", span.DirDown, 10, 90),
+		mk(3, 0, "wire", span.DirWire, 20, 30),
+		mk(4, 0, "server/eth", span.DirUp, 40, 80), // attaches by containment
+		mk(5, 4, "server/handler", span.DirHandler, 50, 60),
+	}
+	a := Analyze(spans)
+	if len(a.Roots) != 1 || a.Open != 0 || a.Reparented != 0 {
+		t.Fatalf("roots %d open %d reparented %d", len(a.Roots), a.Open, a.Reparented)
+	}
+	root := a.Roots[0]
+	if root.Span.ID != 1 || len(root.Children) != 1 {
+		t.Fatalf("root %d with %d children", root.Span.ID, len(root.Children))
+	}
+	eth := root.Children[0]
+	if len(eth.Children) != 2 || eth.Children[0].Span.ID != 3 || eth.Children[1].Span.ID != 4 {
+		t.Fatalf("eth children: %+v", eth.Children)
+	}
+	if eth.Children[1].Children[0].Span.ID != 5 {
+		t.Fatal("handler not under server/eth")
+	}
+	// Exclusive arithmetic: eth = 80 - (10 + 40) = 30.
+	if got := eth.Exclusive(); got != 30 {
+		t.Fatalf("eth exclusive = %d", got)
+	}
+	// Σ exclusive over the tree equals the root duration.
+	var sum int64
+	root.Walk(func(n *Node) { sum += n.Exclusive() })
+	if sum != root.Span.Duration() {
+		t.Fatalf("Σ exclusive %d != root duration %d", sum, root.Span.Duration())
+	}
+}
+
+func TestAnalyzeRejectsStaleExplicitParent(t *testing.T) {
+	// Span 3 claims parent 1, but 1's interval closed long before —
+	// a retransmission from a held clone. Containment wins.
+	spans := []span.Span{
+		mk(1, 0, "old", span.DirDown, 0, 10),
+		mk(2, 0, "timer", span.DirDown, 100, 200),
+		mk(3, 1, "retrans", span.DirDown, 110, 120),
+	}
+	a := Analyze(spans)
+	if a.Reparented != 1 {
+		t.Fatalf("reparented = %d", a.Reparented)
+	}
+	var retrans *Node
+	for _, r := range a.Roots {
+		r.Walk(func(n *Node) {
+			if n.Span.ID == 3 {
+				retrans = n
+			}
+		})
+	}
+	if retrans == nil || retrans.Parent == nil || retrans.Parent.Span.ID != 2 {
+		t.Fatalf("retransmission not attached to containing span: %+v", retrans)
+	}
+}
+
+func TestAnalyzeSkipsOpenSpans(t *testing.T) {
+	spans := []span.Span{
+		mk(1, 0, "a", span.DirDown, 0, 10),
+		{ID: 2, Layer: "leak", Dir: span.DirDown, StartNs: 2, EndNs: 0, Done: false},
+	}
+	a := Analyze(spans)
+	if a.Open != 1 || len(a.Roots) != 1 {
+		t.Fatalf("open %d roots %d", a.Open, len(a.Roots))
+	}
+}
+
+func TestCheckCompositionViolations(t *testing.T) {
+	eps := Epsilon{Frac: 0, FloorNs: 0}
+
+	// Hand-built tree (Analyze's containment stitching cannot produce
+	// an escaping child, so this exercises the checker directly): a
+	// child spilling past its parent, overlapping its sibling, and the
+	// two summing past the parent's duration.
+	p := &Node{Span: mk(1, 0, "p", span.DirDown, 0, 50)}
+	c1 := &Node{Span: mk(2, 1, "c1", span.DirDown, 0, 45), Parent: p}
+	c2 := &Node{Span: mk(3, 1, "c2", span.DirDown, 40, 85), Parent: p}
+	p.Children = []*Node{c1, c2}
+	a := &Analysis{Roots: []*Node{p}}
+	kinds := map[string]bool{}
+	for _, v := range a.CheckComposition(eps) {
+		kinds[v.Kind] = true
+		if v.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+	if !kinds["containment"] || !kinds["overlap"] || !kinds["sum"] {
+		t.Fatalf("violation kinds = %v, want containment+overlap+sum", kinds)
+	}
+
+	// Through Analyze, interval-crossing siblings still surface as
+	// overlap + sum violations.
+	crossed := []span.Span{
+		mk(1, 0, "p", span.DirDown, 0, 100),
+		mk(2, 1, "c1", span.DirDown, 5, 95),
+		mk(3, 1, "c2", span.DirDown, 50, 99),
+	}
+	kinds = map[string]bool{}
+	for _, v := range Analyze(crossed).CheckComposition(eps) {
+		kinds[v.Kind] = true
+	}
+	if !kinds["overlap"] || !kinds["sum"] {
+		t.Fatalf("violation kinds = %v, want overlap+sum", kinds)
+	}
+
+	// A clean tree passes with zero tolerance.
+	good := []span.Span{
+		mk(1, 0, "p", span.DirDown, 0, 100),
+		mk(2, 1, "c1", span.DirDown, 10, 40),
+		mk(3, 1, "c2", span.DirDown, 50, 90),
+	}
+	if vs := Analyze(good).CheckComposition(eps); len(vs) != 0 {
+		t.Fatalf("clean tree violated: %v", vs)
+	}
+
+	// The epsilon absorbs a small spill on a hand-built pair.
+	sp := &Node{Span: mk(1, 0, "p", span.DirDown, 0, 100)}
+	sc := &Node{Span: mk(2, 1, "c", span.DirDown, 10, 101), Parent: sp}
+	sp.Children = []*Node{sc}
+	spilled := &Analysis{Roots: []*Node{sp}}
+	if vs := spilled.CheckComposition(Epsilon{Frac: 0.05, FloorNs: 0}); len(vs) != 0 {
+		t.Fatalf("1%% spill not absorbed by 5%% epsilon: %v", vs)
+	}
+	if vs := spilled.CheckComposition(eps); len(vs) == 0 {
+		t.Fatal("spill not caught with zero epsilon")
+	}
+}
+
+func TestTablePercentilesAndWireAttribution(t *testing.T) {
+	var spans []span.Span
+	var id uint64
+	for i := 0; i < 100; i++ {
+		id++
+		s := mk(id, 0, "wire", span.DirWire, int64(i*1000), int64(i*1000+int(i)))
+		s.WireSerNs, s.WireLatNs, s.WireQueueNs = 40, 10, 1
+		spans = append(spans, s)
+	}
+	rows := Analyze(spans).Table()
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Count != 100 || r.Layer != "wire" || r.Dir != span.DirWire {
+		t.Fatalf("row = %+v", r)
+	}
+	// Durations are 0..99; p50 ≈ 49/50, p99 ≈ 98.
+	if r.SelfP50Ns < 45 || r.SelfP50Ns > 55 || r.SelfP99Ns < 95 || r.SelfP99Ns > 99 {
+		t.Fatalf("p50 %d p99 %d", r.SelfP50Ns, r.SelfP99Ns)
+	}
+	if r.WireSerNs != 4000 || r.WireLatNs != 1000 || r.WireQueueNs != 100 {
+		t.Fatalf("wire sums: %d %d %d", r.WireSerNs, r.WireLatNs, r.WireQueueNs)
+	}
+}
+
+func TestCriticalPathFollowsDominantChild(t *testing.T) {
+	spans := []span.Span{
+		mk(1, 0, "root", span.DirCall, 0, 100),
+		mk(2, 1, "small", span.DirDown, 5, 15),
+		mk(3, 1, "big", span.DirDown, 20, 95),
+		mk(4, 3, "leaf", span.DirDown, 30, 90),
+	}
+	a := Analyze(spans)
+	path := CriticalPath(a.Roots[0])
+	var names []string
+	for _, n := range path {
+		names = append(names, n.Span.Layer)
+	}
+	if got := strings.Join(names, ">"); got != "root>big>leaf" {
+		t.Fatalf("critical path = %s", got)
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	spans := []span.Span{
+		mk(1, 0, "app", span.DirCall, 0, 10000),
+		mk(2, 1, "client/eth", span.DirDown, 1000, 9000),
+	}
+	out := FormatTree(Analyze(spans).Roots[0])
+	if !strings.Contains(out, "app/call") || !strings.Contains(out, "  client/eth/down") {
+		t.Fatalf("tree:\n%s", out)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []span.Span{
+		mk(1, 0, "app", span.DirCall, 0, 10000),
+		mk(2, 1, "client/eth", span.DirDown, 1000, 9000),
+		mk(3, 0, "server/vip", span.DirUp, 2000, 8000),
+	}
+	spans = append(spans, span.Span{ // open span must be excluded
+		ID: 4, Layer: "leak", Dir: span.DirDown, StartNs: 1, Done: false,
+	})
+	w := &bytes.Buffer{}
+	if err := WriteChromeTrace(w, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var complete, meta int
+	tids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("complete event missing %s: %v", k, ev)
+				}
+			}
+			tids[ev["tid"].(float64)] = true
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("%d complete events, want 3 (open span excluded)", complete)
+	}
+	// app and client share the client track; server has its own.
+	if len(tids) != 2 {
+		t.Fatalf("tids = %v, want the client and server tracks", tids)
+	}
+	if meta != 2 {
+		t.Fatalf("%d thread_name metadata events, want 2", meta)
+	}
+}

@@ -1,0 +1,114 @@
+package anatomy
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"xkernel/internal/obs/span"
+)
+
+// chromeEvent is one record of the Chrome trace-event format
+// ("Trace Event Format", JSON Array/Object variant) that Perfetto and
+// chrome://tracing load directly. Timestamps and durations are in
+// microseconds; fractional values keep the nanosecond precision.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// track maps a span to a Perfetto track (tid). Host prefixes become
+// tracks so the client stack, server stack, and wire lay out as three
+// parallel timelines.
+func track(layer string) (int, string) {
+	host := layer
+	if i := strings.IndexByte(layer, '/'); i >= 0 {
+		host = layer[:i]
+	}
+	switch host {
+	case "client", "app":
+		return 1, "client"
+	case "server":
+		return 2, "server"
+	case "wire":
+		return 3, "wire"
+	default:
+		return 4, host
+	}
+}
+
+// WriteChromeTrace renders closed spans as Chrome trace-event JSON:
+// one complete ("X") event per span on a per-host track, preceded by
+// thread-name metadata so Perfetto labels the tracks.
+func WriteChromeTrace(w io.Writer, spans []span.Span) error {
+	out := chromeTrace{DisplayUnit: "ns", TraceEvents: []chromeEvent{}}
+	named := map[int]string{}
+	for _, s := range spans {
+		if !s.Done {
+			continue
+		}
+		tid, host := track(s.Layer)
+		named[tid] = host
+		args := map[string]any{
+			"span":   s.ID,
+			"parent": s.Parent,
+		}
+		if s.MsgID != 0 {
+			args["msgid"] = s.MsgID
+		}
+		if s.Bytes > 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.Dir == span.DirWire {
+			args["wire_ser_ns"] = s.WireSerNs
+			args["wire_lat_ns"] = s.WireLatNs
+			args["wire_queue_ns"] = s.WireQueueNs
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Layer + "/" + s.Dir,
+			Cat:  s.Dir,
+			Ph:   "X",
+			Ts:   float64(s.StartNs) / 1000,
+			Dur:  float64(s.Duration()) / 1000,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	tids := make([]int, 0, len(named))
+	for tid := range named {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	meta := make([]chromeEvent, 0, len(tids))
+	for _, tid := range tids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": named[tid]},
+		})
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"xkernel/internal/obs/span"
 )
 
 // LayerStats holds the counters and latency histograms for one
@@ -103,6 +105,8 @@ type Meter struct {
 	mu     sync.Mutex
 	layers map[string]*LayerStats
 	tracer atomic.Pointer[Tracer]
+	spans  atomic.Pointer[span.Recorder]
+	labels atomic.Bool
 }
 
 // NewMeter returns an empty meter.
@@ -143,6 +147,33 @@ func (m *Meter) SetTracer(t *Tracer) {
 // Tracer reports the attached tracer, nil when none.
 func (m *Meter) Tracer() *Tracer {
 	return m.tracer.Load()
+}
+
+// SetSpans attaches a span recorder; every instrumented boundary using
+// this meter starts capturing causal spans once the recorder is
+// enabled. Pass nil to detach. A disabled or detached recorder costs
+// each boundary one atomic load.
+func (m *Meter) SetSpans(r *span.Recorder) {
+	m.spans.Store(r)
+}
+
+// Spans reports the attached span recorder, nil when none.
+func (m *Meter) Spans() *span.Recorder {
+	return m.spans.Load()
+}
+
+// SetProfileLabels toggles runtime/pprof goroutine labels on the
+// instrumented boundaries: when on, each crossing runs the layer below
+// under a {layer=<name>} label set so CPU profiles attribute samples
+// to protocol layers. Labelling costs time on every crossing — leave
+// it off except when collecting a profile.
+func (m *Meter) SetProfileLabels(on bool) {
+	m.labels.Store(on)
+}
+
+// ProfileLabels reports whether boundary labelling is on.
+func (m *Meter) ProfileLabels() bool {
+	return m.labels.Load()
 }
 
 // Snapshot copies every layer's stats, sorted by layer name.

@@ -1,0 +1,171 @@
+package span
+
+import (
+	"errors"
+	"testing"
+
+	"xkernel/internal/msg"
+)
+
+func TestBeginEndLifecycle(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Enabled() {
+		t.Fatal("new recorder enabled")
+	}
+	if id := r.Begin("l", DirDown, 1, 0, 10, 5); id != 0 {
+		t.Fatalf("disabled Begin returned %d", id)
+	}
+	r.Enable()
+	id := r.Begin("l", DirDown, 7, 0, 10, 5)
+	if id == 0 {
+		t.Fatal("enabled Begin returned 0")
+	}
+	r.End(id, 25, "boom")
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans recorded", len(spans))
+	}
+	s := spans[0]
+	if !s.Done || s.StartNs != 5 || s.EndNs != 25 || s.Duration() != 20 ||
+		s.MsgID != 7 || s.Err != "boom" || s.Layer != "l" || s.Dir != DirDown || s.Bytes != 10 {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestBufferBoundDropsWithCount(t *testing.T) {
+	r := NewRecorder(2)
+	r.Enable()
+	a := r.Begin("l", DirDown, 0, 0, 0, 1)
+	b := r.Begin("l", DirDown, 0, 0, 0, 2)
+	c := r.Begin("l", DirDown, 0, 0, 0, 3)
+	if a == 0 || b == 0 {
+		t.Fatal("in-bound Begins refused")
+	}
+	if c != 0 {
+		t.Fatalf("over-bound Begin returned %d", c)
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+	// Ending a dropped (zero) id is a no-op, not a panic.
+	r.End(c, 9, "")
+	r.EndWire(c, 9, 0, 0, 0)
+	r.SetDetail(c, "x")
+
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after reset: len %d dropped %d", r.Len(), r.Dropped())
+	}
+	if !r.Enabled() {
+		t.Fatal("reset cleared enabled state")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	r.End(1, 2, "")
+	r.EndWire(1, 2, 3, 4, 5)
+	r.SetDetail(1, "x")
+	r.EndMsg(1, nil, "")
+	if r.Spans() != nil || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	r.Reset()
+}
+
+func TestMsgContextNesting(t *testing.T) {
+	r := NewRecorder(0)
+	r.Enable()
+	m := msg.New([]byte("abc"))
+
+	outer := r.BeginMsg("outer", DirDown, 1, m)
+	if Current(m) != outer {
+		t.Fatalf("current = %d, want %d", Current(m), outer)
+	}
+	inner := r.BeginMsg("inner", DirDown, 1, m)
+	if Current(m) != inner {
+		t.Fatalf("current = %d, want %d", Current(m), inner)
+	}
+	r.EndMsg(inner, m, "")
+	if Current(m) != outer {
+		t.Fatalf("after inner end: current = %d, want outer %d", Current(m), outer)
+	}
+	// A sibling opened after the restore parents to outer, not inner.
+	sib := r.BeginMsg("sibling", DirDown, 1, m)
+	r.EndMsg(sib, m, "")
+	r.EndMsg(outer, m, "")
+	if Current(m) != 0 {
+		t.Fatalf("after outer end: current = %d", Current(m))
+	}
+
+	spans := r.Spans()
+	byLayer := map[string]Span{}
+	for _, s := range spans {
+		byLayer[s.Layer] = s
+	}
+	if byLayer["inner"].Parent != outer || byLayer["sibling"].Parent != outer {
+		t.Fatalf("parents: inner %d sibling %d, want %d", byLayer["inner"].Parent, byLayer["sibling"].Parent, outer)
+	}
+	if byLayer["outer"].Parent != 0 {
+		t.Fatalf("outer parent = %d", byLayer["outer"].Parent)
+	}
+}
+
+func TestContextRidesClone(t *testing.T) {
+	r := NewRecorder(0)
+	r.Enable()
+	m := msg.New([]byte("abc"))
+	id := r.BeginMsg("l", DirDown, 1, m)
+	c := m.Clone()
+	if Current(c) != id {
+		t.Fatalf("clone current = %d, want %d", Current(c), id)
+	}
+	r.EndMsg(id, m, "")
+}
+
+func TestEndWireAttribution(t *testing.T) {
+	r := NewRecorder(0)
+	r.Enable()
+	id := r.Begin("wire", DirWire, 0, 0, 64, 100)
+	r.EndWire(id, 110, 51200, 1000, 7)
+	s := r.Spans()[0]
+	if !s.Done || s.WireSerNs != 51200 || s.WireLatNs != 1000 || s.WireQueueNs != 7 {
+		t.Fatalf("wire span = %+v", s)
+	}
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	r := NewRecorder(0)
+	m := msg.New([]byte("abc"))
+	if n := testing.AllocsPerRun(200, func() {
+		if r.Enabled() {
+			t.Fatal("unexpectedly enabled")
+		}
+		id := r.BeginMsg("l", DirDown, 1, m)
+		r.EndMsg(id, m, nil2str())
+	}); n != 0 {
+		t.Fatalf("disabled capture path allocated %.1f per run", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		id := nilRec.BeginMsg("l", DirDown, 1, m)
+		nilRec.EndMsg(id, m, "")
+	}); n != 0 {
+		t.Fatalf("nil-recorder capture path allocated %.1f per run", n)
+	}
+}
+
+// nil2str mirrors the capture sites: ErrString on a nil error.
+func nil2str() string { return ErrString(nil) }
+
+func TestErrString(t *testing.T) {
+	if got := ErrString(nil); got != "" {
+		t.Fatalf("ErrString(nil) = %q", got)
+	}
+	if got := ErrString(errors.New("x")); got != "x" {
+		t.Fatalf("ErrString = %q", got)
+	}
+}

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"xkernel/internal/msg"
+	"xkernel/internal/obs/span"
 	"xkernel/internal/xk"
 )
 
@@ -142,8 +145,8 @@ func (w *W) Control(op xk.ControlOp, arg any) (any, error) {
 }
 
 // demuxUp carries one message across the boundary upward: count, tag,
-// trace, then hand to the higher protocol's Demux with the wrapped
-// session as the source.
+// trace, span, then hand to the higher protocol's Demux with the
+// wrapped session as the source.
 func (w *W) demuxUp(ws *wrapSession, m *msg.Msg) error {
 	w.stats.Pops.Add(1)
 	w.stats.BytesUp.Add(int64(m.Len()))
@@ -157,15 +160,50 @@ func (w *W) demuxUp(ws *wrapSession, m *msg.Msg) error {
 		return xk.ErrNoSession
 	}
 	w.stats.Demuxes.Add(1)
+	var sid uint64
+	rec := w.meter.Spans()
+	if rec.Enabled() {
+		sid = rec.BeginMsg(w.Name(), span.DirUp, EnsureMsgID(m), m)
+	}
 	start := time.Now()
-	err := up.Demux(ws, m)
+	err := w.demuxInner(up, ws, m)
 	w.stats.PopLatency.Observe(time.Since(start))
+	if sid != 0 {
+		rec.EndMsg(sid, m, span.ErrString(err))
+	}
 	if err != nil {
 		w.stats.Drops.Add(1)
 		if t != nil {
 			t.Emit(w.Name(), EventDrop, 0, 0, err.Error())
 		}
 	}
+	return err
+}
+
+// demuxInner forwards the upward delivery, under a {layer=<name>}
+// pprof label set when boundary labelling is on, so CPU profiles
+// attribute the samples above this boundary to the layer.
+func (w *W) demuxInner(up xk.Protocol, ws *wrapSession, m *msg.Msg) error {
+	if !w.meter.ProfileLabels() {
+		return up.Demux(ws, m)
+	}
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("layer", w.Name()), func(context.Context) {
+		err = up.Demux(ws, m)
+	})
+	return err
+}
+
+// pushInner forwards the downward crossing, under a pprof label set
+// when boundary labelling is on.
+func (w *W) pushInner(ws *wrapSession, m *msg.Msg) error {
+	if !w.meter.ProfileLabels() {
+		return ws.inner.Push(m)
+	}
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("layer", w.Name()), func(context.Context) {
+		err = ws.inner.Push(m)
+	})
 	return err
 }
 
@@ -259,9 +297,17 @@ func (ws *wrapSession) Push(m *msg.Msg) error {
 	if t := ws.w.meter.Tracer(); t != nil {
 		t.Emit(ws.w.Name(), EventPush, EnsureMsgID(m), m.Len(), "")
 	}
+	var sid uint64
+	rec := ws.w.meter.Spans()
+	if rec.Enabled() {
+		sid = rec.BeginMsg(ws.w.Name(), span.DirDown, EnsureMsgID(m), m)
+	}
 	start := time.Now()
-	err := ws.inner.Push(m)
+	err := ws.w.pushInner(ws, m)
 	st.PushLatency.Observe(time.Since(start))
+	if sid != 0 {
+		rec.EndMsg(sid, m, span.ErrString(err))
+	}
 	if err != nil {
 		st.Drops.Add(1)
 		if t := ws.w.meter.Tracer(); t != nil {
@@ -288,9 +334,19 @@ func (ws *wrapSession) Call(m *msg.Msg) (*msg.Msg, error) {
 	if t != nil {
 		t.Emit(ws.w.Name(), EventCall, EnsureMsgID(m), m.Len(), "")
 	}
+	var sid uint64
+	rec := ws.w.meter.Spans()
+	if rec.Enabled() {
+		sid = rec.BeginMsg(ws.w.Name(), span.DirCall, EnsureMsgID(m), m)
+	}
 	start := time.Now()
 	reply, err := caller.Call(m)
 	st.PushLatency.Observe(time.Since(start))
+	// The request message was consumed by the call; the span closes
+	// without restoring a current-span attribute on it.
+	if sid != 0 {
+		rec.EndMsg(sid, nil, span.ErrString(err))
+	}
 	if err != nil {
 		st.Drops.Add(1)
 		if t != nil {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"xkernel/internal/event"
+	"xkernel/internal/obs/span"
 	"xkernel/internal/xk"
 )
 
@@ -111,6 +112,7 @@ type Network struct {
 	held    *heldFrame // one-frame reorder buffer
 	stats   Stats
 	capture func(FrameRecord)
+	spanrec *span.Recorder
 
 	// Scenario faults (see faults.go).
 	rules     []*ruleState
@@ -166,10 +168,57 @@ func (n *Network) SetCapture(f func(FrameRecord)) {
 	n.mu.Unlock()
 }
 
+// SetSpans attaches a span recorder; every frame transit is recorded
+// as a "wire" span with its time attributed separately to modeled
+// serialization (bandwidth), configured propagation latency, and
+// measured reorder-hold queueing. Pass nil to detach. Wire spans carry
+// no parent — the anatomy analyzer attaches them to the sending
+// boundary's span by interval containment.
+func (n *Network) SetSpans(r *span.Recorder) {
+	n.mu.Lock()
+	n.spanrec = r
+	n.mu.Unlock()
+}
+
+// wireSpanLocked opens a transit span for one frame, returning id 0
+// when span capture is off. Called with n.mu held; the recorder's own
+// lock is leaf-level so the ordering is safe.
+func (n *Network) wireSpanLocked(length int) (rec *span.Recorder, id uint64, startNs int64) {
+	rec = n.spanrec
+	if !rec.Enabled() {
+		return nil, 0, 0
+	}
+	startNs = rec.Since(n.clock.Now())
+	return rec, rec.Begin("wire", span.DirWire, 0, 0, length, startNs), startNs
+}
+
+// closeWireSpan ends a transit span with its attribution and a
+// "disposition src->dst" detail. queueNs is nonzero only for frames
+// released from the reorder hold.
+func (n *Network) closeWireSpan(rec *span.Recorder, id uint64, startNs, serNs, queueNs int64, src, dst xk.EthAddr, disposition string) {
+	if id == 0 {
+		return
+	}
+	endNs := rec.Since(n.clock.Now())
+	if endNs < startNs {
+		endNs = startNs
+	}
+	rec.EndWire(id, endNs, serNs, n.cfg.Latency.Nanoseconds(), queueNs)
+	rec.SetDetail(id, fmt.Sprintf("%s %s->%s", disposition, src, dst))
+}
+
 type heldFrame struct {
 	dst   xk.EthAddr
 	src   *NIC
 	frame []byte
+
+	// Reorder-hold span accounting: the recorder and open wire span
+	// plus entry time, so queueing is measured at release.
+	spanRec *span.Recorder
+	spanID  uint64
+	heldNs  int64
+	serNs   int64
+	startNs int64
 }
 
 // ErrFrameTooBig is returned by Send for frames over the MTU plus header.
@@ -234,6 +283,7 @@ func (n *Network) Detach(nic *NIC) {
 	if h := n.held; h != nil && (h.src == nic || h.dst == nic.addr) {
 		n.held = nil
 		n.stats.FramesDropped++
+		h.closeHeldSpan(n)
 	}
 }
 
@@ -282,15 +332,18 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	n.mu.Lock()
 	n.stats.FramesSent++
 	n.stats.BytesSent += int64(len(frame))
-	n.stats.WireTime += serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
+	ser := serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
+	n.stats.WireTime += ser
 	index := n.stats.FramesSent
 	capture := n.capture
+	rec, sid, sendNs := n.wireSpanLocked(len(frame))
 
 	// Scenario faults (link state, partition, drop rules) veto frames
 	// before the probabilistic injector sees them; a vetoed frame does
 	// not release the reorder hold.
 	if disp := n.vetoLocked(nic.addr, dst, index, frame); disp != "" {
 		n.mu.Unlock()
+		n.closeWireSpan(rec, sid, sendNs, ser.Nanoseconds(), 0, nic.addr, dst, disp)
 		if capture != nil {
 			capture(n.record(index, nic.addr, dst, frame, disp))
 		}
@@ -301,6 +354,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.FramesDropped++
 		n.mu.Unlock()
+		n.closeWireSpan(rec, sid, sendNs, ser.Nanoseconds(), 0, nic.addr, dst, FrameDropped)
 		if capture != nil {
 			capture(n.record(index, nic.addr, dst, frame, FrameDropped))
 		}
@@ -325,7 +379,9 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	disposition := FrameDelivered
 	if n.cfg.ReorderRate > 0 && n.held == nil && n.rng.Float64() < n.cfg.ReorderRate {
 		n.stats.FramesReordered++
-		n.held = &heldFrame{dst: dst, src: nic, frame: frame}
+		n.held = &heldFrame{dst: dst, src: nic, frame: frame,
+			spanRec: rec, spanID: sid, heldNs: sendNs, serNs: ser.Nanoseconds(), startNs: sendNs}
+		sid = 0 // stays open until release; queueing is measured then
 		disposition = FrameReordered
 	} else {
 		deliverNow = append(deliverNow, heldFrame{dst: dst, src: nic, frame: frame})
@@ -339,19 +395,36 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	}
 	n.mu.Unlock()
 
+	if corrupted {
+		disposition += "+" + FrameCorrupted
+	}
+	if dup {
+		disposition += "+" + FrameDup
+	}
+	n.closeWireSpan(rec, sid, sendNs, ser.Nanoseconds(), 0, nic.addr, dst, disposition)
 	if capture != nil {
-		if corrupted {
-			disposition += "+" + FrameCorrupted
-		}
-		if dup {
-			disposition += "+" + FrameDup
-		}
 		capture(n.record(index, nic.addr, dst, frame, disposition))
 	}
 	for _, f := range deliverNow {
+		f.closeHeldSpan(n)
 		n.deliver(f.src, f.dst, f.frame)
 	}
 	return nil
+}
+
+// closeHeldSpan ends the wire span of a frame released from the
+// reorder hold, attributing the hold time as queueing. Frames that
+// were never held carry no span here (spanID 0) — their span closed
+// at send time.
+func (f *heldFrame) closeHeldSpan(n *Network) {
+	if f.spanID == 0 {
+		return
+	}
+	queue := f.spanRec.Since(n.clock.Now()) - f.heldNs
+	if queue < 0 {
+		queue = 0
+	}
+	n.closeWireSpan(f.spanRec, f.spanID, f.startNs, f.serNs, queue, f.src.addr, f.dst, FrameReordered)
 }
 
 // record builds a FrameRecord with a private copy of the frame bytes,
@@ -376,6 +449,7 @@ func (n *Network) Flush() {
 	n.held = nil
 	n.mu.Unlock()
 	if h != nil {
+		h.closeHeldSpan(n)
 		n.deliver(h.src, h.dst, h.frame)
 	}
 }

@@ -38,4 +38,15 @@ go test ./internal/msg/ -fuzz FuzzPushPopFragmentJoin -fuzztime 5s
 echo "== Table I benchmark smoke (1 iteration each) =="
 go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
 
+echo "== anatomy smoke (causal spans + compositional invariant) =="
+# Drives the Table I configurations with span capture on and fails if
+# any RPC's cause tree breaks the Σ-layer-costs = end-to-end invariant.
+go run ./cmd/xkanatomy -quick > /dev/null
+
+echo "== benchmark regression gate (vs committed Table I baseline) =="
+# Relative mode normalizes by the table mean, so the committed baseline
+# stays comparable across machines; the generous threshold still
+# catches a layer growing a whole layer's worth of cost.
+go run ./cmd/xkbench -compare BENCH_table1.json -threshold 40
+
 echo "OK"

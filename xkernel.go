@@ -51,6 +51,8 @@ import (
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
+	"xkernel/internal/obs/anatomy"
+	"xkernel/internal/obs/span"
 	"xkernel/internal/rpc/channel"
 	"xkernel/internal/rpc/retry"
 	"xkernel/internal/sim"
@@ -97,6 +99,18 @@ type (
 	Tracer = obs.Tracer
 	// TraceEvent is one structured trace record.
 	TraceEvent = obs.Event
+	// SpanRecorder is the bounded in-memory causal span store; attach
+	// one with Meter.SetSpans and Network.SetSpans, then Enable it.
+	SpanRecorder = span.Recorder
+	// Span is one recorded causal interval of a message's life.
+	Span = span.Span
+	// SpanAnalysis is a reconstructed cause forest plus its
+	// latency-anatomy table and compositional-invariant check.
+	SpanAnalysis = anatomy.Analysis
+	// SpanNode is one span placed in a cause tree.
+	SpanNode = anatomy.Node
+	// SpanEpsilon is the tolerance for the compositional invariant.
+	SpanEpsilon = anatomy.Epsilon
 	// FrameRecord is one captured wire frame with its disposition.
 	FrameRecord = sim.FrameRecord
 	// FaultRule is a deterministic, predicate-targeted frame drop.
@@ -152,6 +166,18 @@ var (
 	NewMeter = obs.NewMeter
 	// NewTracer creates a JSONL tracer writing to an io.Writer.
 	NewTracer = obs.NewTracer
+	// NewSpanRecorder creates a disabled causal span recorder holding
+	// at most max spans (0 means the default bound).
+	NewSpanRecorder = span.NewRecorder
+	// AnalyzeSpans rebuilds recorded spans into per-RPC cause trees.
+	AnalyzeSpans = anatomy.Analyze
+	// FormatSpanTree renders one cause tree as indented text.
+	FormatSpanTree = anatomy.FormatTree
+	// SpanCriticalPath follows the dominant child from root to leaf.
+	SpanCriticalPath = anatomy.CriticalPath
+	// WriteChromeTrace renders spans as Chrome trace-event JSON that
+	// Perfetto and chrome://tracing load directly.
+	WriteChromeTrace = anatomy.WriteChromeTrace
 	// WrapProtocol interposes an instrumentation boundary above a
 	// protocol (the programmatic form of "@name" in a spec).
 	WrapProtocol = obs.Wrap
