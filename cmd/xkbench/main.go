@@ -41,6 +41,7 @@ import (
 	"runtime/pprof"
 
 	"xkernel/internal/bench"
+	"xkernel/internal/load"
 	"xkernel/internal/model"
 	"xkernel/internal/sim"
 )
@@ -158,8 +159,13 @@ func realMain() int {
 
 // runCompare re-measures the baseline's table and diffs the two
 // reports; the returned code is nonzero when a regression crosses the
-// threshold.
+// threshold. Load-engine reports (xkload's BENCH_load*.json, marked
+// "kind": "load") are routed to the load comparator so one -compare
+// flag gates both report families.
 func runCompare(path, mode string, thresholdPct float64, opt Options) (int, error) {
+	if kind, err := load.SniffKind(path); err == nil && kind == load.ReportKind {
+		return runLoadCompare(path, mode, thresholdPct)
+	}
 	base, err := bench.ReadTableReport(path)
 	if err != nil {
 		return 1, err
@@ -169,6 +175,27 @@ func runCompare(path, mode string, thresholdPct float64, opt Options) (int, erro
 		return 1, err
 	}
 	res, err := bench.CompareReports(base, cur, mode, thresholdPct)
+	if err != nil {
+		return 1, err
+	}
+	res.Print(os.Stdout)
+	if res.Regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runLoadCompare re-runs a load baseline's cells and diffs them.
+func runLoadCompare(path, mode string, thresholdPct float64) (int, error) {
+	base, err := load.ReadReport(path)
+	if err != nil {
+		return 1, err
+	}
+	cur, err := load.Run(load.OptionsFrom(base))
+	if err != nil {
+		return 1, err
+	}
+	res, err := load.CompareReports(base, cur, mode, thresholdPct)
 	if err != nil {
 		return 1, err
 	}

@@ -1,0 +1,154 @@
+// Command xkload drives the concurrent multi-client workload engine:
+// N closed-loop clients calling through a chosen RPC stack over the
+// shared simulator, N swept upward, reporting aggregate calls/sec,
+// latency quantiles (p50/p99), and Jain-fairness across clients at
+// each level.
+//
+// Usage:
+//
+//	xkload                               # default stacks, N in {1,8,64}
+//	xkload -stacks L_RPC-VIP,M_RPC-VIP   # choose stacks
+//	xkload -clients 1,4,16,64,256        # choose the sweep
+//	xkload -payload 2048 -echo           # verified echo workload
+//	xkload -json BENCH_load1.json        # write the JSON report
+//	xkload -compare BENCH_load1.json     # regression gate vs a baseline
+//
+// With -compare the baseline's cells are re-measured (same stacks,
+// clients, payload, wire latency) and diffed; the exit status is
+// nonzero when any cell's calls/sec falls, or p99 rises, beyond
+// -threshold percent. The default -compare-mode rel normalizes
+// calls/sec by the mean over shared cells, so a baseline committed
+// from another machine still catches scaling-shape regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xkernel/internal/bench"
+	"xkernel/internal/load"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	stacksFlag := flag.String("stacks", "", "comma-separated stack names (default: the load engine's standard set)")
+	clientsFlag := flag.String("clients", "", "comma-separated concurrency levels (default 1,8,64)")
+	duration := flag.Duration("duration", 0, "measured window per level (default 300ms)")
+	payload := flag.Int("payload", 0, "request payload bytes (default 64)")
+	echo := flag.Bool("echo", false, "use the verified echo workload instead of null calls")
+	wireLatency := flag.Duration("wire-latency", 0, "simulated one-way frame latency (default 150us)")
+	jsonOut := flag.String("json", "", "write the JSON report to this file (\"-\" for stdout) instead of the text table")
+	compare := flag.String("compare", "", "diff a fresh measurement against this baseline BENCH_load JSON; exit nonzero on regression")
+	threshold := flag.Float64("threshold", 25, "with -compare, the regression threshold in percent")
+	compareMode := flag.String("compare-mode", bench.CompareRelative, "with -compare: rel (normalize by shared-cell mean) or abs")
+	flag.Parse()
+
+	opt := load.Options{
+		Duration:    *duration,
+		Payload:     *payload,
+		Echo:        *echo,
+		WireLatency: *wireLatency,
+	}
+	if *stacksFlag != "" {
+		for _, s := range strings.Split(*stacksFlag, ",") {
+			opt.Stacks = append(opt.Stacks, bench.Stack(strings.TrimSpace(s)))
+		}
+	}
+	if *clientsFlag != "" {
+		for _, c := range strings.Split(*clientsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "xkload: bad client count %q\n", c)
+				return 2
+			}
+			opt.Clients = append(opt.Clients, n)
+		}
+	}
+
+	if *compare != "" {
+		code, err := runCompare(*compare, *compareMode, *threshold, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+		return code
+	}
+
+	rep, err := load.Run(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+		return 1
+	}
+
+	switch out := *jsonOut; out {
+	case "":
+		printReport(rep)
+	case "-":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+	default:
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return 0
+}
+
+// runCompare re-measures the baseline's cells and diffs the reports;
+// nonzero when a regression crosses the threshold. The caller's sweep
+// flags are ignored — the baseline defines the cells.
+func runCompare(path, mode string, thresholdPct float64, _ load.Options) (int, error) {
+	base, err := load.ReadReport(path)
+	if err != nil {
+		return 1, err
+	}
+	cur, err := load.Run(load.OptionsFrom(base))
+	if err != nil {
+		return 1, err
+	}
+	res, err := load.CompareReports(base, cur, mode, thresholdPct)
+	if err != nil {
+		return 1, err
+	}
+	res.Print(os.Stdout)
+	if res.Regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func printReport(rep *load.Report) {
+	fmt.Printf("load sweep: %.0fms/level, payload %dB, echo=%v, wire latency %.0fus\n",
+		rep.Options.DurationMs, rep.Options.Payload, rep.Options.Echo, rep.Options.WireLatencyUs)
+	fmt.Printf("%-28s %8s | %10s %10s %10s %10s %9s\n",
+		"stack", "clients", "calls/sec", "p50 us", "p99 us", "mean us", "fairness")
+	for _, s := range rep.Stacks {
+		for _, l := range s.Levels {
+			fmt.Printf("%-28s %8d | %10.0f %10.0f %10.0f %10.0f %9.3f\n",
+				s.Stack, l.Clients, l.CallsPerSec, l.P50Us, l.P99Us, l.MeanUs, l.Fairness)
+			if l.Errors > 0 {
+				fmt.Printf("%-28s %8s | %d errors\n", "", "", l.Errors)
+			}
+		}
+	}
+}

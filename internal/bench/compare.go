@@ -146,7 +146,11 @@ func CompareReports(base, cur *TableReport, mode string, thresholdPct float64) (
 
 // Print renders the comparison as a table.
 func (r *CompareResult) Print(w io.Writer) {
-	fmt.Fprintf(w, "baseline comparison (table %d, mode %s, threshold %.0f%%)\n", r.Table, r.Mode, r.ThresholdPct)
+	if r.Table != 0 {
+		fmt.Fprintf(w, "baseline comparison (table %d, mode %s, threshold %.0f%%)\n", r.Table, r.Mode, r.ThresholdPct)
+	} else {
+		fmt.Fprintf(w, "baseline comparison (mode %s, threshold %.0f%%)\n", r.Mode, r.ThresholdPct)
+	}
 	fmt.Fprintf(w, "%-30s %-24s | %12s %12s %9s\n", "configuration", "metric", "baseline", "current", "delta")
 	for _, row := range r.Rows {
 		mark := ""

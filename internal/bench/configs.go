@@ -25,6 +25,7 @@ import (
 	"xkernel/internal/rpc/mrpc"
 	"xkernel/internal/rpc/nrpc"
 	"xkernel/internal/rpc/selectp"
+	"xkernel/internal/rpc/sunrpc"
 	"xkernel/internal/sim"
 	"xkernel/internal/stacks"
 	"xkernel/internal/xk"
@@ -57,6 +58,7 @@ const (
 	SelChanFragVIP Stack = "SELECT-CHANNEL-FRAGMENT-VIP" // Table III (= L_RPC-VIP)
 	SelChanVIPsize Stack = "SELECT-CHANNEL-VIPsize"      // §4.3, Figure 3(b)
 	UDPIP          Stack = "UDP-IP-ETH"                  // §1 round-trip claim
+	SunRPCVIP      Stack = "SUNRPC-FRAGMENT-VIP"         // §3.3 mix-and-match composition
 )
 
 // Endpoint is a client able to perform the paper's test operation: a
@@ -80,6 +82,19 @@ type Testbed struct {
 
 	// MaxMsg is the largest payload the endpoint accepts.
 	MaxMsg int
+
+	// NewEndpoint returns an independent client endpoint for concurrent
+	// workloads; id distinguishes clients on stacks where each needs its
+	// own lower channel (bare CHANNEL allows one outstanding call per
+	// channel id). Pool-backed stacks return a shared, concurrency-safe
+	// endpoint for every id. Nil on stacks whose endpoint has no notion
+	// of concurrent calls (the push and UDP round-trip rigs).
+	NewEndpoint func(id int) (Endpoint, error)
+
+	// AtMostOnce reports whether the stack's reliability layer
+	// guarantees at-most-once execution (CHANNEL and the Sprite
+	// engines do; Sun RPC's REQUEST_REPLY is zero-or-more).
+	AtMostOnce bool
 
 	// Meter aggregates per-layer counters when the testbed was built
 	// with BuildInstrumented; nil otherwise.
@@ -184,6 +199,8 @@ func build(stack Stack, netCfg sim.Config, clock event.Clock, m *obs.Meter) (*Te
 		err = buildLayered(tb, clock, 1, m)
 	case SelChanVIPsize:
 		err = buildVIPsize(tb, clock, m)
+	case SunRPCVIP:
+		err = buildSunRPC(tb, clock, m)
 	case UDPIP:
 		tb.MaxMsg = 60 * 1024
 		err = buildUDP(tb, m)
@@ -290,6 +307,10 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
 	tb.End = &mrpcEndpoint{s: s.(*mrpc.Session)}
+	// The M.RPC session multiplexes its fixed channel pool internally,
+	// so one endpoint serves any number of concurrent clients.
+	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
+	tb.AtMostOnce = true
 	return nil
 }
 
@@ -341,6 +362,8 @@ func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
 	tb.End = &nrpcEndpoint{s: s}
+	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
+	tb.AtMostOnce = true
 	return nil
 }
 
@@ -434,14 +457,29 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 			return err
 		}
 		tb.End = &selectEndpoint{s: s.(*selectp.Session)}
+		// SELECT's fixed channel pool arbitrates concurrent callers.
+		tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
+		tb.AtMostOnce = true
 		return nil
 	case 3:
-		end, execs, err := newChannelEndpoint(wrapIf(m, cp.chn), wrapIf(m, sp.chn), m)
+		cchn, schn := wrapIf(m, cp.chn), wrapIf(m, sp.chn)
+		execs, err := enableChannelServer(schn, m)
+		if err != nil {
+			return err
+		}
+		end, err := openChannelEndpoint(cchn, 0)
 		if err != nil {
 			return err
 		}
 		tb.End = end
 		tb.ServerExecs = execs.Load
+		// A bare CHANNEL permits one outstanding call per channel id, so
+		// every concurrent client opens a channel of its own (id 0 is
+		// taken by tb.End).
+		tb.NewEndpoint = func(id int) (Endpoint, error) {
+			return openChannelEndpoint(cchn, id+1)
+		}
+		tb.AtMostOnce = true
 		return nil
 	case 2:
 		tb.End, err = newPushEndpoint(wrapIf(m, cp.frag), wrapIf(m, sp.frag), ip.ProtoRDG)
@@ -489,7 +527,9 @@ type channelEndpoint struct {
 	}
 }
 
-func newChannelEndpoint(cli, srv xk.Protocol, mtr *obs.Meter) (Endpoint, *atomic.Int64, error) {
+// enableChannelServer installs the null/echo server app above srv and
+// returns the execution counter.
+func enableChannelServer(srv xk.Protocol, mtr *obs.Meter) (*atomic.Int64, error) {
 	execs := new(atomic.Int64)
 	serverApp := xk.NewApp("server/app", nil)
 	deliver := func(s xk.Session, m *msg.Msg) error {
@@ -519,24 +559,29 @@ func newChannelEndpoint(cli, srv xk.Protocol, mtr *obs.Meter) (Endpoint, *atomic
 		}
 	}
 	if err := srv.OpenEnable(serverApp, xk.LocalOnly(xk.NewParticipant(ip.ProtoRDG))); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	return execs, nil
+}
 
+// openChannelEndpoint opens one client channel with the given id above
+// cli and wraps it as an Endpoint.
+func openChannelEndpoint(cli xk.Protocol, id int) (Endpoint, error) {
 	clientApp := xk.NewApp("client/app", nil)
 	s, err := cli.Open(clientApp, xk.NewParticipants(
-		xk.NewParticipant(ip.ProtoRDG, channel.ID(0)),
+		xk.NewParticipant(ip.ProtoRDG, channel.ID(id)),
 		xk.NewParticipant(ServerAddr),
 	))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	caller, ok := s.(interface {
 		Call(*msg.Msg) (*msg.Msg, error)
 	})
 	if !ok {
-		return nil, nil, fmt.Errorf("channel endpoint: session %T has no Call", s)
+		return nil, fmt.Errorf("channel endpoint: session %T has no Call", s)
 	}
-	return &channelEndpoint{s: caller}, execs, nil
+	return &channelEndpoint{s: caller}, nil
 }
 
 func (e *channelEndpoint) RoundTrip(payload []byte) error {
@@ -675,6 +720,80 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.StaleRejects = func() int64 { return schn.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cchn.Stats().Retransmits }
 	tb.End = &selectEndpoint{s: s.(*selectp.Session)}
+	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
+	tb.AtMostOnce = true
+	return nil
+}
+
+// ---- Sun RPC: SUN_SELECT over REQUEST_REPLY over FRAGMENT-VIP (§3.3) ----
+
+// The program/version the bench server registers; the paper's point is
+// that Sun RPC decomposes onto the same substrate, so the commands map
+// onto procedures of a single program.
+const (
+	sunProg uint32 = 0x20000001
+	sunVers uint32 = 1
+)
+
+type sunrpcEndpoint struct{ s *sunrpc.SelectSession }
+
+func (e *sunrpcEndpoint) RoundTrip(payload []byte) error {
+	_, err := e.s.Call(sunProg, sunVers, uint32(CmdNull), msg.New(payload))
+	return err
+}
+
+func (e *sunrpcEndpoint) Echo(payload []byte) ([]byte, error) {
+	reply, err := e.s.Call(sunProg, sunVers, uint32(CmdEcho), msg.New(payload))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Bytes(), nil
+}
+
+func buildSunRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
+	mk := func(h *stacks.Host) (*sunrpc.Select, error) {
+		v, err := newVIP(h, m)
+		if err != nil {
+			return nil, err
+		}
+		frag, err := fragment.New(h.Name+"/fragment", wrapIf(m, v), hostAddr(h), benchFragCfg(clock))
+		if err != nil {
+			return nil, err
+		}
+		rr, err := sunrpc.NewReqRep(h.Name+"/reqrep", wrapIf(m, frag), sunrpc.ReqRepConfig{Clock: clock})
+		if err != nil {
+			return nil, err
+		}
+		return sunrpc.NewSelect(h.Name+"/sunselect", wrapIf(m, rr), sunrpc.SelectConfig{})
+	}
+	cli, err := mk(tb.Client)
+	if err != nil {
+		return err
+	}
+	srv, err := mk(tb.Server)
+	if err != nil {
+		return err
+	}
+	execs := new(atomic.Int64)
+	srv.Register(sunProg, sunVers, uint32(CmdNull), func(_ *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
+		return msg.Empty(), nil
+	})
+	srv.Register(sunProg, sunVers, uint32(CmdEcho), func(args *msg.Msg) (*msg.Msg, error) {
+		execs.Add(1)
+		return msg.New(args.Bytes()), nil
+	})
+	app := xk.NewApp("client/app", nil)
+	s, err := cli.Open(app, &xk.Participants{Remote: xk.NewParticipant(ServerAddr)})
+	if err != nil {
+		return err
+	}
+	tb.ServerExecs = execs.Load
+	tb.End = &sunrpcEndpoint{s: s.(*sunrpc.SelectSession)}
+	// SUN_SELECT multiplexes a fixed pool of REQUEST_REPLY sessions.
+	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
+	// REQUEST_REPLY is zero-or-more: retransmissions may re-execute.
+	tb.AtMostOnce = false
 	return nil
 }
 

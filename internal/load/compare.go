@@ -1,0 +1,164 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"xkernel/internal/bench"
+)
+
+// ReadReport loads a BENCH_load JSON report written by WriteJSON.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Kind != ReportKind {
+		return nil, fmt.Errorf("%s: kind %q is not a load report", path, rep.Kind)
+	}
+	if len(rep.Stacks) == 0 {
+		return nil, fmt.Errorf("%s: no stacks in report", path)
+	}
+	return &rep, nil
+}
+
+// SniffKind reports the "kind" field of a JSON report file without
+// committing to a schema, so callers can route table and load reports
+// through one -compare flag. Table reports predate the field and
+// return "".
+func SniffKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Kind, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// OptionsFrom rebuilds run options matching a baseline report, so a
+// regression check measures the same cells the baseline did.
+func OptionsFrom(rep *Report) Options {
+	opt := Options{
+		Clients: rep.Options.Clients,
+		Payload: rep.Options.Payload,
+		Echo:    rep.Options.Echo,
+	}
+	opt.Duration = time.Duration(rep.Options.DurationMs * 1e6)
+	opt.WireLatency = time.Duration(rep.Options.WireLatencyUs * 1e3)
+	for _, s := range rep.Stacks {
+		opt.Stacks = append(opt.Stacks, bench.Stack(s.Stack))
+	}
+	return opt
+}
+
+// CompareReports diffs current against base cell by cell. A cell
+// regresses when calls/sec falls, or p99 latency rises, by more than
+// thresholdPct percent. In relative mode each side's calls/sec is
+// first normalized by the mean over the shared cells, so absolute
+// machine speed divides out and what remains is the scaling shape —
+// a lock reintroduced on a demux path shows up as the high-N cells
+// losing share while N=1 holds.
+func CompareReports(base, cur *Report, mode string, thresholdPct float64) (*bench.CompareResult, error) {
+	if mode != bench.CompareAbsolute && mode != bench.CompareRelative {
+		return nil, fmt.Errorf("load: unknown compare mode %q (want %s or %s)", mode, bench.CompareAbsolute, bench.CompareRelative)
+	}
+	res := &bench.CompareResult{Mode: mode, ThresholdPct: thresholdPct}
+
+	type cell struct{ b, c *Level }
+	type key struct {
+		stack   string
+		clients int
+	}
+	baseBy := make(map[key]*Level)
+	for i := range base.Stacks {
+		s := &base.Stacks[i]
+		for j := range s.Levels {
+			baseBy[key{s.Stack, s.Levels[j].Clients}] = &s.Levels[j]
+		}
+	}
+	var shared []cell
+	var labels []string
+	for i := range cur.Stacks {
+		s := &cur.Stacks[i]
+		for j := range s.Levels {
+			l := &s.Levels[j]
+			k := key{s.Stack, l.Clients}
+			if b, ok := baseBy[k]; ok {
+				shared = append(shared, cell{b, l})
+				labels = append(labels, fmt.Sprintf("%s@%d", s.Stack, l.Clients))
+				delete(baseBy, k)
+			} else {
+				res.Missing = append(res.Missing, fmt.Sprintf("%s@%d (current only)", s.Stack, l.Clients))
+			}
+		}
+	}
+	for k := range baseBy {
+		res.Missing = append(res.Missing, fmt.Sprintf("%s@%d (baseline only)", k.stack, k.clients))
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("load: reports share no (stack, clients) cells")
+	}
+
+	baseDiv, curDiv := 1.0, 1.0
+	if mode == bench.CompareRelative {
+		var bSum, cSum float64
+		for _, p := range shared {
+			bSum += p.b.CallsPerSec
+			cSum += p.c.CallsPerSec
+		}
+		baseDiv = bSum / float64(len(shared))
+		curDiv = cSum / float64(len(shared))
+		if baseDiv == 0 || curDiv == 0 {
+			return nil, fmt.Errorf("load: zero mean calls/sec, cannot normalize")
+		}
+	}
+
+	add := func(label, metric string, b, c float64, higherIsWorse bool) {
+		if b == 0 {
+			return
+		}
+		delta := 100 * (c - b) / b
+		bad := delta
+		if !higherIsWorse {
+			bad = -delta
+		}
+		row := bench.CompareRow{
+			Stack: label, Metric: metric,
+			Base: b, Current: c, DeltaPct: delta,
+			Regressed: bad > thresholdPct,
+		}
+		if row.Regressed {
+			res.Regressions++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for i, p := range shared {
+		add(labels[i], "calls_per_sec", p.b.CallsPerSec/baseDiv, p.c.CallsPerSec/curDiv, false)
+		// p99 is a latency ratio already dominated by the simulated
+		// wire; only diffed absolutely, and only when both sides saw
+		// enough calls for the tail to mean something.
+		if mode == bench.CompareAbsolute && p.b.Calls >= 100 && p.c.Calls >= 100 {
+			add(labels[i], "p99_us", p.b.P99Us, p.c.P99Us, true)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,269 @@
+// Package load is a closed-loop concurrent workload engine for the RPC
+// stacks: N client goroutines issue back-to-back calls through a
+// testbed's endpoints for a fixed window, sweeping N upward, and the
+// engine reports aggregate calls/sec, latency quantiles, and fairness
+// across clients at each level.
+//
+// The paper measures one client calling in a tight loop; this engine
+// asks the question the paper's design claims to answer — that a
+// protocol decomposed into layers still scales when many callers hit
+// the demux paths at once. The simulated wire runs with a small
+// non-zero latency so calls are latency-bound the way the real
+// network's were: concurrent clients overlap their waits (and their
+// replies arrive on concurrent timer goroutines), so throughput grows
+// with N exactly as far as the stack's own locking lets it.
+package load
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xkernel/internal/bench"
+	"xkernel/internal/obs"
+	"xkernel/internal/sim"
+)
+
+// DefaultStacks are the configurations a load sweep measures when the
+// caller does not choose: the full layered stack, both monolithic
+// engines, Sun RPC on the shared substrate, and a bare CHANNEL (each
+// client on its own channel id).
+var DefaultStacks = []bench.Stack{
+	bench.LRPCVIP,
+	bench.MRPCVIP,
+	bench.NRPC,
+	bench.SunRPCVIP,
+	bench.ChanFragVIP,
+}
+
+// Options parameterizes a sweep.
+type Options struct {
+	// Stacks to measure; nil means DefaultStacks. Stacks whose testbed
+	// has no concurrent endpoint factory are rejected.
+	Stacks []bench.Stack
+	// Clients is the sweep of concurrency levels; nil means {1, 8, 64}.
+	Clients []int
+	// Duration is the measured window per level; zero means 300ms.
+	Duration time.Duration
+	// WarmupCalls per client before the window opens (session setup,
+	// ARP, first-use costs); zero means 5.
+	WarmupCalls int
+	// Payload is the request size in bytes; zero means 64. (Zero-byte
+	// requests: set Echo false and Payload 0 is still a null call.)
+	Payload int
+	// Echo verifies every reply echoes the request byte-for-byte
+	// instead of calling the null procedure.
+	Echo bool
+	// WireLatency is the simulated one-way frame latency; zero means
+	// 150µs. It must stay well under the stacks' retransmit timers
+	// (50ms) or the engine would measure recovery, not throughput.
+	WireLatency time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Stacks == nil {
+		o.Stacks = DefaultStacks
+	}
+	if o.Clients == nil {
+		o.Clients = []int{1, 8, 64}
+	}
+	if o.Duration == 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.WarmupCalls == 0 {
+		o.WarmupCalls = 5
+	}
+	if o.Payload == 0 {
+		o.Payload = 64
+	}
+	if o.WireLatency == 0 {
+		o.WireLatency = 150 * time.Microsecond
+	}
+}
+
+// Level is one concurrency level's measurements on one stack.
+type Level struct {
+	Clients     int     `json:"clients"`
+	Calls       int64   `json:"calls"`
+	Errors      int64   `json:"errors"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	MeanUs      float64 `json:"mean_us"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	// Fairness is Jain's index over per-client call counts:
+	// (Σx)²/(n·Σx²), 1.0 when every client got identical service,
+	// approaching 1/n when one client starved the rest.
+	Fairness float64 `json:"fairness"`
+}
+
+// StackReport is one stack's sweep.
+type StackReport struct {
+	Stack  string  `json:"stack"`
+	Levels []Level `json:"levels"`
+}
+
+// Report is a full sweep in exportable form. Kind distinguishes it
+// from the table reports sharing the BENCH_*.json namespace.
+type Report struct {
+	Kind    string `json:"kind"` // always "load"
+	Options struct {
+		Clients       []int   `json:"clients"`
+		DurationMs    float64 `json:"duration_ms"`
+		Payload       int     `json:"payload"`
+		Echo          bool    `json:"echo"`
+		WireLatencyUs float64 `json:"wire_latency_us"`
+	} `json:"options"`
+	Stacks []StackReport `json:"stacks"`
+}
+
+// ReportKind is the Kind value marking a load report.
+const ReportKind = "load"
+
+// Run sweeps every stack through every concurrency level.
+func Run(opt Options) (*Report, error) {
+	opt.fill()
+	rep := &Report{Kind: ReportKind}
+	rep.Options.Clients = opt.Clients
+	rep.Options.DurationMs = float64(opt.Duration.Nanoseconds()) / 1e6
+	rep.Options.Payload = opt.Payload
+	rep.Options.Echo = opt.Echo
+	rep.Options.WireLatencyUs = float64(opt.WireLatency.Nanoseconds()) / 1e3
+	for _, stack := range opt.Stacks {
+		sr := StackReport{Stack: string(stack)}
+		for _, n := range opt.Clients {
+			lvl, err := RunLevel(stack, n, opt)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s with %d clients: %w", stack, n, err)
+			}
+			sr.Levels = append(sr.Levels, *lvl)
+		}
+		rep.Stacks = append(rep.Stacks, sr)
+	}
+	return rep, nil
+}
+
+// RunLevel measures one (stack, clients) cell on a fresh testbed.
+func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
+	opt.fill()
+	if clients < 1 {
+		return nil, fmt.Errorf("load: need at least one client")
+	}
+	// An async (timer-scheduled) wire: deliveries arrive on their own
+	// goroutines, so concurrent clients genuinely overlap in the demux
+	// paths rather than borrowing the single caller's stack.
+	tb, err := bench.Build(stack, sim.Config{Latency: opt.WireLatency}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if tb.NewEndpoint == nil {
+		return nil, fmt.Errorf("load: stack %s has no concurrent endpoint factory", stack)
+	}
+	payload := make([]byte, opt.Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	eps := make([]bench.Endpoint, clients)
+	for i := range eps {
+		if eps[i], err = tb.NewEndpoint(i); err != nil {
+			return nil, fmt.Errorf("load: endpoint %d: %w", i, err)
+		}
+	}
+
+	call := func(ep bench.Endpoint) error {
+		if !opt.Echo {
+			return ep.RoundTrip(payload)
+		}
+		reply, err := ep.Echo(payload)
+		if err != nil {
+			return err
+		}
+		if len(reply) != len(payload) {
+			return fmt.Errorf("echo returned %d bytes, sent %d", len(reply), len(payload))
+		}
+		for i := range reply {
+			if reply[i] != payload[i] {
+				return fmt.Errorf("echo corrupted byte %d", i)
+			}
+		}
+		return nil
+	}
+
+	// Warmup, concurrently so every client's channel is truly open
+	// before the window starts.
+	var wg sync.WaitGroup
+	warmErrs := make([]error, clients)
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep bench.Endpoint) {
+			defer wg.Done()
+			for c := 0; c < opt.WarmupCalls; c++ {
+				if err := call(ep); err != nil {
+					warmErrs[i] = err
+					return
+				}
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	for i, err := range warmErrs {
+		if err != nil {
+			return nil, fmt.Errorf("load: warmup client %d: %w", i, err)
+		}
+	}
+
+	hist := obs.NewHistogram()
+	counts := make([]int64, clients)
+	var errs atomic.Int64
+	var stop atomic.Bool
+	start := make(chan struct{})
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep bench.Endpoint) {
+			defer wg.Done()
+			<-start
+			for !stop.Load() {
+				t0 := time.Now()
+				if err := call(ep); err != nil {
+					errs.Add(1)
+					continue
+				}
+				hist.Observe(time.Since(t0))
+				counts[i]++ // one writer per slot
+			}
+		}(i, ep)
+	}
+	t0 := time.Now()
+	close(start)
+	time.Sleep(opt.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var total int64
+	var sum, sumSq float64
+	for _, c := range counts {
+		total += c
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("load: no calls completed (errors: %d)", errs.Load())
+	}
+	fairness := 1.0
+	if sumSq > 0 {
+		fairness = sum * sum / (float64(clients) * sumSq)
+	}
+	return &Level{
+		Clients:     clients,
+		Calls:       total,
+		Errors:      errs.Load(),
+		ElapsedMs:   float64(elapsed.Nanoseconds()) / 1e6,
+		CallsPerSec: float64(total) / elapsed.Seconds(),
+		MeanUs:      float64(hist.Mean().Nanoseconds()) / 1e3,
+		P50Us:       float64(hist.Quantile(0.50).Nanoseconds()) / 1e3,
+		P99Us:       float64(hist.Quantile(0.99).Nanoseconds()) / 1e3,
+		Fairness:    fairness,
+	}, nil
+}

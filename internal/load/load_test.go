@@ -1,0 +1,139 @@
+package load
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xkernel/internal/bench"
+)
+
+// short windows keep the suite quick; the scaling assertions below only
+// need enough calls for the ratios to be unambiguous.
+func quickOpt() Options {
+	return Options{Duration: 150 * time.Millisecond, WarmupCalls: 2}
+}
+
+func TestLevelScalesWithClients(t *testing.T) {
+	opt := quickOpt()
+	l1, err := RunLevel(bench.LRPCVIP, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := RunLevel(bench.LRPCVIP, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Errors != 0 || l8.Errors != 0 {
+		t.Fatalf("errors during load: N=1 %d, N=8 %d", l1.Errors, l8.Errors)
+	}
+	// On a latency-bound wire, 8 clients over an 8-channel pool should
+	// approach 8x; 2x is far below anything but a serialized stack, so
+	// the assertion is robust to scheduler noise.
+	if l8.CallsPerSec < 2*l1.CallsPerSec {
+		t.Errorf("no concurrency: N=8 %.0f calls/sec vs N=1 %.0f", l8.CallsPerSec, l1.CallsPerSec)
+	}
+	if l8.Fairness < 0.5 {
+		t.Errorf("fairness %.3f: some client starved", l8.Fairness)
+	}
+	if l1.P50Us <= 0 || l1.P99Us < l1.P50Us {
+		t.Errorf("bad quantiles: p50=%.0fus p99=%.0fus", l1.P50Us, l1.P99Us)
+	}
+}
+
+func TestEchoWorkloadVerifies(t *testing.T) {
+	opt := quickOpt()
+	opt.Echo = true
+	opt.Payload = 2000 // crosses the fragmentation boundary
+	lvl, err := RunLevel(bench.MRPCVIP, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.Errors != 0 {
+		t.Fatalf("%d echo mismatches or failures", lvl.Errors)
+	}
+	if lvl.Calls == 0 {
+		t.Fatal("no calls completed")
+	}
+}
+
+func TestReportRoundTripAndCompare(t *testing.T) {
+	opt := quickOpt()
+	opt.Stacks = []bench.Stack{bench.MRPCVIP}
+	opt.Clients = []int{1, 4}
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_load_test.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := SniffKind(path); err != nil || kind != ReportKind {
+		t.Fatalf("SniffKind = %q, %v; want %q", kind, err, ReportKind)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stacks) != 1 || len(back.Stacks[0].Levels) != 2 {
+		t.Fatalf("report round trip lost cells: %+v", back)
+	}
+
+	ropt := OptionsFrom(back)
+	if len(ropt.Stacks) != 1 || ropt.Stacks[0] != bench.MRPCVIP {
+		t.Fatalf("OptionsFrom stacks = %v", ropt.Stacks)
+	}
+	if ropt.Duration != opt.Duration || len(ropt.Clients) != 2 {
+		t.Fatalf("OptionsFrom lost options: %+v", ropt)
+	}
+
+	// Self-comparison: identical reports must never regress, in either
+	// mode.
+	for _, mode := range []string{bench.CompareAbsolute, bench.CompareRelative} {
+		res, err := CompareReports(back, back, mode, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regressions != 0 {
+			t.Fatalf("self-compare (%s) found %d regressions", mode, res.Regressions)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("self-compare (%s) compared nothing", mode)
+		}
+	}
+
+	// A halved throughput at one cell must regress in both modes.
+	worse := *back
+	worse.Stacks = append([]StackReport(nil), back.Stacks...)
+	worse.Stacks[0].Levels = append([]Level(nil), back.Stacks[0].Levels...)
+	worse.Stacks[0].Levels[1].CallsPerSec /= 2
+	for _, mode := range []string{bench.CompareAbsolute, bench.CompareRelative} {
+		res, err := CompareReports(back, &worse, mode, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regressions == 0 {
+			t.Fatalf("halved calls/sec not flagged in %s mode", mode)
+		}
+	}
+}
+
+func TestTableReportRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_table.json")
+	if err := os.WriteFile(path, []byte(`{"table":1,"configs":[{"stack":"X"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("ReadReport accepted a table report")
+	}
+	if kind, err := SniffKind(path); err != nil || kind != "" {
+		t.Fatalf("SniffKind = %q, %v; want empty", kind, err)
+	}
+}

@@ -13,6 +13,11 @@
 //
 // Keys are fixed-layout byte strings built with a Key builder so that
 // lookups do not allocate in the common case.
+//
+// The table is sharded by a hash of the key so that concurrent demux
+// paths — many shepherd goroutines resolving different sessions at once —
+// do not serialize on a single lock. Every operation touches exactly one
+// shard except Len and Range, which visit all of them.
 package pmap
 
 import (
@@ -20,76 +25,128 @@ import (
 	"sync"
 )
 
+// shardCount is the number of independently locked buckets. A power of
+// two so the hash can be masked; 16 is comfortably above the goroutine
+// parallelism the simulator generates while keeping empty maps cheap.
+const shardCount = 16
+
 // Map is a concurrency-safe binding table from binary keys to arbitrary
 // values (sessions in active maps, enable records in passive maps).
 type Map struct {
+	shards [shardCount]shard
+}
+
+type shard struct {
 	mu sync.RWMutex
 	m  map[string]any
 }
 
 // New returns an empty map sized for hint entries.
 func New(hint int) *Map {
-	return &Map{m: make(map[string]any, hint)}
+	m := &Map{}
+	per := (hint + shardCount - 1) / shardCount
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]any, per)
+	}
+	return m
+}
+
+// shardFor picks the shard for key with FNV-1a, masked to the shard
+// count. Inlineable and allocation-free.
+func (m *Map) shardFor(key []byte) *shard {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &m.shards[h&(shardCount-1)]
 }
 
 // Bind associates key with v, replacing any previous binding. It returns
 // the previous value, if any.
 func (m *Map) Bind(key []byte, v any) (prev any, existed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	prev, existed = m.m[string(key)]
-	m.m[string(key)] = v
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, existed = s.m[string(key)]
+	s.m[string(key)] = v
 	return prev, existed
 }
 
 // BindIfAbsent associates key with v only if no binding exists; it returns
 // the binding now in force and whether it was newly inserted.
 func (m *Map) BindIfAbsent(key []byte, v any) (cur any, inserted bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if prev, ok := m.m[string(key)]; ok {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.m[string(key)]; ok {
 		return prev, false
 	}
-	m.m[string(key)] = v
+	s.m[string(key)] = v
 	return v, true
 }
 
 // Resolve looks up key.
 func (m *Map) Resolve(key []byte) (v any, ok bool) {
-	m.mu.RLock()
-	v, ok = m.m[string(key)]
-	m.mu.RUnlock()
+	s := m.shardFor(key)
+	s.mu.RLock()
+	v, ok = s.m[string(key)]
+	s.mu.RUnlock()
 	return v, ok
 }
 
 // Unbind removes the binding for key, reporting whether one existed.
 func (m *Map) Unbind(key []byte) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.m[string(key)]; !ok {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[string(key)]; !ok {
 		return false
 	}
-	delete(m.m, string(key))
+	delete(s.m, string(key))
 	return true
 }
 
 // Len reports the number of bindings.
 func (m *Map) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.m)
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Range calls f for every binding until f returns false. The map must not
-// be mutated from within f.
+// Range calls f for every binding until f returns false. Each shard is
+// snapshotted before f sees it, so f may safely mutate the map — even
+// the binding it was handed; the iteration observes the bindings as of
+// its visit to each shard and no lock is held while f runs.
 func (m *Map) Range(f func(key string, v any) bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for k, v := range m.m {
-		if !f(k, v) {
-			return
+	var snap []binding
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		snap = snap[:0]
+		if cap(snap) < len(s.m) {
+			snap = make([]binding, 0, len(s.m))
+		}
+		for k, v := range s.m {
+			snap = append(snap, binding{k, v})
+		}
+		s.mu.RUnlock()
+		for _, b := range snap {
+			if !f(b.key, b.v) {
+				return
+			}
 		}
 	}
+}
+
+type binding struct {
+	key string
+	v   any
 }
 
 // Key builds fixed-layout binary keys without intermediate allocations

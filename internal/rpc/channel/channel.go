@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xkernel/internal/event"
@@ -197,22 +198,45 @@ func decodeHeader(b []byte) header {
 }
 
 // Protocol is the CHANNEL protocol object.
+//
+// Locking discipline (narrow on purpose — every lock below sits on the
+// demux or Push hot path under concurrent clients): counters are
+// atomics; bootID is an atomic word; enables is read-mostly under an
+// RWMutex; peerBoots is read-mostly with a write only when a peer's
+// boot id actually changes; srvMu guards only the servers map itself,
+// while each srvChan carries its own mutex for the per-channel
+// at-most-once state machine, so requests on different channels never
+// serialize on one protocol lock.
 type Protocol struct {
 	xk.BaseProtocol
 	cfg Config
 	llp xk.Protocol
 
-	mu      sync.Mutex
+	ctr    statCounters
+	bootID atomic.Uint32
+
+	enMu    sync.RWMutex
 	enables map[ip.ProtoNum]xk.Protocol
+
+	srvMu   sync.Mutex
 	servers map[srvKey]*srvChan
-	stats   Stats
-	bootID  uint32
+
 	// peerBoots is the client-side record of each server's last
 	// observed boot id, learned from reply and ack headers and sent
 	// back (truncated) as the epoch hint in requests.
+	peerMu    sync.RWMutex
 	peerBoots map[xk.IPAddr]uint32
 
 	clients *pmap.Map // proto(1) ++ chan(2) ++ remote(4) → *Session
+}
+
+// statCounters mirrors Stats with atomic cells so the hot paths never
+// take a lock to count.
+type statCounters struct {
+	calls, retransmits, acksSent, acksReceived atomic.Int64
+	duplicateRequests, replayedReplies         atomic.Int64
+	requestsServed, remoteErrors               atomic.Int64
+	staleEpochRejects, peerReboots             atomic.Int64
 }
 
 // New creates CHANNEL above llp, which must take VIP-shaped participants
@@ -226,10 +250,10 @@ func New(name string, llp xk.Protocol, cfg Config) (*Protocol, error) {
 		llp:          llp,
 		enables:      make(map[ip.ProtoNum]xk.Protocol),
 		servers:      make(map[srvKey]*srvChan),
-		bootID:       cfg.BootID,
 		peerBoots:    make(map[xk.IPAddr]uint32),
 		clients:      pmap.New(16),
 	}
+	p.bootID.Store(cfg.BootID)
 	if err := llp.OpenEnable(p, xk.LocalOnly(xk.NewParticipant(cfg.Proto))); err != nil {
 		return nil, fmt.Errorf("%s: enable: %w", name, err)
 	}
@@ -238,40 +262,55 @@ func New(name string, llp xk.Protocol, cfg Config) (*Protocol, error) {
 
 // Stats snapshots the counters.
 func (p *Protocol) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Calls:             p.ctr.calls.Load(),
+		Retransmits:       p.ctr.retransmits.Load(),
+		AcksSent:          p.ctr.acksSent.Load(),
+		AcksReceived:      p.ctr.acksReceived.Load(),
+		DuplicateRequests: p.ctr.duplicateRequests.Load(),
+		ReplayedReplies:   p.ctr.replayedReplies.Load(),
+		RequestsServed:    p.ctr.requestsServed.Load(),
+		RemoteErrors:      p.ctr.remoteErrors.Load(),
+		StaleEpochRejects: p.ctr.staleEpochRejects.Load(),
+		PeerReboots:       p.ctr.peerReboots.Load(),
+	}
 }
 
 // BootID reports the current boot incarnation.
 func (p *Protocol) BootID() uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.bootID
+	return p.bootID.Load()
 }
 
 // Reboot simulates a crash: new boot id, all server-side state dropped.
 func (p *Protocol) Reboot() {
-	p.mu.Lock()
-	p.bootID++
+	boot := p.bootID.Add(1)
+	p.srvMu.Lock()
 	p.servers = make(map[srvKey]*srvChan)
-	p.mu.Unlock()
-	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+	p.srvMu.Unlock()
+	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", boot)
 }
 
 // PeerBootID reports the last boot incarnation observed from host in a
 // reply or ack header, or 0 if the host has never answered.
 func (p *Protocol) PeerBootID(host xk.IPAddr) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.peerMu.RLock()
+	defer p.peerMu.RUnlock()
 	return p.peerBoots[host]
 }
 
 // notePeerBoot records host's boot id as carried in a reply or ack.
+// Runs on every reply, so the common no-change case stays on the read
+// lock.
 func (p *Protocol) notePeerBoot(host xk.IPAddr, boot uint32) {
-	p.mu.Lock()
+	p.peerMu.RLock()
+	known := p.peerBoots[host]
+	p.peerMu.RUnlock()
+	if known == boot {
+		return
+	}
+	p.peerMu.Lock()
 	p.peerBoots[host] = boot
-	p.mu.Unlock()
+	p.peerMu.Unlock()
 }
 
 // Control: CHANNEL never pushes more than its client's message plus one
@@ -350,9 +389,9 @@ func (p *Protocol) OpenEnable(hlp xk.Protocol, ps *xk.Participants) error {
 	if err != nil {
 		return fmt.Errorf("%s: open_enable: %w", p.Name(), err)
 	}
-	p.mu.Lock()
+	p.enMu.Lock()
 	p.enables[proto] = hlp
-	p.mu.Unlock()
+	p.enMu.Unlock()
 	return nil
 }
 
@@ -363,9 +402,9 @@ func (p *Protocol) OpenDisable(hlp xk.Protocol, ps *xk.Participants) error {
 	if err != nil {
 		return fmt.Errorf("%s: open_disable: %w", p.Name(), err)
 	}
-	p.mu.Lock()
+	p.enMu.Lock()
 	delete(p.enables, proto)
-	p.mu.Unlock()
+	p.enMu.Unlock()
 	return nil
 }
 

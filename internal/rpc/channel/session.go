@@ -48,10 +48,8 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 		return nil, xk.ErrClosed
 	}
 	p := s.p
-	p.mu.Lock()
-	p.stats.Calls++
-	boot := p.bootID
-	p.mu.Unlock()
+	p.ctr.calls.Add(1)
+	boot := p.bootID.Load()
 
 	s.mu.Lock()
 	if s.active {
@@ -90,9 +88,7 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 		}
 		if attempt > 0 {
 			h.flags |= flagPleaseAck
-			p.mu.Lock()
-			p.stats.Retransmits++
-			p.mu.Unlock()
+			p.ctr.retransmits.Add(1)
 			trace.Printf(trace.Events, p.Name(), "retransmit chan=%d seq=%d attempt=%d", s.id, seq, attempt)
 		}
 		s.mu.Lock()
@@ -160,9 +156,7 @@ func (s *Session) receive(h header, m *msg.Msg) error {
 		return nil
 	}
 	if h.flags&flagAck != 0 {
-		p.mu.Lock()
-		p.stats.AcksReceived++
-		p.mu.Unlock()
+		p.ctr.acksReceived.Add(1)
 		s.acked = true
 		return nil
 	}
@@ -172,14 +166,10 @@ func (s *Session) receive(h header, m *msg.Msg) error {
 		r.m = m
 	case errRebooted:
 		r.err = &PeerRebootedError{Host: s.remote, BootID: h.bootID}
-		p.mu.Lock()
-		p.stats.PeerReboots++
-		p.mu.Unlock()
+		p.ctr.peerReboots.Add(1)
 	default:
 		r.err = &RemoteError{Msg: string(m.Bytes())}
-		p.mu.Lock()
-		p.stats.RemoteErrors++
-		p.mu.Unlock()
+		p.ctr.remoteErrors.Add(1)
 	}
 	select {
 	case s.replyCh <- r:
@@ -236,8 +226,12 @@ type srvKey struct {
 	channel uint16
 }
 
-// srvChan is the server-side at-most-once state for one channel.
+// srvChan is the server-side at-most-once state for one channel. Its
+// own mutex makes the at-most-once decision atomic per channel without
+// serializing unrelated channels on a protocol-wide lock; the protocol
+// srvMu is held only to look the srvChan up.
 type srvChan struct {
+	mu        sync.Mutex
 	bootID    uint32
 	lastSeq   uint32
 	executing bool
@@ -254,6 +248,7 @@ type ServerSession struct {
 	p     *Protocol
 	key   srvKey
 	proto ip.ProtoNum
+	sc    *srvChan // the channel state this session replies through (1:1)
 
 	mu         sync.Mutex
 	pendingSeq uint32
@@ -296,13 +291,12 @@ func (s *ServerSession) reply(m *msg.Msg, code uint16) error {
 	framed := m.Clone()
 	framed.MustPush(hb[:])
 
-	p.mu.Lock()
-	if sc := p.servers[s.key]; sc != nil {
-		sc.executing = false
-		sc.savedSeq = seq
-		sc.saved = framed
-	}
-	p.mu.Unlock()
+	sc := s.sc
+	sc.mu.Lock()
+	sc.executing = false
+	sc.savedSeq = seq
+	sc.saved = framed
+	sc.mu.Unlock()
 
 	return s.Down(0).Push(framed.Clone())
 }
@@ -334,10 +328,10 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 	proto := ip.ProtoNum(h.protoNum)
 	k := srvKey{peer: peer, proto: proto, channel: h.channel}
 
-	p.mu.Lock()
+	p.enMu.RLock()
 	hlp := p.enables[proto]
+	p.enMu.RUnlock()
 	if hlp == nil {
-		p.mu.Unlock()
 		return fmt.Errorf("%s: proto %d: %w", p.Name(), proto, xk.ErrNoSession)
 	}
 	// A non-zero epoch hint naming another incarnation means the request
@@ -345,52 +339,58 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 	// executed it before crashing). Refuse to execute it again; tell the
 	// client which incarnation is answering. Checked before any per-chan
 	// state so a rejected request leaves no trace.
-	if h.errCode != 0 && h.errCode != uint16(p.bootID) {
-		p.stats.StaleEpochRejects++
-		boot := p.bootID
-		p.mu.Unlock()
+	boot := p.bootID.Load()
+	if h.errCode != 0 && h.errCode != uint16(boot) {
+		p.ctr.staleEpochRejects.Add(1)
 		trace.Printf(trace.Events, p.Name(), "reject stale-epoch chan=%d seq=%d from %s (hint %d, boot %d)",
 			h.channel, h.seq, peer, h.errCode, boot)
 		return p.sendReject(h, boot, lls)
 	}
+	p.srvMu.Lock()
 	sc := p.servers[k]
 	newSession := false
 	if sc == nil {
 		sc = &srvChan{bootID: h.bootID}
-		ss := &ServerSession{p: p, key: k, proto: proto}
+		ss := &ServerSession{p: p, key: k, proto: proto, sc: sc}
 		ss.InitSession(p, hlp, lls)
 		sc.session = ss
 		p.servers[k] = sc
 		newSession = true
 	}
+	p.srvMu.Unlock()
+
+	sc.mu.Lock()
 	if sc.bootID != h.bootID {
 		trace.Printf(trace.Events, p.Name(), "peer %s rebooted (boot %d -> %d), resetting chan %d",
 			peer, sc.bootID, h.bootID, h.channel)
-		session := sc.session
-		*sc = srvChan{bootID: h.bootID, session: session}
+		sc.bootID = h.bootID
+		sc.lastSeq = 0
+		sc.executing = false
+		sc.savedSeq = 0
+		sc.saved = nil
 	}
 
 	switch {
 	case sc.lastSeq != 0 && h.seq < sc.lastSeq:
-		p.stats.DuplicateRequests++
-		p.mu.Unlock()
+		p.ctr.duplicateRequests.Add(1)
+		sc.mu.Unlock()
 		return nil
 
 	case h.seq == sc.lastSeq:
-		p.stats.DuplicateRequests++
+		p.ctr.duplicateRequests.Add(1)
 		if sc.executing {
-			p.stats.AcksSent++
-			p.mu.Unlock()
+			p.ctr.acksSent.Add(1)
+			sc.mu.Unlock()
 			return p.sendAck(h, lls)
 		}
 		if sc.savedSeq == h.seq && sc.saved != nil {
-			p.stats.ReplayedReplies++
+			p.ctr.replayedReplies.Add(1)
 			saved := sc.saved
-			p.mu.Unlock()
+			sc.mu.Unlock()
 			trace.Printf(trace.Events, p.Name(), "replay reply chan=%d seq=%d to %s", h.channel, h.seq, peer)
 			return lls.Push(saved.Clone())
 		}
-		p.mu.Unlock()
+		sc.mu.Unlock()
 		return nil
 
 	default: // new request
@@ -398,8 +398,8 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		sc.lastSeq = h.seq
 		sc.executing = true
 		ss := sc.session
-		p.stats.RequestsServed++
-		p.mu.Unlock()
+		p.ctr.requestsServed.Add(1)
+		sc.mu.Unlock()
 
 		ss.mu.Lock()
 		ss.pendingSeq = h.seq

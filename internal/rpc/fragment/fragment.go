@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xkernel/internal/event"
@@ -172,11 +173,24 @@ type Protocol struct {
 	llp   xk.Protocol
 	local xk.IPAddr
 
-	mu      sync.Mutex
+	ctr statCounters
+
+	// enables is read on every demux of a complete message and written
+	// only at setup; mu is now scoped to it alone.
+	mu      sync.RWMutex
 	enables map[ip.ProtoNum]xk.Protocol
-	stats   Stats
 
 	active *pmap.Map // proto(1) ++ remote(4) → *session
+}
+
+// statCounters mirrors Stats with atomic cells; fragments from many
+// concurrent sessions count without sharing a lock.
+type statCounters struct {
+	messagesSent, messagesDelivered    atomic.Int64
+	fragmentsSent, fragmentsReceived   atomic.Int64
+	resendRequestsSent, resendsHonored atomic.Int64
+	resendsExpired, messagesAbandoned  atomic.Int64
+	duplicateFragments                 atomic.Int64
 }
 
 // New creates FRAGMENT for the host with address local above llp, which
@@ -199,9 +213,17 @@ func New(name string, llp xk.Protocol, local xk.IPAddr, cfg Config) (*Protocol, 
 
 // Stats snapshots the counters.
 func (p *Protocol) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		MessagesSent:       p.ctr.messagesSent.Load(),
+		MessagesDelivered:  p.ctr.messagesDelivered.Load(),
+		FragmentsSent:      p.ctr.fragmentsSent.Load(),
+		FragmentsReceived:  p.ctr.fragmentsReceived.Load(),
+		ResendRequestsSent: p.ctr.resendRequestsSent.Load(),
+		ResendsHonored:     p.ctr.resendsHonored.Load(),
+		ResendsExpired:     p.ctr.resendsExpired.Load(),
+		MessagesAbandoned:  p.ctr.messagesAbandoned.Load(),
+		DuplicateFragments: p.ctr.duplicateFragments.Load(),
+	}
 }
 
 func key(k *pmap.Key, proto ip.ProtoNum, remote xk.IPAddr) []byte {
@@ -305,9 +327,9 @@ func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
 	if v, ok := p.active.Resolve(key(&kb, proto, peer)); ok {
 		return v.(*session).receive(h, m, lls)
 	}
-	p.mu.Lock()
+	p.mu.RLock()
 	hlp := p.enables[proto]
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if hlp == nil {
 		return fmt.Errorf("%s: proto %d from %s: %w", p.Name(), proto, peer, xk.ErrNoSession)
 	}

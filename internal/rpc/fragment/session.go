@@ -110,10 +110,8 @@ func (s *session) Push(m *msg.Msg) error {
 	s.armSweepLocked()
 	s.mu.Unlock()
 
-	p.mu.Lock()
-	p.stats.MessagesSent++
-	p.stats.FragmentsSent += int64(len(frags))
-	p.mu.Unlock()
+	p.ctr.messagesSent.Add(1)
+	p.ctr.fragmentsSent.Add(int64(len(frags)))
 
 	lls := s.Down(0)
 	for _, f := range frags {
@@ -165,9 +163,7 @@ func (s *session) receive(h header, m *msg.Msg, lls xk.Session) error {
 // message is abandoned — FRAGMENT does not guarantee delivery.
 func (s *session) receiveData(h header, m *msg.Msg) error {
 	p := s.p
-	p.mu.Lock()
-	p.stats.FragmentsReceived++
-	p.mu.Unlock()
+	p.ctr.fragmentsReceived.Add(1)
 
 	numFrags := h.numFrags
 	if numFrags == 0 {
@@ -186,11 +182,16 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 		if numFrags > 1 {
 			s.armGapTimer(h.seq, r)
 		}
+	} else if numFrags != r.numFrags {
+		// The collection was sized by the first fragment's claim; a
+		// frame asserting a different count for the same sequence is
+		// corrupt (and its mask index may not fit the collection).
+		s.mu.Unlock()
+		return fmt.Errorf("%s: seq %d claims %d frags, collection has %d: %w",
+			p.Name(), h.seq, numFrags, r.numFrags, xk.ErrBadHeader)
 	}
 	if r.mask&h.fragMask != 0 {
-		p.mu.Lock()
-		p.stats.DuplicateFragments++
-		p.mu.Unlock()
+		p.ctr.duplicateFragments.Add(1)
 		s.mu.Unlock()
 		return nil
 	}
@@ -212,9 +213,7 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 	}
 	s.mu.Unlock()
 
-	p.mu.Lock()
-	p.stats.MessagesDelivered++
-	p.mu.Unlock()
+	p.ctr.messagesDelivered.Add(1)
 	trace.Printf(trace.Packets, p.Name(), "deliver seq=%d len=%d from %s", h.seq, full.Len(), s.remote)
 
 	up := s.Up()
@@ -238,9 +237,7 @@ func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
 		if r.retries > p.cfg.GapRetries {
 			delete(s.rcv, seq)
 			s.mu.Unlock()
-			p.mu.Lock()
-			p.stats.MessagesAbandoned++
-			p.mu.Unlock()
+			p.ctr.messagesAbandoned.Add(1)
 			trace.Printf(trace.Events, p.Name(), "abandon seq=%d from %s (mask %#04x of %d)", seq, s.remote, r.mask, r.numFrags)
 			return
 		}
@@ -248,9 +245,7 @@ func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
 		s.armGapTimer(seq, r)
 		s.mu.Unlock()
 
-		p.mu.Lock()
-		p.stats.ResendRequestsSent++
-		p.mu.Unlock()
+		p.ctr.resendRequestsSent.Add(1)
 		trace.Printf(trace.Events, p.Name(), "request missing seq=%d have=%#04x of %d from %s", seq, mask, numFrags, s.remote)
 		if err := s.sendResendRequest(seq, mask, numFrags); err != nil {
 			trace.Printf(trace.Events, p.Name(), "resend request failed: %v", err)
@@ -286,15 +281,11 @@ func (s *session) receiveResendRequest(h header) error {
 	sm := s.sent[h.seq]
 	s.mu.Unlock()
 	if sm == nil {
-		p.mu.Lock()
-		p.stats.ResendsExpired++
-		p.mu.Unlock()
+		p.ctr.resendsExpired.Add(1)
 		trace.Printf(trace.Events, p.Name(), "resend request for discarded seq=%d from %s", h.seq, s.remote)
 		return nil
 	}
-	p.mu.Lock()
-	p.stats.ResendsHonored++
-	p.mu.Unlock()
+	p.ctr.resendsHonored.Add(1)
 	lls := s.Down(0)
 	for i, f := range sm.frames {
 		if h.fragMask&(1<<i) != 0 {

@@ -18,6 +18,7 @@ package mrpc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xkernel/internal/event"
@@ -149,16 +150,36 @@ type Protocol struct {
 	channels []*chanState
 	free     chan *chanState
 
-	mu       sync.Mutex
+	ctr    statCounters
+	bootID atomic.Uint32
+
+	// handlers is read on every served request, written only at
+	// registration.
+	hMu      sync.RWMutex
 	handlers map[uint16]Handler
 	fallback Handler
-	servers  map[srvKey]*srvChan
-	stats    Stats
-	bootID   uint32
+
+	// srvMu guards only the servers map; each srvChan has its own lock
+	// for the per-channel at-most-once machinery, so concurrent clients
+	// never serialize on a protocol-wide mutex.
+	srvMu   sync.Mutex
+	servers map[srvKey]*srvChan
+
 	// peerBoots is the client-side record of each server's last
 	// observed boot id, learned from reply and ack headers and sent
-	// back (truncated) as the epoch hint in requests.
+	// back (truncated) as the epoch hint in requests. Read-mostly: a
+	// write happens only when a server's boot id actually changes.
+	peerMu    sync.RWMutex
 	peerBoots map[xk.IPAddr]uint32
+}
+
+// statCounters mirrors Stats with atomic cells so counting stays off
+// the locks entirely.
+type statCounters struct {
+	calls, retransmits, acksSent, acksReceived atomic.Int64
+	duplicateRequests, replayedReplies         atomic.Int64
+	requestsServed, errors                     atomic.Int64
+	staleEpochRejects, peerReboots             atomic.Int64
 }
 
 // New creates the protocol for the host with address local above llp,
@@ -173,10 +194,10 @@ func New(name string, llp xk.Protocol, local xk.IPAddr, cfg Config) (*Protocol, 
 		local:        local,
 		handlers:     make(map[uint16]Handler),
 		servers:      make(map[srvKey]*srvChan),
-		bootID:       cfg.BootID,
 		peerBoots:    make(map[xk.IPAddr]uint32),
 		free:         make(chan *chanState, cfg.NumChannels),
 	}
+	p.bootID.Store(cfg.BootID)
 	for i := 0; i < cfg.NumChannels; i++ {
 		cs := &chanState{id: uint16(i)}
 		p.channels = append(p.channels, cs)
@@ -190,56 +211,70 @@ func New(name string, llp xk.Protocol, local xk.IPAddr, cfg Config) (*Protocol, 
 
 // Register installs the handler for one command.
 func (p *Protocol) Register(command uint16, h Handler) {
-	p.mu.Lock()
+	p.hMu.Lock()
 	p.handlers[command] = h
-	p.mu.Unlock()
+	p.hMu.Unlock()
 }
 
 // RegisterDefault installs a catch-all handler for unregistered commands.
 func (p *Protocol) RegisterDefault(h Handler) {
-	p.mu.Lock()
+	p.hMu.Lock()
 	p.fallback = h
-	p.mu.Unlock()
+	p.hMu.Unlock()
 }
 
 // Stats snapshots the counters.
 func (p *Protocol) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Calls:             p.ctr.calls.Load(),
+		Retransmits:       p.ctr.retransmits.Load(),
+		AcksSent:          p.ctr.acksSent.Load(),
+		AcksReceived:      p.ctr.acksReceived.Load(),
+		DuplicateRequests: p.ctr.duplicateRequests.Load(),
+		ReplayedReplies:   p.ctr.replayedReplies.Load(),
+		RequestsServed:    p.ctr.requestsServed.Load(),
+		Errors:            p.ctr.errors.Load(),
+		StaleEpochRejects: p.ctr.staleEpochRejects.Load(),
+		PeerReboots:       p.ctr.peerReboots.Load(),
+	}
 }
 
 // BootID reports the current boot incarnation.
 func (p *Protocol) BootID() uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.bootID
+	return p.bootID.Load()
 }
 
 // Reboot simulates a crash and restart: the boot id changes and all
 // server-side channel state is lost, which is what the boot_id header
 // field exists to expose.
 func (p *Protocol) Reboot() {
-	p.mu.Lock()
-	p.bootID++
+	boot := p.bootID.Add(1)
+	p.srvMu.Lock()
 	p.servers = make(map[srvKey]*srvChan)
-	p.mu.Unlock()
-	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", p.bootID)
+	p.srvMu.Unlock()
+	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", boot)
 }
 
 // PeerBootID reports the last boot incarnation observed from host in a
 // reply or ack header, or 0 if the host has never answered.
 func (p *Protocol) PeerBootID(host xk.IPAddr) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.peerMu.RLock()
+	defer p.peerMu.RUnlock()
 	return p.peerBoots[host]
 }
 
-// notePeerBoot records host's boot id as carried in a reply or ack.
+// notePeerBoot records host's boot id as carried in a reply or ack; the
+// common no-change case stays on the read lock.
 func (p *Protocol) notePeerBoot(host xk.IPAddr, boot uint32) {
-	p.mu.Lock()
+	p.peerMu.RLock()
+	known := p.peerBoots[host]
+	p.peerMu.RUnlock()
+	if known == boot {
+		return
+	}
+	p.peerMu.Lock()
 	p.peerBoots[host] = boot
-	p.mu.Unlock()
+	p.peerMu.Unlock()
 }
 
 // Control answers CtlHLPMaxMsg — the question VIP asks at open time.
@@ -325,14 +360,12 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 	if args.Len() > p.cfg.MaxMsg {
 		return nil, fmt.Errorf("%s: %d bytes: %w", p.Name(), args.Len(), xk.ErrMsgTooBig)
 	}
-	p.mu.Lock()
-	p.stats.Calls++
-	boot := p.bootID
+	p.ctr.calls.Add(1)
+	boot := p.bootID.Load()
 	// Snapshot the server's last known boot id once per call: if the
 	// server reboots mid-call, every retransmission still carries the
 	// old hint and is rejected rather than executed twice.
-	hint := uint16(p.peerBoots[s.server])
-	p.mu.Unlock()
+	hint := uint16(p.PeerBootID(s.server))
 
 	// "the SELECT layer simply chooses one of the existing channels
 	// when an RPC is invoked; it blocks if there are none available"
@@ -399,9 +432,7 @@ func (s *Session) Call(command uint16, args *msg.Msg) (*msg.Msg, error) {
 			}
 		}
 		if attempt > 0 {
-			p.mu.Lock()
-			p.stats.Retransmits++
-			p.mu.Unlock()
+			p.ctr.retransmits.Add(1)
 			trace.Printf(trace.Events, p.Name(), "retransmit chan=%d seq=%d attempt=%d", cs.id, seq, attempt)
 		}
 
@@ -520,9 +551,7 @@ func (p *Protocol) clientReceive(h header, m *msg.Msg) error {
 		return nil
 	}
 	if h.flags&flagAck != 0 {
-		p.mu.Lock()
-		p.stats.AcksReceived++
-		p.mu.Unlock()
+		p.ctr.acksReceived.Add(1)
 		// frag_mask reports which request fragments the server has;
 		// only the missing ones go out on the next retransmission.
 		cs.acked |= h.fragMask
@@ -538,9 +567,7 @@ func (p *Protocol) clientReceive(h header, m *msg.Msg) error {
 		var res callResult
 		switch {
 		case h.flags&flagRebooted != 0:
-			p.mu.Lock()
-			p.stats.PeerReboots++
-			p.mu.Unlock()
+			p.ctr.peerReboots.Add(1)
 			res.err = &PeerRebootedError{Host: h.srvrHost, BootID: h.bootID}
 		case h.flags&flagError != 0:
 			res.err = &RemoteError{Msg: string(full.Bytes())}

@@ -2,6 +2,7 @@ package mrpc
 
 import (
 	"fmt"
+	"sync"
 
 	"xkernel/internal/msg"
 	"xkernel/internal/trace"
@@ -19,7 +20,11 @@ type srvKey struct {
 // completed, and the saved reply, which is retransmitted if the request
 // is duplicated and discarded when the next request implicitly
 // acknowledges it.
+// Each srvChan carries its own mutex so the at-most-once decision is
+// atomic per client channel without a protocol-wide lock; the protocol
+// srvMu is held only to look the srvChan up.
 type srvChan struct {
+	mu        sync.Mutex
 	bootID    uint32
 	lastSeq   uint32
 	executing bool
@@ -35,58 +40,66 @@ type srvChan struct {
 func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 	key := srvKey{client: h.clntHost, channel: h.channel}
 
-	p.mu.Lock()
-	if h.srvrProc != 0 && h.srvrProc != uint16(p.bootID) {
+	if h.srvrProc != 0 && h.srvrProc != uint16(p.bootID.Load()) {
 		// The request's epoch hint names an earlier incarnation of this
 		// server: it may already have executed before the crash, so it
 		// must not run again. Reject before touching any channel state;
 		// the reject reply carries the new boot id so the client
 		// converges.
-		p.stats.StaleEpochRejects++
-		boot := p.bootID
-		p.mu.Unlock()
+		p.ctr.staleEpochRejects.Add(1)
+		boot := p.bootID.Load()
 		trace.Printf(trace.Events, p.Name(), "reject stale epoch %d (now %d) from %s seq=%d",
 			h.srvrProc, boot, h.clntHost, h.seq)
 		return p.sendReject(h, boot, lls)
 	}
+	p.srvMu.Lock()
 	sc := p.servers[key]
 	if sc == nil {
 		sc = &srvChan{bootID: h.bootID}
 		p.servers[key] = sc
 	}
+	p.srvMu.Unlock()
+
+	sc.mu.Lock()
 	if sc.bootID != h.bootID {
 		// The client rebooted: everything we remember about this
 		// channel belongs to a dead incarnation.
 		trace.Printf(trace.Events, p.Name(), "client %s rebooted (boot %d -> %d), resetting channel %d",
 			h.clntHost, sc.bootID, h.bootID, h.channel)
-		*sc = srvChan{bootID: h.bootID}
+		sc.bootID = h.bootID
+		sc.lastSeq = 0
+		sc.executing = false
+		sc.collect = nil
+		sc.savedSeq = 0
+		sc.savedReply = nil
+		sc.savedVia = nil
 	}
 
 	switch {
 	case sc.lastSeq != 0 && h.seq < sc.lastSeq:
 		// Older than anything interesting: drop (at-most-once).
-		p.stats.DuplicateRequests++
-		p.mu.Unlock()
+		p.ctr.duplicateRequests.Add(1)
+		sc.mu.Unlock()
 		return nil
 
 	case h.seq == sc.lastSeq:
 		// Duplicate of the last completed or in-progress request.
-		p.stats.DuplicateRequests++
+		p.ctr.duplicateRequests.Add(1)
 		if sc.executing {
 			// Still working: an explicit ack with the full mask
 			// tells the client to stop retransmitting.
-			p.stats.AcksSent++
-			p.mu.Unlock()
+			p.ctr.acksSent.Add(1)
+			sc.mu.Unlock()
 			return p.sendAck(h, fullMask(h.numFrags), lls)
 		}
 		if sc.savedSeq == h.seq && sc.savedReply != nil {
 			// "timeouts trigger retransmissions which sometimes
 			// elicit explicit acknowledgements" — or, here, a
 			// replay of the saved reply.
-			p.stats.ReplayedReplies++
+			p.ctr.replayedReplies.Add(1)
 			saved := sc.savedReply
 			via := sc.savedVia
-			p.mu.Unlock()
+			sc.mu.Unlock()
 			trace.Printf(trace.Events, p.Name(), "replay reply seq=%d to %s", h.seq, h.clntHost)
 			for _, f := range saved {
 				if err := via.Push(f.Clone()); err != nil {
@@ -95,7 +108,7 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 			}
 			return nil
 		}
-		p.mu.Unlock()
+		sc.mu.Unlock()
 		return nil
 
 	default: // h.seq > sc.lastSeq: a new request.
@@ -116,9 +129,9 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 				// the missing ones.
 				ack = true
 				mask = sc.collect.mask
-				p.stats.AcksSent++
+				p.ctr.acksSent.Add(1)
 			}
-			p.mu.Unlock()
+			sc.mu.Unlock()
 			if ack {
 				return p.sendAck(h, mask, lls)
 			}
@@ -128,12 +141,14 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 		sc.collect = nil
 		sc.lastSeq = h.seq
 		sc.executing = true
+		sc.mu.Unlock()
+		p.hMu.RLock()
 		handler := p.handlers[h.command]
 		if handler == nil {
 			handler = p.fallback
 		}
-		p.stats.RequestsServed++
-		p.mu.Unlock()
+		p.hMu.RUnlock()
+		p.ctr.requestsServed.Add(1)
 
 		return p.execute(h, sc, key, handler, args, lls)
 	}
@@ -152,9 +167,7 @@ func (p *Protocol) execute(h header, sc *srvChan, key srvKey, handler Handler, a
 	if herr != nil {
 		flags |= flagError
 		reply = msg.New([]byte(herr.Error()))
-		p.mu.Lock()
-		p.stats.Errors++
-		p.mu.Unlock()
+		p.ctr.errors.Add(1)
 	}
 	if reply == nil {
 		reply = msg.Empty()
@@ -165,12 +178,12 @@ func (p *Protocol) execute(h header, sc *srvChan, key srvKey, handler Handler, a
 		return err
 	}
 
-	p.mu.Lock()
+	sc.mu.Lock()
 	sc.executing = false
 	sc.savedSeq = h.seq
 	sc.savedReply = frames
 	sc.savedVia = lls
-	p.mu.Unlock()
+	sc.mu.Unlock()
 
 	for _, f := range frames {
 		if err := lls.Push(f.Clone()); err != nil {
@@ -194,9 +207,7 @@ func (p *Protocol) frameReply(req header, flags uint16, reply *msg.Msg) ([]*msg.
 	if len(frags) > 16 {
 		return nil, fmt.Errorf("%s: reply needs %d fragments: %w", p.Name(), len(frags), xk.ErrMsgTooBig)
 	}
-	p.mu.Lock()
-	boot := p.bootID
-	p.mu.Unlock()
+	boot := p.bootID.Load()
 	for i, f := range frags {
 		h := header{
 			flags:    flags,

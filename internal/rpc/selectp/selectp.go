@@ -83,7 +83,10 @@ type Protocol struct {
 	cfg Config
 	llp xk.Protocol // CHANNEL (or anything channel-shaped)
 
-	mu       sync.Mutex
+	// mu is an RWMutex because the procedure map is read on every
+	// request demux but written only at registration time; concurrent
+	// requests must not serialize on the lookup.
+	mu       sync.RWMutex
 	handlers map[uint16]Handler
 	fallback Handler
 	sessions map[xk.IPAddr]*Session
@@ -191,12 +194,12 @@ func (p *Protocol) Demux(lls xk.Session, m *msg.Msg) error {
 	if typ != typeRequest {
 		return fmt.Errorf("%s: unexpected type %d: %w", p.Name(), typ, xk.ErrBadHeader)
 	}
-	p.mu.Lock()
+	p.mu.RLock()
 	h := p.handlers[command]
 	if h == nil {
 		h = p.fallback
 	}
-	p.mu.Unlock()
+	p.mu.RUnlock()
 
 	status := StatusOK
 	var reply *msg.Msg

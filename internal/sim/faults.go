@@ -74,6 +74,7 @@ func (n *Network) AddRule(r Rule) int {
 	defer n.mu.Unlock()
 	n.ruleSeq++
 	n.rules = append(n.rules, &ruleState{Rule: r, id: n.ruleSeq})
+	n.recomputeFastLocked()
 	return n.ruleSeq
 }
 
@@ -84,6 +85,7 @@ func (n *Network) RemoveRule(id int) {
 	for i, r := range n.rules {
 		if r.id == id {
 			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			n.recomputeFastLocked()
 			return
 		}
 	}
@@ -94,6 +96,7 @@ func (n *Network) ClearRules() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.rules = nil
+	n.recomputeFastLocked()
 }
 
 // RuleDrops reports how many frames the rule with the given id has
@@ -118,6 +121,7 @@ func (n *Network) RuleDrops(id int) int {
 func (n *Network) SetLinkState(addr xk.EthAddr, up bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.recomputeFastLocked()
 	if up {
 		delete(n.linkDown, addr)
 		return
@@ -150,6 +154,7 @@ func (n *Network) Partition(sides ...[]xk.EthAddr) {
 			n.partition[a] = i + 1
 		}
 	}
+	n.recomputeFastLocked()
 }
 
 // Heal removes the partition installed by Partition.
@@ -157,6 +162,7 @@ func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partition = nil
+	n.recomputeFastLocked()
 }
 
 // Partitioned reports whether a unicast frame from a to b would
@@ -192,6 +198,7 @@ func (n *Network) Reattach(nic *NIC) error {
 		return fmt.Errorf("sim: address %s already attached", nic.addr)
 	}
 	n.nics[nic.addr] = nic
+	n.snapshotNicsLocked()
 	return nil
 }
 
@@ -202,16 +209,16 @@ func (n *Network) Reattach(nic *NIC) error {
 // proceed to the probabilistic injector. Called with n.mu held.
 func (n *Network) vetoLocked(src, dst xk.EthAddr, index int64, frame []byte) string {
 	if n.linkDown[src] {
-		n.stats.FramesLinkDown++
+		n.ctr.framesLinkDown.Add(1)
 		return FrameLinkDown
 	}
 	if !dst.IsBroadcast() {
 		if n.linkDown[dst] {
-			n.stats.FramesLinkDown++
+			n.ctr.framesLinkDown.Add(1)
 			return FrameLinkDown
 		}
 		if n.partitionedLocked(src, dst) {
-			n.stats.FramesPartitioned++
+			n.ctr.framesPartitioned.Add(1)
 			return FramePartitioned
 		}
 	}
@@ -228,7 +235,7 @@ func (n *Network) vetoLocked(src, dst xk.EthAddr, index int64, frame []byte) str
 				continue
 			}
 			r.hits++
-			n.stats.FramesRuleDropped++
+			n.ctr.framesRuleDropped.Add(1)
 			if r.Name != "" {
 				return FrameRuleDropped + ":" + r.Name
 			}
@@ -244,11 +251,11 @@ func (n *Network) vetoLocked(src, dst xk.EthAddr, index int64, frame []byte) str
 // reorder hold across a link or partition change. Called with n.mu held.
 func (n *Network) receivableLocked(src, dst xk.EthAddr) bool {
 	if n.linkDown[dst] {
-		n.stats.FramesLinkDown++
+		n.ctr.framesLinkDown.Add(1)
 		return false
 	}
 	if n.partitionedLocked(src, dst) {
-		n.stats.FramesPartitioned++
+		n.ctr.framesPartitioned.Add(1)
 		return false
 	}
 	return true

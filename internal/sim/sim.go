@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xkernel/internal/event"
@@ -103,14 +104,28 @@ type Stats struct {
 
 // Network is one ethernet segment.
 type Network struct {
-	cfg   Config
-	rng   *rand.Rand
-	clock event.Clock
+	cfg     Config
+	rng     *rand.Rand
+	clock   event.Clock
+	hasRand bool // any probabilistic fault rate configured (fixed at New)
+
+	// Counters are atomics so the contended fast path below can account
+	// frames without the segment lock; the slow path bumps them with the
+	// lock held, which is equally safe.
+	ctr counters
+
+	// fast is true while nothing on the segment needs the locked path:
+	// no probabilistic faults, no capture or span hooks, no scenario
+	// rules, link cuts, or partition. Unicast Sends then run entirely on
+	// atomics plus the read-only NIC snapshot, so concurrent senders do
+	// not serialize on mu. Recomputed under mu by every mutator that
+	// could change the answer.
+	fast   atomic.Bool
+	nicsRO atomic.Pointer[map[xk.EthAddr]*NIC] // copy-on-write; rebuilt on attach/detach
 
 	mu      sync.Mutex
 	nics    map[xk.EthAddr]*NIC
 	held    *heldFrame // one-frame reorder buffer
-	stats   Stats
 	capture func(FrameRecord)
 	spanrec *span.Recorder
 
@@ -119,6 +134,41 @@ type Network struct {
 	ruleSeq   int
 	linkDown  map[xk.EthAddr]bool
 	partition map[xk.EthAddr]int
+}
+
+// counters mirrors Stats field-for-field with atomic cells; WireTime is
+// kept in nanoseconds.
+type counters struct {
+	framesSent        atomic.Int64
+	framesDelivered   atomic.Int64
+	framesDropped     atomic.Int64
+	framesNoDest      atomic.Int64
+	framesDuplicate   atomic.Int64
+	framesReordered   atomic.Int64
+	framesCorrupted   atomic.Int64
+	framesLinkDown    atomic.Int64
+	framesPartitioned atomic.Int64
+	framesRuleDropped atomic.Int64
+	bytesSent         atomic.Int64
+	wireTimeNs        atomic.Int64
+}
+
+// recomputeFastLocked re-derives the fast-path flag; called with n.mu
+// held by every mutator of the state it reads. A held reorder frame
+// implies ReorderRate > 0 and therefore hasRand, so it needs no term.
+func (n *Network) recomputeFastLocked() {
+	n.fast.Store(!n.hasRand && n.capture == nil && n.spanrec == nil &&
+		len(n.rules) == 0 && len(n.linkDown) == 0 && n.partition == nil)
+}
+
+// snapshotNicsLocked republishes the read-only NIC table after an
+// attach, detach, or reattach. Called with n.mu held.
+func (n *Network) snapshotNicsLocked() {
+	snap := make(map[xk.EthAddr]*NIC, len(n.nics))
+	for a, t := range n.nics {
+		snap[a] = t
+	}
+	n.nicsRO.Store(&snap)
 }
 
 // Frame dispositions recorded by the capture hook. A frame's
@@ -165,6 +215,7 @@ type FrameRecord struct {
 func (n *Network) SetCapture(f func(FrameRecord)) {
 	n.mu.Lock()
 	n.capture = f
+	n.recomputeFastLocked()
 	n.mu.Unlock()
 }
 
@@ -177,6 +228,7 @@ func (n *Network) SetCapture(f func(FrameRecord)) {
 func (n *Network) SetSpans(r *span.Recorder) {
 	n.mu.Lock()
 	n.spanrec = r
+	n.recomputeFastLocked()
 	n.mu.Unlock()
 }
 
@@ -240,12 +292,16 @@ func New(cfg Config) *Network {
 	if clock == nil {
 		clock = event.Real()
 	}
-	return &Network{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
-		clock: clock,
-		nics:  make(map[xk.EthAddr]*NIC),
+	n := &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		clock:   clock,
+		hasRand: cfg.LossRate > 0 || cfg.DupRate > 0 || cfg.ReorderRate > 0 || cfg.CorruptRate > 0,
+		nics:    make(map[xk.EthAddr]*NIC),
 	}
+	n.snapshotNicsLocked()
+	n.recomputeFastLocked()
+	return n
 }
 
 // NIC is a host's attachment to a Network. Receive delivery invokes the
@@ -254,8 +310,9 @@ type NIC struct {
 	net  *Network
 	addr xk.EthAddr
 
-	mu   sync.Mutex
-	recv func(frame []byte)
+	// recv is read on every delivery, concurrently with other
+	// deliveries; an atomic pointer keeps the receive path off any lock.
+	recv atomic.Pointer[func(frame []byte)]
 }
 
 // Attach creates a NIC with the given hardware address. Attaching a
@@ -268,6 +325,7 @@ func (n *Network) Attach(addr xk.EthAddr) (*NIC, error) {
 	}
 	nic := &NIC{net: n, addr: addr}
 	n.nics[addr] = nic
+	n.snapshotNicsLocked()
 	return nic, nil
 }
 
@@ -280,25 +338,46 @@ func (n *Network) Detach(nic *NIC) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.nics, nic.addr)
+	n.snapshotNicsLocked()
 	if h := n.held; h != nil && (h.src == nic || h.dst == nic.addr) {
 		n.held = nil
-		n.stats.FramesDropped++
+		n.ctr.framesDropped.Add(1)
 		h.closeHeldSpan(n)
 	}
 }
 
 // Stats returns a snapshot of the segment counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		FramesSent:        n.ctr.framesSent.Load(),
+		FramesDelivered:   n.ctr.framesDelivered.Load(),
+		FramesDropped:     n.ctr.framesDropped.Load(),
+		FramesNoDest:      n.ctr.framesNoDest.Load(),
+		FramesDuplicate:   n.ctr.framesDuplicate.Load(),
+		FramesReordered:   n.ctr.framesReordered.Load(),
+		FramesCorrupted:   n.ctr.framesCorrupted.Load(),
+		FramesLinkDown:    n.ctr.framesLinkDown.Load(),
+		FramesPartitioned: n.ctr.framesPartitioned.Load(),
+		FramesRuleDropped: n.ctr.framesRuleDropped.Load(),
+		BytesSent:         n.ctr.bytesSent.Load(),
+		WireTime:          time.Duration(n.ctr.wireTimeNs.Load()),
+	}
 }
 
 // ResetStats zeroes the counters (benchmark harness hook).
 func (n *Network) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{}
+	n.ctr.framesSent.Store(0)
+	n.ctr.framesDelivered.Store(0)
+	n.ctr.framesDropped.Store(0)
+	n.ctr.framesNoDest.Store(0)
+	n.ctr.framesDuplicate.Store(0)
+	n.ctr.framesReordered.Store(0)
+	n.ctr.framesCorrupted.Store(0)
+	n.ctr.framesLinkDown.Store(0)
+	n.ctr.framesPartitioned.Store(0)
+	n.ctr.framesRuleDropped.Store(0)
+	n.ctr.bytesSent.Store(0)
+	n.ctr.wireTimeNs.Store(0)
 }
 
 // MTU reports the segment MTU.
@@ -313,9 +392,11 @@ func (nic *NIC) MTU() int { return nic.net.cfg.MTU }
 // SetReceiver installs the frame handler; it is the entry point of the
 // shepherd path upward through the protocol stack.
 func (nic *NIC) SetReceiver(f func(frame []byte)) {
-	nic.mu.Lock()
-	nic.recv = f
-	nic.mu.Unlock()
+	if f == nil {
+		nic.recv.Store(nil)
+		return
+	}
+	nic.recv.Store(&f)
 }
 
 // Send transmits frame to dst. The frame includes the ethernet header
@@ -328,13 +409,30 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	if len(frame) > n.cfg.MTU+EthHeaderBytes {
 		return ErrFrameTooBig
 	}
+	ser := serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
+
+	// Contended-delivery fast path: with no faults, capture, spans, or
+	// scenario state configured, a unicast frame needs only counter
+	// updates and a lookup in the read-only NIC snapshot — concurrent
+	// senders never touch the segment lock. A mutator flipping the flag
+	// concurrently is ordered exactly as if it ran just after this Send.
+	if !dst.IsBroadcast() && n.fast.Load() {
+		n.ctr.framesSent.Add(1)
+		n.ctr.bytesSent.Add(int64(len(frame)))
+		n.ctr.wireTimeNs.Add(int64(ser))
+		if t, ok := (*n.nicsRO.Load())[dst]; ok {
+			n.ctr.framesDelivered.Add(1)
+			t.handle(frame, n.cfg.Latency, n.cfg.Async)
+		} else {
+			n.ctr.framesNoDest.Add(1)
+		}
+		return nil
+	}
 
 	n.mu.Lock()
-	n.stats.FramesSent++
-	n.stats.BytesSent += int64(len(frame))
-	ser := serializationTime(len(frame)+EthHeaderBytes-14, n.cfg.BandwidthBps)
-	n.stats.WireTime += ser
-	index := n.stats.FramesSent
+	index := n.ctr.framesSent.Add(1)
+	n.ctr.bytesSent.Add(int64(len(frame)))
+	n.ctr.wireTimeNs.Add(int64(ser))
 	capture := n.capture
 	rec, sid, sendNs := n.wireSpanLocked(len(frame))
 
@@ -352,7 +450,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 
 	// Fault injection.
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-		n.stats.FramesDropped++
+		n.ctr.framesDropped.Add(1)
 		n.mu.Unlock()
 		n.closeWireSpan(rec, sid, sendNs, ser.Nanoseconds(), 0, nic.addr, dst, FrameDropped)
 		if capture != nil {
@@ -362,7 +460,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	}
 	corrupted := false
 	if n.cfg.CorruptRate > 0 && len(frame) > 14 && n.rng.Float64() < n.cfg.CorruptRate {
-		n.stats.FramesCorrupted++
+		n.ctr.framesCorrupted.Add(1)
 		corrupted = true
 		frame = append([]byte(nil), frame...)
 		i := 14 + n.rng.Intn(len(frame)-14)
@@ -370,7 +468,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	}
 	dup := n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
 	if dup {
-		n.stats.FramesDuplicate++
+		n.ctr.framesDuplicate.Add(1)
 	}
 
 	// One-frame reordering: optionally hold this frame; any held frame
@@ -378,7 +476,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	var deliverNow []heldFrame
 	disposition := FrameDelivered
 	if n.cfg.ReorderRate > 0 && n.held == nil && n.rng.Float64() < n.cfg.ReorderRate {
-		n.stats.FramesReordered++
+		n.ctr.framesReordered.Add(1)
 		n.held = &heldFrame{dst: dst, src: nic, frame: frame,
 			spanRec: rec, spanID: sid, heldNs: sendNs, serNs: ser.Nanoseconds(), startNs: sendNs}
 		sid = 0 // stays open until release; queueing is measured then
@@ -472,9 +570,9 @@ func (n *Network) deliver(src *NIC, dst xk.EthAddr, frame []byte) {
 			targets = append(targets, t)
 		}
 	} else {
-		n.stats.FramesNoDest++
+		n.ctr.framesNoDest.Add(1)
 	}
-	n.stats.FramesDelivered += int64(len(targets))
+	n.ctr.framesDelivered.Add(int64(len(targets)))
 	n.mu.Unlock()
 
 	for _, t := range targets {
@@ -483,12 +581,11 @@ func (n *Network) deliver(src *NIC, dst xk.EthAddr, frame []byte) {
 }
 
 func (t *NIC) handle(frame []byte, latency time.Duration, async bool) {
-	t.mu.Lock()
-	recv := t.recv
-	t.mu.Unlock()
-	if recv == nil {
+	p := t.recv.Load()
+	if p == nil {
 		return
 	}
+	recv := *p
 	switch {
 	case latency > 0:
 		f := frame

@@ -22,8 +22,19 @@ go build ./...
 echo "== xkvet (invariant analyzers, see DESIGN.md §7) =="
 go run ./cmd/xkvet ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (with coverage profile) =="
+go test -race -covermode=atomic -coverprofile=coverage.out ./...
+
+echo "== coverage floor =="
+# The profile doubles as a CI artifact; the floor catches a PR that
+# adds a subsystem without tests, not day-to-day noise.
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+floor=65
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "total coverage ${total}% is below the ${floor}% floor" >&2
+    exit 1
+fi
+echo "total coverage ${total}% (floor ${floor}%)"
 
 echo "== chaos smoke (partition+reboot per stack family) =="
 # The -short sweep runs one canned scenario set per reliability stack;
@@ -34,6 +45,10 @@ go test -short ./internal/chaos/ -run 'TestPartitionReboot|TestScenarioLibrarySo
 
 echo "== msg fuzz smoke (op sequences vs naive model) =="
 go test ./internal/msg/ -fuzz FuzzPushPopFragmentJoin -fuzztime 5s
+
+echo "== demux fuzz smoke (arbitrary frames through CHANNEL and FRAGMENT) =="
+go test ./internal/rpc/channel/ -run '^$' -fuzz FuzzChannelPop -fuzztime 5s
+go test ./internal/rpc/fragment/ -run '^$' -fuzz FuzzFragmentPop -fuzztime 5s
 
 echo "== Table I benchmark smoke (1 iteration each) =="
 go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
@@ -48,5 +63,12 @@ echo "== benchmark regression gate (vs committed Table I baseline) =="
 # stays comparable across machines; the generous threshold still
 # catches a layer growing a whole layer's worth of cost.
 go run ./cmd/xkbench -compare BENCH_table1.json -threshold 40
+
+echo "== load regression gate (vs committed multi-client baseline) =="
+# Re-runs the committed concurrency sweep (stacks x client counts) and
+# diffs calls/sec in relative mode: absolute machine speed divides out,
+# so what this catches is a stack losing its scaling shape — e.g. a
+# widened lock turning the N=64 cell back into the N=1 cell.
+go run ./cmd/xkbench -compare BENCH_load1.json -threshold 40
 
 echo "OK"

@@ -49,6 +49,7 @@ import (
 	"xkernel/internal/bench"
 	"xkernel/internal/chaos"
 	"xkernel/internal/event"
+	"xkernel/internal/load"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
 	"xkernel/internal/obs/anatomy"
@@ -129,6 +130,17 @@ type (
 	// ChaosResult carries a chaos run's tallies, wire log, and any
 	// invariant violations.
 	ChaosResult = chaos.Result
+	// LoadOptions parameterizes a concurrent workload sweep: stacks,
+	// client counts, window, payload, and simulated wire latency.
+	LoadOptions = load.Options
+	// LoadLevel is one concurrency level's aggregate measurement:
+	// calls/sec, latency quantiles, and cross-client fairness.
+	LoadLevel = load.Level
+	// LoadStackReport is one stack's full concurrency sweep.
+	LoadStackReport = load.StackReport
+	// LoadReport is the JSON-ready result of a whole load run
+	// (xkload's BENCH_load*.json).
+	LoadReport = load.Report
 	// RetryPolicy shapes a retransmission schedule around a base
 	// interval.
 	RetryPolicy = retry.Policy
@@ -199,6 +211,17 @@ var (
 	// ChaosPartitionReboot scripts the acceptance scenario: partition,
 	// crash+reboot behind it, heal.
 	ChaosPartitionReboot = chaos.PartitionReboot
+	// LoadRun sweeps N concurrent closed-loop clients through each
+	// configured stack and reports calls/sec, p50/p99, and fairness.
+	LoadRun = load.Run
+	// LoadRunLevel measures a single (stack, client-count) cell.
+	LoadRunLevel = load.RunLevel
+	// LoadReadReport loads a BENCH_load JSON report from disk.
+	LoadReadReport = load.ReadReport
+	// LoadCompareReports diffs two load reports cell-by-cell; relative
+	// mode normalizes calls/sec by the shared-cell mean so committed
+	// baselines stay comparable across machines.
+	LoadCompareReports = load.CompareReports
 )
 
 // Typed failure sentinels clients should match with errors.Is.
@@ -224,6 +247,9 @@ const (
 	StackVIPsize = bench.SelChanVIPsize
 	// StackNRPC is the native-style N_RPC analogue.
 	StackNRPC = bench.NRPC
+	// StackSunRPCVIP is the Sun RPC decomposition over
+	// FRAGMENT-VIP (zero-or-more call semantics).
+	StackSunRPCVIP = bench.SunRPCVIP
 )
 
 // Commonly used control opcodes, re-exported.

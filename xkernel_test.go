@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"xkernel"
 	"xkernel/internal/psync"
@@ -312,5 +313,31 @@ func TestEnableVIPDiscovery(t *testing.T) {
 	}
 	if _, _, err := client.EnableVIPDiscovery("mrpc", nil, 0); err == nil {
 		t.Fatal("discovery on a non-VIP instance accepted")
+	}
+}
+
+func TestLoadFacade(t *testing.T) {
+	// The load engine through the public face: one quick cell, then the
+	// report/compare plumbing on the result.
+	lvl, err := xkernel.LoadRunLevel(xkernel.StackMRPCVIP, 2, xkernel.LoadOptions{
+		Duration:    50 * time.Millisecond,
+		WarmupCalls: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.Calls == 0 || lvl.Errors != 0 {
+		t.Fatalf("load level: %+v", lvl)
+	}
+	rep := &xkernel.LoadReport{
+		Kind:   "load",
+		Stacks: []xkernel.LoadStackReport{{Stack: string(xkernel.StackMRPCVIP), Levels: []xkernel.LoadLevel{*lvl}}},
+	}
+	res, err := xkernel.LoadCompareReports(rep, rep, "abs", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("self-compare regressed: %+v", res)
 	}
 }
