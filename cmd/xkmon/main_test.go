@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"xkernel/internal/obs/gauge"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 8); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	if got := sparkline([]int64{0, 0, 0}, 8); got != "▁▁▁" {
+		t.Errorf("flat-zero series rendered %q", got)
+	}
+	ramp := sparkline([]int64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if []rune(ramp)[0] != '▁' || []rune(ramp)[7] != '█' {
+		t.Errorf("ramp rendered %q, want ▁..█", ramp)
+	}
+	// Downsampling keeps the peak: a spike inside a bucket survives.
+	wide := sparkline([]int64{0, 0, 9, 0, 0, 0, 0, 0}, 4)
+	if !strings.ContainsRune(wide, '█') {
+		t.Errorf("downsampled spike lost: %q", wide)
+	}
+	if n := len([]rune(wide)); n != 4 {
+		t.Errorf("width: got %d cells, want 4", n)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	gs := []gauge.SeriesSnapshot{
+		{Name: "net.deliveries_inflight", Samples: []gauge.Sample{{TNs: 0, V: 2}, {TNs: 1, V: 7}}},
+		{Name: "client/select.pool_busy", Samples: []gauge.Sample{{TNs: 0, V: 3}}},
+		{Name: "server/select.pool_busy", Samples: []gauge.Sample{{TNs: 0, V: 5}}},
+	}
+	if vals := seriesVals(gs, "net.deliveries_inflight"); len(vals) != 2 || vals[1] != 7 {
+		t.Errorf("seriesVals = %v", vals)
+	}
+	if vals := seriesVals(gs, "missing"); vals != nil {
+		t.Errorf("missing series returned %v", vals)
+	}
+	if v, ok := maxBySuffix(gs, ".pool_busy"); !ok || v != 5 {
+		t.Errorf("maxBySuffix(.pool_busy) = %d, %v", v, ok)
+	}
+	if _, ok := maxBySuffix(gs, ".absent"); ok {
+		t.Error("maxBySuffix found an absent suffix")
+	}
+	if got := cell(9, true); got != "9" {
+		t.Errorf("cell = %q", got)
+	}
+	if got := cell(0, false); got != "-" {
+		t.Errorf("absent cell = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+// Replica of the XKMON gauge-sampling hook inside the deterministic
+// core: sample timestamps must come from the injected clock so a series
+// is bit-reproducible per seed — stamping them from the wall clock is
+// exactly the nondeterminism this pass rejects.
+package sim
+
+import (
+	"time"
+
+	"xkernel/internal/event"
+	"xkernel/internal/obs/gauge"
+)
+
+type monitored struct {
+	clock event.Clock
+	set   *gauge.Set
+	epoch time.Time
+}
+
+// sampleWall is the regression shape: wall-stamped samples differ run
+// to run even under a FakeClock.
+func (n *monitored) sampleWall() {
+	n.set.SampleAll(time.Now().UnixNano()) // want "wall clock: time\.Now"
+}
+
+// scheduleWall re-introduces a wall timer under the sampler.
+func (n *monitored) scheduleWall() {
+	time.AfterFunc(10*time.Millisecond, n.sampleWall) // want "wall clock: time\.AfterFunc"
+}
+
+// sampleOnClock is the blessed shape: virtual nanoseconds since the
+// run's epoch, from the injected clock.
+func (n *monitored) sampleOnClock() {
+	n.set.SampleAll(n.clock.Now().Sub(n.epoch).Nanoseconds())
+}
+
+// scheduleOnClock reschedules through the injected clock; duration
+// arithmetic on time.Duration values stays legal.
+func (n *monitored) scheduleOnClock() {
+	n.clock.Schedule(gauge.DefaultPeriod, n.sampleOnClock)
+}

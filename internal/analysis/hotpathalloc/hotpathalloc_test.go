@@ -11,5 +11,6 @@ func TestHotPathAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", hotpathalloc.Analyzer,
 		"xkernel/internal/proto/hptest",
 		"xkernel/internal/obs/obstest",
+		"xkernel/internal/obs/flighttest",
 	)
 }

@@ -1,0 +1,66 @@
+// Exercises the guard-first capture contract at the XKMON capture
+// sites: flight-recorder and gauge capture on the per-message hot path
+// must cost one atomic load when disabled, so Record runs only behind
+// Enabled() and nothing before the guard may materialize arguments.
+package flighttest
+
+import (
+	"xkernel/internal/msg"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/obs/gauge"
+)
+
+type layer struct {
+	fl      *flight.Recorder
+	series  *gauge.Series
+	name    string
+	samples []int64
+}
+
+// Push is the blessed shape: guard first, then Record with values that
+// already exist; the gauge ring's Record is lock-free and alloc-free so
+// it needs no guard at all.
+func (l *layer) Push(m *msg.Msg) error {
+	if l.fl.Enabled() {
+		l.fl.Record("wire", l.name, "", 0, int64(m.Len()))
+	}
+	l.series.Record(0, int64(m.Len()))
+	return nil
+}
+
+// Demux shows the capture-site violations the pass exists to catch:
+// detail strings and event buffers built per message — before, behind,
+// or instead of the guard.
+func (l *layer) Demux(m *msg.Msg) error {
+	// Materializing the detail before the guard charges every message
+	// for a disabled recorder.
+	detail := string(m.Bytes()) // want "conversion in hot path Demux"
+	if l.fl.Enabled() {
+		l.fl.Record("frame", l.name, detail, 0, 0)
+	}
+	// Sampling by appending to a side buffer instead of the fixed ring.
+	l.samples = append(l.samples, int64(m.Len())) // want "append in hot path Demux"
+	// Staging events in a fresh slice defeats the bounded ring.
+	evs := make([]flight.Event, 0, 4) // want "make in hot path Demux"
+	_ = evs
+	if l.fl.Enabled() {
+		// Being behind the guard does not excuse allocation on the
+		// enabled path either.
+		tags := []string{l.name} // want "slice literal in hot path Demux"
+		_ = tags
+	}
+	return nil
+}
+
+// Pop shows the escape hatch: a reject-path dump is allowed to build
+// its reason string, with the waiver spelled out.
+func (l *layer) Pop(m *msg.Msg) error {
+	if m.Len() == 0 {
+		//xk:allow hotpathalloc — reject-path dump reason, never on the delivery path
+		reason := string(m.Bytes())
+		if l.fl.Enabled() {
+			l.fl.Record("fault", l.name, reason, 0, 0)
+		}
+	}
+	return nil
+}

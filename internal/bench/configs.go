@@ -16,6 +16,8 @@ import (
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/obs/span"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/proto/udp"
@@ -121,6 +123,38 @@ type Testbed struct {
 	StaleRejects func() int64
 	// Retransmits counts the client's wire-level retransmissions.
 	Retransmits func() int64
+
+	// gaugeHooks registers the live-state gauges each builder's stack
+	// exposes; RegisterGauges runs them against the caller's set.
+	gaugeHooks []func(*gauge.Set)
+}
+
+// RegisterGauges adds every gauge the testbed exposes to set: the
+// simulated network's delivery/queue state ("net.*") plus whatever
+// live-state gauges the stack's protocols export — CHANNEL in-flight
+// calls and retransmit state, SELECT pool occupancy, and the channel
+// map's per-shard occupancy. Stacks without gauge-bearing layers
+// contribute only the network series. A nil set is a no-op.
+func (tb *Testbed) RegisterGauges(set *gauge.Set) {
+	if set == nil {
+		return
+	}
+	tb.Network.RegisterGauges(set, "net")
+	for _, hook := range tb.gaugeHooks {
+		hook(set)
+	}
+}
+
+// SetFlight attaches a flight recorder to the simulated wire so frame
+// anomalies (losses, duplicates, corruptions, partition vetoes) land in
+// the black box. Attaching a recorder never changes the bytes on the
+// wire; clean segments keep the lock-free send path.
+func (tb *Testbed) SetFlight(r *flight.Recorder) {
+	tb.Network.SetFlight(r)
+}
+
+func (tb *Testbed) addGauges(hook func(*gauge.Set)) {
+	tb.gaugeHooks = append(tb.gaugeHooks, hook)
 }
 
 // ServerAddr is where every testbed's server lives.
@@ -445,6 +479,17 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 		tb.ServerReboot = scp.Reboot
 		tb.StaleRejects = func() int64 { return scp.Stats().StaleEpochRejects }
 		tb.Retransmits = func() int64 { return ccp.Stats().Retransmits }
+		tb.addGauges(func(set *gauge.Set) {
+			ccp.RegisterGauges(set, ccp.Name())
+			scp.RegisterGauges(set, scp.Name())
+		})
+	}
+	if depth >= 4 {
+		csel, ssel := cp.sel, sp.sel
+		tb.addGauges(func(set *gauge.Set) {
+			csel.RegisterGauges(set, csel.Name())
+			ssel.RegisterGauges(set, ssel.Name())
+		})
 	}
 	switch depth {
 	case 4:
@@ -719,6 +764,12 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.ServerExecs = execs.Load
 	tb.StaleRejects = func() int64 { return schn.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cchn.Stats().Retransmits }
+	tb.addGauges(func(set *gauge.Set) {
+		cchn.RegisterGauges(set, cchn.Name())
+		schn.RegisterGauges(set, schn.Name())
+		csel.RegisterGauges(set, csel.Name())
+		ssel.RegisterGauges(set, ssel.Name())
+	})
 	tb.End = &selectEndpoint{s: s.(*selectp.Session)}
 	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
 	tb.AtMostOnce = true

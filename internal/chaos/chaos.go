@@ -28,13 +28,17 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/event"
 	"xkernel/internal/obs"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/settle"
 	"xkernel/internal/sim"
 	"xkernel/internal/xk"
 )
@@ -86,6 +90,23 @@ type Config struct {
 	// Instrument builds the stack with METER boundaries and collects
 	// protocol counters (retransmits, stale-epoch rejects) into it.
 	Instrument bool
+	// Flight is the black-box recorder the run arms on the wire and
+	// feeds with step/call/violation events; nil means the engine
+	// creates and enables one of its own.
+	Flight *flight.Recorder
+	// FlightDir, when non-empty (or via the XK_FLIGHT_DIR environment
+	// variable), is where a run that breaks any invariant auto-dumps
+	// the flight recorder as JSON for post-mortem.
+	FlightDir string
+}
+
+// flightDir resolves the dump directory: explicit config first, then
+// the environment, else no dump.
+func (c *Config) flightDir() string {
+	if c.FlightDir != "" {
+		return c.FlightDir
+	}
+	return os.Getenv("XK_FLIGHT_DIR")
 }
 
 // CallResult is the outcome of one workload call.
@@ -121,6 +142,13 @@ type Result struct {
 
 	// Meter is the run's METER when Config.Instrument was set.
 	Meter *obs.Meter
+
+	// Flight is the run's black-box recorder: the last N wire faults,
+	// scenario steps, call outcomes, and invariant violations.
+	Flight *flight.Recorder
+	// FlightDump is the path of the JSON dump written when the run
+	// violated an invariant and a dump directory was configured.
+	FlightDump string
 }
 
 // Run is the live state a Step acts on.
@@ -210,7 +238,20 @@ func Execute(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Stack: cfg.Stack, Scenario: cfg.Scenario.Name, Meter: meter}
+	// Arm the black box: wire anomalies land in it via the network, the
+	// engine adds scenario steps and call outcomes. Timestamps are
+	// virtual nanoseconds since the run's epoch, so a dump is as
+	// reproducible as the wire log.
+	fr := cfg.Flight
+	if fr == nil {
+		fr = flight.New(0)
+		fr.Enable()
+	}
+	epoch := clock.Now()
+	fr.SetNow(func() int64 { return clock.Now().Sub(epoch).Nanoseconds() })
+	tb.Network.SetFlight(fr)
+
+	res := &Result{Stack: cfg.Stack, Scenario: cfg.Scenario.Name, Meter: meter, Flight: fr}
 	var wireMu sync.Mutex
 	tb.Network.SetCapture(func(fr sim.FrameRecord) {
 		line := fmt.Sprintf("%04d %s>%s %s %d", fr.Index, fr.Src, fr.Dst, fr.Disposition, fr.Len)
@@ -251,6 +292,9 @@ func Execute(cfg Config) (*Result, error) {
 	next := 0
 	for i := 0; i < cfg.Workload.Calls && !res.Hung; i++ {
 		for next < len(steps) && steps[next].BeforeCall <= i {
+			if fr.Enabled() {
+				fr.Record("step", "chaos", steps[next].Name, int64(steps[next].BeforeCall), 0)
+			}
 			steps[next].Do(r)
 			next = next + 1
 		}
@@ -263,6 +307,13 @@ func Execute(cfg Config) (*Result, error) {
 			break
 		}
 		res.Calls = append(res.Calls, cr)
+		if fr.Enabled() {
+			outcome, status := "ok", int64(1)
+			if cr.Err != nil {
+				outcome, status = cr.Err.Error(), 0
+			}
+			fr.Record("call", "chaos", outcome, int64(cr.Index), status)
+		}
 		switch {
 		case cr.Err == nil:
 			res.Completed++
@@ -293,7 +344,40 @@ func Execute(cfg Config) (*Result, error) {
 		tb.Collect()
 	}
 	res.check(cfg, tb, clock, baseline)
+
+	// Any broken invariant goes into the black box too, then the whole
+	// box hits disk — the dump is the post-mortem artifact CI collects.
+	if len(res.Violations) > 0 {
+		if fr.Enabled() {
+			for _, v := range res.Violations {
+				fr.Record("violation", "chaos", v, 0, 0)
+			}
+		}
+		if dir := cfg.flightDir(); dir != "" {
+			name := dumpName(cfg.Stack, cfg.Scenario.Name)
+			path, werr := fr.WriteTo(dir, name, res.Violations[0])
+			if werr != nil {
+				return res, fmt.Errorf("chaos: flight dump: %w", werr)
+			}
+			res.FlightDump = path
+		}
+	}
 	return res, nil
+}
+
+// dumpName flattens a (stack, scenario) pair into a filesystem-safe
+// dump basename.
+func dumpName(stack bench.Stack, scenario string) string {
+	s := string(stack) + "_" + scenario
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
 }
 
 // await waits for the in-flight call to finish, advancing the virtual
@@ -380,17 +464,11 @@ func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, 
 	if _, pending := clock.NextDeadline(); pending {
 		res.Violations = append(res.Violations, "shutdown: timer events still pending after drain")
 	}
-	leaked := -1
-	for i := 0; i < 200_000; i++ {
-		if n := runtime.NumGoroutine(); n <= baseline {
-			leaked = 0
-			break
-		}
-		runtime.Gosched()
-	}
-	if leaked != 0 {
+	// Zero patience: this package is clockpurity-scoped, so the settle
+	// loop must only yield, never sleep.
+	if n := settle.Goroutines(baseline, 0); n > baseline {
 		res.Violations = append(res.Violations, fmt.Sprintf(
 			"shutdown: %d goroutines leaked (baseline %d, now %d)",
-			runtime.NumGoroutine()-baseline, baseline, runtime.NumGoroutine()))
+			n-baseline, baseline, n))
 	}
 }

@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/chaos"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/settle"
 	"xkernel/internal/sim"
 )
 
@@ -68,27 +72,31 @@ func checkEcho(ep bench.Endpoint, size, seq int) error {
 	return nil
 }
 
-// settleGoroutines waits for the goroutine count to return to the
-// baseline taken before the testbed was built; leftover shepherds or
-// timer handlers after the workload drains are leaks.
-func settleGoroutines(t *testing.T, baseline int) {
+// flightOnFailure arms a flight recorder on the testbed's wire and, if
+// the test ends up failing, dumps the black box as JSON to
+// $XK_FLIGHT_DIR (the OS temp dir when unset) for post-mortem.
+func flightOnFailure(t *testing.T, tb *bench.Testbed) *flight.Recorder {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		for i := 0; i < 1000; i++ {
-			if runtime.NumGoroutine() <= baseline {
-				return
-			}
-			runtime.Gosched()
-		}
-		if time.Now().After(deadline) {
-			t.Errorf("goroutine leak: baseline %d, now %d", baseline, runtime.NumGoroutine())
+	fr := flight.New(0)
+	fr.Enable()
+	tb.SetFlight(fr)
+	t.Cleanup(func() {
+		if !t.Failed() {
 			return
 		}
-		// Real-clock testbeds may have short timers (fragment send-hold)
-		// still due; give them wall time to fire and unwind.
-		time.Sleep(5 * time.Millisecond)
-	}
+		dir := os.Getenv("XK_FLIGHT_DIR")
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		name := strings.ReplaceAll(t.Name(), "/", "_")
+		path, err := fr.WriteTo(dir, name, "test failure: "+t.Name())
+		if err != nil {
+			t.Logf("flight dump failed: %v", err)
+			return
+		}
+		t.Logf("flight recorder dumped to %s (%d events)", path, fr.Len())
+	})
+	return fr
 }
 
 // TestConformanceMatrix drives the identical randomized workload
@@ -105,6 +113,7 @@ func TestConformanceMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			flightOnFailure(t, tb)
 			calls := 0
 
 			// Phase 1: every framing boundary, sequentially.
@@ -179,7 +188,9 @@ func TestConformanceMatrix(t *testing.T) {
 				}
 			}
 
-			settleGoroutines(t, baseline)
+			// Real-clock testbeds may have short timers (fragment
+			// send-hold) still due, so settle with wall-clock patience.
+			settle.Expect(t, baseline, 5*time.Second)
 		})
 	}
 }

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"xkernel/internal/bench"
+	"xkernel/internal/event"
 	"xkernel/internal/obs"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/sim"
 )
 
@@ -59,6 +61,12 @@ type Options struct {
 	// 150µs. It must stay well under the stacks' retransmit timers
 	// (50ms) or the engine would measure recovery, not throughput.
 	WireLatency time.Duration
+	// GaugePeriod is the XKMON sampling period during each measured
+	// window: every period the engine records one point per registered
+	// gauge series (network delivery state, CHANNEL/SELECT occupancy,
+	// per-client in-flight). Zero means gauge.DefaultPeriod; negative
+	// disables gauge collection entirely.
+	GaugePeriod time.Duration
 }
 
 func (o *Options) fill() {
@@ -80,6 +88,9 @@ func (o *Options) fill() {
 	if o.WireLatency == 0 {
 		o.WireLatency = 150 * time.Microsecond
 	}
+	if o.GaugePeriod == 0 {
+		o.GaugePeriod = gauge.DefaultPeriod
+	}
 }
 
 // Level is one concurrency level's measurements on one stack.
@@ -96,6 +107,9 @@ type Level struct {
 	// (Σx)²/(n·Σx²), 1.0 when every client got identical service,
 	// approaching 1/n when one client starved the rest.
 	Fairness float64 `json:"fairness"`
+	// Gauges holds the XKMON time-resolved series sampled during the
+	// window (absent when Options.GaugePeriod is negative).
+	Gauges []gauge.SeriesSnapshot `json:"gauges,omitempty"`
 }
 
 // StackReport is one stack's sweep.
@@ -114,8 +128,47 @@ type Report struct {
 		Payload       int     `json:"payload"`
 		Echo          bool    `json:"echo"`
 		WireLatencyUs float64 `json:"wire_latency_us"`
+		GaugePeriodMs float64 `json:"gauge_period_ms,omitempty"`
 	} `json:"options"`
 	Stacks []StackReport `json:"stacks"`
+	// Knees summarizes where each stack's throughput stops scaling with
+	// added clients — the saturation knee XKMON renders.
+	Knees []KneeSummary `json:"knees,omitempty"`
+}
+
+// KneeSummary locates the saturation knee in one stack's sweep: the
+// last concurrency level at which adding clients still bought
+// throughput at a meaningful fraction of the single-client slope.
+type KneeSummary struct {
+	Stack string `json:"stack"`
+	Found bool   `json:"found"`
+	// KneeClients is the concurrency level at the knee; meaningful only
+	// when Found.
+	KneeClients int `json:"knee_clients,omitempty"`
+	// CallsPerSec is the throughput measured at the knee level.
+	CallsPerSec float64 `json:"calls_per_sec,omitempty"`
+}
+
+// ComputeKnees locates the saturation knee of every stack in the
+// report, applying gauge.Knee to (clients, calls/sec).
+func ComputeKnees(rep *Report) []KneeSummary {
+	var out []KneeSummary
+	for _, s := range rep.Stacks {
+		x := make([]float64, len(s.Levels))
+		y := make([]float64, len(s.Levels))
+		for i := range s.Levels {
+			x[i] = float64(s.Levels[i].Clients)
+			y[i] = s.Levels[i].CallsPerSec
+		}
+		ks := KneeSummary{Stack: s.Stack}
+		if idx, ok := gauge.Knee(x, y, gauge.DefaultKneeFrac); ok {
+			ks.Found = true
+			ks.KneeClients = s.Levels[idx].Clients
+			ks.CallsPerSec = s.Levels[idx].CallsPerSec
+		}
+		out = append(out, ks)
+	}
+	return out
 }
 
 // ReportKind is the Kind value marking a load report.
@@ -130,6 +183,7 @@ func Run(opt Options) (*Report, error) {
 	rep.Options.Payload = opt.Payload
 	rep.Options.Echo = opt.Echo
 	rep.Options.WireLatencyUs = float64(opt.WireLatency.Nanoseconds()) / 1e3
+	rep.Options.GaugePeriodMs = float64(opt.GaugePeriod.Nanoseconds()) / 1e6
 	for _, stack := range opt.Stacks {
 		sr := StackReport{Stack: string(stack)}
 		for _, n := range opt.Clients {
@@ -141,6 +195,7 @@ func Run(opt Options) (*Report, error) {
 		}
 		rep.Stacks = append(rep.Stacks, sr)
 	}
+	rep.Knees = ComputeKnees(rep)
 	return rep, nil
 }
 
@@ -214,7 +269,10 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 	}
 
 	hist := obs.NewHistogram()
-	counts := make([]int64, clients)
+	// Counts and in-flight markers are atomics because the gauge sampler
+	// reads them concurrently with the workers during the window.
+	counts := make([]atomic.Int64, clients)
+	inflight := make([]atomic.Int64, clients)
 	var errs atomic.Int64
 	var stop atomic.Bool
 	start := make(chan struct{})
@@ -225,25 +283,63 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 			<-start
 			for !stop.Load() {
 				t0 := time.Now()
-				if err := call(ep); err != nil {
+				inflight[i].Add(1)
+				err := call(ep)
+				inflight[i].Add(-1)
+				if err != nil {
 					errs.Add(1)
 					continue
 				}
 				hist.Observe(time.Since(t0))
-				counts[i]++ // one writer per slot
+				counts[i].Add(1)
 			}
 		}(i, ep)
 	}
+
+	// XKMON: sample the stack's live-state gauges (plus the engine's own
+	// in-flight and cumulative-call series) on the wall clock for the
+	// duration of the window. The simulated wire is real-time here, so
+	// the real clock is the right time base.
+	var sampler *gauge.Sampler
+	var set *gauge.Set
+	if opt.GaugePeriod > 0 {
+		set = gauge.NewSet(0)
+		tb.RegisterGauges(set)
+		set.Register("load.inflight", func() int64 {
+			var n int64
+			for i := range inflight {
+				n += inflight[i].Load()
+			}
+			return n
+		})
+		set.Register("load.calls_total", func() int64 {
+			var n int64
+			for i := range counts {
+				n += counts[i].Load()
+			}
+			return n
+		})
+		gauge.RegisterRuntime(set)
+		sampler = gauge.NewSampler(set, event.Real(), opt.GaugePeriod)
+	}
+
 	t0 := time.Now()
 	close(start)
+	if sampler != nil {
+		sampler.Start()
+	}
 	time.Sleep(opt.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	if sampler != nil {
+		sampler.Stop()
+	}
 
 	var total int64
 	var sum, sumSq float64
-	for _, c := range counts {
+	for i := range counts {
+		c := counts[i].Load()
 		total += c
 		sum += float64(c)
 		sumSq += float64(c) * float64(c)
@@ -255,7 +351,7 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 	if sumSq > 0 {
 		fairness = sum * sum / (float64(clients) * sumSq)
 	}
-	return &Level{
+	lvl := &Level{
 		Clients:     clients,
 		Calls:       total,
 		Errors:      errs.Load(),
@@ -265,5 +361,9 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 		P50Us:       float64(hist.Quantile(0.50).Nanoseconds()) / 1e3,
 		P99Us:       float64(hist.Quantile(0.99).Nanoseconds()) / 1e3,
 		Fairness:    fairness,
-	}, nil
+	}
+	if set != nil {
+		lvl.Gauges = set.Snapshot()
+	}
+	return lvl, nil
 }

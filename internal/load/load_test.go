@@ -125,6 +125,82 @@ func TestReportRoundTripAndCompare(t *testing.T) {
 	}
 }
 
+func TestSweepGaugesAndKnees(t *testing.T) {
+	opt := quickOpt()
+	opt.Stacks = []bench.Stack{bench.LRPCVIP}
+	opt.Clients = []int{1, 4}
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range rep.Stacks[0].Levels {
+		if len(lvl.Gauges) == 0 {
+			t.Fatalf("level N=%d carries no gauge series", lvl.Clients)
+		}
+		byName := make(map[string]int)
+		var sampled int
+		for _, s := range lvl.Gauges {
+			byName[s.Name] = len(s.Samples)
+			if s.Total > 0 {
+				sampled++
+			}
+		}
+		for _, want := range []string{
+			"load.inflight", "load.calls_total",
+			"net.deliveries_inflight",
+			"client/channel.calls_inflight",
+			"server/select.pool_busy",
+			"go.goroutines",
+		} {
+			if _, ok := byName[want]; !ok {
+				t.Errorf("level N=%d missing series %q", lvl.Clients, want)
+			}
+		}
+		if sampled == 0 {
+			t.Errorf("level N=%d: no series holds samples", lvl.Clients)
+		}
+	}
+	if len(rep.Knees) != 1 || rep.Knees[0].Stack != string(bench.LRPCVIP) {
+		t.Fatalf("knees = %+v, want one entry for %s", rep.Knees, bench.LRPCVIP)
+	}
+
+	// A negative period switches collection off.
+	opt.GaugePeriod = -1
+	lvl, err := RunLevel(bench.LRPCVIP, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.Gauges != nil {
+		t.Fatalf("GaugePeriod<0 still collected %d series", len(lvl.Gauges))
+	}
+}
+
+func TestComputeKnees(t *testing.T) {
+	mk := func(stack string, cells ...[2]float64) StackReport {
+		sr := StackReport{Stack: stack}
+		for _, c := range cells {
+			sr.Levels = append(sr.Levels, Level{Clients: int(c[0]), CallsPerSec: c[1]})
+		}
+		return sr
+	}
+	rep := &Report{Stacks: []StackReport{
+		// Scales 1→8, flat 8→64: knee at 8 clients.
+		mk("PLATEAU", [2]float64{1, 1000}, [2]float64{8, 8000}, [2]float64{64, 8100}),
+		// Keeps scaling linearly: no knee inside the sweep.
+		mk("LINEAR", [2]float64{1, 1000}, [2]float64{8, 8000}, [2]float64{64, 64000}),
+	}}
+	knees := ComputeKnees(rep)
+	if len(knees) != 2 {
+		t.Fatalf("got %d knees", len(knees))
+	}
+	if !knees[0].Found || knees[0].KneeClients != 8 || knees[0].CallsPerSec != 8000 {
+		t.Errorf("plateau knee = %+v, want found at 8 clients", knees[0])
+	}
+	if knees[1].Found {
+		t.Errorf("linear sweep reported a knee: %+v", knees[1])
+	}
+}
+
 func TestTableReportRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_table.json")
 	if err := os.WriteFile(path, []byte(`{"table":1,"configs":[{"stack":"X"}]}`), 0o644); err != nil {

@@ -1,0 +1,258 @@
+// Package flight is the black-box flight recorder: a small bounded
+// ring of recent telemetry events (spans, wire faults, chaos steps,
+// invariant checks) that costs nothing while disabled and, when a soak
+// run trips an invariant, dumps the last moments before the violation
+// as JSON — so a failed run explains itself instead of demanding a
+// rerun under a debugger.
+//
+// The capture-site contract matches obs/span: callers guard with
+// Enabled() — one atomic load, nil-safe — before materializing any
+// event arguments, so the disabled path performs zero allocations
+// (enforced by the hotpathalloc analyzer over this package and
+// asserted by AllocsPerRun tests):
+//
+//	if fr.Enabled() {
+//		fr.Record("wire", "drop", reason, seq, size)
+//	}
+//
+// Record itself re-checks the flag, so an unguarded call with already
+// materialized arguments is merely wasteful, never racy. The ring is a
+// preallocated slice guarded by a mutex held for a few stores — the
+// recorder sits on fault and step paths, not per-message hot paths, so
+// plain mutual exclusion is the simple correct choice (gauges, which
+// do sit under concurrent samplers, are the lock-free ones).
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the ring size when New is given zero: enough to
+// hold the full fault-and-step history of any canned chaos scenario
+// plus the tail of per-call events before a violation.
+const DefaultCapacity = 256
+
+// Event is one flight-recorder entry. TNs is nanoseconds on the
+// recorder's clock (see SetNow); Kind is the event family ("wire",
+// "step", "call", "violation", "span"); Layer and Detail narrow it;
+// A and B are two free integer operands (sequence numbers, sizes,
+// attempt counts) so hot callers need not format strings.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TNs    int64  `json:"t_ns"`
+	Kind   string `json:"kind"`
+	Layer  string `json:"layer,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	A      int64  `json:"a,omitempty"`
+	B      int64  `json:"b,omitempty"`
+}
+
+// Recorder is the bounded ring. The zero value is unusable; use New.
+// A nil *Recorder reports Enabled() == false and ignores every other
+// call, so graphs can thread one through unconditionally.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	nowFn func() int64
+	epoch time.Time
+	ring  []Event
+	total uint64 // events ever recorded
+}
+
+// New returns a recorder holding the last capacity events (zero means
+// DefaultCapacity), disabled, timestamping against the wall clock
+// until SetNow overrides it.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: make([]Event, 0, capacity), epoch: time.Now()}
+}
+
+// SetNow replaces the timestamp source, e.g. with a closure over a
+// FakeClock so chaos dumps carry simulated time. A nil fn restores the
+// default (wall-clock nanoseconds since New).
+func (r *Recorder) SetNow(fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nowFn = fn
+	r.mu.Unlock()
+}
+
+// Enable turns recording on.
+func (r *Recorder) Enable() {
+	if r != nil {
+		r.enabled.Store(true)
+	}
+}
+
+// Disable turns recording off; the retained events stay readable.
+func (r *Recorder) Disable() {
+	if r != nil {
+		r.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether Record stores events. It is the capture-site
+// guard: one atomic load, nil-safe, no allocation.
+func (r *Recorder) Enabled() bool {
+	return r != nil && r.enabled.Load()
+}
+
+// Record appends one event if the recorder is enabled, overwriting the
+// oldest entry once the ring is full. Callers on hot paths must guard
+// with Enabled() before building kind/layer/detail, per the package
+// contract.
+func (r *Recorder) Record(kind, layer, detail string, a, b int64) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	var t int64
+	if r.nowFn != nil {
+		t = r.nowFn()
+	} else {
+		t = time.Since(r.epoch).Nanoseconds()
+	}
+	e := Event{Seq: r.total, TNs: t, Kind: kind, Layer: layer, Detail: detail, A: a, B: b}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.total%uint64(cap(r.ring))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events copies the retained window, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) < cap(r.ring) {
+		return append(out, r.ring...)
+	}
+	head := r.total % uint64(cap(r.ring))
+	out = append(out, r.ring[head:]...)
+	return append(out, r.ring[:head]...)
+}
+
+// Len reports how many events the ring currently retains.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Total reports how many events were ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped reports how many early events the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.ring))
+}
+
+// Reset clears the ring and counters; the enabled flag and clock are
+// untouched.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring = r.ring[:0]
+	r.total = 0
+	r.mu.Unlock()
+}
+
+// Dump is the serialized form of a recorder at the moment something
+// went wrong: why it was taken, how much history the ring lost, and
+// the retained events oldest-first.
+type Dump struct {
+	Kind    string  `json:"kind"` // always "flight"
+	Reason  string  `json:"reason"`
+	Total   uint64  `json:"total"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// Dump captures the current state under the given reason.
+func (r *Recorder) Dump(reason string) Dump {
+	return Dump{
+		Kind:    "flight",
+		Reason:  reason,
+		Total:   r.Total(),
+		Dropped: r.Dropped(),
+		Events:  r.Events(),
+	}
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (d Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a dump file produced by WriteTo.
+func ReadDump(path string) (Dump, error) {
+	var d Dump
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("flight: parsing %s: %w", path, err)
+	}
+	if d.Kind != "flight" {
+		return d, fmt.Errorf("flight: %s is a %q dump, not a flight recording", path, d.Kind)
+	}
+	return d, nil
+}
+
+// WriteTo dumps the recorder to dir/<name>.flight.json (creating dir)
+// and returns the written path. It is the auto-dump hook chaos and the
+// conformance harness call when an invariant trips.
+func (r *Recorder) WriteTo(dir, name, reason string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".flight.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	derr := r.Dump(reason).WriteJSON(f)
+	cerr := f.Close()
+	if derr != nil {
+		return "", derr
+	}
+	return path, cerr
+}

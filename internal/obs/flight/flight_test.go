@@ -1,0 +1,174 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestDisabledRecorderIsInert(t *testing.T) {
+	r := New(4)
+	if r.Enabled() {
+		t.Fatalf("new recorder starts enabled")
+	}
+	r.Record("wire", "drop", "x", 1, 2)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("disabled recorder stored events: len=%d total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatalf("nil recorder enabled")
+	}
+	r.Enable()
+	r.Disable()
+	r.SetNow(func() int64 { return 1 })
+	r.Record("a", "b", "c", 0, 0)
+	r.Reset()
+	if r.Events() != nil || r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("nil recorder leaked state")
+	}
+	d := r.Dump("why")
+	if d.Total != 0 || len(d.Events) != 0 {
+		t.Fatalf("nil recorder dump non-empty: %+v", d)
+	}
+}
+
+// TestDisabledRecordAllocs pins the zero-alloc contract the issue
+// names: with the recorder disabled (or nil), the guard plus an
+// already-guarded Record call must not allocate.
+func TestDisabledRecordAllocs(t *testing.T) {
+	r := New(16)
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		if r.Enabled() {
+			t.Fatalf("recorder unexpectedly enabled")
+		}
+		r.Record("wire", "drop", "guarded", 3, 4)
+		if nilRec.Enabled() {
+			t.Fatalf("nil recorder enabled")
+		}
+		nilRec.Record("wire", "drop", "guarded", 3, 4)
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestRecordWrapAndOrder(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	var tick int64
+	r.SetNow(func() int64 { tick += 10; return tick })
+	for i := int64(0); i < 6; i++ {
+		r.Record("step", "chaos", "s", i, i*2)
+	}
+	if r.Total() != 6 || r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("total/len/dropped = %d/%d/%d, want 6/4/2", r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(i + 2) // 0 and 1 were overwritten
+		if e.Seq != wantSeq || e.A != int64(wantSeq) || e.B != 2*int64(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, wantSeq)
+		}
+		if e.TNs != int64(wantSeq+1)*10 {
+			t.Fatalf("event %d at t=%d, want %d", i, e.TNs, (wantSeq+1)*10)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || !r.Enabled() {
+		t.Fatalf("reset cleared the wrong state")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(64)
+	r.Enable()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if r.Enabled() {
+					r.Record("call", "load", "", int64(i), 0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", r.Total())
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("events out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	r := New(8)
+	r.Enable()
+	r.SetNow(func() int64 { return 42 })
+	r.Record("violation", "chaos", "at-most-once: dup exec", 7, 0)
+
+	var buf bytes.Buffer
+	if err := r.Dump("forced").WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if d.Kind != "flight" || d.Reason != "forced" || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if e := d.Events[0]; e.Kind != "violation" || e.TNs != 42 || e.A != 7 {
+		t.Fatalf("event = %+v", e)
+	}
+
+	dir := t.TempDir()
+	path, err := r.WriteTo(filepath.Join(dir, "sub"), "scenario-x", "forced")
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !strings.HasSuffix(path, "scenario-x.flight.json") {
+		t.Fatalf("path = %s", path)
+	}
+	rd, err := ReadDump(path)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if rd.Reason != "forced" || len(rd.Events) != 1 || rd.Events[0].Detail != "at-most-once: dup exec" {
+		t.Fatalf("read dump = %+v", rd)
+	}
+}
+
+func TestReadDumpRejectsWrongKind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, `{"kind":"load"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDump(path); err == nil {
+		t.Fatalf("ReadDump accepted a non-flight dump")
+	}
+	if _, err := ReadDump(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("ReadDump accepted a missing file")
+	}
+}

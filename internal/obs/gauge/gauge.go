@@ -1,0 +1,243 @@
+// Package gauge is the time-series half of the observability layer:
+// fixed-capacity rings of periodically sampled instantaneous values
+// (queue depths, pool occupancy, in-flight counts) recorded against an
+// injected event.Clock so a run's series are bit-reproducible per seed.
+//
+// Where obs.Meter answers "how much work happened" (monotone counters,
+// latency histograms) and obs/span answers "where did this one call's
+// microseconds go", a gauge answers "what did the system look like at
+// time t" — the shape queueing theory cares about under overload. Every
+// layer exposes the same gauge shape (a named int64 read function), so
+// a composed graph's telemetry is uniform the same way its protocol
+// interface is.
+//
+// The ring is lock-free on both sides: Record is a slot claim plus
+// three atomic stores, Snapshot validates a per-slot sequence number
+// before and after reading and simply skips slots that were mid-write
+// (a seqlock per slot). Readers never block writers and vice versa, so
+// a sampler can run inside the simulator's event loop while a monitor
+// snapshots from another goroutine.
+package gauge
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCapacity is the per-series ring capacity when NewSet is given
+// zero: at the default 10ms sampling period it holds ten seconds of
+// history, enough to cover any sweep level the load engine runs.
+const DefaultCapacity = 1024
+
+// Sample is one (time, value) observation. T is nanoseconds since the
+// sampler's epoch (the clock's Now at Start), not wall time, so series
+// recorded on a FakeClock compare equal across runs.
+type Sample struct {
+	TNs int64 `json:"t_ns"`
+	V   int64 `json:"v"`
+}
+
+// slot is one ring entry. seq is the seqlock: 2p+1 while the writer for
+// logical position p is mid-write, 2p+2 once position p is complete. A
+// reader that loads seq == 2p+2 before and after reading t and v knows
+// it saw a consistent pair for position p.
+type slot struct {
+	seq atomic.Uint64
+	t   atomic.Int64
+	v   atomic.Int64
+}
+
+// Series is one named gauge's ring of samples. The zero value is not
+// usable; obtain a Series from Set.Register. A nil *Series accepts and
+// discards Record calls, so callers can wire sampling unconditionally
+// and pay one branch when monitoring is off.
+type Series struct {
+	name  string
+	read  func() int64
+	next  atomic.Uint64 // logical positions claimed so far
+	slots []slot
+}
+
+// Name reports the series name.
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Record appends one sample. Safe for concurrent use; no-op on nil.
+func (s *Series) Record(tNs, v int64) {
+	if s == nil {
+		return
+	}
+	p := s.next.Add(1) - 1
+	sl := &s.slots[p%uint64(len(s.slots))]
+	sl.seq.Store(2*p + 1)
+	sl.t.Store(tNs)
+	sl.v.Store(v)
+	sl.seq.Store(2*p + 2)
+}
+
+// Sample reads the gauge function once and records it at tNs.
+func (s *Series) Sample(tNs int64) {
+	if s == nil || s.read == nil {
+		return
+	}
+	s.Record(tNs, s.read())
+}
+
+// Total reports how many samples were ever recorded (including ones the
+// ring has since overwritten).
+func (s *Series) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.next.Load()
+}
+
+// SeriesSnapshot is a point-in-time copy of one series, shaped for JSON
+// output. Samples are oldest-first; Total minus len(Samples) is how
+// many early samples the ring dropped.
+type SeriesSnapshot struct {
+	Name    string   `json:"name"`
+	Total   uint64   `json:"total"`
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// Snapshot copies the retained window, oldest sample first. It runs
+// concurrently with Record: slots being overwritten at the moment of
+// the read are skipped rather than returned torn.
+func (s *Series) Snapshot() SeriesSnapshot {
+	if s == nil {
+		return SeriesSnapshot{}
+	}
+	n := s.next.Load()
+	snap := SeriesSnapshot{Name: s.name, Total: n}
+	capacity := uint64(len(s.slots))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	for p := start; p < n; p++ {
+		sl := &s.slots[p%capacity]
+		want := 2*p + 2
+		if sl.seq.Load() != want {
+			continue // mid-write, or already claimed by a newer position
+		}
+		t, v := sl.t.Load(), sl.v.Load()
+		if sl.seq.Load() != want {
+			continue
+		}
+		snap.Samples = append(snap.Samples, Sample{TNs: t, V: v})
+	}
+	return snap
+}
+
+// Last reports the most recent complete sample, if any.
+func (s *Series) Last() (Sample, bool) {
+	snap := s.Snapshot()
+	if len(snap.Samples) == 0 {
+		return Sample{}, false
+	}
+	return snap.Samples[len(snap.Samples)-1], true
+}
+
+// Set is a registry of series sampled together. Layers register their
+// gauges into the set a testbed hands them; one Sampler then drives
+// SampleAll on a period. A nil *Set accepts and discards Register
+// calls (returning a nil Series), so RegisterGauges hooks need no
+// conditional wiring.
+type Set struct {
+	capacity int
+	mu       sync.RWMutex
+	series   map[string]*Series
+	order    []*Series
+}
+
+// NewSet returns an empty registry whose series hold capacity samples
+// each; zero means DefaultCapacity.
+func NewSet(capacity int) *Set {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Set{capacity: capacity, series: make(map[string]*Series)}
+}
+
+// Register adds a named gauge whose value is read by calling read at
+// each sample tick. Registering a name twice replaces the read function
+// but keeps the ring, so a rebuilt layer (server reboot) continues the
+// same series. read must be safe to call from any goroutine.
+func (s *Set) Register(name string, read func() int64) *Series {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr, ok := s.series[name]; ok {
+		sr.read = read
+		return sr
+	}
+	sr := &Series{name: name, read: read, slots: make([]slot, s.capacity)}
+	s.series[name] = sr
+	s.order = append(s.order, sr)
+	return sr
+}
+
+// Series returns the named series, or nil.
+func (s *Set) Series(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.series[name]
+}
+
+// Names lists registered series names, sorted.
+func (s *Set) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SampleAll reads every registered gauge once, recording each at tNs.
+// Registration order is preserved so related gauges are read close
+// together in time.
+func (s *Set) SampleAll(tNs int64) {
+	if s == nil {
+		return
+	}
+	s.mu.RLock()
+	order := s.order
+	s.mu.RUnlock()
+	for _, sr := range order {
+		sr.Sample(tNs)
+	}
+}
+
+// Snapshot copies every series, sorted by name for stable output.
+func (s *Set) Snapshot() []SeriesSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	order := make([]*Series, len(s.order))
+	copy(order, s.order)
+	s.mu.RUnlock()
+	snaps := make([]SeriesSnapshot, 0, len(order))
+	for _, sr := range order {
+		snaps = append(snaps, sr.Snapshot())
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	return snaps
+}

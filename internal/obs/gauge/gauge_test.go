@@ -1,0 +1,306 @@
+package gauge
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkernel/internal/event"
+)
+
+func TestSeriesRecordAndSnapshot(t *testing.T) {
+	set := NewSet(8)
+	s := set.Register("q", nil)
+	for i := int64(0); i < 5; i++ {
+		s.Record(i*10, i*i)
+	}
+	snap := s.Snapshot()
+	if snap.Name != "q" || snap.Total != 5 {
+		t.Fatalf("snapshot header = %q/%d, want q/5", snap.Name, snap.Total)
+	}
+	want := []Sample{{0, 0}, {10, 1}, {20, 4}, {30, 9}, {40, 16}}
+	if !reflect.DeepEqual(snap.Samples, want) {
+		t.Fatalf("samples = %v, want %v", snap.Samples, want)
+	}
+}
+
+func TestSeriesWraparound(t *testing.T) {
+	set := NewSet(4)
+	s := set.Register("q", nil)
+	const n = 11 // 2x capacity plus a partial lap
+	for i := int64(0); i < n; i++ {
+		s.Record(i, 100+i)
+	}
+	snap := s.Snapshot()
+	if snap.Total != n {
+		t.Fatalf("total = %d, want %d", snap.Total, n)
+	}
+	// Only the newest capacity samples survive, oldest first.
+	want := []Sample{{7, 107}, {8, 108}, {9, 109}, {10, 110}}
+	if !reflect.DeepEqual(snap.Samples, want) {
+		t.Fatalf("after wrap: samples = %v, want %v", snap.Samples, want)
+	}
+	if last, ok := s.Last(); !ok || last != (Sample{10, 110}) {
+		t.Fatalf("last = %v/%v, want {10 110}/true", last, ok)
+	}
+}
+
+func TestSeriesExactCapacityBoundary(t *testing.T) {
+	set := NewSet(4)
+	s := set.Register("q", nil)
+	for i := int64(0); i < 4; i++ {
+		s.Record(i, i)
+	}
+	if got := len(s.Snapshot().Samples); got != 4 {
+		t.Fatalf("at exactly capacity: got %d samples, want 4", got)
+	}
+	s.Record(4, 4)
+	snap := s.Snapshot()
+	if len(snap.Samples) != 4 || snap.Samples[0] != (Sample{1, 1}) {
+		t.Fatalf("one past capacity: samples = %v", snap.Samples)
+	}
+}
+
+// TestConcurrentRecordSnapshot hammers a small ring from writer
+// goroutines while readers snapshot continuously; under -race this
+// proves the seqlock protocol has no data race, and the assertions
+// prove no torn sample is ever returned (t and v are recorded equal so
+// any mismatch is a torn read).
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	set := NewSet(16)
+	s := set.Register("q", nil)
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Record(int64(i), int64(i))
+			}
+		}()
+	}
+	var torn atomic.Int64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, sm := range s.Snapshot().Samples {
+					if sm.TNs != sm.V {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish, then stop the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s.Total() < writers*perWriter {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	stop.Store(true)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn samples escaped the seqlock", torn.Load())
+	}
+	if s.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", s.Total(), writers*perWriter)
+	}
+}
+
+func TestSetRegisterAndSampleAll(t *testing.T) {
+	set := NewSet(8)
+	var depth atomic.Int64
+	set.Register("b.depth", depth.Load)
+	set.Register("a.fixed", func() int64 { return 7 })
+	depth.Store(3)
+	set.SampleAll(100)
+	depth.Store(5)
+	set.SampleAll(200)
+
+	if names := set.Names(); !reflect.DeepEqual(names, []string{"a.fixed", "b.depth"}) {
+		t.Fatalf("names = %v", names)
+	}
+	snaps := set.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "a.fixed" || snaps[1].Name != "b.depth" {
+		t.Fatalf("snapshot order = %v", snaps)
+	}
+	if want := []Sample{{100, 3}, {200, 5}}; !reflect.DeepEqual(snaps[1].Samples, want) {
+		t.Fatalf("b.depth = %v, want %v", snaps[1].Samples, want)
+	}
+	// Re-registering a name swaps the read function but keeps the ring.
+	set.Register("b.depth", func() int64 { return -1 })
+	set.SampleAll(300)
+	got := set.Series("b.depth").Snapshot().Samples
+	if want := []Sample{{100, 3}, {200, 5}, {300, -1}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after re-register: %v, want %v", got, want)
+	}
+}
+
+func TestNilSetAndSeriesAreInert(t *testing.T) {
+	var set *Set
+	s := set.Register("x", func() int64 { return 1 })
+	if s != nil {
+		t.Fatalf("nil set registered a series")
+	}
+	s.Record(1, 2) // must not panic
+	s.Sample(3)
+	set.SampleAll(0)
+	if set.Snapshot() != nil || set.Names() != nil || set.Series("x") != nil {
+		t.Fatalf("nil set leaked state")
+	}
+	if s.Total() != 0 || s.Name() != "" {
+		t.Fatalf("nil series leaked state")
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatalf("nil series has a last sample")
+	}
+}
+
+// TestSamplerDeterministic drives two independent sampler+set pairs on
+// fresh FakeClocks through the same schedule and requires bit-identical
+// series — the reproducibility the tentpole promises per seed.
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() []SeriesSnapshot {
+		clock := event.NewFake()
+		set := NewSet(32)
+		var depth atomic.Int64
+		set.Register("q.depth", depth.Load)
+		s := NewSampler(set, clock, 10*time.Millisecond)
+		s.Start()
+		for i := 0; i < 5; i++ {
+			depth.Store(int64(i * i))
+			clock.Advance(10 * time.Millisecond)
+		}
+		s.Stop()
+		clock.Advance(time.Second) // nothing further fires
+		return set.Snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%v\n%v", a, b)
+	}
+	samples := a[0].Samples
+	// Tick zero at the epoch plus one per Advance.
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6: %v", len(samples), samples)
+	}
+	for i, sm := range samples {
+		if sm.TNs != int64(i)*10e6 {
+			t.Fatalf("sample %d at t=%d, want %d", i, sm.TNs, int64(i)*10e6)
+		}
+	}
+	if samples[3].V != 4 { // depth was 2*2 when the 30ms tick fired
+		t.Fatalf("sample 3 = %v, want V=4", samples[3])
+	}
+}
+
+func TestSamplerStopCancelsPendingTick(t *testing.T) {
+	clock := event.NewFake()
+	set := NewSet(8)
+	set.Register("g", func() int64 { return 1 })
+	s := NewSampler(set, clock, time.Millisecond)
+	s.Start()
+	if clock.PendingCount() != 1 {
+		t.Fatalf("pending timers after start = %d, want 1", clock.PendingCount())
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if clock.PendingCount() != 0 {
+		t.Fatalf("pending timers after stop = %d, want 0", clock.PendingCount())
+	}
+	before := s.Ticks()
+	clock.Advance(time.Second)
+	if s.Ticks() != before {
+		t.Fatalf("stopped sampler ticked")
+	}
+}
+
+func TestSamplerSampleNow(t *testing.T) {
+	clock := event.NewFake()
+	set := NewSet(8)
+	set.Register("g", func() int64 { return 9 })
+	s := NewSampler(set, clock, time.Hour)
+	s.Start()
+	clock.Advance(time.Millisecond)
+	s.SampleNow()
+	s.Stop()
+	got := set.Series("g").Snapshot().Samples
+	want := []Sample{{0, 9}, {int64(time.Millisecond), 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("samples = %v, want %v", got, want)
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	set := NewSet(8)
+	RegisterRuntime(set)
+	set.SampleAll(0)
+	for _, name := range []string{"go.goroutines", "go.heap_alloc"} {
+		last, ok := set.Series(name).Last()
+		if !ok || last.V <= 0 {
+			t.Fatalf("%s = %v/%v, want a positive sample", name, last, ok)
+		}
+	}
+}
+
+func TestKnee(t *testing.T) {
+	cases := []struct {
+		name  string
+		x, y  []float64
+		frac  float64
+		idx   int
+		found bool
+	}{
+		{
+			// Pooled stack: scales to 8 clients then the channel pool
+			// pins throughput flat — knee at the 8-client level.
+			name: "plateau",
+			x:    []float64{1, 8, 64},
+			y:    []float64{1000, 7800, 7900},
+			idx:  1, found: true,
+		},
+		{
+			// Near-linear scaling all the way out: no knee in sweep.
+			name:  "linear",
+			x:     []float64{1, 8, 64},
+			y:     []float64{1000, 7900, 62000},
+			found: false,
+		},
+		{
+			// Retrograde throughput (collapse) is past the knee too.
+			name: "collapse",
+			x:    []float64{1, 4, 16},
+			y:    []float64{1000, 3900, 3500},
+			idx:  1, found: true,
+		},
+		{
+			// Immediate saturation: a single client already maxes it.
+			name: "immediate",
+			x:    []float64{1, 2, 4},
+			y:    []float64{1000, 1010, 1015},
+			idx:  0, found: true,
+		},
+		{name: "too-short", x: []float64{1}, y: []float64{5}, found: false},
+		{name: "mismatched", x: []float64{1, 2}, y: []float64{5}, found: false},
+		{name: "zero-base-x", x: []float64{0, 2}, y: []float64{0, 5}, found: false},
+		{name: "zero-base-y", x: []float64{1, 2}, y: []float64{0, 5}, found: false},
+		{name: "non-increasing-x", x: []float64{1, 1}, y: []float64{5, 5}, found: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, found := Knee(tc.x, tc.y, tc.frac)
+			if found != tc.found || (found && idx != tc.idx) {
+				t.Fatalf("Knee(%v, %v) = %d/%v, want %d/%v", tc.x, tc.y, idx, found, tc.idx, tc.found)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package gauge
+
+// Saturation-knee detection for load sweeps. A closed-loop sweep over
+// client counts x[i] yields throughputs y[i]; while the system scales,
+// each added client buys roughly the base per-client throughput, and at
+// saturation the marginal gain collapses. The knee is the last level
+// before that collapse — the operating point ROADMAP item 2 asks every
+// overload experiment to report.
+
+// DefaultKneeFrac is the marginal-slope fraction below which a level is
+// considered past the knee: adding clients must buy less than 10% of
+// the base per-client throughput.
+const DefaultKneeFrac = 0.1
+
+// Knee scans the sweep (x[i], y[i]) — x strictly increasing, both
+// non-negative — and reports the index of the last level before
+// saturation: the first i where the marginal slope
+// (y[i]-y[i-1])/(x[i]-x[i-1]) falls below frac times the base slope
+// y[0]/x[0] marks level i-1 as the knee. frac <= 0 means
+// DefaultKneeFrac. found is false when the sweep never saturates (or is
+// too short or degenerate to tell).
+func Knee(x, y []float64, frac float64) (idx int, found bool) {
+	if frac <= 0 {
+		frac = DefaultKneeFrac
+	}
+	if len(x) < 2 || len(x) != len(y) || x[0] <= 0 {
+		return 0, false
+	}
+	base := y[0] / x[0]
+	if base <= 0 {
+		return 0, false
+	}
+	for i := 1; i < len(x); i++ {
+		dx := x[i] - x[i-1]
+		if dx <= 0 {
+			return 0, false
+		}
+		if (y[i]-y[i-1])/dx < frac*base {
+			return i - 1, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,120 @@
+package gauge
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+)
+
+// DefaultPeriod is the sampling period when NewSampler is given zero.
+const DefaultPeriod = 10 * time.Millisecond
+
+// Sampler drives a Set on a period using an injected event.Clock: on a
+// FakeClock every tick lands at a deterministic simulated instant, so
+// two runs of the same seed produce byte-identical series; on the real
+// clock it behaves like a plain ticker. Sample times are recorded as
+// nanoseconds since the Start epoch.
+type Sampler struct {
+	set    *Set
+	clock  event.Clock
+	period time.Duration
+
+	mu      sync.Mutex
+	epoch   time.Time
+	ev      *event.Event
+	running bool
+	ticks   int64
+}
+
+// NewSampler returns a sampler over set; period zero means
+// DefaultPeriod, a nil clock means the real clock.
+func NewSampler(set *Set, clock event.Clock, period time.Duration) *Sampler {
+	if clock == nil {
+		clock = event.Real()
+	}
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	return &Sampler{set: set, clock: clock, period: period}
+}
+
+// Start takes one immediate sample (tick zero, at the epoch) and
+// schedules the periodic ticks. Restarting a stopped sampler resets
+// the epoch.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.epoch = s.clock.Now()
+	s.mu.Unlock()
+	s.tick()
+}
+
+// tick samples and reschedules; it runs on the clock's timer goroutine
+// (or the FakeClock Advance caller).
+func (s *Sampler) tick() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	t := s.clock.Now().Sub(s.epoch)
+	s.ticks++
+	s.ev = s.clock.Schedule(s.period, s.tick)
+	s.mu.Unlock()
+	s.set.SampleAll(t.Nanoseconds())
+}
+
+// SampleNow takes one extra sample at the current clock time without
+// disturbing the periodic schedule; before Start it samples at t=0.
+func (s *Sampler) SampleNow() {
+	s.mu.Lock()
+	var t time.Duration
+	if !s.epoch.IsZero() {
+		t = s.clock.Now().Sub(s.epoch)
+	}
+	s.mu.Unlock()
+	s.set.SampleAll(t.Nanoseconds())
+}
+
+// Stop cancels the pending tick. Safe to call twice.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	s.running = false
+	ev := s.ev
+	s.ev = nil
+	s.mu.Unlock()
+	ev.Cancel()
+}
+
+// Ticks reports how many periodic samples have fired.
+func (s *Sampler) Ticks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Set returns the sampler's underlying registry.
+func (s *Sampler) Set() *Set { return s.set }
+
+// RegisterRuntime adds the Go runtime's own health gauges to set:
+// go.goroutines (runtime.NumGoroutine) and go.heap_alloc (live heap
+// bytes). These are the two that catch a leaking shepherd or an
+// allocation regression in a soak; they are inherently not reproducible
+// across runs, so deterministic comparisons should filter the "go."
+// prefix.
+func RegisterRuntime(set *Set) {
+	set.Register("go.goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	set.Register("go.heap_alloc", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+}

@@ -118,6 +118,44 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(BucketUpper(histBuckets - 1))
 }
 
+// Merge folds other's observations into h without disturbing other.
+// Bucket counts, totals, and extrema combine exactly as if every
+// observation had been made on h directly, so per-shard (or per-client)
+// histograms can be recorded contention-free and aggregated at report
+// time. Safe against concurrent Observe calls on either histogram in
+// the same per-field atomic sense Observe itself is; a merge racing an
+// Observe on other may miss that one observation.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if n := other.count.Load(); n != 0 {
+		h.count.Add(n)
+		h.sumNs.Add(other.sumNs.Load())
+	}
+	if min := other.minNs.Load(); min != math.MaxInt64 {
+		for {
+			cur := h.minNs.Load()
+			if min >= cur || h.minNs.CompareAndSwap(cur, min) {
+				break
+			}
+		}
+	}
+	if max := other.maxNs.Load(); max != 0 {
+		for {
+			cur := h.maxNs.Load()
+			if max <= cur || h.maxNs.CompareAndSwap(cur, max) {
+				break
+			}
+		}
+	}
+}
+
 // BucketCount is one non-empty bucket in a snapshot.
 type BucketCount struct {
 	// UpperNs is the bucket's exclusive upper bound in nanoseconds.

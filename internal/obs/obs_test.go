@@ -326,6 +326,107 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestBucketBoundaries pins every documented bucket edge: bucket 0 is
+// [0, 256), bucket i >= 1 is [2^(7+i), 2^(8+i)), and BucketUpper is the
+// exclusive upper bound — an observation equal to BucketUpper(i) must
+// land in bucket i+1, one less in bucket i.
+func TestBucketBoundaries(t *testing.T) {
+	for i := 0; i < histBuckets-1; i++ {
+		upper := BucketUpper(i)
+		if got := bucketFor(upper - 1); got != i {
+			t.Errorf("bucketFor(%d) = %d, want %d (last value of bucket %d)", upper-1, got, i, i)
+		}
+		if got := bucketFor(upper); got != i+1 {
+			t.Errorf("bucketFor(%d) = %d, want %d (first value of bucket %d)", upper, got, i+1, i+1)
+		}
+	}
+	if got := bucketFor(BucketUpper(histBuckets - 1)); got != histBuckets-1 {
+		t.Errorf("top bucket must absorb its own upper bound, got %d", got)
+	}
+	// The top bucket reaches past 30 seconds, per the package comment.
+	if upper := BucketUpper(histBuckets - 1); upper < 30_000_000_000 {
+		t.Errorf("top bucket starts at %dns, want >= 30s reach", upper)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	aDur := []time.Duration{100 * time.Nanosecond, 10 * time.Microsecond}
+	bDur := []time.Duration{255 * time.Nanosecond, 256 * time.Nanosecond, time.Millisecond}
+	for _, d := range aDur {
+		a.Observe(d)
+	}
+	for _, d := range bDur {
+		b.Observe(d)
+	}
+	// Reference: one histogram observing everything directly.
+	want := NewHistogram()
+	for _, d := range append(append([]time.Duration{}, aDur...), bDur...) {
+		want.Observe(d)
+	}
+
+	a.Merge(b)
+	got, ref := a.Snapshot(), want.Snapshot()
+	if got.Count != ref.Count || got.SumNs != ref.SumNs {
+		t.Fatalf("count/sum = %d/%d, want %d/%d", got.Count, got.SumNs, ref.Count, ref.SumNs)
+	}
+	if got.MinNs != ref.MinNs || got.MaxNs != ref.MaxNs {
+		t.Fatalf("min/max = %d/%d, want %d/%d", got.MinNs, got.MaxNs, ref.MinNs, ref.MaxNs)
+	}
+	if len(got.Buckets) != len(ref.Buckets) {
+		t.Fatalf("buckets = %+v, want %+v", got.Buckets, ref.Buckets)
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != ref.Buckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got.Buckets[i], ref.Buckets[i])
+		}
+	}
+	if got.P50Ns != ref.P50Ns || got.P99Ns != ref.P99Ns {
+		t.Fatalf("p50/p99 = %d/%d, want %d/%d", got.P50Ns, got.P99Ns, ref.P50Ns, ref.P99Ns)
+	}
+	// b is untouched by the merge.
+	if b.Count() != int64(len(bDur)) {
+		t.Fatalf("merge mutated its argument: count = %d", b.Count())
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Merging an empty histogram changes nothing — in particular it must
+	// not drag min down to the empty sentinel or max up from zero.
+	h := NewHistogram()
+	h.Observe(time.Microsecond)
+	before := h.Snapshot()
+	h.Merge(NewHistogram())
+	h.Merge(nil)
+	h.Merge(h) // self-merge must not double
+	after := h.Snapshot()
+	if after.Count != before.Count || after.MinNs != before.MinNs || after.MaxNs != before.MaxNs {
+		t.Fatalf("no-op merges changed the histogram: %+v -> %+v", before, after)
+	}
+
+	// Merging into an empty histogram adopts the source's extrema.
+	empty := NewHistogram()
+	src := NewHistogram()
+	src.Observe(3 * time.Microsecond)
+	empty.Merge(src)
+	s := empty.Snapshot()
+	if s.Count != 1 || s.MinNs != 3000 || s.MaxNs != 3000 {
+		t.Fatalf("merge into empty: %+v", s)
+	}
+
+	// A source that only saw zero-duration observations still merges its
+	// count and min correctly.
+	zeros := NewHistogram()
+	zeros.Observe(0)
+	withZeros := NewHistogram()
+	withZeros.Observe(time.Microsecond)
+	withZeros.Merge(zeros)
+	z := withZeros.Snapshot()
+	if z.Count != 2 || z.MinNs != 0 || z.MaxNs != 1000 {
+		t.Fatalf("merge of zero-only source: %+v", z)
+	}
+}
+
 func TestMeterSnapshotAndReset(t *testing.T) {
 	m := NewMeter()
 	m.Layer("b").Pushes.Add(2)

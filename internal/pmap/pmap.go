@@ -22,7 +22,10 @@ package pmap
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
+
+	"xkernel/internal/obs/gauge"
 )
 
 // shardCount is the number of independently locked buckets. A power of
@@ -117,6 +120,44 @@ func (m *Map) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// ShardCount reports the number of independently locked buckets.
+func (m *Map) ShardCount() int { return shardCount }
+
+// ShardLen reports the number of bindings in shard i — the per-shard
+// occupancy XKMON samples to show whether the hash is spreading load or
+// a hot shard is serializing demux.
+func (m *Map) ShardLen(i int) int {
+	s := &m.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// MaxShardLen reports the occupancy of the fullest shard.
+func (m *Map) MaxShardLen() int {
+	max := 0
+	for i := range m.shards {
+		if n := m.ShardLen(i); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// RegisterGauges adds the map's occupancy gauges to set under prefix:
+// total size, fullest shard, and one series per shard
+// ("<prefix>.shard00" ...). A nil set is a no-op.
+func (m *Map) RegisterGauges(set *gauge.Set, prefix string) {
+	set.Register(prefix+".len", func() int64 { return int64(m.Len()) })
+	set.Register(prefix+".max_shard", func() int64 { return int64(m.MaxShardLen()) })
+	for i := 0; i < shardCount; i++ {
+		i := i
+		set.Register(fmt.Sprintf("%s.shard%02d", prefix, i), func() int64 {
+			return int64(m.ShardLen(i))
+		})
+	}
 }
 
 // Range calls f for every binding until f returns false. Each shard is

@@ -36,6 +36,7 @@ import (
 
 	"xkernel/internal/event"
 	"xkernel/internal/msg"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/pmap"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/rpc/retry"
@@ -237,6 +238,14 @@ type statCounters struct {
 	duplicateRequests, replayedReplies         atomic.Int64
 	requestsServed, remoteErrors               atomic.Int64
 	staleEpochRejects, peerReboots             atomic.Int64
+
+	// Instantaneous gauges, distinct from the monotone counters above:
+	// callsInFlight is calls currently blocked in Call, and
+	// retransInFlight is the subset that has retransmitted at least once
+	// and not yet resolved — the "stuck calls" gauge that rises when the
+	// wire degrades and falls back to zero as the stack converges.
+	callsInFlight   atomic.Int64
+	retransInFlight atomic.Int64
 }
 
 // New creates CHANNEL above llp, which must take VIP-shaped participants
@@ -274,6 +283,35 @@ func (p *Protocol) Stats() Stats {
 		StaleEpochRejects: p.ctr.staleEpochRejects.Load(),
 		PeerReboots:       p.ctr.peerReboots.Load(),
 	}
+}
+
+// CallsInFlight reports how many calls are currently blocked in Call.
+func (p *Protocol) CallsInFlight() int64 { return p.ctr.callsInFlight.Load() }
+
+// RetransInFlight reports how many in-flight calls have retransmitted
+// at least once and are still unresolved.
+func (p *Protocol) RetransInFlight() int64 { return p.ctr.retransInFlight.Load() }
+
+// ClientChannels reports the number of open client channel sessions.
+func (p *Protocol) ClientChannels() int64 { return int64(p.clients.Len()) }
+
+// ServerChannels reports the number of live server-side channel states.
+func (p *Protocol) ServerChannels() int64 {
+	p.srvMu.Lock()
+	defer p.srvMu.Unlock()
+	return int64(len(p.servers))
+}
+
+// RegisterGauges adds the protocol's live-state gauges to set under
+// prefix ("<prefix>.calls_inflight", ".retrans_inflight",
+// ".client_chans", ".server_chans") plus the client-channel map's
+// per-shard occupancy ("<prefix>.clients.*"). A nil set is a no-op.
+func (p *Protocol) RegisterGauges(set *gauge.Set, prefix string) {
+	set.Register(prefix+".calls_inflight", p.CallsInFlight)
+	set.Register(prefix+".retrans_inflight", p.RetransInFlight)
+	set.Register(prefix+".client_chans", p.ClientChannels)
+	set.Register(prefix+".server_chans", p.ServerChannels)
+	p.clients.RegisterGauges(set, prefix+".clients")
 }
 
 // BootID reports the current boot incarnation.

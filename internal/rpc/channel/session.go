@@ -63,10 +63,16 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 	s.replyCh = make(chan result, 1)
 	replyCh := s.replyCh
 	s.mu.Unlock()
+	p.ctr.callsInFlight.Add(1)
+	retransCounted := false
 	defer func() {
 		s.mu.Lock()
 		s.active = false
 		s.mu.Unlock()
+		p.ctr.callsInFlight.Add(-1)
+		if retransCounted {
+			p.ctr.retransInFlight.Add(-1)
+		}
 	}()
 
 	base := s.stepTimeout(m.Len())
@@ -89,6 +95,10 @@ func (s *Session) Call(m *msg.Msg) (*msg.Msg, error) {
 		if attempt > 0 {
 			h.flags |= flagPleaseAck
 			p.ctr.retransmits.Add(1)
+			if !retransCounted {
+				retransCounted = true
+				p.ctr.retransInFlight.Add(1)
+			}
 			trace.Printf(trace.Events, p.Name(), "retransmit chan=%d seq=%d attempt=%d", s.id, seq, attempt)
 		}
 		s.mu.Lock()

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"xkernel/internal/msg"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/rpc/channel"
 	"xkernel/internal/trace"
@@ -120,6 +121,47 @@ func (p *Protocol) RegisterDefault(h Handler) {
 	p.mu.Lock()
 	p.fallback = h
 	p.mu.Unlock()
+}
+
+// PoolFree reports the total number of idle channels across every
+// server session's fixed pool.
+func (p *Protocol) PoolFree() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var free int64
+	for _, s := range p.sessions {
+		free += int64(len(s.pool))
+	}
+	return free
+}
+
+// PoolBusy reports the total number of channels currently lent out to
+// in-flight calls — the pool-occupancy gauge whose ceiling (NumChannels
+// per server) is exactly where a SELECT stack's saturation knee sits.
+func (p *Protocol) PoolBusy() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var busy int64
+	for _, s := range p.sessions {
+		busy += int64(cap(s.pool) - len(s.pool))
+	}
+	return busy
+}
+
+// Servers reports how many server sessions (channel pools) are open.
+func (p *Protocol) Servers() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return int64(len(p.sessions))
+}
+
+// RegisterGauges adds the pool-occupancy gauges to set under prefix
+// ("<prefix>.pool_free", ".pool_busy", ".servers"). A nil set is a
+// no-op.
+func (p *Protocol) RegisterGauges(set *gauge.Set, prefix string) {
+	set.Register(prefix+".pool_free", p.PoolFree)
+	set.Register(prefix+".pool_busy", p.PoolBusy)
+	set.Register(prefix+".servers", p.Servers)
 }
 
 // Control answers capability queries.

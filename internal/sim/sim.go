@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"xkernel/internal/event"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/obs/span"
 	"xkernel/internal/xk"
 )
@@ -123,11 +125,19 @@ type Network struct {
 	fast   atomic.Bool
 	nicsRO atomic.Pointer[map[xk.EthAddr]*NIC] // copy-on-write; rebuilt on attach/detach
 
+	// deliveriesInFlight counts frames accepted by the segment but not
+	// yet handed to their receiver — the delivery queue that builds up
+	// on latency-bearing (timer) and async (shepherd-per-frame) links.
+	// It is the segment's queue-depth gauge; synchronous delivery never
+	// queues, so there it stays zero.
+	deliveriesInFlight atomic.Int64
+
 	mu      sync.Mutex
 	nics    map[xk.EthAddr]*NIC
 	held    *heldFrame // one-frame reorder buffer
 	capture func(FrameRecord)
 	spanrec *span.Recorder
+	flight  *flight.Recorder
 
 	// Scenario faults (see faults.go).
 	rules     []*ruleState
@@ -230,6 +240,31 @@ func (n *Network) SetSpans(r *span.Recorder) {
 	n.spanrec = r
 	n.recomputeFastLocked()
 	n.mu.Unlock()
+}
+
+// SetFlight attaches a flight recorder; every frame the segment does
+// anything adversarial to (drop, corruption, duplication, reorder hold,
+// link cut, partition, rule drop) is recorded as a "wire" event with
+// the disposition, frame index, and length. Cleanly delivered frames
+// are not recorded — the black box keeps the anomalies, not the
+// traffic. Pass nil to detach.
+//
+// Deliberately not folded into the contended-delivery fast path
+// predicate: adversarial dispositions only arise on the locked path,
+// so a clean segment keeps its lock-free Sends (and byte-identical
+// wire) with the recorder attached.
+func (n *Network) SetFlight(r *flight.Recorder) {
+	n.mu.Lock()
+	n.flight = r
+	n.mu.Unlock()
+}
+
+// flightWire records one adversarial frame disposition, formatting the
+// src>dst detail only when the recorder is live.
+func flightWire(fl *flight.Recorder, disposition string, src, dst xk.EthAddr, index int64, length int) {
+	if fl.Enabled() {
+		fl.Record("wire", disposition, fmt.Sprintf("%s>%s", src, dst), index, int64(length))
+	}
 }
 
 // wireSpanLocked opens a transit span for one frame, returning id 0
@@ -434,6 +469,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	n.ctr.bytesSent.Add(int64(len(frame)))
 	n.ctr.wireTimeNs.Add(int64(ser))
 	capture := n.capture
+	fl := n.flight
 	rec, sid, sendNs := n.wireSpanLocked(len(frame))
 
 	// Scenario faults (link state, partition, drop rules) veto frames
@@ -445,6 +481,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 		if capture != nil {
 			capture(n.record(index, nic.addr, dst, frame, disp))
 		}
+		flightWire(fl, disp, nic.addr, dst, index, len(frame))
 		return nil
 	}
 
@@ -456,6 +493,7 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 		if capture != nil {
 			capture(n.record(index, nic.addr, dst, frame, FrameDropped))
 		}
+		flightWire(fl, FrameDropped, nic.addr, dst, index, len(frame))
 		return nil
 	}
 	corrupted := false
@@ -502,6 +540,9 @@ func (nic *NIC) Send(dst xk.EthAddr, frame []byte) error {
 	n.closeWireSpan(rec, sid, sendNs, ser.Nanoseconds(), 0, nic.addr, dst, disposition)
 	if capture != nil {
 		capture(n.record(index, nic.addr, dst, frame, disposition))
+	}
+	if disposition != FrameDelivered {
+		flightWire(fl, disposition, nic.addr, dst, index, len(frame))
 	}
 	for _, f := range deliverNow {
 		f.closeHeldSpan(n)
@@ -589,11 +630,55 @@ func (t *NIC) handle(frame []byte, latency time.Duration, async bool) {
 	switch {
 	case latency > 0:
 		f := frame
-		t.net.clock.Schedule(latency, func() { recv(f) })
+		t.net.deliveriesInFlight.Add(1)
+		t.net.clock.Schedule(latency, func() {
+			t.net.deliveriesInFlight.Add(-1)
+			recv(f)
+		})
 	case async:
-		go recv(frame)
+		t.net.deliveriesInFlight.Add(1)
+		go func() {
+			t.net.deliveriesInFlight.Add(-1)
+			recv(frame)
+		}()
 	default:
 		recv(frame)
+	}
+}
+
+// DeliveriesInFlight reports how many frames the segment has accepted
+// but not yet handed to a receiver (timer-delayed and async deliveries
+// pending); synchronous segments always report zero.
+func (n *Network) DeliveriesInFlight() int64 { return n.deliveriesInFlight.Load() }
+
+// HeldFrames reports whether the one-frame reorder buffer is occupied
+// (0 or 1).
+func (n *Network) HeldFrames() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.held != nil {
+		return 1
+	}
+	return 0
+}
+
+// AttachedNICs reports how many NICs are on the segment.
+func (n *Network) AttachedNICs() int64 {
+	return int64(len(*n.nicsRO.Load()))
+}
+
+// RegisterGauges adds the segment's queue-depth gauges to set under
+// prefix ("<prefix>.deliveries_inflight", ".held_frames", ".nics", and
+// — when the segment runs on a FakeClock — ".clock_pending", the sim
+// event-queue length). A nil set is a no-op.
+func (n *Network) RegisterGauges(set *gauge.Set, prefix string) {
+	set.Register(prefix+".deliveries_inflight", n.DeliveriesInFlight)
+	set.Register(prefix+".held_frames", n.HeldFrames)
+	set.Register(prefix+".nics", n.AttachedNICs)
+	if fc, ok := n.clock.(*event.FakeClock); ok {
+		set.Register(prefix+".clock_pending", func() int64 {
+			return int64(fc.PendingCount())
+		})
 	}
 }
 

@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Any chaos invariant violation or conformance failure during the test
+# phases auto-dumps the flight recorder (black box) here as JSON; CI
+# uploads the directory as a post-mortem artifact.
+export XK_FLIGHT_DIR="${XK_FLIGHT_DIR:-$PWD/flight-dumps}"
+mkdir -p "$XK_FLIGHT_DIR"
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -57,6 +63,12 @@ echo "== anatomy smoke (causal spans + compositional invariant) =="
 # Drives the Table I configurations with span capture on and fails if
 # any RPC's cause tree breaks the Σ-layer-costs = end-to-end invariant.
 go run ./cmd/xkanatomy -quick > /dev/null
+
+echo "== xkmon smoke (gauge sweep + saturation-knee render) =="
+# A minimal live sweep must render the knee summary and the per-level
+# gauge table; the flight-dump path is exercised by the chaos flight
+# tests in the race suite above.
+go run ./cmd/xkmon -live -stacks L_RPC-VIP -clients 1,8 -duration 100ms | grep -q "saturation knees"
 
 echo "== benchmark regression gate (vs committed Table I baseline) =="
 # Relative mode normalizes by the table mean, so the committed baseline

@@ -53,6 +53,8 @@ import (
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
 	"xkernel/internal/obs/anatomy"
+	"xkernel/internal/obs/flight"
+	"xkernel/internal/obs/gauge"
 	"xkernel/internal/obs/span"
 	"xkernel/internal/rpc/channel"
 	"xkernel/internal/rpc/retry"
@@ -141,6 +143,26 @@ type (
 	// LoadReport is the JSON-ready result of a whole load run
 	// (xkload's BENCH_load*.json).
 	LoadReport = load.Report
+	// LoadKneeSummary locates a stack's saturation knee in a sweep.
+	LoadKneeSummary = load.KneeSummary
+	// GaugeSet is a named registry of periodically sampled gauges.
+	GaugeSet = gauge.Set
+	// GaugeSeries is one gauge's lock-free sample ring.
+	GaugeSeries = gauge.Series
+	// GaugeSample is one (virtual-time, value) gauge point.
+	GaugeSample = gauge.Sample
+	// GaugeSeriesSnapshot is a JSON-ready copy of one series.
+	GaugeSeriesSnapshot = gauge.SeriesSnapshot
+	// GaugeSampler periodically samples a GaugeSet on an injected clock.
+	GaugeSampler = gauge.Sampler
+	// FlightRecorder is the bounded black-box ring of recent
+	// span/trace/fault events; zero-cost until enabled.
+	FlightRecorder = flight.Recorder
+	// FlightEvent is one black-box entry.
+	FlightEvent = flight.Event
+	// FlightDump is the JSON-ready post-mortem artifact a recorder
+	// writes when something breaks.
+	FlightDump = flight.Dump
 	// RetryPolicy shapes a retransmission schedule around a base
 	// interval.
 	RetryPolicy = retry.Policy
@@ -222,6 +244,25 @@ var (
 	// mode normalizes calls/sec by the shared-cell mean so committed
 	// baselines stay comparable across machines.
 	LoadCompareReports = load.CompareReports
+	// LoadComputeKnees locates each stack's saturation knee in a sweep.
+	LoadComputeKnees = load.ComputeKnees
+	// NewGaugeSet creates a gauge registry whose series each keep the
+	// given number of samples (0 means the default ring capacity).
+	NewGaugeSet = gauge.NewSet
+	// NewGaugeSampler drives periodic sampling of a set on a clock.
+	NewGaugeSampler = gauge.NewSampler
+	// RegisterRuntimeGauges adds the Go runtime's goroutine-count and
+	// heap gauges to a set.
+	RegisterRuntimeGauges = gauge.RegisterRuntime
+	// GaugeKnee finds the saturation knee of an (x, y) curve: the last
+	// point where marginal gain still clears the given fraction of the
+	// initial slope.
+	GaugeKnee = gauge.Knee
+	// NewFlightRecorder creates a disabled black-box recorder holding
+	// the last max events (0 means the default bound).
+	NewFlightRecorder = flight.New
+	// ReadFlightDump loads a flight-recorder JSON dump from disk.
+	ReadFlightDump = flight.ReadDump
 )
 
 // Typed failure sentinels clients should match with errors.Is.
