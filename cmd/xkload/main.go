@@ -10,6 +10,7 @@
 //	xkload -stacks L_RPC-VIP,M_RPC-VIP   # choose stacks
 //	xkload -clients 1,4,16,64,256        # choose the sweep
 //	xkload -payload 2048 -echo           # verified echo workload
+//	xkload -durability                   # durability-tax sweep (ledger × engine)
 //	xkload -json BENCH_load1.json        # write the JSON report
 //	xkload -compare BENCH_load1.json     # regression gate vs a baseline
 //
@@ -42,7 +43,9 @@ func realMain() int {
 	duration := flag.Duration("duration", 0, "measured window per level (default 300ms)")
 	payload := flag.Int("payload", 0, "request payload bytes (default 64)")
 	echo := flag.Bool("echo", false, "use the verified echo workload instead of null calls")
+	durability := flag.Bool("durability", false, "sweep the durability-tax stack set (ledger policies × engines) instead of the standard set")
 	wireLatency := flag.Duration("wire-latency", 0, "simulated one-way frame latency (default 150us)")
+	gaugePeriod := flag.Duration("gauge-period", 0, "XKMON gauge sampling period (default the monitor's; negative disables)")
 	jsonOut := flag.String("json", "", "write the JSON report to this file (\"-\" for stdout) instead of the text table")
 	compare := flag.String("compare", "", "diff a fresh measurement against this baseline BENCH_load JSON; exit nonzero on regression")
 	threshold := flag.Float64("threshold", 25, "with -compare, the regression threshold in percent")
@@ -54,8 +57,13 @@ func realMain() int {
 		Payload:     *payload,
 		Echo:        *echo,
 		WireLatency: *wireLatency,
+		GaugePeriod: *gaugePeriod,
+	}
+	if *durability {
+		opt.Stacks = load.DurabilityStacks
 	}
 	if *stacksFlag != "" {
+		opt.Stacks = nil
 		for _, s := range strings.Split(*stacksFlag, ",") {
 			opt.Stacks = append(opt.Stacks, bench.Stack(strings.TrimSpace(s)))
 		}

@@ -10,7 +10,8 @@
 //
 //   - time.Now/Since/Until, time.Sleep, time.After/AfterFunc/Tick,
 //     time.NewTimer/NewTicker are forbidden in internal/{sim,rpc,proto,
-//     psync,stacks,chaos,xk} — schedule through event.Clock instead;
+//     psync,stacks,chaos,xk,ledger} — schedule through event.Clock
+//     instead;
 //   - package-level math/rand functions (Intn, Float64, Seed, ...) are
 //     forbidden there too — thread a seeded *rand.Rand; the constructors
 //     rand.New/NewSource/NewZipf stay legal.
@@ -44,6 +45,7 @@ var deterministic = []string{
 	"xkernel/internal/stacks",
 	"xkernel/internal/chaos",
 	"xkernel/internal/xk",
+	"xkernel/internal/ledger",
 }
 
 // forbiddenTime is the wall-clock surface of package time.

@@ -14,5 +14,6 @@ func TestClockPurity(t *testing.T) {
 	analysistest.Run(t, "testdata", clockpurity.Analyzer,
 		"xkernel/internal/sim",
 		"xkernel/internal/obs",
+		"xkernel/internal/ledger",
 	)
 }

@@ -1,0 +1,37 @@
+// Replica of the durability-critical corner of internal/ledger: the
+// interval fsync timer must run on the injected event.Clock so a chaos
+// scenario can place its crash deterministically before or after the
+// sync. These are the wall-clock shapes xkvet rejects.
+package ledger
+
+import (
+	"time"
+
+	"xkernel/internal/event"
+)
+
+type file struct {
+	clock   event.Clock
+	durable int64
+	written int64
+}
+
+func (f *file) scheduleSync(interval time.Duration) {
+	time.AfterFunc(interval, f.sync) // want "wall clock: time\.AfterFunc"
+}
+
+func (f *file) scheduleSyncOnClock(interval time.Duration) {
+	f.clock.Schedule(interval, f.sync)
+}
+
+func (f *file) sync() {
+	f.durable = f.written
+}
+
+func (f *file) recoveryStamp() time.Time {
+	return time.Now() // want "wall clock: time\.Now"
+}
+
+func (f *file) recoveryStampOnClock() time.Time {
+	return f.clock.Now()
+}

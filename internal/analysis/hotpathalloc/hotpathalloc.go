@@ -50,6 +50,7 @@ var hotPackages = []string{
 	"xkernel/internal/rpc",
 	"xkernel/internal/psync",
 	"xkernel/internal/obs",
+	"xkernel/internal/ledger",
 }
 
 // hotMethods are the per-message entry points.
@@ -58,14 +59,30 @@ var hotMethods = map[string]bool{
 	"push": true, "pop": true, "demux": true,
 }
 
+// ledgerPkg scopes the extra hot names below: the execution ledger's
+// Lookup runs once per request on the server's receive path (the
+// lookup-before-execute step of at-most-once), and its zero-alloc
+// contract is an acceptance criterion. The names apply ONLY inside the
+// ledger subtree — lookup methods elsewhere (Sun RPC's select map
+// builds a *SelectError on its reject path) are not per-message code.
+const ledgerPkg = "xkernel/internal/ledger"
+
+var ledgerHotMethods = map[string]bool{
+	"Lookup": true, "lookup": true,
+}
+
 func run(pass *xkanalysis.Pass) error {
 	if !xkanalysis.PkgIn(pass.Pkg, hotPackages...) {
 		return nil
 	}
 	for _, f := range pass.Files {
+		ledger := xkanalysis.PkgIn(pass.Pkg, ledgerPkg)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil || !hotMethods[fd.Name.Name] {
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !hotMethods[fd.Name.Name] && !(ledger && ledgerHotMethods[fd.Name.Name]) {
 				continue
 			}
 			checkBody(pass, fd)

@@ -12,5 +12,6 @@ func TestHotPathAlloc(t *testing.T) {
 		"xkernel/internal/proto/hptest",
 		"xkernel/internal/obs/obstest",
 		"xkernel/internal/obs/flighttest",
+		"xkernel/internal/ledger/hltest",
 	)
 }

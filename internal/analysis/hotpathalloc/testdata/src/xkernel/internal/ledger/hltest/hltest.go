@@ -1,0 +1,53 @@
+// Exercises the zero-alloc rule on the execution ledger's Lookup hot
+// path: the server consults the ledger once per request before
+// executing, so an allocation here is a per-message cost — exactly the
+// regression the at-most-once acceptance criterion forbids.
+package hltest
+
+type key struct {
+	proto   uint32
+	channel uint16
+}
+
+type entry struct {
+	seq   uint32
+	reply []byte
+}
+
+type mem struct {
+	entries map[key]*entry
+}
+
+func (m *mem) Lookup(k key) (entry, bool) {
+	e := m.entries[k]
+	if e == nil {
+		return entry{}, false
+	}
+	reply := make([]byte, len(e.reply)) // want "make in hot path Lookup"
+	copy(reply, e.reply)                // want "byte-slice copy in hot path Lookup"
+	return entry{seq: e.seq, reply: reply}, true
+}
+
+func (m *mem) lookup(k key) *entry {
+	if e := m.entries[k]; e != nil {
+		return e
+	}
+	return &entry{} // want "pointer composite literal in hot path lookup"
+}
+
+// file's Lookup is the blessed shape: a value read straight out of the
+// index, nothing allocated, the caller aliases the cached reply.
+type file struct {
+	idx map[key]entry
+}
+
+func (f *file) Lookup(k key) (entry, bool) {
+	e, ok := f.idx[k]
+	return e, ok
+}
+
+// Record is the write path, not the lookup hot path: the write-ahead
+// append may allocate its frame.
+func (m *mem) Record(k key, e entry) {
+	m.entries[k] = &e
+}

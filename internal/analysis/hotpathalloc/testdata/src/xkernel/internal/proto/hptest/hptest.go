@@ -67,3 +67,9 @@ func (s *session) Open() error {
 	s.stats = make(map[uint32]int)
 	return nil
 }
+
+// Lookup is hot only inside the execution ledger subtree; in a protocol
+// package it is ordinary session state and may allocate.
+func (s *session) Lookup(seq uint32) []byte {
+	return make([]byte, HeaderLen)
+}

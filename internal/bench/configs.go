@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xkernel/internal/event"
+	"xkernel/internal/ledger"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
 	"xkernel/internal/obs/flight"
@@ -123,10 +124,27 @@ type Testbed struct {
 	StaleRejects func() int64
 	// Retransmits counts the client's wire-level retransmissions.
 	Retransmits func() int64
+	// ClientReboot models a client crash and restart at the RPC layer:
+	// the client's boot id advances, telling the server to retire the
+	// dead incarnation's channel state and ledger entries.
+	ClientReboot func()
+
+	// Ledger is the server's execution ledger when the stack name
+	// carried a "+<ledger>" suffix (see ParseStack); nil means the
+	// protocol's default bounded in-memory ledger.
+	Ledger ledger.ExecLedger
+	// LedgerStats snapshots the server execution ledger's counters —
+	// set for every at-most-once stack, suffixed or not.
+	LedgerStats func() ledger.Stats
+	// LedgerReplays counts replies the server answered from its ledger
+	// across a reboot (executed by a dead incarnation, not re-run).
+	LedgerReplays func() int64
 
 	// gaugeHooks registers the live-state gauges each builder's stack
 	// exposes; RegisterGauges runs them against the caller's set.
 	gaugeHooks []func(*gauge.Set)
+	// closers tear down build-allocated resources; run by Close.
+	closers []func()
 }
 
 // RegisterGauges adds every gauge the testbed exposes to set: the
@@ -212,13 +230,22 @@ func BuildInstrumented(stack Stack, netCfg sim.Config, clock event.Clock) (*Test
 }
 
 func build(stack Stack, netCfg sim.Config, clock event.Clock, m *obs.Meter) (*Testbed, error) {
+	base, spec, err := ParseStack(stack)
+	if err != nil {
+		return nil, err
+	}
 	client, server, network, err := stacks.TwoHosts(netCfg, clock)
 	if err != nil {
 		return nil, err
 	}
 	tb := &Testbed{Stack: stack, Client: client, Server: server, Network: network, MaxMsg: 16 * 1024, Meter: m}
+	if spec != nil {
+		if err := tb.attachLedger(spec, clock); err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", stack, err)
+		}
+	}
 
-	switch stack {
+	switch base {
 	case NRPC:
 		err = buildNRPC(tb, clock, m)
 	case MRPCEth, MRPCIP, MRPCVIP:
@@ -239,10 +266,16 @@ func build(stack Stack, netCfg sim.Config, clock event.Clock, m *obs.Meter) (*Te
 		tb.MaxMsg = 60 * 1024
 		err = buildUDP(tb, m)
 	default:
+		tb.Close()
 		return nil, fmt.Errorf("bench: unknown stack %q", stack)
 	}
 	if err != nil {
+		tb.Close()
 		return nil, fmt.Errorf("bench: building %s: %w", stack, err)
+	}
+	if spec != nil && tb.LedgerStats == nil {
+		tb.Close()
+		return nil, fmt.Errorf("bench: stack %s has no at-most-once layer to carry a ledger", base)
 	}
 	return tb, nil
 }
@@ -294,7 +327,7 @@ func (e *mrpcEndpoint) Echo(payload []byte) ([]byte, error) {
 func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	client, server := tb.Client, tb.Server
 	lower := func(h *stacks.Host) (xk.Protocol, error) {
-		switch tb.Stack {
+		switch tb.Stack.Base() {
 		case MRPCEth:
 			return vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP), nil
 		case MRPCIP:
@@ -317,7 +350,11 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	srv, err := mrpc.New(server.Name+"/mrpc", wrapIf(m, sllp), hostAddr(server), cfg)
+	// Only the server executes requests, so only its engine gets the
+	// testbed's ledger; the client keeps the default.
+	scfg := cfg
+	scfg.Ledger = tb.Ledger
+	srv, err := mrpc.New(server.Name+"/mrpc", wrapIf(m, sllp), hostAddr(server), scfg)
 	if err != nil {
 		return err
 	}
@@ -340,6 +377,12 @@ func buildMRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.ServerExecs = execs.Load
 	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
+	tb.ClientReboot = cli.Reboot
+	tb.LedgerStats = func() ledger.Stats { return srv.Ledger().Stats() }
+	tb.LedgerReplays = func() int64 { return srv.Stats().LedgerReplays }
+	tb.addGauges(func(set *gauge.Set) {
+		ledger.RegisterGauges(set, srv.Name(), srv.Ledger())
+	})
 	tb.End = &mrpcEndpoint{s: s.(*mrpc.Session)}
 	// The M.RPC session multiplexes its fixed channel pool internally,
 	// so one endpoint serves any number of concurrent clients.
@@ -364,15 +407,17 @@ func registerMRPCHandlers(srv *mrpc.Protocol, m *obs.Meter) *atomic.Int64 {
 // ---- N.RPC analogue ----
 
 func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
-	build := func(h *stacks.Host) (*nrpc.Protocol, error) {
+	build := func(h *stacks.Host, led ledger.ExecLedger) (*nrpc.Protocol, error) {
 		llp := vip.NewEthMap(h.Name+"/ethmap", h.Eth, h.ARP)
-		return nrpc.New(h.Name+"/nrpc", wrapIf(m, llp), hostAddr(h), nrpc.Config{Clock: clock})
+		cfg := nrpc.Config{Clock: clock}
+		cfg.RPC.Ledger = led
+		return nrpc.New(h.Name+"/nrpc", wrapIf(m, llp), hostAddr(h), cfg)
 	}
-	cli, err := build(tb.Client)
+	cli, err := build(tb.Client, nil)
 	if err != nil {
 		return err
 	}
-	srv, err := build(tb.Server)
+	srv, err := build(tb.Server, tb.Ledger)
 	if err != nil {
 		return err
 	}
@@ -389,12 +434,15 @@ func buildNRPC(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	if err != nil {
 		return err
 	}
-	// N.RPC runs on the monolithic Sprite engine, so the crash model is
-	// inherited from it.
+	// N.RPC runs on the monolithic Sprite engine, so the crash model
+	// (and the execution ledger) is inherited from it.
 	tb.ServerReboot = srv.Reboot
 	tb.ServerExecs = execs.Load
 	tb.StaleRejects = func() int64 { return srv.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cli.Stats().Retransmits }
+	tb.ClientReboot = cli.Reboot
+	tb.LedgerStats = func() ledger.Stats { return srv.Ledger().Stats() }
+	tb.LedgerReplays = func() int64 { return srv.Stats().LedgerReplays }
 	tb.End = &nrpcEndpoint{s: s}
 	tb.NewEndpoint = func(int) (Endpoint, error) { return tb.End, nil }
 	tb.AtMostOnce = true
@@ -428,8 +476,10 @@ type layeredParts struct {
 
 // buildLayeredHost composes depth layers over VIP on host h:
 // 1=VIP, 2=FRAGMENT-VIP, 3=CHANNEL-FRAGMENT-VIP, 4=SELECT-CHANNEL-FRAGMENT-VIP.
-// With a meter, every boundary between layers carries an obs.Wrap.
-func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int, m *obs.Meter) (*layeredParts, error) {
+// With a meter, every boundary between layers carries an obs.Wrap. led
+// (nil for the default) becomes CHANNEL's execution ledger — the server
+// host's, on the server side of a ledgered testbed.
+func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int, m *obs.Meter, led ledger.ExecLedger) (*layeredParts, error) {
 	parts := &layeredParts{}
 	var err error
 	parts.vip, err = newVIP(h, m)
@@ -443,7 +493,7 @@ func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int, m *obs.Meter
 		}
 	}
 	if depth >= 3 {
-		parts.chn, err = channel.New(h.Name+"/channel", wrapIf(m, parts.frag), channel.Config{Clock: clock})
+		parts.chn, err = channel.New(h.Name+"/channel", wrapIf(m, parts.frag), channel.Config{Clock: clock, Ledger: led})
 		if err != nil {
 			return nil, err
 		}
@@ -458,11 +508,11 @@ func buildLayeredHost(h *stacks.Host, clock event.Clock, depth int, m *obs.Meter
 }
 
 func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error {
-	cp, err := buildLayeredHost(tb.Client, clock, depth, m)
+	cp, err := buildLayeredHost(tb.Client, clock, depth, m, nil)
 	if err != nil {
 		return err
 	}
-	sp, err := buildLayeredHost(tb.Server, clock, depth, m)
+	sp, err := buildLayeredHost(tb.Server, clock, depth, m, tb.Ledger)
 	if err != nil {
 		return err
 	}
@@ -479,6 +529,9 @@ func buildLayered(tb *Testbed, clock event.Clock, depth int, m *obs.Meter) error
 		tb.ServerReboot = scp.Reboot
 		tb.StaleRejects = func() int64 { return scp.Stats().StaleEpochRejects }
 		tb.Retransmits = func() int64 { return ccp.Stats().Retransmits }
+		tb.ClientReboot = ccp.Reboot
+		tb.LedgerStats = func() ledger.Stats { return scp.Ledger().Stats() }
+		tb.LedgerReplays = func() int64 { return scp.Stats().LedgerReplays }
 		tb.addGauges(func(set *gauge.Set) {
 			ccp.RegisterGauges(set, ccp.Name())
 			scp.RegisterGauges(set, scp.Name())
@@ -711,7 +764,7 @@ func (e *pushEndpoint) Echo([]byte) ([]byte, error) {
 
 // ---- §4.3: SELECT-CHANNEL-VIPsize over {FRAGMENT-VIPaddr, VIPaddr} ----
 
-func buildVIPsizeHost(h *stacks.Host, clock event.Clock, m *obs.Meter) (*selectp.Protocol, *channel.Protocol, error) {
+func buildVIPsizeHost(h *stacks.Host, clock event.Clock, m *obs.Meter, led ledger.ExecLedger) (*selectp.Protocol, *channel.Protocol, error) {
 	addr, err := vip.NewAddr(h.Name+"/vipaddr", h.Eth, h.IP, h.ARP)
 	if err != nil {
 		return nil, nil, err
@@ -727,7 +780,7 @@ func buildVIPsizeHost(h *stacks.Host, clock event.Clock, m *obs.Meter) (*selectp
 	if err != nil {
 		return nil, nil, err
 	}
-	chn, err := channel.New(h.Name+"/channel", wrapIf(m, size), channel.Config{Clock: clock})
+	chn, err := channel.New(h.Name+"/channel", wrapIf(m, size), channel.Config{Clock: clock, Ledger: led})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -739,11 +792,11 @@ func buildVIPsizeHost(h *stacks.Host, clock event.Clock, m *obs.Meter) (*selectp
 }
 
 func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
-	csel, cchn, err := buildVIPsizeHost(tb.Client, clock, m)
+	csel, cchn, err := buildVIPsizeHost(tb.Client, clock, m, nil)
 	if err != nil {
 		return err
 	}
-	ssel, schn, err := buildVIPsizeHost(tb.Server, clock, m)
+	ssel, schn, err := buildVIPsizeHost(tb.Server, clock, m, tb.Ledger)
 	if err != nil {
 		return err
 	}
@@ -764,6 +817,9 @@ func buildVIPsize(tb *Testbed, clock event.Clock, m *obs.Meter) error {
 	tb.ServerExecs = execs.Load
 	tb.StaleRejects = func() int64 { return schn.Stats().StaleEpochRejects }
 	tb.Retransmits = func() int64 { return cchn.Stats().Retransmits }
+	tb.ClientReboot = cchn.Reboot
+	tb.LedgerStats = func() ledger.Stats { return schn.Ledger().Stats() }
+	tb.LedgerReplays = func() int64 { return schn.Stats().LedgerReplays }
 	tb.addGauges(func(set *gauge.Set) {
 		cchn.RegisterGauges(set, cchn.Name())
 		schn.RegisterGauges(set, schn.Name())

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"xkernel/internal/event"
+	"xkernel/internal/ledger"
+)
+
+// Ledgered stack names: a base stack name may carry a "+<ledger>" suffix
+// selecting the server's execution ledger, so the sweep and chaos
+// machinery can treat durability as one more configuration axis.
+//
+//	L_RPC-VIP              default bounded in-memory ledger
+//	L_RPC-VIP+mem          explicit in-memory ledger (same behaviour)
+//	L_RPC-VIP+wal-always   write-ahead file ledger, fsync per record
+//	L_RPC-VIP+wal-interval write-ahead file ledger, batched fsync
+//	L_RPC-VIP+wal-never    write-ahead file ledger, fsync at rotation only
+//
+// Only stacks whose reliability layer has at-most-once state accept a
+// suffix (M.RPC, N.RPC, and any composition containing CHANNEL).
+
+// LedgerSpec is a parsed "+<ledger>" stack suffix.
+type LedgerSpec struct {
+	// Kind is "mem" or "wal".
+	Kind string
+	// Fsync is the file ledger's sync policy; meaningful for "wal" only.
+	Fsync ledger.FsyncPolicy
+}
+
+// String renders the spec back into suffix form (without the '+').
+func (sp LedgerSpec) String() string {
+	if sp.Kind == "wal" {
+		return "wal-" + string(sp.Fsync)
+	}
+	return sp.Kind
+}
+
+// ParseStack splits a stack name into its base configuration and the
+// optional ledger spec. Names without a '+' return a nil spec.
+func ParseStack(stack Stack) (Stack, *LedgerSpec, error) {
+	name := string(stack)
+	i := strings.IndexByte(name, '+')
+	if i < 0 {
+		return stack, nil, nil
+	}
+	base, suffix := Stack(name[:i]), name[i+1:]
+	if suffix == "mem" {
+		return base, &LedgerSpec{Kind: "mem"}, nil
+	}
+	if rest, ok := strings.CutPrefix(suffix, "wal-"); ok {
+		switch p := ledger.FsyncPolicy(rest); p {
+		case ledger.FsyncAlways, ledger.FsyncInterval, ledger.FsyncNever:
+			return base, &LedgerSpec{Kind: "wal", Fsync: p}, nil
+		}
+	}
+	return stack, nil, fmt.Errorf("bench: unknown ledger suffix %q in stack %q", suffix, stack)
+}
+
+// Base strips any ledger suffix: the protocol composition being run.
+func (s Stack) Base() Stack {
+	base, _, err := ParseStack(s)
+	if err != nil {
+		return s
+	}
+	return base
+}
+
+// attachLedger builds the server-side execution ledger the spec names
+// and registers its teardown with the testbed.
+func (tb *Testbed) attachLedger(spec *LedgerSpec, clock event.Clock) error {
+	switch spec.Kind {
+	case "mem":
+		tb.Ledger = ledger.NewMem(ledger.MemOptions{})
+		return nil
+	case "wal":
+		dir, err := os.MkdirTemp("", "xkledger-*")
+		if err != nil {
+			return err
+		}
+		led, err := ledger.NewFile(dir, ledger.FileOptions{Fsync: spec.Fsync, Clock: clock})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		tb.Ledger = led
+		tb.closers = append(tb.closers, func() {
+			led.Close()
+			os.RemoveAll(dir)
+		})
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown ledger kind %q", spec.Kind)
+	}
+}
+
+// Close releases resources the build allocated outside the simulated
+// network — durable ledgers and their backing directories. Nil-safe and
+// idempotent; testbeds without such resources need not be closed.
+func (tb *Testbed) Close() {
+	if tb == nil {
+		return
+	}
+	for _, f := range tb.closers {
+		f()
+	}
+	tb.closers = nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"xkernel/internal/ledger"
+	"xkernel/internal/sim"
+)
+
+func TestParseStack(t *testing.T) {
+	cases := []struct {
+		in   Stack
+		base Stack
+		spec string // "" = nil spec
+		bad  bool
+	}{
+		{in: LRPCVIP, base: LRPCVIP},
+		{in: LRPCVIP + "+mem", base: LRPCVIP, spec: "mem"},
+		{in: LRPCVIP + "+wal-always", base: LRPCVIP, spec: "wal-always"},
+		{in: MRPCVIP + "+wal-interval", base: MRPCVIP, spec: "wal-interval"},
+		{in: NRPC + "+wal-never", base: NRPC, spec: "wal-never"},
+		{in: LRPCVIP + "+wal-sometimes", bad: true},
+		{in: LRPCVIP + "+disk", bad: true},
+	}
+	for _, c := range cases {
+		base, spec, err := ParseStack(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseStack(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStack(%q): %v", c.in, err)
+			continue
+		}
+		if base != c.base {
+			t.Errorf("ParseStack(%q) base = %q, want %q", c.in, base, c.base)
+		}
+		got := ""
+		if spec != nil {
+			got = spec.String()
+		}
+		if got != c.spec {
+			t.Errorf("ParseStack(%q) spec = %q, want %q", c.in, got, c.spec)
+		}
+		if b := c.in.Base(); b != c.base {
+			t.Errorf("%q.Base() = %q, want %q", c.in, b, c.base)
+		}
+	}
+}
+
+func TestLedgeredStacksRoundTrip(t *testing.T) {
+	for _, stack := range []Stack{
+		LRPCVIP + "+mem",
+		LRPCVIP + "+wal-always",
+		MRPCVIP + "+wal-always",
+		NRPC + "+wal-never",
+		SelChanVIPsize + "+wal-always",
+		ChanFragVIP + "+wal-always",
+	} {
+		t.Run(string(stack), func(t *testing.T) {
+			tb, err := Build(stack, sim.Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tb.Close()
+			if tb.LedgerStats == nil || tb.ClientReboot == nil || tb.LedgerReplays == nil {
+				t.Fatal("ledger hooks not populated")
+			}
+			for i := 0; i < 3; i++ {
+				if err := tb.End.RoundTrip(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := tb.LedgerStats()
+			if st.Appends == 0 {
+				t.Fatalf("no ledger appends after 3 calls: %+v", st)
+			}
+			if _, spec, _ := ParseStack(stack); spec.Kind == "wal" {
+				if _, ok := tb.Ledger.(*ledger.File); !ok {
+					t.Fatalf("ledger is %T, want *ledger.File", tb.Ledger)
+				}
+				if st.Bytes == 0 {
+					t.Fatalf("file ledger recorded no bytes: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+func TestUnledgerableStackRejectsSuffix(t *testing.T) {
+	for _, stack := range []Stack{
+		VIPOnly + "+wal-always",
+		UDPIP + "+mem",
+		SunRPCVIP + "+wal-never",
+	} {
+		if _, err := Build(stack, sim.Config{}, nil); err == nil {
+			t.Errorf("Build(%q) accepted a ledger on a stack without at-most-once state", stack)
+		}
+	}
+}

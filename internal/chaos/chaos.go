@@ -26,16 +26,21 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/event"
+	"xkernel/internal/ledger"
 	"xkernel/internal/obs"
 	"xkernel/internal/obs/flight"
 	"xkernel/internal/settle"
@@ -50,7 +55,15 @@ type Workload struct {
 	Calls int
 	// Payload is the request size in bytes; zero means a null call.
 	Payload int
+	// Echo routes calls through the echo procedure and byte-compares
+	// every reply against the request — the check that catches a
+	// ledger replay (or anything else) corrupting a reply in flight.
+	Echo bool
 }
+
+// errEchoMismatch marks a completed call whose echoed reply differed
+// from the request; check turns it into a reply-integrity violation.
+var errEchoMismatch = errors.New("chaos: echo reply differs from request")
 
 func (w *Workload) fill() {
 	if w.Calls == 0 {
@@ -132,6 +145,17 @@ type Result struct {
 	StaleRejects int64
 	Retransmits  int64
 
+	// Ledger is the server execution ledger's final counters, nil when
+	// the stack has no at-most-once layer.
+	Ledger *ledger.Stats
+	// LedgerReplays counts replies the server answered from its ledger
+	// across a reboot instead of re-executing or rejecting.
+	LedgerReplays int64
+	// LedgerDump is the path of the ledger-contents JSON written next
+	// to the flight dump when the run broke an invariant on a stack
+	// with an explicit (suffixed) ledger.
+	LedgerDump string
+
 	// Wire is the capture log projected to its deterministic fields:
 	// "index src>dst disposition len", one line per sent frame.
 	Wire []string
@@ -158,6 +182,7 @@ type Run struct {
 	Clock   *event.FakeClock
 
 	clientMAC, serverMAC xk.EthAddr
+	flight               *flight.Recorder
 }
 
 // PartitionClientServer splits the segment between the two hosts.
@@ -196,6 +221,51 @@ func (r *Run) ClientLink(up bool) { r.Network.SetLinkState(r.clientMAC, up) }
 // the segment, whoever sends them.
 func (r *Run) DropNext(count int) {
 	r.Network.AddRule(sim.BurstLoss(r.Network.Stats().FramesSent, count))
+}
+
+// DropReplies eats the next count unicast frames from the server to the
+// client — replies and explicit acks — leaving requests untouched. The
+// match is unicast-only so broadcast traffic cannot consume the budget.
+func (r *Run) DropReplies(count int) {
+	src, dst := r.serverMAC, r.clientMAC
+	r.Network.AddRule(sim.Rule{Name: "drop-replies", Count: count, Match: func(fi sim.FaultInfo) bool {
+		return fi.Src == src && fi.Dst == dst
+	}})
+}
+
+// CrashClient reboots the client's RPC layer: its boot id advances, so
+// the server sees a new client incarnation and retires the dead one's
+// channel state and ledger entries. No-op on stacks without the hook.
+func (r *Run) CrashClient() {
+	if r.Testbed.ClientReboot != nil {
+		r.Testbed.ClientReboot()
+	}
+}
+
+// TearLedger chops n bytes off the server's durable ledger tail — a
+// torn append caught mid-write by the crash. No-op unless the testbed
+// carries a file ledger.
+func (r *Run) TearLedger(n int) {
+	f, ok := r.Testbed.Ledger.(*ledger.File)
+	if !ok {
+		return
+	}
+	if err := f.Tear(int64(n)); err != nil {
+		panic(fmt.Sprintf("chaos: tear ledger: %v", err))
+	}
+}
+
+// At schedules f to fire once the virtual clock has advanced d past the
+// current instant — the way a step reaches into the middle of a call
+// (a crash after the server executed but before the client's
+// retransmission, say). The await loop's clock advances fire it.
+func (r *Run) At(d time.Duration, name string, f func(*Run)) {
+	r.Clock.Schedule(d, func() {
+		if r.flight != nil && r.flight.Enabled() {
+			r.flight.Record("step", "chaos", name, d.Nanoseconds(), 0)
+		}
+		f(r)
+	})
 }
 
 // maxRetriesPerCall is the bound the retransmission invariant enforces:
@@ -237,6 +307,7 @@ func Execute(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 
 	// Arm the black box: wire anomalies land in it via the network, the
 	// engine adds scenario steps and call outcomes. Timestamps are
@@ -266,6 +337,7 @@ func Execute(cfg Config) (*Result, error) {
 		Clock:     clock,
 		clientMAC: tb.Client.NIC.Addr(),
 		serverMAC: tb.Server.NIC.Addr(),
+		flight:    fr,
 	}
 
 	steps := make([]Step, len(cfg.Scenario.Steps))
@@ -284,7 +356,17 @@ func Execute(cfg Config) (*Result, error) {
 	go func() {
 		defer wg.Done()
 		for i := range start {
-			err := tb.End.RoundTrip(payload)
+			var err error
+			if cfg.Workload.Echo {
+				var reply []byte
+				reply, err = tb.End.Echo(payload)
+				if err == nil && !bytes.Equal(reply, payload) {
+					err = fmt.Errorf("%w: call %d: got %d bytes, want %d",
+						errEchoMismatch, i, len(reply), len(payload))
+				}
+			} else {
+				err = tb.End.RoundTrip(payload)
+			}
 			results <- CallResult{Index: i, Err: err}
 		}
 	}()
@@ -343,6 +425,21 @@ func Execute(cfg Config) (*Result, error) {
 	if tb.Collect != nil {
 		tb.Collect()
 	}
+	if tb.LedgerStats != nil {
+		st := tb.LedgerStats()
+		res.Ledger = &st
+		if tb.LedgerReplays != nil {
+			res.LedgerReplays = tb.LedgerReplays()
+		}
+		// Recovery telemetry goes into the black box alongside the wire
+		// anomalies: how much the ledger carried across the crashes.
+		if fr.Enabled() {
+			fr.Record("ledger", "chaos", fmt.Sprintf(
+				"records=%d recovered=%d torn=%d replays=%d",
+				st.Records, st.RecoveredRecords, st.TornTails, res.LedgerReplays),
+				st.RecoveredRecords, res.LedgerReplays)
+		}
+	}
 	res.check(cfg, tb, clock, baseline)
 
 	// Any broken invariant goes into the black box too, then the whole
@@ -360,9 +457,33 @@ func Execute(cfg Config) (*Result, error) {
 				return res, fmt.Errorf("chaos: flight dump: %w", werr)
 			}
 			res.FlightDump = path
+			// A suffixed-ledger run also dumps the ledger's surviving
+			// contents, so the post-mortem can say what was durable.
+			if tb.Ledger != nil {
+				if path, derr := writeLedgerDump(dir, name, tb.Ledger); derr == nil {
+					res.LedgerDump = path
+				}
+			}
 		}
 	}
 	return res, nil
+}
+
+// writeLedgerDump snapshots an execution ledger's stats and surviving
+// records as JSON next to the flight dump.
+func writeLedgerDump(dir, name string, led ledger.ExecLedger) (string, error) {
+	blob, err := json.MarshalIndent(struct {
+		Stats   ledger.Stats        `json:"stats"`
+		Records []ledger.RecordInfo `json:"records"`
+	}{led.Stats(), led.Dump()}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".ledger.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // dumpName flattens a (stack, scenario) pair into a filesystem-safe
@@ -438,6 +559,15 @@ func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, 
 		}
 	}
 
+	// Reply integrity: no completed-or-failed call returned bytes other
+	// than its request's echo (a corrupt ledger replay would land here).
+	for _, cr := range res.Calls {
+		if errors.Is(cr.Err, errEchoMismatch) {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"reply-integrity: %v", cr.Err))
+		}
+	}
+
 	// Convergence: the healed stack serves the tail of the workload.
 	for i := 0; i < cfg.ConvergeTail && i < len(res.Calls); i++ {
 		cr := res.Calls[len(res.Calls)-1-i]
@@ -450,7 +580,7 @@ func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, 
 	// Bounded retransmission.
 	if tb.Retransmits != nil {
 		calls := int64(len(res.Calls))
-		if probes := cfg.Stack == bench.NRPC; probes {
+		if probes := cfg.Stack.Base() == bench.NRPC; probes {
 			calls *= 2 // every call may be preceded by a crash-detection probe
 		}
 		if budget := calls * maxRetriesPerCall; res.Retransmits > budget {

@@ -1,0 +1,264 @@
+package chaos_test
+
+// Crash scenarios against durable execution ledgers: the robustness
+// story this PR adds on top of the paper's at-most-once-since-boot.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"xkernel/internal/bench"
+	"xkernel/internal/chaos"
+	"xkernel/internal/ledger"
+	"xkernel/internal/sim"
+)
+
+// crashReplayDurable runs the crash-replay scenario on a wal-backed
+// stack: the wounded call must complete from the ledger (executed
+// exactly once, reply byte-identical via the echo workload) and only
+// the following call draws the typed reboot error.
+func crashReplayDurable(t *testing.T, stack bench.Stack) {
+	t.Helper()
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        stack,
+		Net:          sim.Config{Seed: 11},
+		Workload:     chaos.Workload{Calls: 10, Payload: 64, Echo: true},
+		Scenario:     chaos.CrashReplay(3),
+		ConvergeTail: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	// Call 3 completes from the ledger; call 4's stale hint has no
+	// recorded reply, so it is the one typed failure.
+	if res.Completed != 9 || res.Failed != 1 || res.Rebooted != 1 {
+		t.Errorf("completed=%d failed=%d rebooted=%d, want 9/1/1 (calls: %+v)",
+			res.Completed, res.Failed, res.Rebooted, res.Calls)
+	}
+	if res.Calls[3].Err != nil {
+		t.Errorf("wounded call 3 failed instead of replaying: %v", res.Calls[3].Err)
+	}
+	if res.Calls[4].Err == nil {
+		t.Error("call 4 succeeded; expected the one typed reboot error")
+	}
+	if res.LedgerReplays != 1 {
+		t.Errorf("LedgerReplays = %d, want 1", res.LedgerReplays)
+	}
+	// Executed exactly once per completed call — the replayed call ran
+	// before the crash, never after.
+	if res.ServerExecs != int64(res.Completed) {
+		t.Errorf("server executed %d requests for %d completed calls", res.ServerExecs, res.Completed)
+	}
+	if res.Ledger == nil || res.Ledger.Recoveries == 0 || res.Ledger.RecoveredRecords == 0 {
+		t.Errorf("ledger recovery stats missing or empty: %+v", res.Ledger)
+	}
+}
+
+func TestCrashReplayDurableLayered(t *testing.T) {
+	crashReplayDurable(t, bench.LRPCVIP+"+wal-always")
+}
+
+func TestCrashReplayDurableMRPC(t *testing.T) {
+	crashReplayDurable(t, bench.MRPCVIP+"+wal-always")
+}
+
+// TestCrashReplayVolatile pins the contrast: the same scenario on the
+// default in-memory ledger loses the reply with the crash, so the
+// wounded call itself fails typed — still exactly-once, never twice.
+func TestCrashReplayVolatile(t *testing.T) {
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        bench.LRPCVIP,
+		Net:          sim.Config{Seed: 11},
+		Workload:     chaos.Workload{Calls: 10, Payload: 64, Echo: true},
+		Scenario:     chaos.CrashReplay(3),
+		ConvergeTail: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.Calls[3].Err == nil {
+		t.Error("wounded call 3 completed without a durable ledger")
+	}
+	if res.LedgerReplays != 0 {
+		t.Errorf("LedgerReplays = %d on a volatile ledger", res.LedgerReplays)
+	}
+	if res.ServerExecs > int64(res.Completed+res.Failed) {
+		t.Errorf("server executed %d requests for %d calls", res.ServerExecs, len(res.Calls))
+	}
+}
+
+// TestCrashStormDurable crashes the server three times mid-call; every
+// wounded call completes from the ledger and nothing executes twice.
+func TestCrashStormDurable(t *testing.T) {
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        bench.LRPCVIP + "+wal-always",
+		Net:          sim.Config{Seed: 13},
+		Workload:     chaos.Workload{Calls: 14, Payload: 48, Echo: true},
+		Scenario:     chaos.CrashStorm(2, 6, 10),
+		ConvergeTail: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	// Each storm round wounds one call (completed via replay) and
+	// poisons the next (typed reject): 11 completed, 3 rejected.
+	if res.Completed != 11 || res.Rebooted != 3 {
+		t.Errorf("completed=%d rebooted=%d, want 11/3 (calls: %+v)",
+			res.Completed, res.Rebooted, res.Calls)
+	}
+	if res.LedgerReplays != 3 {
+		t.Errorf("LedgerReplays = %d, want 3", res.LedgerReplays)
+	}
+	if res.ServerExecs != int64(res.Completed) {
+		t.Errorf("server executed %d requests for %d completed calls", res.ServerExecs, res.Completed)
+	}
+	if res.Ledger.Recoveries != 3 {
+		t.Errorf("ledger recoveries = %d, want 3", res.Ledger.Recoveries)
+	}
+}
+
+// TestCrashTornTailDurable tears the doomed call's record off the
+// ledger mid-crash: recovery keeps the longest valid prefix, the
+// unrecorded retransmission is conservatively rejected (no second
+// execution), and the run converges.
+func TestCrashTornTailDurable(t *testing.T) {
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        bench.LRPCVIP + "+wal-always",
+		Net:          sim.Config{Seed: 17},
+		Workload:     chaos.Workload{Calls: 10, Payload: 64, Echo: true},
+		Scenario:     chaos.CrashTornTail(3, 5),
+		ConvergeTail: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	// The torn record cannot replay: call 3 fails typed instead, and
+	// with the dead epoch flushed call 4 onward succeeds.
+	if res.Calls[3].Err == nil {
+		t.Error("call 3 completed although its ledger record was torn off")
+	}
+	if res.LedgerReplays != 0 {
+		t.Errorf("LedgerReplays = %d after a torn tail", res.LedgerReplays)
+	}
+	if res.ServerExecs > int64(res.Completed+res.Failed) {
+		t.Errorf("server executed %d requests for %d calls — re-execution", res.ServerExecs, len(res.Calls))
+	}
+	if res.Ledger.TornTails == 0 {
+		t.Error("recovery never saw the torn tail")
+	}
+}
+
+// TestClientCrashConverges reboots the client mid-run: the server must
+// retire the dead incarnation's ledger entries and serve the new boot;
+// every call succeeds and the shutdown invariants (no leaked
+// goroutines, no pending timers) hold.
+func TestClientCrashConverges(t *testing.T) {
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        bench.LRPCVIP + "+wal-always",
+		Net:          sim.Config{Seed: 19},
+		Workload:     chaos.Workload{Calls: 10, Payload: 64, Echo: true},
+		Scenario:     chaos.ClientCrash(4),
+		ConvergeTail: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.Completed != 10 || res.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 10/0 (calls: %+v)", res.Completed, res.Failed, res.Calls)
+	}
+	if res.Ledger.Retires == 0 {
+		t.Error("server never retired the dead client incarnation's ledger entries")
+	}
+	if res.ServerExecs != int64(res.Completed) {
+		t.Errorf("server executed %d requests for %d completed calls", res.ServerExecs, res.Completed)
+	}
+}
+
+// TestWireByteEquivalenceWithLedger: on a clean run the durable ledger
+// must be invisible on the wire — same frames, same bytes, same order
+// as the un-suffixed stack.
+func TestWireByteEquivalenceWithLedger(t *testing.T) {
+	run := func(stack bench.Stack) []string {
+		res, err := chaos.Execute(chaos.Config{
+			Stack:        stack,
+			Net:          sim.Config{Seed: 23},
+			Workload:     chaos.Workload{Calls: 8, Payload: 512, Echo: true},
+			Scenario:     chaos.Scenario{Name: "clean"},
+			ConvergeTail: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%s: invariant violated: %s", stack, v)
+		}
+		return res.Wire
+	}
+	for _, base := range []bench.Stack{bench.LRPCVIP, bench.MRPCVIP} {
+		plain := run(base)
+		walled := run(base + "+wal-always")
+		if strings.Join(plain, "\n") != strings.Join(walled, "\n") {
+			t.Errorf("%s: wire log differs with the ledger enabled (%d vs %d frames)",
+				base, len(plain), len(walled))
+		}
+	}
+}
+
+// TestLedgerDumpOnViolation: a broken run on a ledgered stack writes
+// the ledger's surviving contents next to the flight dump.
+func TestLedgerDumpOnViolation(t *testing.T) {
+	dir := t.TempDir()
+	// An impossible convergence demand guarantees a violation: the
+	// torn-tail reject lands inside the converge window.
+	res, err := chaos.Execute(chaos.Config{
+		Stack:        bench.LRPCVIP + "+wal-always",
+		Net:          sim.Config{Seed: 29},
+		Workload:     chaos.Workload{Calls: 5, Payload: 32, Echo: true},
+		Scenario:     chaos.CrashTornTail(3, 5),
+		ConvergeTail: 5,
+		FlightDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a convergence violation")
+	}
+	if res.FlightDump == "" || res.LedgerDump == "" {
+		t.Fatalf("dumps missing: flight=%q ledger=%q", res.FlightDump, res.LedgerDump)
+	}
+	blob, err := os.ReadFile(res.LedgerDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Stats   ledger.Stats        `json:"stats"`
+		Records []ledger.RecordInfo `json:"records"`
+	}
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("ledger dump is not valid JSON: %v", err)
+	}
+	if dump.Stats.TornTails == 0 {
+		t.Errorf("ledger dump stats missing the torn tail: %+v", dump.Stats)
+	}
+	if len(dump.Records) == 0 {
+		t.Error("ledger dump carries no surviving records")
+	}
+}

@@ -1,5 +1,7 @@
 package chaos
 
+import "time"
+
 // The canned scenario library. Each scenario maps to a robustness claim
 // the paper makes for Sprite RPC (§3.2): duplicate suppression and
 // at-most-once execution under retransmission, crash detection via boot
@@ -62,6 +64,86 @@ func PartitionReboot(at int) Scenario {
 				r.RestartServer()
 			}},
 			{BeforeCall: at + 1, Name: "heal", Do: func(r *Run) { r.Heal() }},
+		},
+	}
+}
+
+// crashMidCall is how far into a call the mid-call crash scenarios
+// fire: past the synchronous execution (instantaneous on the simulated
+// wire) but before the client's first retransmission at 50ms.
+const crashMidCall = 25 * time.Millisecond
+
+// CrashReplay is the durable-ledger acceptance scenario: the reply to
+// call `at` is eaten on the wire, then the server crashes and restarts
+// while the client is still waiting. The retransmission reaches the new
+// incarnation with a stale epoch hint — with a durable ledger the
+// recorded reply is replayed byte-for-byte (call `at` completes and the
+// *next* call draws the one typed reboot error); with a volatile ledger
+// call `at` itself fails typed. Either way nothing executes twice.
+func CrashReplay(at int) Scenario {
+	return Scenario{
+		Name: "crash-replay",
+		Steps: []Step{
+			{BeforeCall: at, Name: "eat-reply", Do: func(r *Run) {
+				r.DropReplies(1)
+				r.At(crashMidCall, "crash-reboot-mid-call", func(r *Run) {
+					r.CrashServer()
+					r.RestartServer()
+				})
+			}},
+		},
+	}
+}
+
+// CrashStorm repeats the crash-replay fault at every listed call: each
+// round the server dies holding an unacknowledged reply and its ledger
+// must carry it across. A durable ledger completes every wounded call;
+// nothing ever executes twice.
+func CrashStorm(ats ...int) Scenario {
+	s := Scenario{Name: "crash-storm"}
+	for _, at := range ats {
+		s.Steps = append(s.Steps, Step{BeforeCall: at, Name: "eat-reply", Do: func(r *Run) {
+			r.DropReplies(1)
+			r.At(crashMidCall, "crash-reboot-mid-call", func(r *Run) {
+				r.CrashServer()
+				r.RestartServer()
+			})
+		}})
+	}
+	return s
+}
+
+// CrashTornTail is the crash-mid-append scenario: the reply to call
+// `at` is eaten and the crash also tears `tear` bytes off the ledger's
+// tail — the record for the doomed call is destroyed mid-write. The
+// recovered ledger keeps its longest valid prefix, the unrecorded
+// retransmission is conservatively rejected (one typed failure — it
+// must NOT re-execute), and everything afterwards converges.
+func CrashTornTail(at, tear int) Scenario {
+	return Scenario{
+		Name: "crash-torn-tail",
+		Steps: []Step{
+			{BeforeCall: at, Name: "eat-reply", Do: func(r *Run) {
+				r.DropReplies(1)
+				r.At(crashMidCall, "tear-and-crash-mid-call", func(r *Run) {
+					r.TearLedger(tear)
+					r.CrashServer()
+					r.RestartServer()
+				})
+			}},
+		},
+	}
+}
+
+// ClientCrash reboots the *client* before call `at`: its boot id
+// advances, so the server must retire the dead incarnation's channel
+// state and ledger entries and serve the new incarnation from scratch.
+// Every call succeeds; the ledger converges on the new boot.
+func ClientCrash(at int) Scenario {
+	return Scenario{
+		Name: "client-crash",
+		Steps: []Step{
+			{BeforeCall: at, Name: "client-reboot", Do: func(r *Run) { r.CrashClient() }},
 		},
 	}
 }

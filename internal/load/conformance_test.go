@@ -195,6 +195,68 @@ func TestConformanceMatrix(t *testing.T) {
 	}
 }
 
+// TestConformanceExecLedger is the execution-ledger matrix: the
+// crash-replay scenario under an echo workload, swept across the
+// at-most-once engine families × ledger configurations. The workload's
+// byte-compare is the acceptance check that a reply replayed from the
+// ledger is identical to what the dead incarnation computed; the
+// engine's invariants check that nothing executed twice either way.
+func TestConformanceExecLedger(t *testing.T) {
+	suffixes := []string{"+wal-always", "+wal-interval", "+wal-never", "+mem"}
+	bases := []bench.Stack{bench.LRPCVIP, bench.MRPCVIP, bench.NRPC, bench.SelChanVIPsize}
+	if testing.Short() {
+		suffixes = []string{"+wal-always"}
+		bases = bases[:2]
+	}
+	for _, base := range bases {
+		for _, suffix := range suffixes {
+			stack := base + bench.Stack(suffix)
+			t.Run(string(stack), func(t *testing.T) {
+				res, err := chaos.Execute(chaos.Config{
+					Stack:        stack,
+					Net:          sim.Config{Seed: 31},
+					Workload:     chaos.Workload{Calls: 9, Payload: 700, Echo: true},
+					Scenario:     chaos.CrashReplay(3),
+					ConvergeTail: 2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+				if res.Hung {
+					t.Fatal("hung")
+				}
+				// A ledger whose record went durable before the crash
+				// (fsync always; interval's 10ms timer fires before the
+				// 25ms crash) completes the wounded call byte-for-byte;
+				// a volatile one fails it typed. Exactly-once either way.
+				durable := strings.HasSuffix(string(stack), "wal-always") ||
+					strings.HasSuffix(string(stack), "wal-interval")
+				if durable {
+					if res.Calls[3].Err != nil {
+						t.Errorf("wounded call failed instead of replaying: %v", res.Calls[3].Err)
+					}
+					if res.LedgerReplays != 1 {
+						t.Errorf("LedgerReplays = %d, want 1", res.LedgerReplays)
+					}
+					if res.ServerExecs != int64(res.Completed) {
+						t.Errorf("server executed %d for %d completed calls", res.ServerExecs, res.Completed)
+					}
+				} else {
+					if res.Calls[3].Err == nil {
+						t.Error("wounded call completed although its record was volatile")
+					}
+					if res.LedgerReplays != 0 {
+						t.Errorf("LedgerReplays = %d on a volatile record", res.LedgerReplays)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestConformanceUnderFaults sweeps the invariant-checked chaos
 // scenarios across the at-most-once stacks: mid-stream frame bursts,
 // link flaps, crash/reboot, and a partition hiding a reboot must leave

@@ -39,6 +39,21 @@ var DefaultStacks = []bench.Stack{
 	bench.ChanFragVIP,
 }
 
+// DurabilityStacks is the durability-tax sweep: one base stack per
+// engine family crossed with the execution-ledger axis, from the
+// in-memory baseline to fsync-per-record. The delta between rows is
+// the price of surviving a crash with the reply cache intact.
+var DurabilityStacks = []bench.Stack{
+	bench.LRPCVIP,
+	bench.LRPCVIP + "+wal-never",
+	bench.LRPCVIP + "+wal-interval",
+	bench.LRPCVIP + "+wal-always",
+	bench.MRPCVIP,
+	bench.MRPCVIP + "+wal-never",
+	bench.MRPCVIP + "+wal-interval",
+	bench.MRPCVIP + "+wal-always",
+}
+
 // Options parameterizes a sweep.
 type Options struct {
 	// Stacks to measure; nil means DefaultStacks. Stacks whose testbed
@@ -212,6 +227,7 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	if tb.NewEndpoint == nil {
 		return nil, fmt.Errorf("load: stack %s has no concurrent endpoint factory", stack)
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"xkernel/internal/event"
+	"xkernel/internal/ledger"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs/gauge"
 	"xkernel/internal/pmap"
@@ -127,6 +128,14 @@ type Config struct {
 	// base interval; nil means the paper's constant-interval policy
 	// (retry.Step).
 	Retry retry.Policy
+	// Ledger records executed requests and their framed replies for
+	// duplicate suppression; nil means a fresh bounded in-memory
+	// ledger (the paper's volatile semantics). A durable ledger
+	// (ledger.File) extends at-most-once across crashes of this host:
+	// requests the old incarnation executed are answered from the
+	// recovered ledger byte-for-byte instead of widening to
+	// errRebooted.
+	Ledger ledger.ExecLedger
 }
 
 func (c *Config) fill() {
@@ -153,6 +162,9 @@ func (c *Config) fill() {
 	if c.Retry == nil {
 		c.Retry = retry.Default
 	}
+	if c.Ledger == nil {
+		c.Ledger = ledger.NewMem(ledger.MemOptions{})
+	}
 }
 
 // Stats counts protocol activity.
@@ -163,6 +175,10 @@ type Stats struct {
 	// StaleEpochRejects counts requests this server refused to execute
 	// because their epoch hint named an earlier boot incarnation.
 	StaleEpochRejects int64
+	// LedgerReplays counts the subset of ReplayedReplies answered from
+	// the execution ledger across a reboot — requests a previous
+	// incarnation executed whose cached reply survived the crash.
+	LedgerReplays int64
 	// PeerReboots counts calls this client failed with
 	// PeerRebootedError.
 	PeerReboots int64
@@ -238,6 +254,7 @@ type statCounters struct {
 	duplicateRequests, replayedReplies         atomic.Int64
 	requestsServed, remoteErrors               atomic.Int64
 	staleEpochRejects, peerReboots             atomic.Int64
+	ledgerReplays                              atomic.Int64
 
 	// Instantaneous gauges, distinct from the monotone counters above:
 	// callsInFlight is calls currently blocked in Call, and
@@ -281,9 +298,13 @@ func (p *Protocol) Stats() Stats {
 		RequestsServed:    p.ctr.requestsServed.Load(),
 		RemoteErrors:      p.ctr.remoteErrors.Load(),
 		StaleEpochRejects: p.ctr.staleEpochRejects.Load(),
+		LedgerReplays:     p.ctr.ledgerReplays.Load(),
 		PeerReboots:       p.ctr.peerReboots.Load(),
 	}
 }
+
+// Ledger exposes the execution ledger this protocol records to.
+func (p *Protocol) Ledger() ledger.ExecLedger { return p.cfg.Ledger }
 
 // CallsInFlight reports how many calls are currently blocked in Call.
 func (p *Protocol) CallsInFlight() int64 { return p.ctr.callsInFlight.Load() }
@@ -312,6 +333,7 @@ func (p *Protocol) RegisterGauges(set *gauge.Set, prefix string) {
 	set.Register(prefix+".client_chans", p.ClientChannels)
 	set.Register(prefix+".server_chans", p.ServerChannels)
 	p.clients.RegisterGauges(set, prefix+".clients")
+	ledger.RegisterGauges(set, prefix, p.cfg.Ledger)
 }
 
 // BootID reports the current boot incarnation.
@@ -319,12 +341,18 @@ func (p *Protocol) BootID() uint32 {
 	return p.bootID.Load()
 }
 
-// Reboot simulates a crash: new boot id, all server-side state dropped.
+// Reboot simulates a crash: new boot id, all server-side state
+// dropped, and the ledger crashed with the host — a volatile ledger
+// forgets everything, a durable one replays its log and carries the
+// executed set into the new incarnation.
 func (p *Protocol) Reboot() {
 	boot := p.bootID.Add(1)
 	p.srvMu.Lock()
 	p.servers = make(map[srvKey]*srvChan)
 	p.srvMu.Unlock()
+	if err := p.cfg.Ledger.Reboot(); err != nil {
+		trace.Printf(trace.Events, p.Name(), "ledger reboot failed: %v", err)
+	}
 	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", boot)
 }
 

@@ -1,0 +1,151 @@
+package channel_test
+
+// Crash-recovery behaviour added with the execution ledger: a server
+// backed by a durable (file) ledger answers a request its previous
+// incarnation executed with the recorded reply, byte-for-byte, instead
+// of widening to errRebooted.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"xkernel/internal/ledger"
+	"xkernel/internal/msg"
+	"xkernel/internal/rpc/channel"
+	"xkernel/internal/sim"
+	"xkernel/internal/xk"
+)
+
+func TestLedgerReplayAcrossCrash(t *testing.T) {
+	led, err := ledger.NewFile(t.TempDir(), ledger.FileOptions{Fsync: ledger.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	b := build(t, sim.Config{}, channel.Config{Ledger: led})
+	echoServer(t, b.sc)
+	s := open(t, b.cc, 0)
+
+	// First contact teaches the client the server's incarnation.
+	if _, err := s.Call(msg.New([]byte("warm"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eat the next unicast server-to-client frame: the doomed call's
+	// reply is recorded in the ledger but never reaches the client.
+	serverMAC := xk.EthAddr{0x02, 0, 0, 0, 0, 2}
+	clientMAC := xk.EthAddr{0x02, 0, 0, 0, 0, 1}
+	b.network.AddRule(sim.Rule{Name: "eat reply", Count: 1, Match: func(fi sim.FaultInfo) bool {
+		return fi.Src == serverMAC && fi.Dst == clientMAC
+	}})
+
+	payload := []byte("replay me byte for byte")
+	done := make(chan struct{})
+	var reply *msg.Msg
+	var callErr error
+	go func() {
+		reply, callErr = s.Call(msg.New(payload))
+		close(done)
+	}()
+	// Wait for the request to execute, then crash the server before
+	// the client's retransmission timer fires.
+	for i := 0; i < 1000 && b.sc.Stats().RequestsServed < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if b.sc.Stats().RequestsServed != 2 {
+		t.Fatal("doomed call never executed")
+	}
+	b.sc.Reboot()
+
+	for i := 0; i < 200; i++ {
+		select {
+		case <-done:
+			i = 200
+		default:
+			b.clock.Advance(60 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("call never completed after the crash")
+	}
+	if callErr != nil {
+		t.Fatalf("call across crash failed: %v", callErr)
+	}
+	if !bytes.Equal(reply.Bytes(), payload) {
+		t.Fatalf("replayed reply = %q, want %q", reply.Bytes(), payload)
+	}
+	st := b.sc.Stats()
+	if st.RequestsServed != 2 {
+		t.Fatalf("handler re-ran after the crash: RequestsServed = %d", st.RequestsServed)
+	}
+	if st.LedgerReplays != 1 {
+		t.Fatalf("LedgerReplays = %d, want 1", st.LedgerReplays)
+	}
+	if st.StaleEpochRejects != 0 {
+		t.Fatalf("replayable request was rejected %d times", st.StaleEpochRejects)
+	}
+	ls := led.Stats()
+	if ls.Recoveries != 1 || ls.RecoveredRecords == 0 {
+		t.Fatalf("ledger recovery stats %+v", ls)
+	}
+
+	// The replayed reply named the dead incarnation, so the next call's
+	// hint is stale and has no ledger entry: exactly one typed reject,
+	// then the client converges on the new boot id.
+	if _, err := s.Call(msg.New([]byte("next"))); !errors.Is(err, xk.ErrPeerRebooted) {
+		t.Fatalf("post-replay call: got %v, want ErrPeerRebooted", err)
+	}
+	if _, err := s.Call(msg.New([]byte("converged"))); err != nil {
+		t.Fatalf("call after convergence: %v", err)
+	}
+	if got := b.sc.Stats().RequestsServed; got != 3 {
+		t.Fatalf("RequestsServed = %d, want 3", got)
+	}
+}
+
+// TestLedgerVolatileMatchesPaperSemantics pins the contrast: the same
+// crash with the default in-memory ledger loses the recorded reply, so
+// the doomed call fails typed — the paper's at-most-once-since-boot.
+func TestLedgerVolatileMatchesPaperSemantics(t *testing.T) {
+	b := build(t, sim.Config{}, channel.Config{})
+	echoServer(t, b.sc)
+	s := open(t, b.cc, 0)
+	if _, err := s.Call(msg.New([]byte("warm"))); err != nil {
+		t.Fatal(err)
+	}
+	serverMAC := xk.EthAddr{0x02, 0, 0, 0, 0, 2}
+	clientMAC := xk.EthAddr{0x02, 0, 0, 0, 0, 1}
+	b.network.AddRule(sim.Rule{Name: "eat reply", Count: 1, Match: func(fi sim.FaultInfo) bool {
+		return fi.Src == serverMAC && fi.Dst == clientMAC
+	}})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Call(msg.New([]byte("doomed")))
+		done <- err
+	}()
+	for i := 0; i < 1000 && b.sc.Stats().RequestsServed < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	b.sc.Reboot()
+	var callErr error
+	for i := 0; i < 200; i++ {
+		select {
+		case callErr = <-done:
+			i = 200
+		default:
+			b.clock.Advance(60 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !errors.Is(callErr, xk.ErrPeerRebooted) {
+		t.Fatalf("got %v, want ErrPeerRebooted (volatile ledger cannot replay)", callErr)
+	}
+	if got := b.sc.Stats().RequestsServed; got != 2 {
+		t.Fatalf("handler re-ran: RequestsServed = %d", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"xkernel/internal/ledger"
 	"xkernel/internal/msg"
 	"xkernel/internal/pmap"
 	"xkernel/internal/proto/ip"
@@ -236,17 +237,22 @@ type srvKey struct {
 	channel uint16
 }
 
+// ledgerKey is the execution-ledger name for the same channel.
+func (k srvKey) ledgerKey() ledger.Key {
+	return ledger.Key{Peer: k.peer, Proto: uint32(k.proto), Channel: k.channel}
+}
+
 // srvChan is the server-side at-most-once state for one channel. Its
 // own mutex makes the at-most-once decision atomic per channel without
 // serializing unrelated channels on a protocol-wide lock; the protocol
-// srvMu is held only to look the srvChan up.
+// srvMu is held only to look the srvChan up. The saved reply itself
+// lives in the execution ledger, keyed by the same channel — what
+// stays here is only the duplicate filter.
 type srvChan struct {
 	mu        sync.Mutex
 	bootID    uint32
 	lastSeq   uint32
 	executing bool
-	savedSeq  uint32
-	saved     *msg.Msg // framed reply for replay
 	session   *ServerSession
 }
 
@@ -301,14 +307,25 @@ func (s *ServerSession) reply(m *msg.Msg, code uint16) error {
 	framed := m.Clone()
 	framed.MustPush(hb[:])
 
+	// Write-ahead: the executed request and its framed reply go into
+	// the ledger before the reply leaves this host, so no reply is
+	// ever on the wire without a record a recovered incarnation can
+	// replay. A record failure fails the reply (the client will
+	// retransmit) rather than risking a duplicate execution later.
 	sc := s.sc
 	sc.mu.Lock()
 	sc.executing = false
-	sc.savedSeq = seq
-	sc.saved = framed
+	err := p.cfg.Ledger.Record(s.key.ledgerKey(), ledger.Entry{
+		ClientBoot: sc.bootID,
+		Seq:        seq,
+		Reply:      ledger.EncodeFrames(framed.Bytes()),
+	})
 	sc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%s: ledger record chan=%d seq=%d: %w", p.Name(), s.key.channel, seq, err)
+	}
 
-	return s.Down(0).Push(framed.Clone())
+	return s.Down(0).Push(framed)
 }
 
 // Pop is unused on server sessions.
@@ -346,21 +363,42 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 	}
 	// A non-zero epoch hint naming another incarnation means the request
 	// was first sent to a previous life of this server (which may have
-	// executed it before crashing). Refuse to execute it again; tell the
-	// client which incarnation is answering. Checked before any per-chan
+	// executed it before crashing). The execution ledger remembers: if
+	// the previous incarnation recorded exactly this request, answer
+	// with its cached reply byte-for-byte — the crash stays invisible
+	// to this call. Only an unrecorded request is refused (it may have
+	// executed inside the ledger's unsynced window), keeping the
+	// conservative at-most-once bound. Checked before any per-chan
 	// state so a rejected request leaves no trace.
+	lk := k.ledgerKey()
 	boot := p.bootID.Load()
 	if h.errCode != 0 && h.errCode != uint16(boot) {
+		if e, ok := p.cfg.Ledger.Lookup(lk); ok && e.ClientBoot == h.bootID && e.Seq == h.seq {
+			p.ctr.ledgerReplays.Add(1)
+			p.ctr.replayedReplies.Add(1)
+			trace.Printf(trace.Events, p.Name(), "ledger replay chan=%d seq=%d to %s (executed before crash)",
+				h.channel, h.seq, peer)
+			return replayBlob(lls, e.Reply)
+		}
 		p.ctr.staleEpochRejects.Add(1)
 		trace.Printf(trace.Events, p.Name(), "reject stale-epoch chan=%d seq=%d from %s (hint %d, boot %d)",
 			h.channel, h.seq, peer, h.errCode, boot)
 		return p.sendReject(h, boot, lls)
 	}
+	// Seed looked up outside srvMu to keep that lock narrow; it is
+	// only consulted when this request creates the channel state.
+	seed, haveSeed := p.cfg.Ledger.Lookup(lk)
 	p.srvMu.Lock()
 	sc := p.servers[k]
 	newSession := false
 	if sc == nil {
 		sc = &srvChan{bootID: h.bootID}
+		// A recovered incarnation resumes the duplicate filter where
+		// the old one left off: without this, a replayed ledger entry
+		// would look like a "new" request and execute again.
+		if haveSeed && seed.ClientBoot == h.bootID {
+			sc.lastSeq = seed.Seq
+		}
 		ss := &ServerSession{p: p, key: k, proto: proto, sc: sc}
 		ss.InitSession(p, hlp, lls)
 		sc.session = ss
@@ -376,8 +414,11 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		sc.bootID = h.bootID
 		sc.lastSeq = 0
 		sc.executing = false
-		sc.savedSeq = 0
-		sc.saved = nil
+		// The old client incarnation can never legally ask for its
+		// reply again — retire the channel's ledger entry.
+		if err := p.cfg.Ledger.Retire(lk); err != nil {
+			trace.Printf(trace.Events, p.Name(), "ledger retire chan=%d: %v", h.channel, err)
+		}
 	}
 
 	switch {
@@ -393,18 +434,17 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 			sc.mu.Unlock()
 			return p.sendAck(h, lls)
 		}
-		if sc.savedSeq == h.seq && sc.saved != nil {
+		if e, ok := p.cfg.Ledger.Lookup(lk); ok && e.ClientBoot == h.bootID && e.Seq == h.seq {
 			p.ctr.replayedReplies.Add(1)
-			saved := sc.saved
 			sc.mu.Unlock()
 			trace.Printf(trace.Events, p.Name(), "replay reply chan=%d seq=%d to %s", h.channel, h.seq, peer)
-			return lls.Push(saved.Clone())
+			return replayBlob(lls, e.Reply)
 		}
 		sc.mu.Unlock()
 		return nil
 
-	default: // new request
-		sc.saved = nil // implicit ack of the previous reply
+	default: // new request — implicitly acks the previous reply, whose
+		// ledger entry is overwritten when this one records its own.
 		sc.lastSeq = h.seq
 		sc.executing = true
 		ss := sc.session
@@ -436,6 +476,23 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		}
 		return nil
 	}
+}
+
+// replayBlob pushes a ledger-recorded reply back through the lower
+// session exactly as it was originally framed — byte-for-byte, old
+// boot id and all, so the client completes its call as if the crash
+// never happened.
+func replayBlob(lls xk.Session, blob []byte) error {
+	frames, err := ledger.DecodeFrames(blob)
+	if err != nil {
+		return err
+	}
+	for _, fb := range frames {
+		if err := lls.Push(msg.New(fb)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sendReject answers a stale-epoch request with errRebooted so the

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"xkernel/internal/event"
+	"xkernel/internal/ledger"
 	"xkernel/internal/msg"
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/rpc/retry"
@@ -67,6 +68,11 @@ type Config struct {
 	// (with its multi-fragment increment); nil means the constant-
 	// interval policy the paper describes (retry.Step).
 	Retry retry.Policy
+	// Ledger records executed requests and their framed replies for
+	// duplicate suppression; nil means a fresh bounded in-memory
+	// ledger (the paper's volatile semantics). A durable ledger
+	// (ledger.File) extends at-most-once across crashes of this host.
+	Ledger ledger.ExecLedger
 }
 
 func (c *Config) fill() {
@@ -99,6 +105,9 @@ func (c *Config) fill() {
 	if c.Retry == nil {
 		c.Retry = retry.Default
 	}
+	if c.Ledger == nil {
+		c.Ledger = ledger.NewMem(ledger.MemOptions{})
+	}
 }
 
 // Stats counts protocol activity.
@@ -109,6 +118,9 @@ type Stats struct {
 	// StaleEpochRejects counts requests this server refused to execute
 	// because their epoch hint named an earlier boot incarnation.
 	StaleEpochRejects int64
+	// LedgerReplays counts the subset of ReplayedReplies answered from
+	// the execution ledger across a reboot.
+	LedgerReplays int64
 	// PeerReboots counts calls this client failed with
 	// PeerRebootedError.
 	PeerReboots int64
@@ -180,6 +192,7 @@ type statCounters struct {
 	duplicateRequests, replayedReplies         atomic.Int64
 	requestsServed, errors                     atomic.Int64
 	staleEpochRejects, peerReboots             atomic.Int64
+	ledgerReplays                              atomic.Int64
 }
 
 // New creates the protocol for the host with address local above llp,
@@ -235,9 +248,13 @@ func (p *Protocol) Stats() Stats {
 		RequestsServed:    p.ctr.requestsServed.Load(),
 		Errors:            p.ctr.errors.Load(),
 		StaleEpochRejects: p.ctr.staleEpochRejects.Load(),
+		LedgerReplays:     p.ctr.ledgerReplays.Load(),
 		PeerReboots:       p.ctr.peerReboots.Load(),
 	}
 }
+
+// Ledger exposes the execution ledger this protocol records to.
+func (p *Protocol) Ledger() ledger.ExecLedger { return p.cfg.Ledger }
 
 // BootID reports the current boot incarnation.
 func (p *Protocol) BootID() uint32 {
@@ -246,12 +263,17 @@ func (p *Protocol) BootID() uint32 {
 
 // Reboot simulates a crash and restart: the boot id changes and all
 // server-side channel state is lost, which is what the boot_id header
-// field exists to expose.
+// field exists to expose. The ledger crashes with the host — a
+// volatile ledger forgets everything, a durable one replays its log
+// and carries the executed set into the new incarnation.
 func (p *Protocol) Reboot() {
 	boot := p.bootID.Add(1)
 	p.srvMu.Lock()
 	p.servers = make(map[srvKey]*srvChan)
 	p.srvMu.Unlock()
+	if err := p.cfg.Ledger.Reboot(); err != nil {
+		trace.Printf(trace.Events, p.Name(), "ledger reboot failed: %v", err)
+	}
 	trace.Printf(trace.Events, p.Name(), "rebooted, boot_id now %d", boot)
 }
 

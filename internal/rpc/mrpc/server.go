@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"xkernel/internal/ledger"
 	"xkernel/internal/msg"
 	"xkernel/internal/trace"
 	"xkernel/internal/xk"
@@ -17,9 +18,9 @@ type srvKey struct {
 
 // srvChan is the server's state for one client channel: the at-most-once
 // machinery. It remembers the boot incarnation, the last sequence number
-// completed, and the saved reply, which is retransmitted if the request
-// is duplicated and discarded when the next request implicitly
-// acknowledges it.
+// completed, and the fragment collector for the request in progress.
+// The saved reply lives in the execution ledger, keyed by the same
+// channel, which is what lets a durable ledger carry it across a crash.
 // Each srvChan carries its own mutex so the at-most-once decision is
 // atomic per client channel without a protocol-wide lock; the protocol
 // srvMu is held only to look the srvChan up.
@@ -29,33 +30,69 @@ type srvChan struct {
 	lastSeq   uint32
 	executing bool
 	collect   *collector
-	// saved reply, one encoded-and-framed message per fragment, plus
-	// the session to resend through.
-	savedSeq   uint32
-	savedReply []*msg.Msg
-	savedVia   xk.Session
+}
+
+// ledgerKey is the execution-ledger name for a client channel.
+func (p *Protocol) ledgerKey(k srvKey) ledger.Key {
+	return ledger.Key{Peer: k.client, Proto: uint32(p.cfg.Proto), Channel: k.channel}
+}
+
+// replayBlob pushes a ledger-recorded reply back through lls exactly
+// as it was originally framed — byte-for-byte, one push per fragment.
+func replayBlob(lls xk.Session, blob []byte) error {
+	frames, err := ledger.DecodeFrames(blob)
+	if err != nil {
+		return err
+	}
+	for _, fb := range frames {
+		if err := lls.Push(msg.New(fb)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // serveRequest implements the server half of the Sprite algorithm.
 func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 	key := srvKey{client: h.clntHost, channel: h.channel}
+	lk := p.ledgerKey(key)
 
 	if h.srvrProc != 0 && h.srvrProc != uint16(p.bootID.Load()) {
 		// The request's epoch hint names an earlier incarnation of this
 		// server: it may already have executed before the crash, so it
-		// must not run again. Reject before touching any channel state;
+		// must not run again. The execution ledger remembers — if the
+		// previous incarnation recorded exactly this request, replay
+		// its cached reply byte-for-byte; only an unrecorded request
+		// is rejected (it may have executed inside the ledger's
+		// unsynced window). Checked before touching any channel state;
 		// the reject reply carries the new boot id so the client
 		// converges.
+		if e, ok := p.cfg.Ledger.Lookup(lk); ok && e.ClientBoot == h.bootID && e.Seq == h.seq {
+			p.ctr.ledgerReplays.Add(1)
+			p.ctr.replayedReplies.Add(1)
+			trace.Printf(trace.Events, p.Name(), "ledger replay seq=%d to %s (executed before crash)",
+				h.seq, h.clntHost)
+			return replayBlob(lls, e.Reply)
+		}
 		p.ctr.staleEpochRejects.Add(1)
 		boot := p.bootID.Load()
 		trace.Printf(trace.Events, p.Name(), "reject stale epoch %d (now %d) from %s seq=%d",
 			h.srvrProc, boot, h.clntHost, h.seq)
 		return p.sendReject(h, boot, lls)
 	}
+	// Seed looked up outside srvMu to keep that lock narrow; it is
+	// only consulted when this request creates the channel state.
+	seed, haveSeed := p.cfg.Ledger.Lookup(lk)
 	p.srvMu.Lock()
 	sc := p.servers[key]
 	if sc == nil {
 		sc = &srvChan{bootID: h.bootID}
+		// A recovered incarnation resumes the duplicate filter where
+		// the old one left off, so a request the ledger already holds
+		// is treated as the duplicate it is, not as new work.
+		if haveSeed && seed.ClientBoot == h.bootID {
+			sc.lastSeq = seed.Seq
+		}
 		p.servers[key] = sc
 	}
 	p.srvMu.Unlock()
@@ -63,16 +100,17 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 	sc.mu.Lock()
 	if sc.bootID != h.bootID {
 		// The client rebooted: everything we remember about this
-		// channel belongs to a dead incarnation.
+		// channel belongs to a dead incarnation, including its ledger
+		// entry.
 		trace.Printf(trace.Events, p.Name(), "client %s rebooted (boot %d -> %d), resetting channel %d",
 			h.clntHost, sc.bootID, h.bootID, h.channel)
 		sc.bootID = h.bootID
 		sc.lastSeq = 0
 		sc.executing = false
 		sc.collect = nil
-		sc.savedSeq = 0
-		sc.savedReply = nil
-		sc.savedVia = nil
+		if err := p.cfg.Ledger.Retire(lk); err != nil {
+			trace.Printf(trace.Events, p.Name(), "ledger retire channel=%d: %v", h.channel, err)
+		}
 	}
 
 	switch {
@@ -92,30 +130,22 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 			sc.mu.Unlock()
 			return p.sendAck(h, fullMask(h.numFrags), lls)
 		}
-		if sc.savedSeq == h.seq && sc.savedReply != nil {
+		if e, ok := p.cfg.Ledger.Lookup(lk); ok && e.ClientBoot == h.bootID && e.Seq == h.seq {
 			// "timeouts trigger retransmissions which sometimes
 			// elicit explicit acknowledgements" — or, here, a
-			// replay of the saved reply.
+			// replay of the recorded reply.
 			p.ctr.replayedReplies.Add(1)
-			saved := sc.savedReply
-			via := sc.savedVia
 			sc.mu.Unlock()
 			trace.Printf(trace.Events, p.Name(), "replay reply seq=%d to %s", h.seq, h.clntHost)
-			for _, f := range saved {
-				if err := via.Push(f.Clone()); err != nil {
-					return err
-				}
-			}
-			return nil
+			return replayBlob(lls, e.Reply)
 		}
 		sc.mu.Unlock()
 		return nil
 
 	default: // h.seq > sc.lastSeq: a new request.
 		// Receipt of a new request implicitly acknowledges the
-		// previous reply; the saved copy can go.
-		sc.savedReply = nil
-		sc.savedVia = nil
+		// previous reply; its ledger entry is overwritten when this
+		// request records its own.
 		if sc.collect == nil || sc.collect.seq != h.seq {
 			sc.collect = newCollector(h.seq, h.numFrags)
 		}
@@ -178,23 +208,37 @@ func (p *Protocol) execute(h header, sc *srvChan, key srvKey, handler Handler, a
 		return err
 	}
 
+	// Write-ahead: record the executed request and its framed reply
+	// before any fragment leaves this host, so no reply is on the wire
+	// without a record a recovered incarnation can replay. A record
+	// failure suppresses the reply (the client retransmits) rather
+	// than risking a duplicate execution later.
+	blobFrames := make([][]byte, len(frames))
+	for i, f := range frames {
+		blobFrames[i] = f.Bytes()
+	}
 	sc.mu.Lock()
 	sc.executing = false
-	sc.savedSeq = h.seq
-	sc.savedReply = frames
-	sc.savedVia = lls
+	rerr := p.cfg.Ledger.Record(p.ledgerKey(key), ledger.Entry{
+		ClientBoot: sc.bootID,
+		Seq:        h.seq,
+		Reply:      ledger.EncodeFrames(blobFrames...),
+	})
 	sc.mu.Unlock()
+	if rerr != nil {
+		return fmt.Errorf("%s: ledger record seq=%d: %w", p.Name(), h.seq, rerr)
+	}
 
 	for _, f := range frames {
-		if err := lls.Push(f.Clone()); err != nil {
+		if err := lls.Push(f); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// frameReply fragments and frames the reply payload; frames are kept for
-// replay, so pushes always send clones.
+// frameReply fragments and frames the reply payload for the wire (and
+// for the ledger record that replays survive from).
 func (p *Protocol) frameReply(req header, flags uint16, reply *msg.Msg) ([]*msg.Msg, error) {
 	if reply.Len() > p.cfg.MaxMsg {
 		return nil, fmt.Errorf("%s: reply %d bytes: %w", p.Name(), reply.Len(), xk.ErrMsgTooBig)

@@ -56,6 +56,11 @@ echo "== demux fuzz smoke (arbitrary frames through CHANNEL and FRAGMENT) =="
 go test ./internal/rpc/channel/ -run '^$' -fuzz FuzzChannelPop -fuzztime 5s
 go test ./internal/rpc/fragment/ -run '^$' -fuzz FuzzFragmentPop -fuzztime 5s
 
+echo "== ledger fuzz smoke (arbitrary segment bytes through recovery replay) =="
+# Replay must recover the longest valid prefix of any byte soup without
+# panicking — the torn-write tolerance the crash scenarios depend on.
+go test ./internal/ledger/ -run '^$' -fuzz FuzzLedgerReplay -fuzztime 5s
+
 echo "== Table I benchmark smoke (1 iteration each) =="
 go test . -run 'Bench' -bench 'BenchmarkTable1' -benchtime 1x
 
@@ -82,5 +87,13 @@ echo "== load regression gate (vs committed multi-client baseline) =="
 # so what this catches is a stack losing its scaling shape — e.g. a
 # widened lock turning the N=64 cell back into the N=1 cell.
 go run ./cmd/xkbench -compare BENCH_load1.json -threshold 40
+
+echo "== durability-tax regression gate (vs committed ledger sweep) =="
+# Re-runs the committed durability sweep (at-most-once engines x ledger
+# fsync policies) and diffs in relative mode: what this catches is the
+# write-ahead ledger's overhead growing out of its committed envelope —
+# e.g. an fsync sneaking onto the wal-never path, or the interval
+# batcher degenerating into per-record syncs.
+go run ./cmd/xkbench -compare BENCH_load2.json -threshold 40
 
 echo "OK"

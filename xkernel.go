@@ -49,6 +49,7 @@ import (
 	"xkernel/internal/bench"
 	"xkernel/internal/chaos"
 	"xkernel/internal/event"
+	"xkernel/internal/ledger"
 	"xkernel/internal/load"
 	"xkernel/internal/msg"
 	"xkernel/internal/obs"
@@ -170,6 +171,30 @@ type (
 	RetryStep = retry.Step
 	// RetryExponential doubles the interval per attempt up to a cap.
 	RetryExponential = retry.Exponential
+	// ExecLedger is the at-most-once execution ledger: record executed
+	// request + cached reply before sending, look up before executing,
+	// so a crashed server replays instead of re-executing or widening
+	// every in-flight call to ErrPeerRebooted.
+	ExecLedger = ledger.ExecLedger
+	// LedgerKey identifies one client channel's slot in a ledger.
+	LedgerKey = ledger.Key
+	// LedgerEntry is one executed request: client boot epoch, sequence,
+	// and the reply exactly as framed for the wire.
+	LedgerEntry = ledger.Entry
+	// LedgerStats counts a ledger's appends, lookups, hits, evictions,
+	// syncs, recoveries, and torn tails.
+	LedgerStats = ledger.Stats
+	// MemLedger is the bounded in-memory (volatile) implementation.
+	MemLedger = ledger.Mem
+	// FileLedger is the write-ahead segmented-file implementation with
+	// fsync policies, rotation+compaction, and torn-tail-tolerant
+	// crash recovery.
+	FileLedger = ledger.File
+	// LedgerFileOptions parameterizes a FileLedger: fsync policy, sync
+	// interval, segment size, and clock.
+	LedgerFileOptions = ledger.FileOptions
+	// LedgerFsyncPolicy selects when appended records become durable.
+	LedgerFsyncPolicy = ledger.FsyncPolicy
 )
 
 // Re-exported constructors and helpers.
@@ -263,6 +288,24 @@ var (
 	NewFlightRecorder = flight.New
 	// ReadFlightDump loads a flight-recorder JSON dump from disk.
 	ReadFlightDump = flight.ReadDump
+	// NewMemLedger creates a bounded in-memory execution ledger.
+	NewMemLedger = ledger.NewMem
+	// NewFileLedger opens (or recovers) a write-ahead execution ledger
+	// in the given directory.
+	NewFileLedger = ledger.NewFile
+	// ScanLedgerDir replays a ledger directory read-only: the surviving
+	// index plus scan statistics (cmd/xkledger's engine).
+	ScanLedgerDir = ledger.ScanDir
+)
+
+// Ledger fsync policies, re-exported.
+const (
+	// LedgerFsyncAlways syncs every record before the reply is sent.
+	LedgerFsyncAlways = ledger.FsyncAlways
+	// LedgerFsyncInterval batches syncs on a short timer.
+	LedgerFsyncInterval = ledger.FsyncInterval
+	// LedgerFsyncNever leaves durability to the OS page cache.
+	LedgerFsyncNever = ledger.FsyncNever
 )
 
 // Typed failure sentinels clients should match with errors.Is.
