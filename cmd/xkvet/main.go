@@ -1,5 +1,5 @@
 // Command xkvet runs the repository's invariant analyzers (DESIGN.md
-// §7) over the packages named by its arguments:
+// §7 and §11) over the packages named by its arguments:
 //
 //	go run ./cmd/xkvet ./...
 //
@@ -11,12 +11,31 @@
 //
 // on (or immediately above) the offending line; the reason is
 // mandatory.
+//
+// Flags:
+//
+//	-fix     apply each finding's first suggested fix to the source
+//	         files, then report only the findings that had no fix
+//	-allows  audit suppressions instead of reporting findings: print
+//	         every //xk:allow with its state and exit 1 if any listed
+//	         pass no longer fires on the covered lines (stale)
+//	-json    emit the findings (and allows) as a JSON document on
+//	         stdout, for the CI artifact
+//
+// The whole module is loaded and analyzed in dependency order on every
+// run — the interprocedural passes need facts from dependencies even
+// when only one package is named; naming packages limits where
+// findings are reported, not what is analyzed. Set $XKVET_LISTCACHE to
+// a directory to reuse the `go list` metadata across consecutive runs
+// (scripts/check.sh does).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 
 	"xkernel/internal/analysis"
 	"xkernel/internal/analysis/load"
@@ -24,63 +43,178 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	allows := flag.Bool("allows", false, "audit //xk:allow suppressions; exit 1 on stale ones")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Load(".", patterns...)
+
+	res, err := analyze(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xkvet: %v\n", err)
 		os.Exit(2)
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		msg       string
-		pass      string
+	switch {
+	case *allows:
+		os.Exit(reportAllows(res, *jsonOut))
+	case *fix:
+		os.Exit(applyFixes(res, *jsonOut))
+	default:
+		os.Exit(report(res, *jsonOut))
 	}
-	var findings []finding
-	// A malformed //xk:allow comment is re-reported by every pass that
-	// scans its package; keep one copy per position.
-	seen := map[string]bool{}
-	for _, pkg := range pkgs {
-		for _, a := range analysis.All {
-			diags, err := xkanalysis.Execute(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xkvet: %s: %s: %v\n", a.Name, pkg.Path, err)
-				os.Exit(2)
-			}
-			for _, d := range diags {
-				p := pkg.Fset.Position(d.Pos)
-				key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, d.Message)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				findings = append(findings, finding{
-					file: p.Filename, line: p.Line, col: p.Column,
-					msg: d.Message, pass: a.Name,
-				})
-			}
-		}
-	}
+}
 
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
-		}
-		if a.line != b.line {
-			return a.line < b.line
-		}
-		return a.col < b.col
-	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.pass)
+// analyze loads the whole module — the interprocedural passes need
+// facts from every package regardless of what was named — and reports
+// findings only in the packages matching the patterns.
+func analyze(patterns []string) (*xkanalysis.Result, error) {
+	pkgs, err := load.Load(".", "./...")
+	if err != nil {
+		return nil, err
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "xkvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages to analyze")
 	}
+	report := func(path string) bool { return strings.HasPrefix(path, "xkernel") }
+	if len(patterns) != 1 || patterns[0] != "./..." {
+		match, err := load.Match(".", patterns...)
+		if err != nil {
+			return nil, err
+		}
+		report = func(path string) bool { return match[path] }
+	}
+	var targets []*xkanalysis.Target
+	for _, pkg := range pkgs {
+		targets = append(targets, &xkanalysis.Target{
+			Path:      pkg.Path,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    !pkg.DepOnly && report(pkg.Path),
+		})
+	}
+	return xkanalysis.Run(pkgs[0].Fset, targets, analysis.All)
+}
+
+// jsonFinding is the JSON shape of one finding, stable for CI.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+	HasFix  bool   `json:"has_fix,omitempty"`
+}
+
+type jsonAllow struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Passes []string `json:"passes"`
+	Reason string   `json:"reason"`
+	Stale  []string `json:"stale,omitempty"`
+}
+
+type jsonDoc struct {
+	Findings []jsonFinding `json:"findings"`
+	Allows   []jsonAllow   `json:"allows"`
+}
+
+func toJSON(res *xkanalysis.Result) jsonDoc {
+	doc := jsonDoc{Findings: []jsonFinding{}, Allows: []jsonAllow{}}
+	for _, f := range res.Findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Pass: f.Pass, Message: f.Diag.Message, HasFix: len(f.Diag.Fixes) > 0,
+		})
+	}
+	for _, a := range res.Allows {
+		doc.Allows = append(doc.Allows, jsonAllow{
+			File: a.Pos.Filename, Line: a.Pos.Line,
+			Passes: a.Passes, Reason: a.Reason, Stale: a.Stale,
+		})
+	}
+	return doc
+}
+
+func emitJSON(doc jsonDoc) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "xkvet: %v\n", err)
+	}
+}
+
+func report(res *xkanalysis.Result, asJSON bool) int {
+	if asJSON {
+		emitJSON(toJSON(res))
+	} else {
+		for _, f := range res.Findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Diag.Message, f.Pass)
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xkvet: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}
+
+// applyFixes writes each finding's first suggested fix back to disk,
+// then reports what remains unfixed.
+func applyFixes(res *xkanalysis.Result, asJSON bool) int {
+	fixed, applied, skipped, err := xkanalysis.ApplyFixes(res.Fset, res.Findings)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkvet: %v\n", err)
+		return 2
+	}
+	if err := xkanalysis.WriteFixes(fixed); err != nil {
+		fmt.Fprintf(os.Stderr, "xkvet: %v\n", err)
+		return 2
+	}
+	var remaining []xkanalysis.Finding
+	for _, f := range res.Findings {
+		if len(f.Diag.Fixes) == 0 {
+			remaining = append(remaining, f)
+		}
+	}
+	remaining = append(remaining, skipped...)
+	fmt.Fprintf(os.Stderr, "xkvet: applied %d fix(es) to %d file(s)\n", applied, len(fixed))
+	sub := &xkanalysis.Result{Findings: remaining, Allows: res.Allows, Fset: res.Fset}
+	if ret := report(sub, asJSON); ret != 0 {
+		return ret
+	}
+	return 0
+}
+
+// reportAllows prints the suppression audit. Exit 1 when any listed
+// pass is stale — the finding it suppressed no longer fires, so the
+// comment is covering nothing and should be deleted before it hides a
+// future, different finding.
+func reportAllows(res *xkanalysis.Result, asJSON bool) int {
+	if asJSON {
+		emitJSON(toJSON(res))
+	}
+	stale := 0
+	for _, a := range res.Allows {
+		state := "ok"
+		if len(a.Stale) > 0 {
+			stale++
+			state = "STALE(" + strings.Join(a.Stale, ",") + ")"
+		}
+		if !asJSON {
+			fmt.Printf("%s:%d: allow %s — %s [%s]\n",
+				a.Pos.Filename, a.Pos.Line, strings.Join(a.Passes, ","), a.Reason, state)
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "xkvet: %d stale suppression(s) — delete the //xk:allow or the pass name that no longer fires\n", stale)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "xkvet: %d suppression(s), none stale\n", len(res.Allows))
+	return 0
 }

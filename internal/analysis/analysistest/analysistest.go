@@ -11,14 +11,32 @@
 // standard library and the module's own packages resolve from compiled
 // export data.
 //
+// Since PR 8 one Run call is one driver run: every listed path is
+// loaded into the same file set and type-checked through a shared
+// importer in the order given, so a later path may import an earlier
+// one from source and receive its facts — list dependencies first,
+// exactly as the real loader orders the module. Findings land only in
+// the listed packages, but facts flow across all of them, which is how
+// the interprocedural passes (and their multi-package fixtures) are
+// tested.
+//
 // Expectations: a comment `// want "re1" "re2"` at the end of a line
 // demands one finding on that line matching each regexp, in any order.
-// Lines without a want comment must produce no findings.
+// Lines without a want comment must produce no findings. Whole-program
+// (Finish) findings are matched the same way — by the line their
+// position lands on.
+//
+// RunFix checks the autofix contract: it applies every finding's first
+// suggested fix in memory and compares the result against the
+// <file>.golden sibling, then re-runs the analyzer over the fixed
+// source to confirm the findings are gone (the round-trip the -fix
+// flag promises).
 package analysistest
 
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -39,54 +57,24 @@ type expectation struct {
 	matched  []bool
 }
 
-// Run loads each testdata package, applies the analyzer, and reports
-// every mismatch between findings and want comments as a test error.
-func Run(t *testing.T, testdata string, a *xkanalysis.Analyzer, paths ...string) {
+// Run loads the testdata packages (in the order given, dependencies
+// first) into one driver run of the analyzer and reports every
+// mismatch between findings and want comments as a test error. It
+// returns the result for callers that assert on more than findings
+// (suppressions, allows, fixes).
+func Run(t *testing.T, testdata string, a *xkanalysis.Analyzer, paths ...string) *xkanalysis.Result {
 	t.Helper()
-	exports, err := load.ModuleExports(".")
-	if err != nil {
-		t.Fatalf("loading module export data: %v", err)
-	}
-	for _, path := range paths {
-		runOne(t, testdata, a, exports, path)
-	}
-}
+	res, pkgs := analyze(t, testdata, a, paths...)
 
-func runOne(t *testing.T, testdata string, a *xkanalysis.Analyzer, exports map[string]string, path string) {
-	t.Helper()
-	fset := token.NewFileSet()
-	imp := load.NewImporter(fset, exports)
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
-	pkg, err := load.CheckDir(fset, imp, path, dir)
-	if err != nil {
-		t.Fatalf("%s: loading testdata package: %v", path, err)
+	expects := make(map[string]*expectation)
+	for _, pkg := range pkgs {
+		collectWants(t, pkg, expects)
 	}
 
-	diags, err := xkanalysis.Execute(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
-	if err != nil {
-		t.Fatalf("%s: running %s: %v", path, a.Name, err)
-	}
-
-	expects := collectWants(t, pkg)
-
-	// Match every finding against its line's expectations.
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		exp := expects[key]
-		matched := false
-		if exp != nil {
-			for i, re := range exp.patterns {
-				if !exp.matched[i] && re.MatchString(d.Message) {
-					exp.matched[i] = true
-					matched = true
-					break
-				}
-			}
-		}
-		if !matched {
-			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
-		}
+	// Match every finding (suppressed ones included — a want on a line
+	// with an //xk:allow asserts the suppression) against its line.
+	for _, f := range res.Findings {
+		matchFinding(t, expects, f)
 	}
 	for _, exp := range expects {
 		for i, re := range exp.patterns {
@@ -95,12 +83,65 @@ func runOne(t *testing.T, testdata string, a *xkanalysis.Analyzer, exports map[s
 			}
 		}
 	}
+	return res
+}
+
+func matchFinding(t *testing.T, expects map[string]*expectation, f xkanalysis.Finding) {
+	t.Helper()
+	key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+	exp := expects[key]
+	matched := false
+	if exp != nil {
+		for i, re := range exp.patterns {
+			if !exp.matched[i] && re.MatchString(f.Diag.Message) {
+				exp.matched[i] = true
+				matched = true
+				break
+			}
+		}
+	}
+	if !matched {
+		t.Errorf("%s: unexpected finding: %s (%s)", f.Pos, f.Diag.Message, f.Pass)
+	}
+}
+
+// analyze loads every path into one shared file set and importer and
+// runs the analyzer once over all of them.
+func analyze(t *testing.T, testdata string, a *xkanalysis.Analyzer, paths ...string) (*xkanalysis.Result, []*load.Package) {
+	t.Helper()
+	exports, err := load.ModuleExports(".")
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, exports)
+	var targets []*xkanalysis.Target
+	var pkgs []*load.Package
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := load.CheckDir(fset, imp, path, dir)
+		if err != nil {
+			t.Fatalf("%s: loading testdata package: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+		targets = append(targets, &xkanalysis.Target{
+			Path:      path,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    true,
+		})
+	}
+	res, err := xkanalysis.Run(fset, targets, []*xkanalysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return res, pkgs
 }
 
 // collectWants parses the // want comments of every file in the package.
-func collectWants(t *testing.T, pkg *load.Package) map[string]*expectation {
+func collectWants(t *testing.T, pkg *load.Package, expects map[string]*expectation) {
 	t.Helper()
-	expects := make(map[string]*expectation)
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -125,5 +166,77 @@ func collectWants(t *testing.T, pkg *load.Package) map[string]*expectation {
 			}
 		}
 	}
-	return expects
+}
+
+// RunFix runs the analyzer over the paths, applies every finding's
+// first fix, and asserts the round-trip:
+//
+//   - each edited file must equal its <file>.golden sibling, byte for
+//     byte;
+//   - re-running the analyzer over the fixed sources must produce no
+//     findings with fixes (the fix actually silences the pass).
+//
+// The fixed sources are written to a temporary GOPATH tree; the
+// testdata files are never modified.
+func RunFix(t *testing.T, testdata string, a *xkanalysis.Analyzer, paths ...string) {
+	t.Helper()
+	res, _ := analyze(t, testdata, a, paths...)
+
+	fixed, applied, skipped, err := xkanalysis.ApplyFixes(res.Fset, res.Findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if applied == 0 {
+		t.Fatalf("RunFix: no findings carried a fix")
+	}
+	for _, s := range skipped {
+		t.Errorf("%s: fix skipped (overlap): %s", s.Pos, s.Diag.Message)
+	}
+
+	for file, got := range fixed {
+		want, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Errorf("%s: fixed but no golden file: %v", file, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: fixed output does not match %s.golden\n--- got ---\n%s\n--- want ---\n%s",
+				file, file, got, want)
+		}
+	}
+
+	// Round-trip: copy the tree, substituting fixed bytes, and re-run.
+	tmp := t.TempDir()
+	for _, path := range paths {
+		src := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		dst := filepath.Join(tmp, "src", filepath.FromSlash(path))
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatalf("round-trip setup: %v", err)
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatalf("round-trip setup: %v", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			from := filepath.Join(src, e.Name())
+			data, ok := fixed[from]
+			if !ok {
+				if data, err = os.ReadFile(from); err != nil {
+					t.Fatalf("round-trip setup: %v", err)
+				}
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				t.Fatalf("round-trip setup: %v", err)
+			}
+		}
+	}
+	res2, _ := analyze(t, tmp, a, paths...)
+	for _, f := range res2.Findings {
+		if len(f.Diag.Fixes) > 0 {
+			t.Errorf("round-trip: finding with a fix survives after fixing: %s: %s", f.Pos, f.Diag.Message)
+		}
+	}
 }

@@ -1,0 +1,283 @@
+// Package callgraph builds the module's static call graph for the
+// interprocedural passes (lockorder, walorder, goroleak, and the
+// fact-propagating half of locksafety) to share through the Requires
+// mechanism.
+//
+// Per package, the builder records one edge per call expression whose
+// callee resolves to a named function or method: a static edge when
+// the callee is concrete, a dynamic edge when the call goes through an
+// interface method. The per-package graphs travel as package facts;
+// the result delivered to a dependent pass (Pass.ResultOf[Analyzer])
+// is the merged graph of the current package plus its whole in-module
+// dependency closure, with method-set–based resolution for dynamic
+// edges: Implementations(m) is every concrete method in view whose
+// receiver satisfies m's interface.
+//
+// Soundness caveats (see DESIGN.md §11): calls through function-typed
+// values (handler tables, callbacks) produce no edge; a goroutine body
+// is attributed to the function that spawns it; reflection is
+// invisible. The passes built on the graph treat a missing edge
+// optimistically, so these holes can cause missed findings, never
+// false ones.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// Edge is one call site. Callee is the concrete target for static
+// calls and the interface method for dynamic ones.
+type Edge struct {
+	Caller  *types.Func
+	Callee  *types.Func
+	Pos     token.Pos
+	Dynamic bool
+}
+
+// PkgGraph is the package fact: the edges whose caller is declared in
+// the package, and the concrete methods the package contributes to
+// dynamic resolution.
+type PkgGraph struct {
+	Edges   []Edge
+	Methods []*types.Func
+}
+
+// AFact marks PkgGraph as a fact type.
+func (*PkgGraph) AFact() {}
+
+// Analyzer builds the call graph. It reports nothing itself.
+var Analyzer = &xkanalysis.Analyzer{
+	Name:      "callgraph",
+	Doc:       "build the static + method-set-resolved call graph shared by interprocedural passes",
+	FactTypes: []xkanalysis.Fact{(*PkgGraph)(nil)},
+	Run:       run,
+}
+
+// Graph is the merged view handed to dependent passes.
+type Graph struct {
+	edges     map[*types.Func][]Edge
+	methods   []*types.Func
+	implCache map[*types.Func][]*types.Func
+}
+
+func run(pass *xkanalysis.Pass) (any, error) {
+	own := build(pass)
+	pass.ExportPackageFact(own)
+
+	g := &Graph{
+		edges:     make(map[*types.Func][]Edge),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	g.absorb(own)
+	for _, dep := range importClosure(pass.Pkg) {
+		var pg PkgGraph
+		if pass.ImportPackageFact(dep, &pg) {
+			g.absorb(&pg)
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) absorb(pg *PkgGraph) {
+	for _, e := range pg.Edges {
+		g.edges[e.Caller] = append(g.edges[e.Caller], e)
+	}
+	g.methods = append(g.methods, pg.Methods...)
+}
+
+// build collects the package's own edges and concrete methods.
+func build(pass *xkanalysis.Pass) *PkgGraph {
+	pg := &PkgGraph{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			caller, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if caller == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := xkanalysis.FuncObj(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				pg.Edges = append(pg.Edges, Edge{
+					Caller:  caller,
+					Callee:  callee,
+					Pos:     call.Pos(),
+					Dynamic: isInterfaceMethod(callee),
+				})
+				return true
+			})
+		}
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			pg.Methods = append(pg.Methods, named.Method(i))
+		}
+	}
+	return pg
+}
+
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// importClosure lists the package's transitive imports, depth-first,
+// in a deterministic order.
+func importClosure(pkg *types.Package) []*types.Package {
+	seen := map[*types.Package]bool{pkg: true}
+	var out []*types.Package
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		imports := append([]*types.Package(nil), p.Imports()...)
+		sort.Slice(imports, func(i, j int) bool { return imports[i].Path() < imports[j].Path() })
+		for _, imp := range imports {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				visit(imp)
+			}
+		}
+	}
+	visit(pkg)
+	return out
+}
+
+// FromGlobal assembles the whole-program graph from every package
+// fact, for Finish hooks of passes that require this analyzer.
+func FromGlobal(g *xkanalysis.Global) *Graph {
+	graph := &Graph{
+		edges:     make(map[*types.Func][]Edge),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	for _, pf := range g.AllPackageFacts(Analyzer) {
+		graph.absorb(pf.Fact.(*PkgGraph))
+	}
+	return graph
+}
+
+// Callees returns the raw edges out of f (static and dynamic).
+func (g *Graph) Callees(f *types.Func) []Edge { return g.edges[f] }
+
+// Implementations resolves an interface method to every concrete
+// method in view whose receiver type satisfies the interface. For a
+// concrete method it returns the method itself.
+func (g *Graph) Implementations(m *types.Func) []*types.Func {
+	if !isInterfaceMethod(m) {
+		return []*types.Func{m}
+	}
+	if impls, ok := g.implCache[m]; ok {
+		return impls
+	}
+	sig := m.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var impls []*types.Func
+	for _, c := range g.methods {
+		if c.Name() != m.Name() {
+			continue
+		}
+		csig, ok := c.Type().(*types.Signature)
+		if !ok || csig.Recv() == nil {
+			continue
+		}
+		recv := csig.Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			impls = append(impls, c)
+		}
+	}
+	g.implCache[m] = impls
+	return impls
+}
+
+// Resolved returns the concrete targets of one edge: the callee for a
+// static edge, the implementations for a dynamic one.
+func (g *Graph) Resolved(e Edge) []*types.Func {
+	if !e.Dynamic {
+		return []*types.Func{e.Callee}
+	}
+	return g.Implementations(e.Callee)
+}
+
+// Visit walks the graph breadth-first from the roots over resolved
+// edges, calling fn once per reached function (roots included). fn
+// returning false stops the walk early.
+func (g *Graph) Visit(roots []*types.Func, fn func(f *types.Func) bool) {
+	seen := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if f == nil || seen[f] {
+			continue
+		}
+		seen[f] = true
+		if !fn(f) {
+			return
+		}
+		for _, e := range g.edges[f] {
+			for _, target := range g.Resolved(e) {
+				if !seen[target] {
+					queue = append(queue, target)
+				}
+			}
+		}
+	}
+}
+
+// Reaches reports whether to is reachable from from over resolved
+// edges (from == to counts).
+func (g *Graph) Reaches(from, to *types.Func) bool {
+	found := false
+	g.Visit([]*types.Func{from}, func(f *types.Func) bool {
+		if f == to {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Callers returns the static+dynamic callers of f: every edge whose
+// resolved targets include f.
+func (g *Graph) Callers(f *types.Func) []Edge {
+	var out []Edge
+	for _, edges := range g.edges {
+		for _, e := range edges {
+			for _, t := range g.Resolved(e) {
+				if t == f {
+					out = append(out, e)
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

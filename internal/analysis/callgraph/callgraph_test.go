@@ -1,0 +1,149 @@
+package callgraph_test
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"xkernel/internal/analysis/callgraph"
+	"xkernel/internal/analysis/load"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// loadFixture type-checks the two callgraph testdata packages through
+// one shared importer, runs a probe analyzer that captures the Graph
+// delivered to cguser via Requires, and returns the graph plus the
+// checked packages keyed by import path.
+func loadFixture(t *testing.T) (*callgraph.Graph, map[string]*types.Package) {
+	t.Helper()
+	exports, err := load.ModuleExports(".")
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, exports)
+	pkgs := make(map[string]*types.Package)
+	var targets []*xkanalysis.Target
+	for _, path := range []string{"xkernel/internal/rpc/cgbase", "xkernel/internal/rpc/cguser"} {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+		pkg, err := load.CheckDir(fset, imp, path, dir)
+		if err != nil {
+			t.Fatalf("%s: loading testdata package: %v", path, err)
+		}
+		pkgs[path] = pkg.Types
+		targets = append(targets, &xkanalysis.Target{
+			Path:      path,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    true,
+		})
+	}
+	var graph *callgraph.Graph
+	probe := &xkanalysis.Analyzer{
+		Name:     "cgprobe",
+		Doc:      "capture the merged call graph cguser receives",
+		Requires: []*xkanalysis.Analyzer{callgraph.Analyzer},
+		Run: func(pass *xkanalysis.Pass) (any, error) {
+			if pass.Pkg.Path() == "xkernel/internal/rpc/cguser" {
+				graph, _ = pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+			}
+			return nil, nil
+		},
+	}
+	if _, err := xkanalysis.Run(fset, targets, []*xkanalysis.Analyzer{probe}); err != nil {
+		t.Fatalf("running probe: %v", err)
+	}
+	if graph == nil {
+		t.Fatalf("probe never received the callgraph result")
+	}
+	return graph, pkgs
+}
+
+func fn(t *testing.T, pkg *types.Package, name string) *types.Func {
+	t.Helper()
+	f, ok := pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("%s: no function %s", pkg.Path(), name)
+	}
+	return f
+}
+
+func method(t *testing.T, pkg *types.Package, typeName, name string) *types.Func {
+	t.Helper()
+	named, ok := pkg.Scope().Lookup(typeName).Type().(*types.Named)
+	if !ok {
+		t.Fatalf("%s: no named type %s", pkg.Path(), typeName)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == name {
+			return named.Method(i)
+		}
+	}
+	t.Fatalf("%s.%s: no method %s", pkg.Path(), typeName, name)
+	return nil
+}
+
+// TestGraph checks the merged view: a static cross-package edge, a
+// dynamic edge resolved by method set to every implementation in
+// view, reachability through both, and the reverse (Callers) index.
+func TestGraph(t *testing.T) {
+	graph, pkgs := loadFixture(t)
+	base := pkgs["xkernel/internal/rpc/cgbase"]
+	user := pkgs["xkernel/internal/rpc/cguser"]
+
+	send := fn(t, user, "Send")
+	seal := fn(t, base, "Seal")
+	rawEncode := method(t, base, "Raw", "Encode")
+	frameEncode := method(t, base, "Frame", "Encode")
+
+	// Static cross-package edge: Send → Seal.
+	foundStatic := false
+	for _, e := range graph.Callees(send) {
+		if e.Callee == seal && !e.Dynamic {
+			foundStatic = true
+		}
+	}
+	if !foundStatic {
+		t.Errorf("no static edge Send → Seal")
+	}
+
+	// Dynamic edge out of Seal resolves to both implementations.
+	var resolved []*types.Func
+	for _, e := range graph.Callees(seal) {
+		if e.Dynamic && e.Callee.Name() == "Encode" {
+			resolved = graph.Resolved(e)
+		}
+	}
+	has := func(f *types.Func) bool {
+		for _, r := range resolved {
+			if r == f {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(rawEncode) || !has(frameEncode) {
+		t.Errorf("dynamic Encode edge resolved to %v; want both Raw.Encode and Frame.Encode", resolved)
+	}
+
+	// Reachability runs through the dynamic resolution.
+	if !graph.Reaches(send, frameEncode) {
+		t.Errorf("Send should reach Frame.Encode through Seal's interface call")
+	}
+	if graph.Reaches(frameEncode, send) {
+		t.Errorf("Frame.Encode must not reach Send")
+	}
+
+	// The reverse index agrees.
+	foundCaller := false
+	for _, e := range graph.Callers(seal) {
+		if e.Caller == send {
+			foundCaller = true
+		}
+	}
+	if !foundCaller {
+		t.Errorf("Callers(Seal) does not include Send")
+	}
+}

@@ -1,0 +1,25 @@
+// Package cgbase declares the interface, two implementations, and the
+// static entry point the callgraph test resolves across a package
+// boundary.
+package cgbase
+
+// Codec turns bytes into frames.
+type Codec interface {
+	Encode(b []byte) []byte
+}
+
+// Raw is the pass-through Codec.
+type Raw struct{}
+
+// Encode returns the bytes unchanged.
+func (Raw) Encode(b []byte) []byte { return b }
+
+// Frame prefixes a length byte.
+type Frame struct{}
+
+// Encode prepends the payload length.
+func (Frame) Encode(b []byte) []byte { return append([]byte{byte(len(b))}, b...) }
+
+// Seal is the static target cguser calls across the package boundary;
+// its Encode call is the dynamic edge under test.
+func Seal(c Codec, b []byte) []byte { return c.Encode(b) }

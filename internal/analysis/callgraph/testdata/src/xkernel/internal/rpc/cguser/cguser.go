@@ -1,0 +1,10 @@
+// Package cguser is the downstream half of the callgraph fixture: its
+// edges and cgbase's must merge into one graph through the package
+// fact.
+package cguser
+
+import "xkernel/internal/rpc/cgbase"
+
+// Send reaches cgbase.Seal statically and, through Seal's interface
+// call, both Encode implementations dynamically.
+func Send(b []byte) []byte { return cgbase.Seal(cgbase.Raw{}, b) }

@@ -61,9 +61,9 @@ var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 }
 
-func run(pass *xkanalysis.Pass) error {
+func run(pass *xkanalysis.Pass) (any, error) {
 	if !xkanalysis.PkgIn(pass.Pkg, deterministic...) {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -89,5 +89,5 @@ func run(pass *xkanalysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }

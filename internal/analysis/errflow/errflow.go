@@ -1,0 +1,597 @@
+// Package errflow checks that the protocol sentinels callers are told
+// to errors.Is against — xk.ErrPeerRebooted, xk.ErrTimeout,
+// channel.ErrChannelBusy, and friends — actually reach the facade
+// unwrapped.
+//
+// The pass computes a Carries object fact for every function that can
+// return a governed sentinel: directly, through a %w-wrapped
+// fmt.Errorf, or by calling (statically) another carrier. Facts flow
+// across packages through the driver, so a function in internal/rpc
+// that forwards a sentinel minted three packages down is still known to
+// carry it. With the carriers known, the governed packages are checked
+// for the three ways a sentinel dies in flight:
+//
+//   - a discarded error: `_ = f()` (or `v, _ := f()`) where f carries a
+//     sentinel. The diagnostic for the statement form offers a
+//     SuggestedFix rewriting it to propagate when the enclosing
+//     function returns exactly one error.
+//   - a non-%w wrap: fmt.Errorf("...: %v", err) where err carries —
+//     errors.Is through the result is dead.
+//   - a shadowed error return: a `:=` inside a function with a named
+//     error result that binds a carrying error to a new variable of the
+//     same name, so the named result (and the caller) never sees it.
+//
+// Dynamic (interface) calls do not propagate Carries — resolving them
+// by method set would union every implementation's sentinels and drown
+// the report in false positives. That makes the pass optimistic at
+// interface boundaries: it can miss a swallowed sentinel there, never
+// invent one (DESIGN.md §11).
+package errflow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// governed are the packages whose bodies are checked for sentinel
+// loss. Facts are computed for every module package regardless.
+var governed = []string{
+	"xkernel",
+	"xkernel/internal/rpc",
+	"xkernel/internal/proto",
+	"xkernel/internal/psync",
+	"xkernel/internal/stacks",
+	"xkernel/internal/ledger",
+}
+
+// modulePrefix gates which packages can mint sentinels.
+const modulePrefix = "xkernel"
+
+// Carries is the object fact on functions whose error result can be a
+// governed sentinel.
+type Carries struct {
+	// Sentinels names the sentinels, for diagnostics ("xk.ErrTimeout").
+	Sentinels []string
+}
+
+// AFact marks Carries as a fact type.
+func (*Carries) AFact() {}
+
+// Analyzer is the errflow pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name:      "errflow",
+	Doc:       "sentinel errors must reach the facade unwrapped: no discarded carriers, no %v wraps, no shadowed error returns",
+	FactTypes: []xkanalysis.Fact{(*Carries)(nil)},
+	Run:       run,
+}
+
+func run(pass *xkanalysis.Pass) (any, error) {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), modulePrefix) {
+		return nil, nil
+	}
+	c := &checker{pass: pass, local: make(map[*types.Func]map[string]bool)}
+	c.computeCarries()
+	if xkanalysis.PkgIn(pass.Pkg, governed...) {
+		c.check()
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *xkanalysis.Pass
+	// local maps this package's functions to the sentinel names they
+	// carry, fixpointed over intra-package call chains.
+	local map[*types.Func]map[string]bool
+}
+
+// sentinelVar reports whether obj is a governed sentinel variable: a
+// package-level error var named Err* in a module package.
+func sentinelVar(obj types.Object) (string, bool) {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Pkg().Path(), modulePrefix) {
+		return "", false
+	}
+	// Err + uppercase: ErrTimeout yes, errInternal no, Errata no.
+	name := v.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return "", false
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	return v.Pkg().Name() + "." + name, true
+}
+
+// sentinelType reports whether t is a module error type with an Is
+// method — a typed sentinel like channel.PeerRebootedError.
+func sentinelType(t types.Type) (string, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !strings.HasPrefix(named.Obj().Pkg().Path(), modulePrefix) {
+		return "", false
+	}
+	if !implementsError(named) && !implementsError(types.NewPointer(named)) {
+		return "", false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Is" {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+func implementsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// computeCarries fixpoints the package's carrier set and exports facts.
+func (c *checker) computeCarries() {
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+				fns = append(fns, fnDecl{obj, fd})
+				c.local[obj] = make(map[string]bool)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			before := len(c.local[fn.obj])
+			c.scanReturns(fn.obj, fn.decl)
+			if len(c.local[fn.obj]) != before {
+				changed = true
+			}
+		}
+	}
+	for _, fn := range fns {
+		if set := c.local[fn.obj]; len(set) > 0 {
+			var names []string
+			for n := range set {
+				names = append(names, n)
+			}
+			sortStrings(names)
+			c.pass.ExportObjectFact(fn.obj, &Carries{Sentinels: names})
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// scanReturns adds to fn's carrier set every sentinel its return
+// statements can yield.
+func (c *checker) scanReturns(fn *types.Func, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			for _, s := range c.exprSentinels(e, 0) {
+				c.local[fn][s] = true
+			}
+		}
+		return true
+	})
+	// A function with named error results also "returns" whatever was
+	// assigned to those results.
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj == nil || !implementsError(obj.Type()) {
+					continue
+				}
+				for _, rhs := range assignsTo(decl, c.pass.TypesInfo, obj) {
+					for _, s := range c.exprSentinels(rhs, 0) {
+						c.local[fn][s] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// assignsTo lists the RHS expressions assigned to obj anywhere in decl.
+func assignsTo(decl *ast.FuncDecl, info *types.Info, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			target := info.Defs[id]
+			if target == nil {
+				target = info.Uses[id]
+			}
+			if target != obj {
+				continue
+			}
+			if len(as.Rhs) == len(as.Lhs) {
+				out = append(out, as.Rhs[i])
+			} else if len(as.Rhs) == 1 {
+				out = append(out, as.Rhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+const exprDepth = 6
+
+// exprSentinels names the sentinels expression e can evaluate to.
+func (c *checker) exprSentinels(e ast.Expr, depth int) []string {
+	if e == nil || depth > exprDepth {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if name, ok := sentinelVar(c.pass.TypesInfo.Uses[e]); ok {
+			return []string{name}
+		}
+	case *ast.SelectorExpr:
+		if name, ok := sentinelVar(c.pass.TypesInfo.Uses[e.Sel]); ok {
+			return []string{name}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				if t := c.pass.TypesInfo.Types[cl].Type; t != nil {
+					if name, ok := sentinelType(t); ok {
+						return []string{name}
+					}
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if t := c.pass.TypesInfo.Types[e].Type; t != nil {
+			if name, ok := sentinelType(t); ok {
+				return []string{name}
+			}
+		}
+	case *ast.CallExpr:
+		return c.callSentinels(e, depth)
+	}
+	return nil
+}
+
+// callSentinels names the sentinels a call's error result can carry:
+// the callee's Carries (local map or imported fact), or for
+// fmt.Errorf, the sentinels of %w-verbed arguments.
+func (c *checker) callSentinels(call *ast.CallExpr, depth int) []string {
+	obj := xkanalysis.FuncObj(c.pass.TypesInfo, call)
+	if obj == nil {
+		return nil
+	}
+	if xkanalysis.IsPkgLevelFunc(obj, "fmt", "Errorf") {
+		return c.errorfSentinels(call, depth)
+	}
+	if isInterfaceMethod(obj) {
+		return nil // optimistic at interface boundaries; see package doc
+	}
+	if set, ok := c.local[obj]; ok {
+		var out []string
+		for s := range set {
+			out = append(out, s)
+		}
+		sortStrings(out)
+		return out
+	}
+	var fact Carries
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Sentinels
+	}
+	return nil
+}
+
+// errorfSentinels inspects a fmt.Errorf call: sentinels of arguments
+// consumed by a %w verb propagate; others do not.
+func (c *checker) errorfSentinels(call *ast.CallExpr, depth int) []string {
+	verbs, ok := c.errorfVerbs(call)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i, v := range verbs {
+		if v == 'w' && 1+i < len(call.Args) {
+			out = append(out, c.exprSentinels(call.Args[1+i], depth+1)...)
+		}
+	}
+	return out
+}
+
+// errorfVerbs parses the literal format string of a fmt.Errorf call and
+// returns one verb letter per consumed argument.
+func (c *checker) errorfVerbs(call *ast.CallExpr) ([]byte, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil, false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil, false
+	}
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags/width/precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}
+
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// ---- reporting ----
+
+func (c *checker) check() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	namedErr := namedErrorResult(c.pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(fd, n, namedErr)
+		case *ast.CallExpr:
+			c.checkErrorfWrap(fd, n)
+		}
+		return true
+	})
+}
+
+// namedErrorResult returns the object of a named error result, if any.
+func namedErrorResult(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && implementsError(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkAssign flags discarded carriers and shadowed error returns.
+func (c *checker) checkAssign(fd *ast.FuncDecl, as *ast.AssignStmt, namedErr types.Object) {
+	// Discarded carrier: some blank LHS receives the error result of a
+	// carrying call.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if sentinels := c.callSentinels(call, 0); len(sentinels) > 0 {
+				if idx := blankErrorIndex(c.pass.TypesInfo, as, call); idx >= 0 {
+					d := xkanalysis.Diagnostic{
+						Pos: as.Pos(),
+						Message: fmt.Sprintf("discards an error that can carry %s; propagate it or handle the sentinel",
+							strings.Join(sentinels, ", ")),
+					}
+					if fix := c.propagateFix(fd, as, call); fix != nil {
+						d.Fixes = append(d.Fixes, *fix)
+					}
+					c.pass.Report(d)
+				}
+			}
+		}
+	}
+	// Shadowed error return: `x, err := ...` with := where err shadows
+	// the named error result and the RHS carries.
+	if namedErr != nil && as.Tok == token.DEFINE {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != namedErr.Name() {
+				continue
+			}
+			def := c.pass.TypesInfo.Defs[id]
+			if def == nil || def == namedErr {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			if sentinels := c.exprSentinels(rhs, 0); len(sentinels) > 0 {
+				c.pass.Reportf(id.Pos(), "%s shadows the named error return; the sentinel (%s) never reaches the caller — assign with = or rename",
+					id.Name, strings.Join(sentinels, ", "))
+			}
+		}
+	}
+}
+
+// blankErrorIndex returns the LHS index of a blank identifier receiving
+// the call's error-typed result, or -1.
+func blankErrorIndex(info *types.Info, as *ast.AssignStmt, call *ast.CallExpr) int {
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	if res.Len() != len(as.Lhs) {
+		// Includes the `_ = f()` single-result case (1 == 1) and skips
+		// mismatches.
+		if !(res.Len() == 1 && len(as.Lhs) == 1) {
+			return -1
+		}
+	}
+	for i := 0; i < res.Len() && i < len(as.Lhs); i++ {
+		if !implementsError(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			return i
+		}
+	}
+	return -1
+}
+
+// propagateFix rewrites `_ = f()` into an if-err-return when the
+// enclosing function returns exactly one value of type error.
+func (c *checker) propagateFix(fd *ast.FuncDecl, as *ast.AssignStmt, call *ast.CallExpr) *xkanalysis.SuggestedFix {
+	if len(as.Lhs) != 1 {
+		return nil
+	}
+	if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+		return nil
+	}
+	results := fd.Type.Results
+	if results == nil || results.NumFields() != 1 || len(results.List[0].Names) > 1 {
+		return nil
+	}
+	if t := c.pass.TypesInfo.Types[results.List[0].Type].Type; t == nil || !isErrorType(t) {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, c.pass.Fset, call); err != nil {
+		return nil
+	}
+	indent := strings.Repeat("\t", indentLevel(c.pass.Fset, as.Pos()))
+	text := fmt.Sprintf("if err := %s; err != nil {\n%s\treturn err\n%s}", buf.String(), indent, indent)
+	return &xkanalysis.SuggestedFix{
+		Message:   "propagate the error instead of discarding it",
+		TextEdits: []xkanalysis.TextEdit{{Pos: as.Pos(), End: as.End(), NewText: []byte(text)}},
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// indentLevel approximates the tab depth of the statement at pos from
+// its column (gofmt keeps one tab per level in this repository).
+func indentLevel(fset *token.FileSet, pos token.Pos) int {
+	col := fset.Position(pos).Column
+	if col < 1 {
+		return 0
+	}
+	return col - 1
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that wrap a carrier with a
+// verb other than %w.
+func (c *checker) checkErrorfWrap(fd *ast.FuncDecl, call *ast.CallExpr) {
+	obj := xkanalysis.FuncObj(c.pass.TypesInfo, call)
+	if obj == nil || !xkanalysis.IsPkgLevelFunc(obj, "fmt", "Errorf") {
+		return
+	}
+	verbs, ok := c.errorfVerbs(call)
+	if !ok {
+		return
+	}
+	// A call that already wraps an error with %w has a well-formed
+	// chain; a second error rendered with %v beside it is a deliberate
+	// demotion to diagnostic text (the auth layer's "%w: %v" translation
+	// of xdr errors into ErrRejected), not an accident.
+	for _, v := range verbs {
+		if v == 'w' {
+			return
+		}
+	}
+	for i, v := range verbs {
+		if 1+i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[1+i]
+		sentinels := c.exprSentinels(arg, 0)
+		if len(sentinels) == 0 {
+			// Also catch plain error-typed locals that trace to a carrier
+			// via their assignments in this function.
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil && implementsError(obj.Type()) {
+					for _, rhs := range assignsTo(enclosingDecl(fd), c.pass.TypesInfo, obj) {
+						sentinels = append(sentinels, c.exprSentinels(rhs, 0)...)
+					}
+				}
+			}
+		}
+		if len(sentinels) > 0 {
+			c.pass.Reportf(arg.Pos(), "wraps a sentinel-carrying error (%s) with %%%c; errors.Is through the result breaks — use %%w",
+				strings.Join(dedupe(sentinels), ", "), v)
+		}
+	}
+}
+
+func enclosingDecl(fd *ast.FuncDecl) *ast.FuncDecl { return fd }
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sortStrings(out)
+	return out
+}

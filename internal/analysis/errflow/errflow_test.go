@@ -1,0 +1,28 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/errflow"
+)
+
+// TestErrFlow runs the sentinel-flow checks with the carriers minted
+// in one package (efsrc) and consumed in another (eftest) — the
+// Carries facts must cross the package boundary for any of the wants
+// to fire. Dependencies are listed first.
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer,
+		"xkernel/internal/proto/efsrc",
+		"xkernel/internal/rpc/eftest",
+	)
+}
+
+// TestErrFlowFix round-trips the propagate autofix: the `_ = fail()`
+// discard becomes an if-propagate block matching the golden file, and
+// the re-run stays quiet.
+func TestErrFlowFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", errflow.Analyzer,
+		"xkernel/internal/rpc/effix",
+	)
+}

@@ -1,0 +1,19 @@
+// Package efsrc mints the sentinel the errflow fixtures consume from
+// another package, so the Carries facts have to cross a package
+// boundary to reach the checks in eftest.
+package efsrc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is the governed sentinel.
+var ErrStale = errors.New("efsrc: stale")
+
+// Fail carries ErrStale directly.
+func Fail() error { return ErrStale }
+
+// Wrapped carries ErrStale through a %w chain, which keeps errors.Is
+// working — the shape every carrier is supposed to preserve.
+func Wrapped() error { return fmt.Errorf("deeper: %w", ErrStale) }

@@ -1,0 +1,18 @@
+// Package effix exercises the errflow propagate autofix: the single
+// `_ = call()` discard inside a function with a lone error result is
+// the one shape the fixer rewrites into an if-propagate block.
+package effix
+
+import "errors"
+
+// ErrGone is the sentinel the discarded call carries.
+var ErrGone = errors.New("effix: gone")
+
+func fail() error { return ErrGone }
+
+// drop discards the carrier; the fix rewrites the discard to
+// propagate.
+func drop() error {
+	_ = fail()
+	return nil
+}

@@ -1,0 +1,58 @@
+// Package eftest exercises the three errflow rules against carriers
+// imported from efsrc: discarded errors, %v-demoted wraps, and
+// shadowed named error returns — plus the shapes that must stay
+// silent (%w chains and the %w-beside-%v translation idiom).
+package eftest
+
+import (
+	"errors"
+	"fmt"
+
+	"xkernel/internal/proto/efsrc"
+)
+
+// ErrLocal is the sentinel translateOK promotes over the carrier.
+var ErrLocal = errors.New("eftest: local")
+
+// value is a local carrier: the fixpoint marks it via efsrc.Wrapped.
+func value() (int, error) { return 0, efsrc.Wrapped() }
+
+// swallow drops a carrier on the floor.
+func swallow() {
+	_ = efsrc.Fail() // want "discards an error that can carry efsrc.ErrStale"
+}
+
+// tupleDrop blanks the error half of a carrying tuple.
+func tupleDrop() int {
+	v, _ := value() // want "discards an error that can carry efsrc.ErrStale"
+	return v
+}
+
+// demote renders a carrier with %v, severing the errors.Is chain.
+func demote() error {
+	err := efsrc.Fail()
+	return fmt.Errorf("demoted: %v", err) // want "wraps a sentinel-carrying error"
+}
+
+// wrapOK keeps the chain intact.
+func wrapOK() error {
+	return fmt.Errorf("context: %w", efsrc.Fail())
+}
+
+// translateOK wraps a local sentinel with %w and demotes the original
+// to diagnostic text — the deliberate-translation idiom, exempt.
+func translateOK() error {
+	err := efsrc.Fail()
+	return fmt.Errorf("%w: %v", ErrLocal, err)
+}
+
+// shadowed loses the sentinel: the := inside the block binds a new
+// err, so the named return goes out nil.
+func shadowed() (err error) {
+	if true {
+		v, err := value() // want "err shadows the named error return"
+		_ = v
+		_ = err
+	}
+	return err
+}

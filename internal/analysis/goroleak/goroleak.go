@@ -1,0 +1,472 @@
+// Package goroleak checks that every goroutine the protocol packages
+// spawn has a shutdown story. The x-kernel runtime model (DESIGN §2)
+// keeps long-lived work on the event queue precisely so teardown is a
+// matter of cancelling events; a `go` statement is the escape hatch,
+// and an escape hatch that loops forever with no exit is a leak every
+// time a stack is torn down.
+//
+// Two rules, both optimistic where the analysis cannot see:
+//
+//  1. No unbounded loops: a goroutine body (function literal or a
+//     same-package function) must not contain an infinite `for` loop
+//     with no reachable exit — no return, no break at the loop's own
+//     level. This is reported immediately at the go statement.
+//
+//  2. Channel-parked loops must be releasable: when the only exits of
+//     a goroutine's loop are receives on struct-field channels (the
+//     `case <-p.stop: return` idiom) or the loop ranges over a field
+//     channel, some function somewhere in the module must close or
+//     send on that field. The field vars travel as package facts; the
+//     whole-program Finish phase does the matching, so the closer may
+//     live in a different package than the goroutine. A park with no
+//     closer anywhere is reported at the go statement.
+//
+// Loops with ordinary conditions, exits guarded by non-channel state,
+// receives on local channels closed in the spawning function, and
+// goroutine bodies resolved from other packages are all accepted
+// without proof — misses are possible, false reports are not
+// (DESIGN.md §11).
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// governed are the packages whose go statements are checked.
+var governed = []string{
+	"xkernel/internal/proto",
+	"xkernel/internal/rpc",
+	"xkernel/internal/psync",
+	"xkernel/internal/sim",
+	"xkernel/internal/chaos",
+	"xkernel/internal/load",
+	"xkernel/internal/stacks",
+	"xkernel/internal/ledger",
+}
+
+const modulePrefix = "xkernel"
+
+// FieldRef names a struct-field channel: "(pkg.Type).field".
+type FieldRef string
+
+// Parks is the package fact listing goroutines that park on field
+// channels with no local release.
+type Parks struct {
+	Items []Park
+}
+
+// Park is one parked goroutine.
+type Park struct {
+	// Pos is the go statement.
+	Pos token.Pos
+	// Fields are the channels whose close/send would release it; any
+	// one closer anywhere in the module satisfies the park.
+	Fields []FieldRef
+}
+
+// AFact marks Parks as a fact type.
+func (*Parks) AFact() {}
+
+// Closers is the package fact listing the field channels this package
+// closes or sends on.
+type Closers struct {
+	Fields []FieldRef
+}
+
+// AFact marks Closers as a fact type.
+func (*Closers) AFact() {}
+
+// Analyzer is the goroleak pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name:      "goroleak",
+	Doc:       "every goroutine in the protocol packages must be shutdown-reachable: no exit-free loops, no parks on channels nothing closes",
+	FactTypes: []xkanalysis.Fact{(*Parks)(nil), (*Closers)(nil)},
+	Run:       run,
+}
+
+// finish references Analyzer to read its facts, so it is attached in
+// init to break the initialization cycle.
+func init() { Analyzer.Finish = finish }
+
+func run(pass *xkanalysis.Pass) (any, error) {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), modulePrefix) {
+		return nil, nil
+	}
+
+	// Closers are collected module-wide: a stack teardown in
+	// internal/stacks may be what releases a goroutine in internal/rpc.
+	closers := collectClosers(pass)
+	if len(closers.Fields) > 0 {
+		pass.ExportPackageFact(closers)
+	}
+
+	if !xkanalysis.PkgIn(pass.Pkg, governed...) {
+		return nil, nil
+	}
+
+	var parks Parks
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goBody(pass, fd, g)
+				if body == nil {
+					return true
+				}
+				c := &loopCheck{pass: pass, enclosing: fd}
+				c.check(body)
+				for _, msg := range c.leaks {
+					pass.Reportf(g.Pos(), "unbounded goroutine: %s; every goroutine must be shutdown-reachable", msg)
+				}
+				if len(c.waits) > 0 {
+					parks.Items = append(parks.Items, Park{Pos: g.Pos(), Fields: dedupeRefs(c.waits)})
+				}
+				return true
+			})
+		}
+	}
+	if len(parks.Items) > 0 {
+		pass.ExportPackageFact(&parks)
+	}
+	return nil, nil
+}
+
+// goBody resolves the body a go statement runs: a function literal
+// inline, or the declaration of a same-package function or method.
+func goBody(pass *xkanalysis.Pass, enclosing *ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	obj := xkanalysis.FuncObj(pass.TypesInfo, g.Call)
+	if obj == nil || obj.Pkg() != pass.Pkg {
+		return nil // cross-package target: accepted without proof
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if d, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); d == obj {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// loopCheck analyzes one goroutine body.
+type loopCheck struct {
+	pass      *xkanalysis.Pass
+	enclosing *ast.FuncDecl
+	leaks     []string
+	waits     []FieldRef
+}
+
+func (c *loopCheck) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Cond == nil {
+				c.checkInfinite(s)
+			}
+		case *ast.RangeStmt:
+			c.checkRange(s)
+		}
+		return true
+	})
+}
+
+// checkInfinite handles `for { ... }`: either it has no exit at all
+// (leak), or its exits are channel-guarded (collect the fields), or
+// its exits are ordinary control flow (accepted).
+func (c *loopCheck) checkInfinite(loop *ast.ForStmt) {
+	exits := loopExits(loop)
+	if !exits {
+		c.leaks = append(c.leaks, "infinite for loop with no return or break")
+		return
+	}
+	// Channel guards: receives in select clauses or conditions.
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		c.recordWait(u.X)
+		return true
+	})
+}
+
+// checkRange handles `for x := range ch` over a channel: termination
+// needs a close.
+func (c *loopCheck) checkRange(loop *ast.RangeStmt) {
+	t := c.pass.TypesInfo.Types[loop.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	c.recordWait(loop.X)
+}
+
+// recordWait classifies the channel expression a goroutine parks on.
+// Field selectors become facts for the whole-program match; local
+// channels are checked against the spawning function's own closes and
+// sends, and anything else is accepted without proof.
+func (c *loopCheck) recordWait(ch ast.Expr) {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.SelectorExpr:
+		if ref, ok := fieldRef(c.pass.TypesInfo, e); ok {
+			c.waits = append(c.waits, ref)
+		}
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return
+		}
+		// Only channels declared inside the spawning function itself are
+		// checked — a parameter or captured outer channel may be released
+		// by a caller the pass cannot see.
+		if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+			v.Pos() >= c.enclosing.Body.Pos() && v.Pos() < c.enclosing.Body.End() {
+			if !localReleased(c.pass, c.enclosing, obj) {
+				c.leaks = append(c.leaks, "parks on local channel "+e.Name+" that the spawning function never closes or signals")
+			}
+		}
+	}
+}
+
+// fieldRef canonicalizes x.f to "(pkg.Type).f" for channel-typed
+// struct fields of module types.
+func fieldRef(info *types.Info, sel *ast.SelectorExpr) (FieldRef, bool) {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return "", false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !strings.HasPrefix(named.Obj().Pkg().Path(), modulePrefix) {
+		return "", false
+	}
+	return FieldRef("(" + named.Obj().Pkg().Name() + "." + named.Obj().Name() + ")." + sel.Sel.Name), true
+}
+
+// localReleased reports whether fn closes or sends on the local
+// channel obj outside the goroutine body.
+// isBuiltin distinguishes the predeclared close from a user-defined
+// function of the same name (go/types records builtins in Uses too).
+func isBuiltin(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func localReleased(pass *xkanalysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "close" && isBuiltin(pass.TypesInfo.Uses[id]) {
+				if len(s.Args) == 1 {
+					if arg, ok := ast.Unparen(s.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == obj {
+						found = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(s.Chan).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopExits reports whether loop has any exit: a return, or a break
+// binding to this loop (unlabeled at the loop's own nesting level, or
+// labeled with the loop's label).
+func loopExits(loop *ast.ForStmt) bool {
+	return scanExits(loop.Body, 0)
+}
+
+func scanExits(n ast.Node, depth int) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				// Any labeled break is assumed to target an enclosing
+				// construct that exits the loop; unlabeled breaks bind to
+				// the innermost for/switch/select, so only depth 0 counts.
+				if s.Label != nil || depth == 0 {
+					found = true
+					return false
+				}
+			}
+		case *ast.ForStmt:
+			if x != n {
+				if scanExitReturnsOnly(s.Body) {
+					found = true
+				}
+				return false
+			}
+		case *ast.RangeStmt:
+			if x != n {
+				if scanExitReturnsOnly(s.Body) {
+					found = true
+				}
+				return false
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// break inside binds to this construct, not the loop; returns
+			// still exit.
+			if scanExitReturnsOnly(x) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// scanExitReturnsOnly looks for returns (or labeled breaks) inside
+// constructs that capture unlabeled break.
+func scanExitReturnsOnly(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && s.Label != nil {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectClosers finds every `close(x.f)` and `x.f <- v` on a
+// module-typed field channel in the package.
+func collectClosers(pass *xkanalysis.Pass) *Closers {
+	set := make(map[FieldRef]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "close" && len(s.Args) == 1 && isBuiltin(pass.TypesInfo.Uses[id]) {
+					if sel, ok := ast.Unparen(s.Args[0]).(*ast.SelectorExpr); ok {
+						if ref, ok := fieldRef(pass.TypesInfo, sel); ok {
+							set[ref] = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if sel, ok := ast.Unparen(s.Chan).(*ast.SelectorExpr); ok {
+					if ref, ok := fieldRef(pass.TypesInfo, sel); ok {
+						set[ref] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	out := &Closers{}
+	for ref := range set {
+		out.Fields = append(out.Fields, ref)
+	}
+	sort.Slice(out.Fields, func(i, j int) bool { return out.Fields[i] < out.Fields[j] })
+	return out
+}
+
+func dedupeRefs(in []FieldRef) []FieldRef {
+	seen := make(map[FieldRef]bool, len(in))
+	var out []FieldRef
+	for _, r := range in {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// finish matches parks against closers across the whole module.
+func finish(g *xkanalysis.Global) error {
+	closed := make(map[FieldRef]bool)
+	var parks []Park
+	for _, pf := range g.AllPackageFacts(Analyzer) {
+		switch fact := pf.Fact.(type) {
+		case *Closers:
+			for _, ref := range fact.Fields {
+				closed[ref] = true
+			}
+		case *Parks:
+			parks = append(parks, fact.Items...)
+		}
+	}
+	sort.Slice(parks, func(i, j int) bool { return parks[i].Pos < parks[j].Pos })
+	for _, p := range parks {
+		released := false
+		for _, ref := range p.Fields {
+			if closed[ref] {
+				released = true
+				break
+			}
+		}
+		if !released {
+			refs := make([]string, len(p.Fields))
+			for i, r := range p.Fields {
+				refs[i] = string(r)
+			}
+			g.Reportf(p.Pos, "goroutine parks on %s but nothing in the module closes or signals it; it outlives every shutdown path",
+				strings.Join(refs, ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/goroleak"
+)
+
+// TestGoroLeak covers the spawn shapes end to end. The Worker.Done
+// park in gltest stays quiet only because glshut — a different
+// package — closes the field and its Closers fact reaches the finish
+// phase; dropping glshut from the path list would make that park a
+// finding, which is exactly the whole-module contract under test.
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer,
+		"xkernel/internal/rpc/gltest",
+		"xkernel/internal/stacks/glshut",
+	)
+}

@@ -1,0 +1,103 @@
+// Package gltest spawns goroutines in every shape goroleak
+// classifies: the hard leak (no exit at all), condition-bounded loops,
+// parks on struct-field channels with and without an in-module
+// releaser, and local channels the spawner does or does not close.
+// Worker.Done is released only from internal/stacks/glshut — the
+// cross-package half of the fixture.
+package gltest
+
+import "sync/atomic"
+
+type pump struct {
+	inbox chan int
+	stop  chan struct{}
+	quit  chan struct{}
+}
+
+func step() {}
+
+// spin never exits: the hard leak.
+func spin() {
+	go func() { // want "unbounded goroutine: infinite for loop with no return or break"
+		for {
+			step()
+		}
+	}()
+}
+
+// bounded exits through its condition: accepted.
+func bounded(done *int32) {
+	go func() {
+		for atomic.LoadInt32(done) == 0 {
+			step()
+		}
+	}()
+}
+
+// parkStop parks on pump.stop, which Close releases below.
+func (p *pump) parkStop() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case v := <-p.inbox:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Close closes the channel parkStop's goroutine parks on.
+func (p *pump) Close() { close(p.stop) }
+
+// parkQuit parks on pump.quit, which nothing in the module closes.
+func (p *pump) parkQuit() {
+	go func() { // want "goroutine parks on \(gltest.pump\).quit but nothing in the module closes or signals it"
+		for {
+			select {
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+}
+
+// localLeak pumps a channel the spawning function never closes.
+func localLeak() {
+	ch := make(chan int)
+	go func() { // want "parks on local channel ch"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// localOK closes the channel it spawned a consumer for.
+func localOK() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	close(ch)
+}
+
+// Worker parks on Done; the closer lives in another package, so the
+// finish phase must merge facts across packages to stay quiet here.
+type Worker struct {
+	Done chan struct{}
+}
+
+// Park spawns the goroutine glshut.Shutdown releases.
+func (w *Worker) Park() {
+	go func() {
+		for {
+			select {
+			case <-w.Done:
+				return
+			}
+		}
+	}()
+}

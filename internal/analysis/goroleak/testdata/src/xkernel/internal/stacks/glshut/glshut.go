@@ -1,0 +1,10 @@
+// Package glshut is the shutdown half of the goroleak cross-package
+// fixture: it closes a channel field declared in gltest, so the park
+// there is released only when both packages' facts reach the finish
+// phase together.
+package glshut
+
+import "xkernel/internal/rpc/gltest"
+
+// Shutdown releases gltest.Worker's parked goroutine.
+func Shutdown(w *gltest.Worker) { close(w.Done) }

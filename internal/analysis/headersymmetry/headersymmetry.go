@@ -52,9 +52,9 @@ type site struct {
 	pos token.Pos
 }
 
-func run(pass *xkanalysis.Pass) error {
+func run(pass *xkanalysis.Pass) (any, error) {
 	if !hasHeaderConst(pass.Pkg) {
-		return nil
+		return nil, nil
 	}
 	info := pass.TypesInfo
 
@@ -91,7 +91,7 @@ func run(pass *xkanalysis.Pass) error {
 		})
 	}
 	if len(pushes) == 0 || len(pops) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	pushSet, popSet := lengths(pushes), lengths(pops)
@@ -109,7 +109,7 @@ func run(pass *xkanalysis.Pass) error {
 				pass.Pkg.Name(), s.n, setString(pushSet))
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // hasHeaderConst reports whether the package declares an integer

@@ -71,9 +71,9 @@ var ledgerHotMethods = map[string]bool{
 	"Lookup": true, "lookup": true,
 }
 
-func run(pass *xkanalysis.Pass) error {
+func run(pass *xkanalysis.Pass) (any, error) {
 	if !xkanalysis.PkgIn(pass.Pkg, hotPackages...) {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		ledger := xkanalysis.PkgIn(pass.Pkg, ledgerPkg)
@@ -88,7 +88,7 @@ func run(pass *xkanalysis.Pass) error {
 			checkBody(pass, fd)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkBody(pass *xkanalysis.Pass, fd *ast.FuncDecl) {

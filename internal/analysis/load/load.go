@@ -2,14 +2,26 @@
 //
 // It is a self-contained, offline replacement for the subset of
 // golang.org/x/tools/go/packages the analyzer suite needs: package
-// metadata comes from `go list -export -deps -json`, target packages
-// are parsed from source, and their imports are satisfied from the
-// compiler's export data via go/importer — no network, no third-party
-// modules, only the toolchain the repository already builds with.
+// metadata comes from `go list -export -deps -json`, module packages
+// are parsed and type-checked from source, and everything else (the
+// standard library) is satisfied from the compiler's export data via
+// go/importer — no network, no third-party modules, only the toolchain
+// the repository already builds with.
+//
+// Since PR 8 the loader is whole-module and dependency-ordered: every
+// in-module package is type-checked from source, in dependency order,
+// with importers resolving in-module imports to the already-checked
+// source packages rather than to export data. That makes types.Object
+// identities canonical across the whole load — the property the fact
+// propagation in xkanalysis depends on (a fact exported on a function
+// by its defining package must be found again when an importer looks
+// the same object up).
 package load
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -24,13 +36,17 @@ import (
 	"sync"
 )
 
-// Package is one type-checked target package.
+// Package is one type-checked package.
 type Package struct {
 	Path      string
 	Fset      *token.FileSet
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// DepOnly marks a package loaded only because a target imports it;
+	// analyzers still compute facts over it, but findings in it are not
+	// reported.
+	DepOnly bool
 }
 
 // listPkg is the slice of `go list -json` output the loader consumes.
@@ -42,22 +58,25 @@ type listPkg struct {
 	DepOnly    bool
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
-const listFields = "-json=ImportPath,Name,Dir,Standard,DepOnly,Export,GoFiles,Error"
+const listFields = "-json=ImportPath,Name,Dir,Standard,DepOnly,Export,GoFiles,Imports,Error"
+
+// ListCacheEnv names an optional directory where raw `go list` output
+// is cached between processes. scripts/check.sh points it at a
+// per-run temporary directory so the three xkvet invocations (vet,
+// -json artifact, -allows audit) pay for the module list once.
+const ListCacheEnv = "XKVET_LISTCACHE"
 
 // goList runs `go list -e -export -deps` for the patterns in dir and
-// decodes the JSON stream.
+// decodes the JSON stream. With ListCacheEnv set, the raw output is
+// reused across invocations keyed by (dir, patterns).
 func goList(dir string, patterns ...string) ([]*listPkg, error) {
-	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	out, err := goListRaw(dir, patterns)
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, err
 	}
 	var pkgs []*listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -73,10 +92,44 @@ func goList(dir string, patterns ...string) ([]*listPkg, error) {
 	return pkgs, nil
 }
 
-// Importer resolves import paths to type information from export data.
+func goListRaw(dir string, patterns []string) ([]byte, error) {
+	cacheDir := os.Getenv(ListCacheEnv)
+	var cacheFile string
+	if cacheDir != "" {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			abs = dir
+		}
+		key := sha256.Sum256([]byte(abs + "\x00" + fmt.Sprint(patterns)))
+		cacheFile = filepath.Join(cacheDir, "golist-"+hex.EncodeToString(key[:8])+".json")
+		if out, err := os.ReadFile(cacheFile); err == nil {
+			return out, nil
+		}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	if cacheFile != "" {
+		// Best-effort: a failed write just means the next run lists again.
+		_ = os.MkdirAll(cacheDir, 0o755)
+		_ = os.WriteFile(cacheFile, out, 0o644)
+	}
+	return out, nil
+}
+
+// Importer resolves import paths to type information, preferring
+// packages already type-checked from source (canonical object
+// identity) and falling back to compiled export data.
 type Importer struct {
 	gc      types.Importer
-	exports map[string]string // import path -> export data file
+	exports map[string]string         // import path -> export data file
+	source  map[string]*types.Package // import path -> source-checked package
 }
 
 // Import satisfies types.Importer.
@@ -84,13 +137,22 @@ func (im *Importer) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	if p, ok := im.source[path]; ok {
+		return p, nil
+	}
 	return im.gc.Import(path)
+}
+
+// Provide registers a source-checked package so later imports of path
+// resolve to it instead of to export data.
+func (im *Importer) Provide(path string, pkg *types.Package) {
+	im.source[path] = pkg
 }
 
 // NewImporter builds an Importer over the export-data map, resolving
 // positions into fset.
 func NewImporter(fset *token.FileSet, exports map[string]string) *Importer {
-	im := &Importer{exports: exports}
+	im := &Importer{exports: exports, source: make(map[string]*types.Package)}
 	im.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := im.exports[path]
 		if !ok {
@@ -155,10 +217,37 @@ func NewInfo() *types.Info {
 	}
 }
 
+// Match returns the set of import paths matching the patterns (the
+// packages themselves, not their dependencies) — how cmd/xkvet scopes
+// reporting to the named packages while still analyzing the whole
+// module for facts.
+func Match(dir string, patterns ...string) (map[string]bool, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	set := make(map[string]bool)
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if len(line) > 0 {
+			set[string(line)] = true
+		}
+	}
+	return set, nil
+}
+
 // Load lists, parses, and type-checks the non-test files of every
-// package matching the patterns (relative to dir; "" means the current
-// directory). It fails on the first package that does not compile —
-// xkvet is meant to run on code that already builds.
+// non-standard package in the transitive closure of the patterns
+// (relative to dir; "" means the current directory), in dependency
+// order — `go list -deps` already emits dependencies before their
+// importers, and the loader preserves that order so the analysis
+// driver can thread facts forward. Packages pulled in only as
+// dependencies are marked DepOnly. It fails on the first package that
+// does not compile — xkvet is meant to run on code that already
+// builds.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -178,7 +267,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := NewImporter(fset, exports)
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
 		if p.Error != nil {
@@ -188,6 +277,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = p.DepOnly
+		imp.Provide(p.ImportPath, pkg.Types)
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -215,8 +306,10 @@ func check(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []
 
 // CheckDir parses and type-checks every .go file in dir as the package
 // named by path, importing through imp. The analysistest harness loads
-// testdata packages with it.
-func CheckDir(fset *token.FileSet, imp types.Importer, path, dir string) (*Package, error) {
+// testdata packages with it; registering the result on the importer
+// (Importer.Provide) lets later testdata packages import this one from
+// source, which is how multi-package fixtures exchange facts.
+func CheckDir(fset *token.FileSet, imp *Importer, path, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -230,5 +323,10 @@ func CheckDir(fset *token.FileSet, imp types.Importer, path, dir string) (*Packa
 	if len(goFiles) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
-	return check(fset, imp, path, dir, goFiles)
+	pkg, err := check(fset, imp, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	imp.Provide(path, pkg.Types)
+	return pkg, nil
 }

@@ -1,0 +1,621 @@
+// Package lockorder builds a global lock-acquisition-order graph and
+// reports cycles — the static form of the deadlocks PR 5's lock
+// narrowing was designed away from.
+//
+// The governed locks are the sync.Mutex/RWMutex fields and package
+// variables of internal/rpc, internal/pmap, internal/sim, and
+// internal/ledger. A lock is identified by its class — the named type
+// that owns the field plus the field name ("(channel.srvChan).mu"), or
+// the package path plus variable name — so every instance of a struct
+// shares one node, which is exactly the granularity deadlock cycles
+// live at.
+//
+// Per function the pass records, with the same lexical held-set walk
+// locksafety uses, every acquisition made while another governed lock
+// is held and every call made under a held lock; the records travel as
+// object facts. The Finish hook then assembles the global graph:
+//
+//   - a direct edge A→B for "B acquired while A held" in one function;
+//   - an interprocedural edge A→B when a function holding A calls (per
+//     the shared call graph, interface calls resolved by method set) a
+//     function that transitively acquires B.
+//
+// Any cycle is reported once, with both acquisition paths spelled out.
+// When one edge of a two-lock cycle comes from two adjacent Lock calls,
+// the diagnostic carries a SuggestedFix that swaps them into the
+// canonical order — the order the rest of the code base already uses.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"xkernel/internal/analysis/callgraph"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// governed are the subtrees whose locks participate in the order graph.
+var governed = []string{
+	"xkernel/internal/rpc",
+	"xkernel/internal/pmap",
+	"xkernel/internal/sim",
+	"xkernel/internal/ledger",
+}
+
+// Acq is one lock acquisition.
+type Acq struct {
+	Class string
+	Pos   token.Pos
+	// Held lists the classes (with their acquisition positions) held
+	// when this one was taken.
+	Held []HeldLock
+	// Swap, when non-nil, records that this acquisition and the one it
+	// was taken under are adjacent statements — the shape the fixer can
+	// reorder.
+	Swap *Swap
+}
+
+// HeldLock is one member of the held set.
+type HeldLock struct {
+	Class string
+	Pos   token.Pos
+}
+
+// Swap captures two adjacent lock statements for the reorder fix.
+type Swap struct {
+	FirstPos, FirstEnd   token.Pos
+	SecondPos, SecondEnd token.Pos
+}
+
+// HeldCall is a call made while at least one governed lock is held.
+type HeldCall struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Held   []HeldLock
+}
+
+// FnLocks is the per-function fact.
+type FnLocks struct {
+	Fn    *types.Func
+	Acqs  []Acq
+	Calls []HeldCall
+}
+
+// AFact marks FnLocks as a fact type.
+func (*FnLocks) AFact() {}
+
+// Analyzer is the lockorder pass.
+var Analyzer = &xkanalysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "no cycles in the global lock-acquisition-order graph across rpc, pmap, sim, and ledger",
+	Requires:  []*xkanalysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []xkanalysis.Fact{(*FnLocks)(nil)},
+	Run:       run,
+}
+
+// finish references Analyzer to read its facts, so it is attached in
+// init to break the initialization cycle.
+func init() { Analyzer.Finish = finish }
+
+func run(pass *xkanalysis.Pass) (any, error) {
+	if !xkanalysis.PkgIn(pass.Pkg, governed...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			w := &walker{pass: pass, fn: obj}
+			w.block(fd.Body, held{})
+			if len(w.acqs) > 0 || len(w.calls) > 0 {
+				pass.ExportObjectFact(obj, &FnLocks{Fn: obj, Acqs: w.acqs, Calls: w.calls})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// held maps lock class -> acquisition position.
+type held map[string]token.Pos
+
+func (h held) copy() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h held) list() []HeldLock {
+	out := make([]HeldLock, 0, len(h))
+	for k, v := range h {
+		out = append(out, HeldLock{Class: k, Pos: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+type walker struct {
+	pass  *xkanalysis.Pass
+	fn    *types.Func
+	acqs  []Acq
+	calls []HeldCall
+}
+
+// lockClass resolves x.mu.Lock()/Unlock()-style calls to (method,
+// class). Only sync.Mutex/RWMutex receivers whose owner is in a
+// governed package yield a class.
+func (w *walker) lockClass(call *ast.CallExpr) (method, class string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	obj := xkanalysis.FuncObj(w.pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, classOf(w.pass.TypesInfo, sel.X)
+}
+
+// classOf names the lock: "(pkg.Type).field" for struct fields,
+// "pkg.var" for package-level mutexes, "" for out-of-scope locks.
+func classOf(info *types.Info, lockExpr ast.Expr) string {
+	switch e := ast.Unparen(lockExpr).(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return ""
+		}
+		t := info.Types[e.X].Type
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		if !inGoverned(named.Obj().Pkg().Path()) {
+			return ""
+		}
+		return fmt.Sprintf("(%s.%s).%s", shortPath(named.Obj().Pkg().Path()), named.Obj().Name(), e.Sel.Name)
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		if !inGoverned(v.Pkg().Path()) {
+			return ""
+		}
+		return shortPath(v.Pkg().Path()) + "." + v.Name()
+	}
+	return ""
+}
+
+func inGoverned(path string) bool {
+	for _, g := range governed {
+		if path == g || strings.HasPrefix(path, g+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// shortPath compresses "xkernel/internal/rpc/channel" to "channel" for
+// readable class names that stay unique in this module's layout.
+func shortPath(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// block walks statements linearly, tracking the held set; branch
+// bodies get copies so early-unlock branches stay precise (the same
+// model locksafety uses).
+func (w *walker) block(b *ast.BlockStmt, h held) {
+	var prevLock *ast.ExprStmt
+	var prevClass string
+	for _, stmt := range b.List {
+		thisLock, thisClass := w.stmt(stmt, h)
+		if thisLock != nil && prevLock != nil && thisClass != "" && prevClass != "" && thisClass != prevClass {
+			// Two adjacent Lock statements: record the swap candidate on
+			// the most recent acquisition.
+			if n := len(w.acqs); n > 0 && w.acqs[n-1].Pos == thisLock.Pos() {
+				w.acqs[n-1].Swap = &Swap{
+					FirstPos: prevLock.Pos(), FirstEnd: prevLock.End(),
+					SecondPos: thisLock.Pos(), SecondEnd: thisLock.End(),
+				}
+			}
+		}
+		prevLock, prevClass = thisLock, thisClass
+	}
+}
+
+// stmt processes one statement; it returns the statement and class when
+// the statement is exactly a Lock call (for adjacency tracking).
+func (w *walker) stmt(stmt ast.Stmt, h held) (*ast.ExprStmt, string) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if m, class := w.lockClass(call); m != "" {
+				switch m {
+				case "Lock", "RLock":
+					if class != "" {
+						w.acquire(class, call.Pos(), h)
+						h[class] = call.Pos()
+						return s, class
+					}
+				case "Unlock", "RUnlock":
+					if class != "" {
+						delete(h, class)
+					}
+				}
+				return nil, ""
+			}
+		}
+		w.expr(s.X, h)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return; the lock stays held for
+		// the rest of the walk, which is what the linear model already
+		// says. Other deferred calls run after the body — skip.
+		if m, _ := w.lockClass(s.Call); m != "" {
+			return nil, ""
+		}
+	case *ast.BlockStmt:
+		w.block(s, h.copy())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		w.expr(s.Cond, h)
+		w.block(s.Body, h.copy())
+		if s.Else != nil {
+			w.stmt(s.Else, h.copy())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, h)
+		}
+		w.block(s.Body, h.copy())
+	case *ast.RangeStmt:
+		w.expr(s.X, h)
+		w.block(s.Body, h.copy())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, h)
+		}
+		w.caseBodies(s.Body, h)
+	case *ast.TypeSwitchStmt:
+		w.caseBodies(s.Body, h)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				sub := h.copy()
+				for _, st := range cc.Body {
+					w.stmt(st, sub)
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, h)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Value, h)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.LabeledStmt:
+		return nil, "" // conservative: don't track adjacency across labels
+	}
+	return nil, ""
+}
+
+func (w *walker) caseBodies(body *ast.BlockStmt, h held) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			sub := h.copy()
+			for _, st := range cc.Body {
+				w.stmt(st, sub)
+			}
+		}
+	}
+}
+
+func (w *walker) acquire(class string, pos token.Pos, h held) {
+	w.acqs = append(w.acqs, Acq{Class: class, Pos: pos, Held: h.list()})
+}
+
+// expr records calls made under a held lock. Function literals run
+// later without the caller's locks and are skipped.
+func (w *walker) expr(e ast.Expr, h held) {
+	if e == nil || len(h) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, _ := w.lockClass(call); m != "" {
+			return true
+		}
+		obj := xkanalysis.FuncObj(w.pass.TypesInfo, call)
+		if obj == nil {
+			return true
+		}
+		w.calls = append(w.calls, HeldCall{Callee: obj, Pos: call.Pos(), Held: h.list()})
+		return true
+	})
+}
+
+// ---- whole-program phase ----
+
+// edge is one directed lock-order constraint with a human witness.
+type edge struct {
+	from, to string
+	witness  string
+	pos      token.Pos
+	swap     *Swap
+}
+
+const transDepth = 8
+
+func finish(g *xkanalysis.Global) error {
+	graph := callgraph.FromGlobal(g)
+
+	locks := make(map[*types.Func]*FnLocks)
+	for _, of := range g.AllObjectFacts(Analyzer) {
+		if fl, ok := of.Fact.(*FnLocks); ok {
+			locks[of.Object.(*types.Func)] = fl
+		}
+	}
+
+	// trans computes the classes a function (transitively) acquires,
+	// with one witness chain per class.
+	type acqWitness struct {
+		pos   token.Pos
+		chain string
+	}
+	memo := make(map[*types.Func]map[string]acqWitness)
+	var trans func(f *types.Func, depth int, stack map[*types.Func]bool) map[string]acqWitness
+	trans = func(f *types.Func, depth int, stack map[*types.Func]bool) map[string]acqWitness {
+		if m, ok := memo[f]; ok {
+			return m
+		}
+		if depth > transDepth || stack[f] {
+			return nil
+		}
+		stack[f] = true
+		defer delete(stack, f)
+		out := make(map[string]acqWitness)
+		if fl := locks[f]; fl != nil {
+			for _, a := range fl.Acqs {
+				if _, ok := out[a.Class]; !ok {
+					out[a.Class] = acqWitness{pos: a.Pos, chain: f.Name()}
+				}
+			}
+		}
+		for _, e := range graph.Callees(f) {
+			for _, target := range graph.Resolved(e) {
+				for class, wit := range trans(target, depth+1, stack) {
+					if _, ok := out[class]; !ok {
+						out[class] = acqWitness{pos: wit.pos, chain: f.Name() + " → " + wit.chain}
+					}
+				}
+			}
+		}
+		memo[f] = out
+		return out
+	}
+
+	// Assemble edges.
+	edges := make(map[string]map[string]edge)
+	add := func(e edge) {
+		if e.from == "" || e.to == "" || e.from == e.to {
+			return
+		}
+		if edges[e.from] == nil {
+			edges[e.from] = make(map[string]edge)
+		}
+		if old, ok := edges[e.from][e.to]; !ok || e.pos < old.pos || (old.swap == nil && e.swap != nil) {
+			if ok && e.swap == nil {
+				e.swap = old.swap
+			}
+			edges[e.from][e.to] = e
+		}
+	}
+
+	var fns []*types.Func
+	for f := range locks {
+		fns = append(fns, f)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	for _, f := range fns {
+		fl := locks[f]
+		for _, a := range fl.Acqs {
+			for _, hl := range a.Held {
+				add(edge{
+					from: hl.Class, to: a.Class,
+					witness: fmt.Sprintf("%s acquires %s at %s while holding %s (taken at %s)",
+						f.Name(), a.Class, g.Fset.Position(a.Pos), hl.Class, g.Fset.Position(hl.Pos)),
+					pos:  a.Pos,
+					swap: a.Swap,
+				})
+			}
+		}
+		for _, c := range fl.Calls {
+			for class, wit := range trans(c.Callee, 0, map[*types.Func]bool{}) {
+				for _, hl := range c.Held {
+					add(edge{
+						from: hl.Class, to: class,
+						witness: fmt.Sprintf("%s holds %s (taken at %s) at call %s, which acquires %s via %s at %s",
+							f.Name(), hl.Class, g.Fset.Position(hl.Pos), g.Fset.Position(c.Pos),
+							class, wit.chain, g.Fset.Position(wit.pos)),
+						pos: c.Pos,
+					})
+				}
+			}
+		}
+	}
+
+	reportCycles(g, edges)
+	return nil
+}
+
+// reportCycles finds each cycle in the class graph and reports it once,
+// at its lexically first edge, with every acquisition path spelled out.
+func reportCycles(g *xkanalysis.Global, edges map[string]map[string]edge) {
+	var classes []string
+	for c := range edges {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	reported := make(map[string]bool)
+	for _, start := range classes {
+		cycle := findCycle(start, edges)
+		if cycle == nil {
+			continue
+		}
+		// Canonical key: rotate so the smallest class leads.
+		key := canonicalKey(cycle)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+
+		var first edge
+		var paths []string
+		for i, from := range cycle {
+			to := cycle[(i+1)%len(cycle)]
+			e := edges[from][to]
+			if i == 0 || e.pos < first.pos {
+				first = e
+			}
+			paths = append(paths, fmt.Sprintf("%s → %s: %s", from, to, e.witness))
+		}
+		d := xkanalysis.Diagnostic{
+			Pos: first.pos,
+			Message: fmt.Sprintf("lock-order cycle (potential deadlock) %s → %s: %s",
+				strings.Join(cycle, " → "), cycle[0], strings.Join(paths, "; ")),
+		}
+		// A two-lock cycle with one adjacent-statement edge is fixable:
+		// swap the two Lock calls so both paths agree.
+		if len(cycle) == 2 {
+			for i, from := range cycle {
+				to := cycle[(i+1)%len(cycle)]
+				e := edges[from][to]
+				other := edges[to][from]
+				if e.swap != nil && other.swap == nil {
+					if fix := swapFix(g.Fset, e.swap); fix != nil {
+						d.Fixes = append(d.Fixes, *fix)
+						break
+					}
+				}
+				_ = i
+			}
+		}
+		g.Report(d)
+	}
+}
+
+// findCycle runs a DFS from start and returns the first cycle through
+// start, as an ordered class list, or nil.
+func findCycle(start string, edges map[string]map[string]edge) []string {
+	var path []string
+	onPath := make(map[string]bool)
+	visited := make(map[string]bool)
+	var dfs func(c string) []string
+	dfs = func(c string) []string {
+		path = append(path, c)
+		onPath[c] = true
+		var tos []string
+		for to := range edges[c] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if to == start {
+				cycle := append([]string(nil), path...)
+				return cycle
+			}
+			if !onPath[to] && !visited[to] {
+				if cycle := dfs(to); cycle != nil {
+					return cycle
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[c] = false
+		visited[c] = true
+		return nil
+	}
+	return dfs(start)
+}
+
+func canonicalKey(cycle []string) string {
+	min := 0
+	for i, c := range cycle {
+		if c < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "→")
+}
+
+// swapFix builds the textual edit exchanging two adjacent Lock
+// statements, reading the source to lift their exact text.
+func swapFix(fset *token.FileSet, s *Swap) *xkanalysis.SuggestedFix {
+	fp, lp := fset.Position(s.FirstPos), fset.Position(s.FirstEnd)
+	sp, ep := fset.Position(s.SecondPos), fset.Position(s.SecondEnd)
+	if fp.Filename == "" || fp.Filename != sp.Filename {
+		return nil
+	}
+	src, err := os.ReadFile(fp.Filename)
+	if err != nil || ep.Offset > len(src) {
+		return nil
+	}
+	firstText := append([]byte(nil), src[fp.Offset:lp.Offset]...)
+	secondText := append([]byte(nil), src[sp.Offset:ep.Offset]...)
+	return &xkanalysis.SuggestedFix{
+		Message: "swap the adjacent Lock calls into the canonical order used by the other path",
+		TextEdits: []xkanalysis.TextEdit{
+			{Pos: s.FirstPos, End: s.FirstEnd, NewText: secondText},
+			{Pos: s.SecondPos, End: s.SecondEnd, NewText: firstText},
+		},
+	}
+}

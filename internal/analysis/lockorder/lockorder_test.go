@@ -1,0 +1,28 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/lockorder"
+)
+
+// TestLockOrder checks the cycle detector on a real two-path deadlock:
+// one path reaches the second lock through the call graph, the other
+// takes the pair directly in the opposite order. Dependencies are
+// listed first so locycle imports locore from source and sees its
+// FnLocks facts.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"xkernel/internal/rpc/locore",
+		"xkernel/internal/rpc/locycle",
+	)
+}
+
+// TestLockOrderFix round-trips the adjacent-swap autofix: applying the
+// suggested fix must produce the golden file and silence the pass.
+func TestLockOrderFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata", lockorder.Analyzer,
+		"xkernel/internal/rpc/lofix",
+	)
+}

@@ -1,0 +1,25 @@
+// Package locore declares the two lock classes the lockorder fixtures
+// contend over, plus the helper that makes one half of the cycle an
+// interprocedural edge: LockTable acquires (locore.Table).Mu, so a
+// caller that holds (locore.Conn).Mu at the call site creates the
+// Conn→Table constraint through the call graph, not lexically.
+package locore
+
+import "sync"
+
+// Conn models a per-connection lock owner.
+type Conn struct {
+	Mu sync.Mutex
+}
+
+// Table models a shared-table lock owner.
+type Table struct {
+	Mu sync.Mutex
+}
+
+// LockTable briefly takes the table lock — the transitive acquisition
+// the cycle fixture reaches while holding a Conn lock.
+func LockTable(t *Table) {
+	t.Mu.Lock()
+	t.Mu.Unlock()
+}

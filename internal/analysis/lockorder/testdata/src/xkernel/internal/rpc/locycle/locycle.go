@@ -1,0 +1,33 @@
+// Package locycle is a real two-path deadlock: one function reaches
+// the table lock through a call while holding a connection lock, the
+// other takes the same pair directly in the opposite order. Run both
+// concurrently with one Conn and one Table and each thread can hold
+// its first lock while waiting forever for the other's.
+package locycle
+
+import "xkernel/internal/rpc/locore"
+
+// connThenTable establishes Conn→Table through the call graph: the
+// held-call edge into locore.LockTable carries the acquisition.
+func connThenTable(c *locore.Conn, t *locore.Table) {
+	c.Mu.Lock()
+	locore.LockTable(t) // want "lock-order cycle"
+	c.Mu.Unlock()
+}
+
+// tableThenConn establishes Table→Conn directly, closing the cycle.
+func tableThenConn(c *locore.Conn, t *locore.Table) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	c.Mu.Lock()
+	c.Mu.Unlock()
+}
+
+// nested re-takes the pair in the first path's order; a consistent
+// order adds a parallel edge, never a cycle, so it stays silent.
+func nested(c *locore.Conn, t *locore.Table) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	t.Mu.Lock()
+	t.Mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package lofix exercises the adjacent-swap autofix: ab takes the two
+// locks back to back in the order that contradicts ba, so the
+// diagnostic carries a SuggestedFix that swaps ab's pair into the
+// order the rest of the package already uses.
+package lofix
+
+import "sync"
+
+// A is the lock the fixer must demote to second place in ab.
+type A struct {
+	Mu sync.Mutex
+}
+
+// B is the lock ba acquires first.
+type B struct {
+	Mu sync.Mutex
+}
+
+// ab holds the fixable edge: the two Lock calls are adjacent
+// statements, so the fixer can reorder them.
+func ab(a *A, b *B) {
+	a.Mu.Lock()
+	b.Mu.Lock()
+	b.Mu.Unlock()
+	a.Mu.Unlock()
+}
+
+// ba fixes the canonical order B→A; the work between the acquisitions
+// keeps this edge out of the fixer's reach, so ab is the one rewritten.
+func ba(a *A, b *B) {
+	b.Mu.Lock()
+	work()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}
+
+func work() {}

@@ -15,7 +15,15 @@
 //   - Push/Pop/Demux on sessions and protocols (msg.Msg's methods of
 //     the same names are data operations and exempt);
 //   - blocking channel sends (a select with a default branch is the
-//     sanctioned non-blocking pattern and passes).
+//     sanctioned non-blocking pattern and passes);
+//   - since PR 8, calls that transitively reach any of the above. The
+//     pass exports an Effects object fact for every module function
+//     that schedules, cancels, pushes, or block-sends — directly or
+//     through static calls — and checks held-lock call sites against
+//     the facts, resolving interface calls (ExecLedger.Record and
+//     friends) through the shared call graph. This is what catches the
+//     write-ahead ledger's fsync scheduling running under a channel
+//     lock two packages away from the Schedule call.
 //
 // The analysis is per-function and lexical: a branch gets a copy of the
 // held set, so "if busy { mu.Unlock(); return }" does not leak a false
@@ -25,45 +33,225 @@ package locksafety
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 
+	"xkernel/internal/analysis/callgraph"
 	"xkernel/internal/analysis/xkanalysis"
 )
 
 // Analyzer is the locksafety pass.
 var Analyzer = &xkanalysis.Analyzer{
-	Name: "locksafety",
-	Doc:  "no event scheduling, session Push/Pop/Demux, or blocking channel sends while holding a mutex in protocol packages",
-	Run:  run,
+	Name:      "locksafety",
+	Doc:       "no event scheduling, session Push/Pop/Demux, or blocking channel sends (even transitively) while holding a mutex in protocol packages",
+	Requires:  []*xkanalysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []xkanalysis.Fact{(*Effects)(nil)},
+	Run:       run,
 }
 
-// lockedPackages are the protocol subtrees the invariant governs.
+// lockedPackages are the subtrees the invariant governs. The ledger
+// joined in PR 8: its fsync path schedules events, and the rpc
+// channels call it under their locks.
 var lockedPackages = []string{
 	"xkernel/internal/proto",
 	"xkernel/internal/rpc",
 	"xkernel/internal/psync",
 	"xkernel/internal/stacks",
+	"xkernel/internal/ledger",
 }
 
 // paths the flagged callees come from.
 const (
-	eventPath = "xkernel/internal/event"
-	msgPath   = "xkernel/internal/msg"
+	eventPath    = "xkernel/internal/event"
+	msgPath      = "xkernel/internal/msg"
+	modulePrefix = "xkernel"
 )
 
-func run(pass *xkanalysis.Pass) error {
+// Effect is one lock-hostile operation a function performs, directly
+// or through static calls.
+type Effect struct {
+	// Kind is "event.Schedule", "event.Cancel", "session op", or
+	// "blocking send".
+	Kind string
+	// Pos is the underlying operation.
+	Pos token.Pos
+	// Via is the call chain from the fact's function to the operation
+	// ("Record → applyFsyncLocked → event.Schedule").
+	Via string
+}
+
+// Effects is the object fact: the (kind-deduped) effects of a function.
+type Effects struct {
+	Items []Effect
+}
+
+// AFact marks Effects as a fact type.
+func (*Effects) AFact() {}
+
+func run(pass *xkanalysis.Pass) (any, error) {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), modulePrefix) {
+		return nil, nil
+	}
+	graph, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+	ck := &checker{pass: pass, graph: graph}
+	// Facts are computed for every module package — the governed call
+	// sites need to see the effects of the ledger, event helpers, and
+	// anything else they reach.
+	ck.computeEffects()
 	if !xkanalysis.PkgIn(pass.Pkg, lockedPackages...) {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkBlock(pass, fd.Body, map[string]bool{})
+				ck.checkBlock(fd.Body, map[string]bool{})
 			}
 		}
 	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *xkanalysis.Pass
+	graph *callgraph.Graph
+	// local maps this package's functions to their effects.
+	local map[*types.Func][]Effect
+}
+
+// ---- effect facts ----
+
+// computeEffects fixpoints the package's effects over intra-package
+// static calls (imported facts cover cross-package static calls) and
+// exports one fact per affected function.
+func (c *checker) computeEffects() {
+	c.local = make(map[*types.Func][]Effect)
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+				fns = append(fns, fnDecl{obj, fd})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			items := c.scanEffects(fn.obj, fn.decl)
+			if len(items) != len(c.local[fn.obj]) {
+				c.local[fn.obj] = items
+				changed = true
+			}
+		}
+	}
+	for _, fn := range fns {
+		if items := c.local[fn.obj]; len(items) > 0 {
+			c.pass.ExportObjectFact(fn.obj, &Effects{Items: items})
+		}
+	}
+}
+
+// scanEffects collects fn's effects, one per kind: direct operations
+// plus the effects of statically called functions.
+func (c *checker) scanEffects(fn *types.Func, decl *ast.FuncDecl) []Effect {
+	byKind := make(map[string]Effect)
+	add := func(e Effect) {
+		if _, ok := byKind[e.Kind]; !ok {
+			byKind[e.Kind] = e
+		}
+	}
+	exemptSends := nonBlockingSends(decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine runs without the caller's locks.
+			return false
+		case *ast.SendStmt:
+			if !exemptSends[s] {
+				add(Effect{Kind: "blocking send", Pos: s.Arrow, Via: fn.Name()})
+			}
+		case *ast.CallExpr:
+			obj := xkanalysis.FuncObj(c.pass.TypesInfo, s)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case isEventOp(obj):
+				add(Effect{Kind: "event." + obj.Name(), Pos: s.Pos(), Via: fn.Name() + " → event." + obj.Name()})
+			case isSessionOp(obj):
+				add(Effect{Kind: "session op", Pos: s.Pos(), Via: fn.Name() + " → " + pkgName(obj) + "." + obj.Name()})
+			case !isInterfaceMethod(obj):
+				for _, e := range c.effectsOf(obj) {
+					add(Effect{Kind: e.Kind, Pos: e.Pos, Via: fn.Name() + " → " + e.Via})
+				}
+			}
+		}
+		return true
+	})
+	out := make([]Effect, 0, len(byKind))
+	for _, kind := range []string{"event.Schedule", "event.Cancel", "session op", "blocking send"} {
+		if e, ok := byKind[kind]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// effectsOf returns the known effects of a concrete function: the
+// package-local fixpoint state, or an imported fact.
+func (c *checker) effectsOf(obj *types.Func) []Effect {
+	if items, ok := c.local[obj]; ok {
+		return items
+	}
+	var fact Effects
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Items
+	}
 	return nil
 }
+
+// nonBlockingSends collects the comm sends of selects that have a
+// default branch.
+func nonBlockingSends(body *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !hasDefault(sel) {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					out[send] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isEventOp(obj *types.Func) bool {
+	return obj.Pkg() != nil && obj.Pkg().Path() == eventPath &&
+		(obj.Name() == "Schedule" || obj.Name() == "Cancel")
+}
+
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// ---- held-lock walk ----
 
 // mutexCall matches x.Lock/Unlock/RLock/RUnlock where x is a
 // sync.Mutex/RWMutex (or pointer to one) and returns the method name
@@ -88,22 +276,22 @@ func mutexCall(info *types.Info, call *ast.CallExpr) (method, key string) {
 // checkBlock walks stmts linearly, tracking the held-mutex set. Nested
 // scopes inspect a copy: releases inside a branch do not propagate out,
 // so early-unlock-and-return branches stay precise.
-func checkBlock(pass *xkanalysis.Pass, block *ast.BlockStmt, held map[string]bool) {
+func (c *checker) checkBlock(block *ast.BlockStmt, held map[string]bool) {
 	for _, stmt := range block.List {
-		checkStmt(pass, stmt, held)
+		c.checkStmt(stmt, held)
 	}
 }
 
 func copyHeld(held map[string]bool) map[string]bool {
-	c := make(map[string]bool, len(held))
+	cp := make(map[string]bool, len(held))
 	for k, v := range held {
-		c[k] = v
+		cp[k] = v
 	}
-	return c
+	return cp
 }
 
-func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
-	info := pass.TypesInfo
+func (c *checker) checkStmt(stmt ast.Stmt, held map[string]bool) {
+	info := c.pass.TypesInfo
 	switch s := stmt.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
@@ -117,7 +305,7 @@ func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
 				return
 			}
 		}
-		inspectExpr(pass, s.X, held)
+		c.inspectExpr(s.X, held)
 	case *ast.DeferStmt:
 		// defer mu.Unlock() releases at return: the lock stays held for
 		// the statements that follow, which is exactly what the walk
@@ -127,39 +315,39 @@ func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
 			return
 		}
 	case *ast.BlockStmt:
-		checkBlock(pass, s, copyHeld(held))
+		c.checkBlock(s, copyHeld(held))
 	case *ast.IfStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
+			c.checkStmt(s.Init, held)
 		}
-		inspectExpr(pass, s.Cond, held)
-		checkBlock(pass, s.Body, copyHeld(held))
+		c.inspectExpr(s.Cond, held)
+		c.checkBlock(s.Body, copyHeld(held))
 		if s.Else != nil {
-			checkStmt(pass, s.Else, copyHeld(held))
+			c.checkStmt(s.Else, copyHeld(held))
 		}
 	case *ast.ForStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
+			c.checkStmt(s.Init, held)
 		}
 		if s.Cond != nil {
-			inspectExpr(pass, s.Cond, held)
+			c.inspectExpr(s.Cond, held)
 		}
-		checkBlock(pass, s.Body, copyHeld(held))
+		c.checkBlock(s.Body, copyHeld(held))
 	case *ast.RangeStmt:
-		inspectExpr(pass, s.X, held)
-		checkBlock(pass, s.Body, copyHeld(held))
+		c.inspectExpr(s.X, held)
+		c.checkBlock(s.Body, copyHeld(held))
 	case *ast.SwitchStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
+			c.checkStmt(s.Init, held)
 		}
 		if s.Tag != nil {
-			inspectExpr(pass, s.Tag, held)
+			c.inspectExpr(s.Tag, held)
 		}
 		for _, clause := range s.Body.List {
 			if cc, ok := clause.(*ast.CaseClause); ok {
 				sub := copyHeld(held)
 				for _, st := range cc.Body {
-					checkStmt(pass, st, sub)
+					c.checkStmt(st, sub)
 				}
 			}
 		}
@@ -168,7 +356,7 @@ func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
 			if cc, ok := clause.(*ast.CaseClause); ok {
 				sub := copyHeld(held)
 				for _, st := range cc.Body {
-					checkStmt(pass, st, sub)
+					c.checkStmt(st, sub)
 				}
 			}
 		}
@@ -179,28 +367,28 @@ func checkStmt(pass *xkanalysis.Pass, stmt ast.Stmt, held map[string]bool) {
 				// The comm itself: a send in a select with a default is
 				// non-blocking; without one it blocks like a bare send.
 				if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault(s) {
-					flagSend(pass, send, sub)
+					c.flagSend(send, sub)
 				}
 				for _, st := range cc.Body {
-					checkStmt(pass, st, sub)
+					c.checkStmt(st, sub)
 				}
 			}
 		}
 	case *ast.SendStmt:
-		flagSend(pass, s, held)
-		inspectExpr(pass, s.Value, held)
+		c.flagSend(s, held)
+		c.inspectExpr(s.Value, held)
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
-			inspectExpr(pass, e, held)
+			c.inspectExpr(e, held)
 		}
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
-			inspectExpr(pass, e, held)
+			c.inspectExpr(e, held)
 		}
 	case *ast.GoStmt:
 		// The spawned goroutine does not inherit the caller's locks.
 	case *ast.LabeledStmt:
-		checkStmt(pass, s.Stmt, held)
+		c.checkStmt(s.Stmt, held)
 	}
 }
 
@@ -215,9 +403,9 @@ func hasDefault(s *ast.SelectStmt) bool {
 }
 
 // flagSend reports a blocking channel send under a held lock.
-func flagSend(pass *xkanalysis.Pass, send *ast.SendStmt, held map[string]bool) {
+func (c *checker) flagSend(send *ast.SendStmt, held map[string]bool) {
 	if lock := anyHeld(held); lock != "" {
-		pass.Reportf(send.Arrow,
+		c.pass.Reportf(send.Arrow,
 			"blocking channel send while holding %s: a full channel parks the shepherd inside the critical section (use select with default, or send after unlocking)",
 			lock)
 	}
@@ -233,11 +421,10 @@ func anyHeld(held map[string]bool) string {
 // inspectExpr flags forbidden calls appearing anywhere in an expression
 // evaluated under the held set. Function literals are skipped — they
 // run later, without the caller's locks.
-func inspectExpr(pass *xkanalysis.Pass, e ast.Expr, held map[string]bool) {
+func (c *checker) inspectExpr(e ast.Expr, held map[string]bool) {
 	if e == nil || len(held) == 0 {
 		return
 	}
-	info := pass.TypesInfo
 	ast.Inspect(e, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
@@ -246,24 +433,59 @@ func inspectExpr(pass *xkanalysis.Pass, e ast.Expr, held map[string]bool) {
 		if !ok {
 			return true
 		}
-		obj := xkanalysis.FuncObj(info, call)
+		obj := xkanalysis.FuncObj(c.pass.TypesInfo, call)
 		if obj == nil {
 			return true
 		}
 		lock := anyHeld(held)
 		switch {
-		case obj.Pkg() != nil && obj.Pkg().Path() == eventPath &&
-			(obj.Name() == "Schedule" || obj.Name() == "Cancel"):
-			pass.Reportf(call.Pos(),
+		case isEventOp(obj):
+			c.pass.Reportf(call.Pos(),
 				"event.%s while holding %s: timer handlers may need the same lock (snapshot, unlock, then schedule)",
 				obj.Name(), lock)
 		case isSessionOp(obj):
-			pass.Reportf(call.Pos(),
+			c.pass.Reportf(call.Pos(),
 				"%s.%s while holding %s: pushing into a neighbor session composes critical sections across layers (unlock first)",
 				pkgName(obj), obj.Name(), lock)
+		default:
+			c.flagTransitive(call, obj, lock)
 		}
 		return true
 	})
+}
+
+// flagTransitive reports held-lock calls whose (resolved) target
+// carries an Effects fact — the interprocedural half of the pass.
+// Interface calls resolve through the call graph's method sets; the
+// first implementation with effects names the finding.
+//
+// Callees named *Locked are exempt: the repository's convention is
+// that such a function documents "caller holds the lock", so whatever
+// it does under the lock was reviewed when it was written — the
+// interesting findings are the callers that reach lock-hostile work
+// WITHOUT knowing it (Record → applyFsyncLocked from another package).
+func (c *checker) flagTransitive(call *ast.CallExpr, obj *types.Func, lock string) {
+	if strings.HasSuffix(obj.Name(), "Locked") {
+		return
+	}
+	targets := []*types.Func{obj}
+	if isInterfaceMethod(obj) {
+		if c.graph == nil {
+			return
+		}
+		targets = c.graph.Implementations(obj)
+	}
+	for _, t := range targets {
+		effs := c.effectsOf(t)
+		if len(effs) == 0 {
+			continue
+		}
+		e := effs[0]
+		c.pass.Reportf(call.Pos(),
+			"call to %s while holding %s reaches a %s via %s (at %s)",
+			t.Name(), lock, e.Kind, e.Via, c.pass.Fset.Position(e.Pos))
+		return
+	}
 }
 
 // isSessionOp reports whether obj is a Push/Pop/Demux method on

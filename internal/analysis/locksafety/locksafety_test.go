@@ -12,3 +12,13 @@ func TestLockSafety(t *testing.T) {
 		"xkernel/internal/rpc/lstest",
 	)
 }
+
+// TestLockSafetyTransitive checks the interprocedural half added in
+// PR 8: Effects facts reaching held call sites through plain and
+// interface calls, the *Locked convention exemption, and the governed
+// set's extension to internal/ledger.
+func TestLockSafetyTransitive(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafety.Analyzer,
+		"xkernel/internal/ledger/lstrans",
+	)
+}

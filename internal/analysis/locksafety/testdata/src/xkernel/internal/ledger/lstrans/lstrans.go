@@ -1,0 +1,70 @@
+// Package lstrans exercises the interprocedural half of locksafety:
+// blocking effects reached through plain and interface calls under a
+// held lock, and the *Locked caller-holds-the-lock exemption. Living
+// under internal/ledger, it also pins PR 8's widening of the governed
+// set to the ledger subtree.
+package lstrans
+
+import (
+	"sync"
+	"time"
+
+	"xkernel/internal/event"
+)
+
+type store struct {
+	mu  sync.Mutex
+	clk event.Clock
+}
+
+// arm schedules — an effect the Effects fact carries to call sites.
+func (s *store) arm() {
+	s.clk.Schedule(time.Second, func() {})
+}
+
+// armLocked does the same, but its name documents "caller holds the
+// lock": the call under mu below is the reviewed convention.
+func (s *store) armLocked() {
+	s.clk.Schedule(time.Second, func() {})
+}
+
+// indirect reaches Schedule through arm while holding mu.
+func (s *store) indirect() {
+	s.mu.Lock()
+	s.arm() // want "reaches a event.Schedule"
+	s.mu.Unlock()
+}
+
+// lockedConvention calls a *Locked helper under the lock: exempt.
+func (s *store) lockedConvention() {
+	s.mu.Lock()
+	s.armLocked()
+	s.mu.Unlock()
+}
+
+type syncer interface {
+	Sync()
+}
+
+type fileSyncer struct {
+	clk event.Clock
+}
+
+// Sync is the concrete implementation the method set resolves to.
+func (f *fileSyncer) Sync() {
+	f.clk.Schedule(time.Second, func() {})
+}
+
+// viaInterface dispatches through the interface; the call graph
+// resolves Sync by method set and still sees the effect.
+func (s *store) viaInterface(y syncer) {
+	s.mu.Lock()
+	y.Sync() // want "reaches a event.Schedule"
+	s.mu.Unlock()
+}
+
+// unheld reaches the same effect with no lock held: fine.
+func (s *store) unheld(y syncer) {
+	s.arm()
+	y.Sync()
+}

@@ -50,7 +50,7 @@ type taint struct {
 	pos    token.Pos    // where the taint was created
 }
 
-func run(pass *xkanalysis.Pass) error {
+func run(pass *xkanalysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -58,7 +58,7 @@ func run(pass *xkanalysis.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // msgMethod returns the method name and receiver rendering when call is

@@ -1,15 +1,23 @@
 // Package analysis gathers the repository's invariant-enforcing passes
-// (see DESIGN.md §7). cmd/xkvet runs All over every package in the
-// module; each pass scopes itself to the subtrees its invariant
-// governs.
+// (see DESIGN.md §7 and §11). cmd/xkvet runs All over every package in
+// the module; each pass scopes itself to the subtrees its invariant
+// governs. Since PR 8 the driver threads typed facts between packages
+// and runs whole-program Finish phases, so the list also contains
+// interprocedural passes; their shared call-graph requirement
+// (internal/analysis/callgraph) is pulled in through Requires and does
+// not need to be listed here.
 package analysis
 
 import (
 	"xkernel/internal/analysis/clockpurity"
+	"xkernel/internal/analysis/errflow"
+	"xkernel/internal/analysis/goroleak"
 	"xkernel/internal/analysis/headersymmetry"
 	"xkernel/internal/analysis/hotpathalloc"
+	"xkernel/internal/analysis/lockorder"
 	"xkernel/internal/analysis/locksafety"
 	"xkernel/internal/analysis/msgdiscipline"
+	"xkernel/internal/analysis/walorder"
 	"xkernel/internal/analysis/xkanalysis"
 )
 
@@ -20,4 +28,8 @@ var All = []*xkanalysis.Analyzer{
 	hotpathalloc.Analyzer,
 	headersymmetry.Analyzer,
 	locksafety.Analyzer,
+	lockorder.Analyzer,
+	errflow.Analyzer,
+	walorder.Analyzer,
+	goroleak.Analyzer,
 }

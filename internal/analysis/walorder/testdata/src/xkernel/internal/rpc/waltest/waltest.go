@@ -1,0 +1,130 @@
+// Package waltest mirrors the shapes of the channel/mrpc server
+// paths the walorder pass governs: reply construction with and
+// without the write-ahead Record, the exempt control-frame and replay
+// origins, and handler dispatch with the dedup Lookup established
+// locally, by a caller, or not at all.
+//
+// Deleting the Record call from reply turns it into replyUnlogged —
+// the pass fires, which is the acceptance property the fixture pins.
+package waltest
+
+import (
+	"xkernel/internal/ledger"
+	"xkernel/internal/msg"
+)
+
+const (
+	flagRequest = 1 << iota
+	flagReply
+)
+
+type header struct {
+	flags uint8
+}
+
+type session interface {
+	Push(m *msg.Msg) error
+}
+
+// Handler is the named dispatch type rule 2 watches.
+type Handler func(m *msg.Msg) ([]byte, error)
+
+type demuxer interface {
+	Demux(lls session, m *msg.Msg) error
+}
+
+type server struct {
+	led  ledger.ExecLedger
+	down session
+	h    Handler
+}
+
+// reply follows the write-ahead discipline: Record commits before the
+// reply leaves.
+func (s *server) reply(k ledger.Key, m *msg.Msg) error {
+	hdr := header{flags: flagReply}
+	_ = hdr
+	if err := s.led.Record(k, ledger.Entry{}); err != nil {
+		return err
+	}
+	return s.down.Push(m)
+}
+
+// replyUnlogged is reply with the Record deleted: a crash between
+// send and log would re-execute the handler on retransmit.
+func (s *server) replyUnlogged(m *msg.Msg) error {
+	hdr := header{flags: flagReply}
+	_ = hdr
+	return s.down.Push(m) // want "reply pushed without a preceding ExecLedger.Record"
+}
+
+// ack pushes a control frame: the msg.Empty origin is exempt.
+func (s *server) ack() error {
+	hdr := header{flags: flagReply}
+	_ = hdr
+	m := msg.Empty()
+	return s.down.Push(m)
+}
+
+// replay re-pushes frames recorded on a previous execution: the
+// ledger.DecodeFrames origin is exempt (the Record already happened).
+func (s *server) replay(e ledger.Entry) error {
+	hdr := header{flags: flagReply}
+	_ = hdr
+	frames, err := ledger.DecodeFrames(e.Reply)
+	if err != nil {
+		return err
+	}
+	for _, fb := range frames {
+		m := msg.New(fb)
+		if err := s.down.Push(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseReply only reads the flag; client-side parsing stays out of
+// rule 1's scope.
+func (s *server) parseReply(h header, m *msg.Msg) error {
+	if h.flags&flagReply != 0 {
+		return s.down.Push(m)
+	}
+	return nil
+}
+
+// serve establishes the dedup Lookup before dispatching.
+func (s *server) serve(k ledger.Key, m *msg.Msg) error {
+	if e, ok := s.led.Lookup(k); ok {
+		_ = e
+		return nil
+	}
+	_, err := s.h(m)
+	return err
+}
+
+// serveUnchecked executes user code with no Lookup anywhere.
+func (s *server) serveUnchecked(m *msg.Msg) error {
+	_, err := s.h(m) // want "handler dispatched without a preceding ExecLedger.Lookup"
+	return err
+}
+
+// demuxUnchecked dispatches through the interface without the lookup.
+func (s *server) demuxUnchecked(d demuxer, m *msg.Msg) error {
+	return d.Demux(s.down, m) // want "handler dispatched without a preceding ExecLedger.Lookup"
+}
+
+// dispatch has no Lookup of its own; its only caller establishes it,
+// which the pass verifies through the call graph.
+func (s *server) dispatch(m *msg.Msg) error {
+	_, err := s.h(m)
+	return err
+}
+
+// serveViaDispatch is dispatch's only caller and looks up first.
+func (s *server) serveViaDispatch(k ledger.Key, m *msg.Msg) error {
+	if _, ok := s.led.Lookup(k); ok {
+		return nil
+	}
+	return s.dispatch(m)
+}

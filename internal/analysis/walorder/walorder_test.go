@@ -1,0 +1,19 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"xkernel/internal/analysis/analysistest"
+	"xkernel/internal/analysis/walorder"
+)
+
+// TestWALOrder checks both write-ahead rules against fixture mirrors
+// of the server reply and dispatch paths: Record-before-push (with
+// the msg.Empty and DecodeFrames exemptions) and Lookup-before-
+// execute (established locally or by every caller via the call
+// graph).
+func TestWALOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", walorder.Analyzer,
+		"xkernel/internal/rpc/waltest",
+	)
+}

@@ -1,0 +1,39 @@
+package xkanalysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// TestParseAllow pins the //xk:allow grammar: pass list, one of three
+// separators, mandatory reason, duplicate removal.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		passes []string
+		reason string
+		ok     bool
+	}{
+		{"//xk:allow locksafety — fsync only enqueues", []string{"locksafety"}, "fsync only enqueues", true},
+		{"//xk:allow locksafety -- ascii separator", []string{"locksafety"}, "ascii separator", true},
+		{"//xk:allow locksafety: colon separator", []string{"locksafety"}, "colon separator", true},
+		{"//xk:allow errflow,walorder — two passes", []string{"errflow", "walorder"}, "two passes", true},
+		{"//xk:allow errflow, errflow — duplicates collapse", []string{"errflow"}, "duplicates collapse", true},
+		{"//xk:allow errflow —   padded   ", []string{"errflow"}, "padded", true},
+		{"//xk:allow errflow", nil, "", false},        // no separator, no reason
+		{"//xk:allow errflow — ", nil, "", false},     // empty reason
+		{"//xk:allow — reasons only", nil, "", false}, // no pass list
+		{"//xk:allowx errflow — typo", nil, "", false},
+		{"// xk:allow errflow — spaced prefix", nil, "", false},
+		{"plain comment", nil, "", false},
+	}
+	for _, c := range cases {
+		passes, reason, ok := xkanalysis.ParseAllow(c.text)
+		if ok != c.ok || reason != c.reason || !reflect.DeepEqual(passes, c.passes) {
+			t.Errorf("ParseAllow(%q) = %v, %q, %v; want %v, %q, %v",
+				c.text, passes, reason, ok, c.passes, c.reason, c.ok)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package xkanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Target is one package the driver analyzes. Targets must be supplied
+// in dependency order (dependencies first) so that facts exported by a
+// dependency are visible when its importers run — the loader's output
+// order (from `go list -deps`) already satisfies this.
+type Target struct {
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report gates whether findings in this package are collected;
+	// facts are computed either way (a dependency loaded only for
+	// context still feeds its importers).
+	Report bool
+}
+
+// Finding is one resolved diagnostic: position fixed, pass named,
+// suppression applied.
+type Finding struct {
+	Pass string
+	Pos  token.Position
+	Diag Diagnostic
+}
+
+// AllowInfo is one //xk:allow suppression with its audit state.
+type AllowInfo struct {
+	Pos    token.Position
+	Passes []string
+	Reason string
+	// Stale lists the subset of Passes for which no raw finding landed
+	// on a covered line — suppressions whose reason no longer holds.
+	Stale []string
+}
+
+// Result is one driver run over a set of targets.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, in file/line order.
+	Findings []Finding
+	// Suppressed are the diagnostics dropped by an //xk:allow.
+	Suppressed []Finding
+	// Allows are all well-formed suppression comments seen, with
+	// staleness computed against the raw (pre-suppression) findings.
+	Allows []AllowInfo
+	// Fset renders positions and applies fixes.
+	Fset *token.FileSet
+}
+
+// Global is the view handed to an Analyzer's Finish hook: every fact
+// exported during the run, plus reporting. Finish diagnostics go
+// through the same //xk:allow suppression as per-package ones.
+type Global struct {
+	Fset     *token.FileSet
+	analyzer *Analyzer
+	run      *runState
+	diags    []Diagnostic
+}
+
+// Reportf records a whole-program finding at pos.
+func (g *Global) Reportf(pos token.Pos, format string, args ...any) {
+	g.diags = append(g.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully formed whole-program finding.
+func (g *Global) Report(d Diagnostic) { g.diags = append(g.diags, d) }
+
+// AllObjectFacts lists the object facts exported by a, which must be
+// the finishing analyzer or one of its (transitive) requirements.
+func (g *Global) AllObjectFacts(a *Analyzer) []ObjectFact {
+	g.run.checkVisible(g.analyzer, a)
+	return g.run.facts.allObjects(a)
+}
+
+// AllPackageFacts lists the package facts exported by a, which must be
+// the finishing analyzer or one of its (transitive) requirements.
+func (g *Global) AllPackageFacts(a *Analyzer) []PackageFact {
+	g.run.checkVisible(g.analyzer, a)
+	return g.run.facts.allPackages(a)
+}
+
+// runState is the shared mutable state of one driver run.
+type runState struct {
+	fset  *token.FileSet
+	facts *factStore
+	// raw findings per pass before suppression, for allow staleness.
+	raw []Finding
+	// allows across every reported package.
+	allows []*allow
+	// malformed allow diagnostics, one set per package.
+	malformed []Finding
+}
+
+func (r *runState) checkVisible(from, want *Analyzer) {
+	if from == want {
+		return
+	}
+	for _, req := range closure([]*Analyzer{from}) {
+		if req == want {
+			return
+		}
+	}
+	panic(fmt.Sprintf("%s: Finish accessed facts of %s, which is not in its Requires closure", from.Name, want.Name))
+}
+
+// closure expands analyzers to include every transitive requirement, in
+// dependency order (requirements before dependents). It panics on a
+// requirement cycle — a programming error in the pass registry.
+func closure(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		switch state[a] {
+		case 1:
+			panic(fmt.Sprintf("analyzer requirement cycle through %s", a.Name))
+		case 2:
+			return
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		state[a] = 2
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// Run executes the analyzers (and their transitive requirements) over
+// the targets in order, threads facts from dependencies to importers,
+// runs Finish hooks, and applies //xk:allow suppression to everything.
+func Run(fset *token.FileSet, targets []*Target, analyzers []*Analyzer) (*Result, error) {
+	ordered := closure(analyzers)
+	run := &runState{fset: fset, facts: newFactStore()}
+
+	for _, tgt := range targets {
+		allows, malformed := parseAllows(fset, tgt.Files)
+		if tgt.Report {
+			run.allows = append(run.allows, allows...)
+			for _, d := range malformed {
+				run.malformed = append(run.malformed, Finding{Pass: "allow", Pos: fset.Position(d.Pos), Diag: d})
+			}
+		}
+		results := make(map[*Analyzer]any)
+		for _, a := range ordered {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     tgt.Files,
+				Pkg:       tgt.Pkg,
+				TypesInfo: tgt.TypesInfo,
+				ResultOf:  requiredResults(a, results),
+				facts:     run.facts,
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, tgt.Path, err)
+			}
+			results[a] = res
+			if tgt.Report {
+				for _, d := range pass.diags {
+					run.raw = append(run.raw, Finding{Pass: a.Name, Pos: fset.Position(d.Pos), Diag: d})
+				}
+			}
+		}
+	}
+
+	// Whole-program phase: facts from every package are in.
+	for _, a := range ordered {
+		if a.Finish == nil {
+			continue
+		}
+		g := &Global{Fset: fset, analyzer: a, run: run}
+		if err := a.Finish(g); err != nil {
+			return nil, fmt.Errorf("%s: finish: %w", a.Name, err)
+		}
+		for _, d := range g.diags {
+			run.raw = append(run.raw, Finding{Pass: a.Name, Pos: fset.Position(d.Pos), Diag: d})
+		}
+	}
+
+	return resolve(run), nil
+}
+
+func requiredResults(a *Analyzer, results map[*Analyzer]any) map[*Analyzer]any {
+	if len(a.Requires) == 0 {
+		return nil
+	}
+	out := make(map[*Analyzer]any, len(a.Requires))
+	for _, req := range closure(a.Requires) {
+		out[req] = results[req]
+	}
+	return out
+}
+
+// resolve applies suppression, computes allow staleness, dedupes, and
+// sorts.
+func resolve(run *runState) *Result {
+	res := &Result{Fset: run.fset}
+	seen := make(map[string]bool)
+	for _, f := range append(run.raw, run.malformed...) {
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Pass, f.Diag.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		suppressed := false
+		for _, al := range run.allows {
+			if al.covers(f.Pass, f.Pos.Filename, f.Pos.Line) {
+				al.used[f.Pass] = true
+				suppressed = true
+				break
+			}
+		}
+		if suppressed {
+			res.Suppressed = append(res.Suppressed, f)
+		} else {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	byPos := func(fs []Finding) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := fs[i].Pos, fs[j].Pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Column != b.Column {
+				return a.Column < b.Column
+			}
+			return fs[i].Pass < fs[j].Pass
+		}
+	}
+	sort.Slice(res.Findings, byPos(res.Findings))
+	sort.Slice(res.Suppressed, byPos(res.Suppressed))
+
+	for _, al := range run.allows {
+		info := AllowInfo{
+			Pos:    run.fset.Position(al.pos),
+			Passes: al.names,
+			Reason: al.reason,
+		}
+		for _, name := range al.names {
+			if !al.used[name] {
+				info.Stale = append(info.Stale, name)
+			}
+		}
+		res.Allows = append(res.Allows, info)
+	}
+	sort.Slice(res.Allows, func(i, j int) bool {
+		a, b := res.Allows[i].Pos, res.Allows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res
+}

@@ -1,0 +1,141 @@
+package xkanalysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xkernel/internal/analysis/load"
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// probe reports at the name of every function whose name starts with
+// "bad" — a minimal pass for exercising the driver's suppression,
+// staleness, and malformed-allow handling.
+var probe = &xkanalysis.Analyzer{
+	Name: "probe",
+	Doc:  "flag functions named bad*",
+	Run: func(pass *xkanalysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Reportf(fd.Name.Pos(), "bad function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func runProbe(t *testing.T) *xkanalysis.Result {
+	t.Helper()
+	exports, err := load.ModuleExports(".")
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, exports)
+	pkg, err := load.CheckDir(fset, imp, "allowtest", filepath.Join("testdata", "src", "allowtest"))
+	if err != nil {
+		t.Fatalf("loading testdata package: %v", err)
+	}
+	res, err := xkanalysis.Run(fset, []*xkanalysis.Target{{
+		Path:      "allowtest",
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    true,
+	}}, []*xkanalysis.Analyzer{probe})
+	if err != nil {
+		t.Fatalf("running probe: %v", err)
+	}
+	return res
+}
+
+// TestSuppression checks the driver's //xk:allow handling end to end:
+// a covered finding moves to Suppressed, an uncovered one stays in
+// Findings, a malformed allow (no reason) is itself a finding and
+// suppresses nothing, and the allow that covers no raw finding is
+// audited as stale.
+func TestSuppression(t *testing.T) {
+	res := runProbe(t)
+
+	var names []string
+	for _, f := range res.Findings {
+		names = append(names, f.Pass+":"+f.Diag.Message)
+	}
+	// badOne: unsuppressed. badThree: its allow is malformed, so both
+	// the probe finding and the malformed-allow finding surface.
+	want := map[string]bool{
+		"probe:bad function badOne":   false,
+		"probe:bad function badThree": false,
+	}
+	malformed := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "allow:malformed suppression") {
+			malformed++
+			continue
+		}
+		if _, ok := want[n]; !ok {
+			t.Errorf("unexpected finding %q", n)
+			continue
+		}
+		want[n] = true
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("missing finding %q (got %v)", n, names)
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-allow findings, want 1", malformed)
+	}
+
+	if len(res.Suppressed) != 1 || !strings.Contains(res.Suppressed[0].Diag.Message, "badTwo") {
+		t.Errorf("suppressed = %v, want exactly the badTwo finding", res.Suppressed)
+	}
+
+	if len(res.Allows) != 2 {
+		t.Fatalf("got %d well-formed allows, want 2", len(res.Allows))
+	}
+	if len(res.Allows[0].Stale) != 0 {
+		t.Errorf("live allow audited stale: %v", res.Allows[0].Stale)
+	}
+	if len(res.Allows[1].Stale) != 1 || res.Allows[1].Stale[0] != "probe" {
+		t.Errorf("stale allow audit = %v, want [probe]", res.Allows[1].Stale)
+	}
+}
+
+// TestMalformedAllowFix applies the malformed-allow finding's stub fix
+// and checks the result parses as a well-formed suppression.
+func TestMalformedAllowFix(t *testing.T) {
+	res := runProbe(t)
+	var fixable []xkanalysis.Finding
+	for _, f := range res.Findings {
+		if f.Pass == "allow" && len(f.Diag.Fixes) > 0 {
+			fixable = append(fixable, f)
+		}
+	}
+	if len(fixable) != 1 {
+		t.Fatalf("got %d fixable allow findings, want 1", len(fixable))
+	}
+	fixed, applied, skipped, err := xkanalysis.ApplyFixes(res.Fset, fixable)
+	if err != nil {
+		t.Fatalf("applying fix: %v", err)
+	}
+	if applied != 1 || len(skipped) != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 1 and 0", applied, len(skipped))
+	}
+	for _, src := range fixed {
+		line := "//xk:allow probe — TODO: justify this suppression"
+		if !strings.Contains(string(src), line) {
+			t.Errorf("fixed source lacks %q", line)
+		}
+		passes, reason, ok := xkanalysis.ParseAllow(line)
+		if !ok || len(passes) != 1 || passes[0] != "probe" || reason == "" {
+			t.Errorf("stubbed allow does not parse: %v %q %v", passes, reason, ok)
+		}
+	}
+}

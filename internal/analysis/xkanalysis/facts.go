@@ -1,0 +1,143 @@
+package xkanalysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed datum an analyzer attaches to an object or package
+// for consumption when a dependent package is analyzed. Facts live in
+// memory for the lifetime of one driver run — the whole module is
+// analyzed in a single process over one shared type universe, so facts
+// hold ordinary Go values (including *types.Func pointers) and need no
+// serialization. The marker method keeps accidental types out of the
+// fact maps.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one exported fact.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs a package with one exported fact.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// factStore holds every fact exported during one driver run, keyed by
+// (analyzer, object-or-package, fact type): an analyzer may export at
+// most one fact of each declared type per object.
+type factStore struct {
+	objects  map[factKey]Fact
+	packages map[pkgFactKey]Fact
+}
+
+type factKey struct {
+	a   *Analyzer
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	a   *Analyzer
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objects:  make(map[factKey]Fact),
+		packages: make(map[pkgFactKey]Fact),
+	}
+}
+
+// checkFactType panics unless fact is a declared pointer fact type of a.
+func checkFactType(a *Analyzer, fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("%s: fact %T must be a pointer", a.Name, fact))
+	}
+	for _, ft := range a.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", a.Name, fact))
+}
+
+func (s *factStore) exportObject(a *Analyzer, obj types.Object, fact Fact) {
+	if obj == nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact on nil object", a.Name))
+	}
+	s.objects[factKey{a, obj, checkFactType(a, fact)}] = fact
+}
+
+func (s *factStore) importObject(a *Analyzer, obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got, ok := s.objects[factKey{a, obj, checkFactType(a, ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *factStore) exportPackage(a *Analyzer, pkg *types.Package, fact Fact) {
+	s.packages[pkgFactKey{a, pkg, checkFactType(a, fact)}] = fact
+}
+
+func (s *factStore) importPackage(a *Analyzer, pkg *types.Package, ptr Fact) bool {
+	got, ok := s.packages[pkgFactKey{a, pkg, checkFactType(a, ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// allObjects lists a's object facts in a deterministic order (by
+// package path, then object name).
+func (s *factStore) allObjects(a *Analyzer) []ObjectFact {
+	var out []ObjectFact
+	for k, f := range s.objects {
+		if k.a == a {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := objPkgPath(out[i].Object), objPkgPath(out[j].Object)
+		if pi != pj {
+			return pi < pj
+		}
+		if out[i].Object.Name() != out[j].Object.Name() {
+			return out[i].Object.Name() < out[j].Object.Name()
+		}
+		return out[i].Object.Pos() < out[j].Object.Pos()
+	})
+	return out
+}
+
+// allPackages lists a's package facts in package-path order.
+func (s *factStore) allPackages(a *Analyzer) []PackageFact {
+	var out []PackageFact
+	for k, f := range s.packages {
+		if k.a == a {
+			out = append(out, PackageFact{Package: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+	return out
+}
+
+func objPkgPath(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

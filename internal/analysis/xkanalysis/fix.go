@@ -1,0 +1,113 @@
+package xkanalysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// fileEdit is one TextEdit resolved to byte offsets in a named file.
+type fileEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one and returns the rewritten file contents keyed by filename.
+// Overlapping edits are resolved in favor of the earliest finding; the
+// losers are reported in skipped. Files are read from disk — the fixes
+// were computed against these same bytes in this run.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (fixed map[string][]byte, applied int, skipped []Finding, err error) {
+	edits := make(map[string][]fileEdit)
+	claimed := make(map[string][][2]int)
+
+	overlaps := func(file string, start, end int) bool {
+		for _, c := range claimed[file] {
+			if start < c[1] && c[0] < end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range findings {
+		if len(f.Diag.Fixes) == 0 {
+			continue
+		}
+		fix := f.Diag.Fixes[0]
+		resolved := make(map[string][]fileEdit)
+		conflict := false
+		for _, te := range fix.TextEdits {
+			start := fset.Position(te.Pos)
+			end := start
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+				conflict = true
+				break
+			}
+			// Probe with the same point-widening the claim below uses, so
+			// two insertions at one offset conflict instead of interleaving.
+			probeEnd := end.Offset
+			if probeEnd == start.Offset {
+				probeEnd++
+			}
+			if overlaps(start.Filename, start.Offset, probeEnd) {
+				conflict = true
+				break
+			}
+			resolved[start.Filename] = append(resolved[start.Filename], fileEdit{start.Offset, end.Offset, te.NewText})
+		}
+		if conflict {
+			skipped = append(skipped, f)
+			continue
+		}
+		for file, es := range resolved {
+			for _, e := range es {
+				// Insertions (start == end) claim a zero-width range; widen
+				// by a point so two inserts at the same offset conflict.
+				end := e.end
+				if end == e.start {
+					end++
+				}
+				claimed[file] = append(claimed[file], [2]int{e.start, end})
+				edits[file] = append(edits[file], e)
+			}
+		}
+		applied++
+	}
+
+	fixed = make(map[string][]byte, len(edits))
+	for file, es := range edits {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, 0, nil, fmt.Errorf("applying fixes: %w", rerr)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].start > es[j].start })
+		for _, e := range es {
+			if e.end > len(src) {
+				return nil, 0, nil, fmt.Errorf("applying fixes: edit past end of %s", file)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.newText...), src[e.end:]...)...)
+		}
+		fixed[file] = src
+	}
+	return fixed, applied, skipped, nil
+}
+
+// WriteFixes writes ApplyFixes output back to disk.
+func WriteFixes(fixed map[string][]byte) error {
+	for file, src := range fixed {
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(file, src, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

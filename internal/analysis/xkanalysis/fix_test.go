@@ -1,0 +1,96 @@
+package xkanalysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// fixFixture writes src to a temp file and returns a FileSet with the
+// file registered plus a pos function from byte offsets.
+func fixFixture(t *testing.T, src string) (*token.FileSet, string, func(int) token.Pos) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	fset := token.NewFileSet()
+	file := fset.AddFile(path, -1, len(src))
+	file.SetLinesForContent([]byte(src))
+	return fset, path, file.Pos
+}
+
+func finding(pass string, edits ...xkanalysis.TextEdit) xkanalysis.Finding {
+	return xkanalysis.Finding{
+		Pass: pass,
+		Diag: xkanalysis.Diagnostic{
+			Pos:     edits[0].Pos,
+			Message: pass + " finding",
+			Fixes:   []xkanalysis.SuggestedFix{{Message: "fix", TextEdits: edits}},
+		},
+	}
+}
+
+// TestApplyFixes checks replacement and insertion edits land at the
+// right offsets and out-of-order edits are applied descending so
+// earlier offsets stay valid.
+func TestApplyFixes(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	fset, path, pos := fixFixture(t, src)
+
+	findings := []xkanalysis.Finding{
+		finding("one", xkanalysis.TextEdit{Pos: pos(4), End: pos(7), NewText: []byte("BBBB")}),
+		finding("two", xkanalysis.TextEdit{Pos: pos(0), End: pos(3), NewText: []byte("A")}),
+	}
+	fixed, applied, skipped, err := xkanalysis.ApplyFixes(fset, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 2 || len(skipped) != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 2 and 0", applied, len(skipped))
+	}
+	if got, want := string(fixed[path]), "A BBBB ccc\n"; got != want {
+		t.Errorf("fixed = %q, want %q", got, want)
+	}
+}
+
+// TestApplyFixesOverlap checks the first finding wins an overlap and
+// the loser is reported in skipped, including the zero-width
+// insertion collision case.
+func TestApplyFixesOverlap(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	fset, path, pos := fixFixture(t, src)
+
+	findings := []xkanalysis.Finding{
+		finding("one", xkanalysis.TextEdit{Pos: pos(0), End: pos(7), NewText: []byte("X")}),
+		finding("two", xkanalysis.TextEdit{Pos: pos(4), End: pos(11), NewText: []byte("Y")}),
+	}
+	fixed, applied, skipped, err := xkanalysis.ApplyFixes(fset, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 || len(skipped) != 1 || skipped[0].Pass != "two" {
+		t.Fatalf("applied=%d skipped=%v, want the second finding skipped", applied, skipped)
+	}
+	if got, want := string(fixed[path]), "X ccc\n"; got != want {
+		t.Errorf("fixed = %q, want %q", got, want)
+	}
+
+	// Two insertions at the same offset also conflict.
+	fset2, _, pos2 := fixFixture(t, src)
+	ins := []xkanalysis.Finding{
+		finding("ins1", xkanalysis.TextEdit{Pos: pos2(4), End: pos2(4), NewText: []byte("P")}),
+		finding("ins2", xkanalysis.TextEdit{Pos: pos2(4), End: pos2(4), NewText: []byte("Q")}),
+	}
+	_, applied, skipped, err = xkanalysis.ApplyFixes(fset2, ins)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 || len(skipped) != 1 {
+		t.Fatalf("insertion collision: applied=%d skipped=%d, want 1 and 1", applied, len(skipped))
+	}
+}

@@ -1,0 +1,57 @@
+package xkanalysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"xkernel/internal/analysis/xkanalysis"
+)
+
+// FuzzAllowParse throws arbitrary comment text at the //xk:allow
+// parser and checks its invariants: no panic, rejection returns zero
+// values, and acceptance yields a non-empty deduplicated pass list
+// with a trimmed non-empty reason.
+func FuzzAllowParse(f *testing.F) {
+	for _, seed := range []string{
+		"//xk:allow locksafety — write-ahead by design",
+		"//xk:allow errflow,walorder -- two passes",
+		"//xk:allow goroleak: colon form",
+		"//xk:allow errflow, errflow — dup",
+		"//xk:allow errflow",
+		"//xk:allow — no pass",
+		"//xk:allowx errflow — near miss",
+		"// plain comment",
+		"//xk:allow a—b",
+		"//xk:allow p \t q — mixed blanks",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		passes, reason, ok := xkanalysis.ParseAllow(text)
+		if !ok {
+			if passes != nil || reason != "" {
+				t.Fatalf("rejected input returned %v, %q", passes, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//xk:allow") {
+			t.Fatalf("accepted text without the //xk:allow prefix: %q", text)
+		}
+		if len(passes) == 0 {
+			t.Fatalf("accepted with empty pass list: %q", text)
+		}
+		if reason == "" || strings.TrimSpace(reason) != reason {
+			t.Fatalf("accepted with empty or untrimmed reason %q from %q", reason, text)
+		}
+		seen := make(map[string]bool)
+		for _, p := range passes {
+			if p == "" || strings.ContainsAny(p, ", \t") {
+				t.Fatalf("malformed pass name %q from %q", p, text)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate pass name %q from %q", p, text)
+			}
+			seen[p] = true
+		}
+	})
+}

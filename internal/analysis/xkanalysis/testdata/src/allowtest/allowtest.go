@@ -1,0 +1,21 @@
+// Package allowtest feeds the driver-level suppression tests: the
+// probe analyzer reports every function whose name starts with "bad",
+// and the comments below exercise a live allow, a stale allow, and a
+// malformed one (no reason).
+package allowtest
+
+func badOne() {}
+
+//xk:allow probe — reviewed: badTwo is the driver test's live suppression
+func badTwo() {}
+
+//xk:allow probe — stale: nothing on the next line trips the probe
+func fine() {}
+
+//xk:allow probe
+func badThree() {}
+
+var _ = badOne
+var _ = badTwo
+var _ = fine
+var _ = badThree

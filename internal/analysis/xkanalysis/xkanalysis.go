@@ -4,15 +4,31 @@
 // modules, so the framework is built on the standard library alone).
 //
 // An Analyzer inspects one type-checked package (a Pass) and reports
-// Diagnostics. The framework owns the suppression mechanism shared by
-// every pass: a finding on a line covered by
+// Diagnostics. Since PR 8 the framework is interprocedural:
+//
+//   - an Analyzer may declare FactTypes and export typed facts on
+//     objects or packages; the driver (Run, in driver.go) visits
+//     packages in dependency order, so a pass importing a dependency's
+//     facts always sees them;
+//   - an Analyzer may declare Requires on other analyzers; their
+//     per-package results arrive through Pass.ResultOf (the call-graph
+//     builder in internal/analysis/callgraph is shared this way);
+//   - an Analyzer may declare a Finish hook that runs once after every
+//     package, for whole-program checks (lock-order cycles, unclosed
+//     shutdown channels) that no single package can see;
+//   - a Diagnostic may carry SuggestedFixes — textual edits that
+//     `xkvet -fix` applies.
+//
+// The framework owns the suppression mechanism shared by every pass: a
+// finding on a line covered by
 //
 //	//xk:allow <pass>[,<pass>...] — <reason>
 //
 // is dropped. The separator may be "—", "--", or ":"; the reason is
 // mandatory — an allow without one is itself reported, so suppressions
-// stay auditable. A trailing comment covers its own line; a standalone
-// comment covers the line below it.
+// stay auditable (and `xkvet -allows` audits them for staleness).
+// A trailing comment covers its own line; a standalone comment covers
+// the line below it.
 package xkanalysis
 
 import (
@@ -21,7 +37,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
@@ -32,8 +47,20 @@ type Analyzer struct {
 	// Doc states the invariant the pass enforces and the paper section
 	// it comes from.
 	Doc string
-	// Run inspects the pass and reports findings via Pass.Reportf.
-	Run func(*Pass) error
+	// Requires lists analyzers that must run on a package before this
+	// one; their results are available through Pass.ResultOf.
+	Requires []*Analyzer
+	// FactTypes declares the fact types the analyzer exports or
+	// imports; an analyzer using facts must list each type here (one
+	// zero value per type).
+	FactTypes []Fact
+	// Run inspects the pass, reports findings via Pass.Reportf, and may
+	// return a result for dependent analyzers.
+	Run func(*Pass) (any, error)
+	// Finish, if non-nil, runs once after every package has been
+	// visited — the hook for whole-program invariants assembled from
+	// exported facts.
+	Finish func(*Global) error
 }
 
 // Pass is one analyzer's view of one type-checked package.
@@ -44,18 +71,78 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf holds the results of the analyzers named in Requires,
+	// for this same package.
+	ResultOf map[*Analyzer]any
+
+	facts *factStore
 	diags []Diagnostic
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one self-contained repair for a finding; `xkvet -fix`
+// applies the first fix of each diagnostic textually.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Fixes   []SuggestedFix
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully formed finding (used when attaching fixes).
+func (p *Pass) Report(d Diagnostic) {
+	p.diags = append(p.diags, d)
+}
+
+// ExportObjectFact attaches fact to obj for dependent packages. The
+// fact must be a pointer to one of the analyzer's declared FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's type previously exported on
+// obj into ptr and reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.facts.importObject(p.Analyzer, obj, ptr)
+}
+
+// ExportPackageFact attaches fact to the current package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies the fact of ptr's type previously exported
+// on pkg into ptr and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return p.facts.importPackage(p.Analyzer, pkg, ptr)
+}
+
+// AllObjectFacts lists every object fact exported so far by this
+// analyzer, across all packages visited.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	return p.facts.allObjects(p.Analyzer)
+}
+
+// AllPackageFacts lists every package fact exported so far by this
+// analyzer, across all packages visited.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	return p.facts.allPackages(p.Analyzer)
 }
 
 // PkgIn reports whether the package's import path is, or is below, one
@@ -87,13 +174,25 @@ func FuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
 }
 
 // IsPkgLevelFunc reports whether obj is a package-level function (not a
-// method) of the package with the given import path.
-func IsPkgLevelFunc(obj *types.Func, pkgPath string) bool {
+// method) of the package with the given import path. With names given,
+// the function's name must also be one of them.
+func IsPkgLevelFunc(obj *types.Func, pkgPath string, names ...string) bool {
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
 		return false
 	}
 	sig, ok := obj.Type().(*types.Signature)
-	return ok && sig.Recv() == nil
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
 }
 
 // MethodOfPkg reports whether obj is a method whose defining package
@@ -109,75 +208,91 @@ func MethodOfPkg(obj *types.Func, pkgPath string) bool {
 // allowRe matches the head of a suppression comment.
 var allowRe = regexp.MustCompile(`^//xk:allow\s+([A-Za-z0-9_,\s]+?)\s*(?:—|--|:)\s*(.*)$`)
 
+// ParseAllow parses one //xk:allow comment's text. ok is false when the
+// comment is malformed: no recognized separator, no pass list, or an
+// empty reason. The pass-name list preserves source order with
+// duplicates removed.
+func ParseAllow(text string) (passes []string, reason string, ok bool) {
+	if !strings.HasPrefix(text, "//xk:allow") {
+		return nil, "", false
+	}
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[2]) == "" {
+		return nil, "", false
+	}
+	seen := make(map[string]bool)
+	for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if !seen[name] {
+			seen[name] = true
+			passes = append(passes, name)
+		}
+	}
+	if len(passes) == 0 {
+		return nil, "", false
+	}
+	return passes, strings.TrimSpace(m[2]), true
+}
+
 // allow is one parsed suppression comment.
 type allow struct {
-	names  map[string]bool
+	names  []string
 	line   int
+	file   string
 	reason string
 	pos    token.Pos
+	end    token.Pos
+	// used records, per pass name, whether any raw finding of that pass
+	// landed on a covered line — the staleness signal for -allows.
+	used map[string]bool
+}
+
+func (a *allow) covers(pass string, file string, line int) bool {
+	if a.file != file || (a.line != line && a.line != line-1) {
+		return false
+	}
+	for _, n := range a.names {
+		if n == pass {
+			return true
+		}
+	}
+	return false
 }
 
 // parseAllows extracts every //xk:allow comment in the files. Malformed
-// allows (no separator or no reason) are returned separately so the
-// framework can report them — a suppression must say why.
-func parseAllows(fset *token.FileSet, files []*ast.File) (allows []allow, malformed []Diagnostic) {
+// allows (no separator or no reason) are returned as diagnostics — a
+// suppression must say why — each carrying a fix that stubs in a
+// reason for the author to replace.
+func parseAllows(fset *token.FileSet, files []*ast.File) (allows []*allow, malformed []Diagnostic) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, "//xk:allow") {
 					continue
 				}
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil || strings.TrimSpace(m[2]) == "" {
+				names, reason, ok := ParseAllow(c.Text)
+				if !ok {
 					malformed = append(malformed, Diagnostic{
 						Pos:     c.Pos(),
 						Message: "malformed suppression: want //xk:allow <pass>[,<pass>...] — <reason> (the reason is required)",
+						Fixes: []SuggestedFix{{
+							Message:   "stub in a reason to make the suppression parse; replace the TODO",
+							TextEdits: []TextEdit{{Pos: c.End(), End: c.End(), NewText: []byte(" — TODO: justify this suppression")}},
+						}},
 					})
 					continue
 				}
-				a := allow{
-					names:  make(map[string]bool),
-					line:   fset.Position(c.Pos()).Line,
-					reason: strings.TrimSpace(m[2]),
+				pos := fset.Position(c.Pos())
+				allows = append(allows, &allow{
+					names:  names,
+					line:   pos.Line,
+					file:   pos.Filename,
+					reason: reason,
 					pos:    c.Pos(),
-				}
-				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-					a.names[name] = true
-				}
-				allows = append(allows, a)
+					end:    c.End(),
+					used:   make(map[string]bool),
+				})
 			}
 		}
 	}
 	return allows, malformed
-}
-
-// Execute runs the analyzer over the package and returns its findings
-// after applying //xk:allow suppressions. Malformed allow comments are
-// reported through every pass (they are findings about the suppression
-// mechanism itself, not about any one invariant).
-func Execute(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-	if err := a.Run(pass); err != nil {
-		return nil, err
-	}
-	allows, malformed := parseAllows(fset, files)
-	var kept []Diagnostic
-	for _, d := range pass.diags {
-		line := fset.Position(d.Pos).Line
-		suppressed := false
-		for _, al := range allows {
-			// A trailing allow covers its own line; a standalone allow
-			// covers the next line.
-			if al.names[a.Name] && (al.line == line || al.line == line-1) {
-				suppressed = true
-				break
-			}
-		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
-	}
-	kept = append(kept, malformed...)
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-	return kept, nil
 }

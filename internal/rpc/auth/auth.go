@@ -250,7 +250,7 @@ func (l *Layer) decodeCred(m *msg.Msg) ([]byte, error) {
 		return nil, xk.ErrBadHeader
 	}
 	d := xdr.NewDecoder(head)
-	flavor, _ := d.Uint32()
+	flavor, _ := d.Uint32() //xk:allow errflow — head is 8 bytes by the Peek above; these two words cannot underflow
 	n, _ := d.Uint32()
 	if flavor != l.mech.Flavor() {
 		return nil, fmt.Errorf("%w: flavor %d, want %d", ErrRejected, flavor, l.mech.Flavor())

@@ -315,6 +315,7 @@ func (s *ServerSession) reply(m *msg.Msg, code uint16) error {
 	sc := s.sc
 	sc.mu.Lock()
 	sc.executing = false
+	//xk:allow locksafety — write-ahead by design: Record must commit under sc.mu before the reply leaves; its fsync Schedule only enqueues, the sync handler re-locks on a later dispatch
 	err := p.cfg.Ledger.Record(s.key.ledgerKey(), ledger.Entry{
 		ClientBoot: sc.bootID,
 		Seq:        seq,
@@ -416,6 +417,7 @@ func (p *Protocol) serveRequest(h header, peer xk.IPAddr, m *msg.Msg, lls xk.Ses
 		sc.executing = false
 		// The old client incarnation can never legally ask for its
 		// reply again — retire the channel's ledger entry.
+		//xk:allow locksafety — retire must be ordered with the boot-epoch flip under sc.mu; the fsync Schedule only enqueues
 		if err := p.cfg.Ledger.Retire(lk); err != nil {
 			trace.Printf(trace.Events, p.Name(), "ledger retire chan=%d: %v", h.channel, err)
 		}

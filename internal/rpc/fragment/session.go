@@ -180,7 +180,7 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 		r = &rcvMsg{numFrags: numFrags, frags: make([]*msg.Msg, numFrags)}
 		s.rcv[h.seq] = r
 		if numFrags > 1 {
-			s.armGapTimer(h.seq, r)
+			s.armGapTimerLocked(h.seq, r)
 		}
 	} else if numFrags != r.numFrags {
 		// The collection was sized by the first fragment's claim; a
@@ -223,9 +223,9 @@ func (s *session) receiveData(h header, m *msg.Msg) error {
 	return up.Demux(s, full)
 }
 
-// armGapTimer schedules the missing-fragment chase for seq; the retry
-// policy spaces successive chases. Caller holds s.mu.
-func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
+// armGapTimerLocked schedules the missing-fragment chase for seq; the
+// retry policy spaces successive chases. Caller holds s.mu.
+func (s *session) armGapTimerLocked(seq uint32, r *rcvMsg) {
 	p := s.p
 	r.timer = p.cfg.Clock.Schedule(p.cfg.Retry.Interval(r.retries, p.cfg.GapTimeout), func() {
 		s.mu.Lock()
@@ -242,7 +242,7 @@ func (s *session) armGapTimer(seq uint32, r *rcvMsg) {
 			return
 		}
 		mask, numFrags := r.mask, r.numFrags
-		s.armGapTimer(seq, r)
+		s.armGapTimerLocked(seq, r)
 		s.mu.Unlock()
 
 		p.ctr.resendRequestsSent.Add(1)

@@ -108,6 +108,7 @@ func (p *Protocol) serveRequest(h header, m *msg.Msg, lls xk.Session) error {
 		sc.lastSeq = 0
 		sc.executing = false
 		sc.collect = nil
+		//xk:allow locksafety — retire must be ordered with the boot-epoch flip under sc.mu; the fsync Schedule only enqueues
 		if err := p.cfg.Ledger.Retire(lk); err != nil {
 			trace.Printf(trace.Events, p.Name(), "ledger retire channel=%d: %v", h.channel, err)
 		}
@@ -219,6 +220,7 @@ func (p *Protocol) execute(h header, sc *srvChan, key srvKey, handler Handler, a
 	}
 	sc.mu.Lock()
 	sc.executing = false
+	//xk:allow locksafety — write-ahead by design: Record must commit under sc.mu before the reply frames leave; its fsync Schedule only enqueues, the sync handler re-locks on a later dispatch
 	rerr := p.cfg.Ledger.Record(p.ledgerKey(key), ledger.Entry{
 		ClientBoot: sc.bootID,
 		Seq:        h.seq,

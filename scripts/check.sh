@@ -25,8 +25,18 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== xkvet (invariant analyzers, see DESIGN.md §7) =="
+echo "== xkvet (invariant analyzers, see DESIGN.md §7 and §11) =="
+# The three xkvet invocations below share one `go list` of the module
+# through a per-run metadata cache; the second writes the findings
+# document CI uploads, the third fails the run on stale suppressions.
+XKVET_LISTCACHE="$(mktemp -d)"
+export XKVET_LISTCACHE
+trap 'rm -rf "$XKVET_LISTCACHE"' EXIT
 go run ./cmd/xkvet ./...
+go run ./cmd/xkvet -json ./... > xkvet.json
+
+echo "== xkvet -allows (suppression audit) =="
+go run ./cmd/xkvet -allows ./...
 
 echo "== go test -race (with coverage profile) =="
 go test -race -covermode=atomic -coverprofile=coverage.out ./...
@@ -55,6 +65,11 @@ go test ./internal/msg/ -fuzz FuzzPushPopFragmentJoin -fuzztime 5s
 echo "== demux fuzz smoke (arbitrary frames through CHANNEL and FRAGMENT) =="
 go test ./internal/rpc/channel/ -run '^$' -fuzz FuzzChannelPop -fuzztime 5s
 go test ./internal/rpc/fragment/ -run '^$' -fuzz FuzzFragmentPop -fuzztime 5s
+
+echo "== allow-grammar fuzz smoke (xkvet suppression parser) =="
+# The //xk:allow parser gates what the analyzers silence; it must never
+# panic or accept a suppression without a pass list and a reason.
+go test ./internal/analysis/xkanalysis/ -run '^$' -fuzz FuzzAllowParse -fuzztime 5s
 
 echo "== ledger fuzz smoke (arbitrary segment bytes through recovery replay) =="
 # Replay must recover the longest valid prefix of any byte soup without
