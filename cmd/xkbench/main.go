@@ -37,12 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"xkernel/internal/bench"
 	"xkernel/internal/load"
 	"xkernel/internal/model"
+	"xkernel/internal/obs/prof"
 	"xkernel/internal/sim"
 )
 
@@ -59,7 +58,9 @@ func realMain() int {
 	threshold := flag.Float64("threshold", 25, "with -compare, the regression threshold in percent")
 	compareMode := flag.String("compare-mode", bench.CompareRelative, "with -compare: rel (normalize by table mean, machine-independent) or abs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
 	labels := flag.Bool("labels", false, "attach per-layer pprof labels during instrumented runs (with -json)")
 	flag.Parse()
 
@@ -69,32 +70,21 @@ func realMain() int {
 		opt.ProfileLabels = *labels
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	pcap := prof.Capture{
+		CPUPath:   *cpuprofile,
+		HeapPath:  *memprofile,
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
-			}
-		}()
+	if err := pcap.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+		return 1
 	}
+	defer func() {
+		if err := pcap.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+		}
+	}()
 
 	if *compare != "" {
 		code, err := runCompare(*compare, *compareMode, *threshold, opt)
@@ -160,11 +150,15 @@ func realMain() int {
 // runCompare re-measures the baseline's table and diffs the two
 // reports; the returned code is nonzero when a regression crosses the
 // threshold. Load-engine reports (xkload's BENCH_load*.json, marked
-// "kind": "load") are routed to the load comparator so one -compare
-// flag gates both report families.
+// "kind": "load") and profile reports (xkprof's, marked "kind":
+// "prof") are routed to their own comparators so one -compare flag
+// gates all three report families.
 func runCompare(path, mode string, thresholdPct float64, opt Options) (int, error) {
-	if kind, err := load.SniffKind(path); err == nil && kind == load.ReportKind {
+	switch kind, err := load.SniffKind(path); {
+	case err == nil && kind == load.ReportKind:
 		return runLoadCompare(path, mode, thresholdPct)
+	case err == nil && kind == prof.ReportKind:
+		return runProfCompare(path, mode, thresholdPct)
 	}
 	base, err := bench.ReadTableReport(path)
 	if err != nil {
@@ -175,6 +169,41 @@ func runCompare(path, mode string, thresholdPct float64, opt Options) (int, erro
 		return 1, err
 	}
 	res, err := bench.CompareReports(base, cur, mode, thresholdPct)
+	if err != nil {
+		return 1, err
+	}
+	res.Print(os.Stdout)
+	if res.Regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runProfCompare re-captures profiles over the baseline's stacks and
+// diffs the per-layer resource shares.
+func runProfCompare(path, mode string, thresholdPct float64) (int, error) {
+	base, err := prof.ReadReport(path)
+	if err != nil {
+		return 1, err
+	}
+	dir, err := os.MkdirTemp("", "xkprof-compare-")
+	if err != nil {
+		return 1, err
+	}
+	defer os.RemoveAll(dir)
+	copt := bench.CaptureOptions{Dir: dir}
+	for _, s := range base.Options.Stacks {
+		copt.Stacks = append(copt.Stacks, bench.Stack(s))
+	}
+	capRes, err := bench.CaptureProfiles(copt)
+	if err != nil {
+		return 1, err
+	}
+	cur, err := bench.ReportFromCapture(capRes)
+	if err != nil {
+		return 1, err
+	}
+	res, err := bench.CompareProfReports(base, cur, mode, thresholdPct)
 	if err != nil {
 		return 1, err
 	}

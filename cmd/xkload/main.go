@@ -13,6 +13,8 @@
 //	xkload -durability                   # durability-tax sweep (ledger × engine)
 //	xkload -json BENCH_load1.json        # write the JSON report
 //	xkload -compare BENCH_load1.json     # regression gate vs a baseline
+//	xkload -cpuprofile cpu.pb.gz -labels # profile the run, stack= labels on
+//	xkload -profile-dir profs/           # one profile set per (stack, N) cell
 //
 // With -compare the baseline's cells are re-measured (same stacks,
 // clients, payload, wire latency) and diffed; the exit status is
@@ -31,6 +33,7 @@ import (
 
 	"xkernel/internal/bench"
 	"xkernel/internal/load"
+	"xkernel/internal/obs/prof"
 )
 
 func main() {
@@ -50,6 +53,12 @@ func realMain() int {
 	compare := flag.String("compare", "", "diff a fresh measurement against this baseline BENCH_load JSON; exit nonzero on regression")
 	threshold := flag.Float64("threshold", 25, "with -compare, the regression threshold in percent")
 	compareMode := flag.String("compare-mode", bench.CompareRelative, "with -compare: rel (normalize by shared-cell mean) or abs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
+	labels := flag.Bool("labels", false, "run each client under a {stack=<name>} pprof label set")
+	profileDir := flag.String("profile-dir", "", "capture one profile set per (stack, clients) cell into this directory")
 	flag.Parse()
 
 	opt := load.Options{
@@ -58,6 +67,8 @@ func realMain() int {
 		Echo:        *echo,
 		WireLatency: *wireLatency,
 		GaugePeriod: *gaugePeriod,
+		ProfileDir:  *profileDir,
+		Labels:      *labels,
 	}
 	if *durability {
 		opt.Stacks = load.DurabilityStacks
@@ -78,6 +89,28 @@ func realMain() int {
 			opt.Clients = append(opt.Clients, n)
 		}
 	}
+
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+			return 1
+		}
+	}
+	pcap := prof.Capture{
+		CPUPath:   *cpuprofile,
+		HeapPath:  *memprofile,
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	}
+	if err := pcap.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := pcap.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+		}
+	}()
 
 	if *compare != "" {
 		code, err := runCompare(*compare, *compareMode, *threshold, opt)

@@ -14,6 +14,7 @@ func TestClockPurity(t *testing.T) {
 	analysistest.Run(t, "testdata", clockpurity.Analyzer,
 		"xkernel/internal/sim",
 		"xkernel/internal/obs",
+		"xkernel/internal/obs/prof",
 		"xkernel/internal/ledger",
 	)
 }

@@ -1,0 +1,15 @@
+// Replica of the profile subpackage: internal/obs/prof wall-times
+// capture windows and stamps reports, and like its parent obs it sits
+// outside clockpurity's scope by construction — nothing here fires.
+package prof
+
+import "time"
+
+type report struct {
+	taken time.Time
+	span  time.Duration
+}
+
+func capture(start time.Time) report {
+	return report{taken: time.Now(), span: time.Since(start)}
+}

@@ -11,6 +11,7 @@ func TestHotPathAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", hotpathalloc.Analyzer,
 		"xkernel/internal/proto/hptest",
 		"xkernel/internal/obs/obstest",
+		"xkernel/internal/obs/proftest",
 		"xkernel/internal/obs/flighttest",
 		"xkernel/internal/ledger/hltest",
 	)

@@ -1,0 +1,52 @@
+// Replica of the profile tool's split personality: the pprof decoder
+// is offline code that may allocate freely (it runs once per report,
+// not per message), but a capture boundary that interposes on the
+// message path inherits the same Push/Demux no-alloc discipline as the
+// wrap — an inert Capture must cost nothing per crossing.
+package proftest
+
+type sample struct {
+	values []int64
+	labels map[string]string
+}
+
+// decode is the offline path: not a hot method name, so the pass lets
+// it build samples, maps, and byte conversions as it pleases.
+func decode(data []byte) []sample {
+	out := make([]sample, 0, 16)
+	out = append(out, sample{
+		values: []int64{int64(len(data))},
+		labels: map[string]string{"layer": string(data)},
+	})
+	return out
+}
+
+type capture struct {
+	active bool
+	name   string
+}
+
+func (c *capture) enabled() bool { return c != nil && c.active }
+
+func (c *capture) mark(string) {}
+
+// Push is the blessed capture shape: guard first, no allocation on
+// either side of it.
+func (c *capture) Push(m []byte) error {
+	if c.enabled() {
+		c.mark(c.name)
+	}
+	return nil
+}
+
+// Demux shows the regressions the pass exists to catch — per-message
+// capture bookkeeping that allocates even while disabled.
+func (c *capture) Demux(m []byte) error {
+	tag := []byte(c.name) // want "conversion in hot path Demux"
+	_ = tag
+	if c.enabled() {
+		vals := make([]int64, 0, 2) // want "make in hot path Demux"
+		_ = vals
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xkernel/internal/obs/prof"
+)
+
+// TestCaptureProfilesLabelsAndReport drives the capture harness end to
+// end: all four profiles decode, the CPU profile carries both the
+// stack= and layer= labels the harness plants (the labels-survive
+// assertion), and the built report speaks the wrap-name layer
+// vocabulary. CPU sampling at 100Hz is sparse, so the labeled-sample
+// assertion retries a few capture windows before giving up.
+func TestCaptureProfilesLabelsAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile capture windows too long for -short")
+	}
+	var lastErr string
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := CaptureProfiles(CaptureOptions{
+			Dir:      t.TempDir(),
+			Stacks:   []Stack{ChanFragVIP},
+			PerStack: 350 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RPCs == 0 {
+			t.Fatal("capture completed zero round trips")
+		}
+
+		cpu, err := prof.ParseFile(res.CPUPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var haveStack, haveBoth bool
+		for i := range cpu.Samples {
+			s := &cpu.Samples[i]
+			if s.Label(prof.LabelStack) == string(ChanFragVIP) {
+				haveStack = true
+				if s.Label(prof.LabelLayer) != "" {
+					haveBoth = true
+					break
+				}
+			}
+		}
+		if !haveBoth {
+			lastErr = "no CPU sample carries both stack= and layer= labels"
+			if !haveStack {
+				lastErr = "no CPU sample carries the stack= label"
+			}
+			continue
+		}
+
+		rep, err := ReportFromCapture(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kind != prof.ReportKind || len(rep.Layers) == 0 {
+			t.Fatalf("report: kind %q, %d layers", rep.Kind, len(rep.Layers))
+		}
+		if rep.Options.RPCs != res.RPCs || len(rep.Options.Stacks) != 1 {
+			t.Fatalf("report options: %+v", rep.Options)
+		}
+		// At least one layer must be a host-prefixed wrap name — the
+		// vocabulary the anatomy table prints.
+		var wrapNamed bool
+		for _, l := range rep.Layers {
+			if strings.HasPrefix(l.Layer, "client/") || strings.HasPrefix(l.Layer, "server/") {
+				wrapNamed = true
+				break
+			}
+		}
+		if !wrapNamed {
+			names := make([]string, 0, len(rep.Layers))
+			for _, l := range rep.Layers {
+				names = append(names, l.Layer)
+			}
+			lastErr = "no wrap-named layer in report: " + strings.Join(names, ", ")
+			continue
+		}
+		return
+	}
+	t.Skipf("after 3 capture windows: %s (starved CI machine)", lastErr)
+}
+
+func profReport(layers ...prof.LayerRow) *prof.Report {
+	rep := &prof.Report{Kind: prof.ReportKind, Layers: layers}
+	for _, l := range layers {
+		rep.CPUTotalNs += l.CPUSelfNs
+		rep.AllocBytes += l.AllocBytes
+		rep.MutexNs += l.MutexNs
+	}
+	return rep
+}
+
+func TestCompareProfReportsRelative(t *testing.T) {
+	base := profReport(
+		prof.LayerRow{Layer: "client/channel", CPUSharePct: 40, AllocSharePct: 30},
+		prof.LayerRow{Layer: "client/vip", CPUSharePct: 20, AllocSharePct: 10},
+		prof.LayerRow{Layer: "wire", CPUSharePct: 40, AllocSharePct: 60},
+	)
+	cur := profReport(
+		prof.LayerRow{Layer: "client/channel", CPUSharePct: 55, AllocSharePct: 30},
+		prof.LayerRow{Layer: "client/vip", CPUSharePct: 15, AllocSharePct: 10},
+		prof.LayerRow{Layer: "wire", CPUSharePct: 30, AllocSharePct: 60},
+	)
+	res, err := CompareProfReports(base, cur, CompareRelative, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (channel cpu share +15pts): %+v", res.Regressions, res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.Regressed && (row.Stack != "client/channel" || row.Metric != "cpu_share_pct") {
+			t.Errorf("unexpected regression: %+v", row)
+		}
+	}
+	// Shrinking share never regresses.
+	res, err = CompareProfReports(cur, base, CompareRelative, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Regressed && row.Stack == "client/vip" {
+			t.Errorf("share shrink flagged as regression: %+v", row)
+		}
+	}
+}
+
+func TestCompareProfReportsAbsolute(t *testing.T) {
+	base := profReport(prof.LayerRow{Layer: "channel", CPUSelfNs: 1000, AllocBytes: 100, MutexNs: 10})
+	cur := profReport(prof.LayerRow{Layer: "channel", CPUSelfNs: 2000, AllocBytes: 100, MutexNs: 10})
+	res, err := CompareProfReports(base, cur, CompareAbsolute, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", res.Regressions, res.Rows)
+	}
+}
+
+func TestCompareProfReportsMissingAndModes(t *testing.T) {
+	base := profReport(
+		prof.LayerRow{Layer: "channel", CPUSharePct: 50},
+		prof.LayerRow{Layer: "gone", CPUSharePct: 50},
+		prof.LayerRow{Layer: "dust", CPUSharePct: 0.5},
+	)
+	cur := profReport(prof.LayerRow{Layer: "channel", CPUSharePct: 50})
+	res, err := CompareProfReports(base, cur, CompareRelative, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 1 || !strings.Contains(res.Missing[0], "gone") {
+		t.Fatalf("missing = %v, want the big layer only (dust is below the floor)", res.Missing)
+	}
+	if _, err := CompareProfReports(base, cur, "bogus", 10); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	empty := &prof.Report{Kind: prof.ReportKind}
+	if _, err := CompareProfReports(empty, cur, CompareRelative, 10); err == nil {
+		t.Fatal("disjoint reports accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"xkernel/internal/obs/prof"
+)
+
+// profMinSharePct is the floor below which a layer's share of a
+// resource is noise: tiny layers flap by whole multiples between runs,
+// so only layers holding at least this share on either side are
+// compared (or reported missing).
+const profMinSharePct = 2.0
+
+// noRegress disables the regression check for a metric that is
+// reported for information only (mutex shares in relative mode).
+const noRegress = 101.0
+
+// CompareProfReports diffs two per-layer resource-anatomy reports.
+//
+// In relative mode the compared quantity is each layer's *share* of
+// the profile-wide total (CPU self %, alloc bytes %, lock-wait %), and
+// DeltaPct is the difference in percentage points. Shares already
+// divide machine speed out — a faster machine shrinks every layer's
+// nanoseconds but not its slice of the pie — so a committed baseline
+// stays comparable across hardware, and what the gate catches is a
+// layer growing its slice: an allocation slipped into the msg path, a
+// lock reintroduced in channel. A layer regresses when its share grows
+// by more than thresholdPct points.
+//
+// Mutex shares are reported but never regress in relative mode: a
+// short capture records only a handful of contention events, so which
+// layer happens to catch them swings by tens of points between
+// identical runs. CPU and alloc shares rest on thousands of samples
+// and carry the gate.
+//
+// Absolute mode diffs raw self values (CPU ns, alloc bytes, lock-wait
+// ns) as percentages, right only when both runs used the same machine
+// and duration.
+func CompareProfReports(base, cur *prof.Report, mode string, thresholdPct float64) (*CompareResult, error) {
+	if mode != CompareAbsolute && mode != CompareRelative {
+		return nil, fmt.Errorf("prof: unknown compare mode %q (want %s or %s)", mode, CompareAbsolute, CompareRelative)
+	}
+	res := &CompareResult{Mode: mode, ThresholdPct: thresholdPct}
+
+	baseBy := make(map[string]*prof.LayerRow, len(base.Layers))
+	for i := range base.Layers {
+		baseBy[base.Layers[i].Layer] = &base.Layers[i]
+	}
+	type pair struct{ b, c *prof.LayerRow }
+	var shared []pair
+	for i := range cur.Layers {
+		c := &cur.Layers[i]
+		if b, ok := baseBy[c.Layer]; ok {
+			shared = append(shared, pair{b, c})
+			delete(baseBy, c.Layer)
+		} else if bigEnough(c) {
+			res.Missing = append(res.Missing, c.Layer+" (current only)")
+		}
+	}
+	for name, b := range baseBy {
+		if bigEnough(b) {
+			res.Missing = append(res.Missing, name+" (baseline only)")
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("prof: reports share no layers")
+	}
+
+	for _, p := range shared {
+		if mode == CompareRelative {
+			addShare(res, p.c.Layer, "cpu_share_pct", p.b.CPUSharePct, p.c.CPUSharePct, thresholdPct)
+			addShare(res, p.c.Layer, "alloc_share_pct", p.b.AllocSharePct, p.c.AllocSharePct, thresholdPct)
+			addShare(res, p.c.Layer, "mutex_share_pct", p.b.MutexSharePct, p.c.MutexSharePct, noRegress)
+			continue
+		}
+		addAbs(res, p.c.Layer, "cpu_self_ns", float64(p.b.CPUSelfNs), float64(p.c.CPUSelfNs), thresholdPct)
+		addAbs(res, p.c.Layer, "alloc_bytes", float64(p.b.AllocBytes), float64(p.c.AllocBytes), thresholdPct)
+		addAbs(res, p.c.Layer, "mutex_ns", float64(p.b.MutexNs), float64(p.c.MutexNs), thresholdPct)
+	}
+	return res, nil
+}
+
+func bigEnough(l *prof.LayerRow) bool {
+	return l.CPUSharePct >= profMinSharePct ||
+		l.AllocSharePct >= profMinSharePct ||
+		l.MutexSharePct >= profMinSharePct
+}
+
+// addShare records one share-of-total comparison; DeltaPct is in
+// percentage points, and only growth beyond the threshold regresses.
+func addShare(res *CompareResult, layer, metric string, b, c, threshold float64) {
+	if b < profMinSharePct && c < profMinSharePct {
+		return
+	}
+	row := CompareRow{
+		Stack: layer, Metric: metric,
+		Base: b, Current: c, DeltaPct: c - b,
+		Regressed: c-b > threshold,
+	}
+	if row.Regressed {
+		res.Regressions++
+	}
+	res.Rows = append(res.Rows, row)
+}
+
+func addAbs(res *CompareResult, layer, metric string, b, c, threshold float64) {
+	if b == 0 {
+		return
+	}
+	delta := 100 * (c - b) / b
+	row := CompareRow{
+		Stack: layer, Metric: metric,
+		Base: b, Current: c, DeltaPct: delta,
+		Regressed: delta > threshold,
+	}
+	if row.Regressed {
+		res.Regressions++
+	}
+	res.Rows = append(res.Rows, row)
+}

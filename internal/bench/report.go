@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"time"
 
 	"xkernel/internal/obs"
@@ -75,23 +77,41 @@ func tableStacks(n int) ([]Stack, string, error) {
 // instrumentedLayers rebuilds the stack with a wrap at every boundary,
 // drives rpcs null round trips, and returns the per-layer snapshots.
 // Counting starts after warmup, so session setup (opens, ARP) and
-// first-use costs do not pollute the steady-state numbers.
+// first-use costs do not pollute the steady-state numbers. With labels
+// on, the loop runs under {stack=<name>, layer=app} and the meter's
+// ambient context carries the stack label through every boundary, so a
+// CPU profile of the run attributes each sample to both a
+// configuration and a layer.
 func instrumentedLayers(stack Stack, rpcs int, labels bool) ([]obs.LayerSnapshot, error) {
 	tb, m, err := BuildInstrumented(stack, sim.Config{}, nil)
 	if err != nil {
 		return nil, err
 	}
-	m.SetProfileLabels(labels)
-	for i := 0; i < 10; i++ {
-		if err := tb.End.RoundTrip(nil); err != nil {
-			return nil, err
+	if labels {
+		ctx := pprof.WithLabels(context.Background(), pprof.Labels("stack", string(stack)))
+		m.SetProfileContext(ctx)
+		m.SetProfileLabels(true)
+	}
+	drive := func() {
+		for i := 0; i < 10; i++ {
+			if err = tb.End.RoundTrip(nil); err != nil {
+				return
+			}
+		}
+		m.Reset()
+		for i := 0; i < rpcs; i++ {
+			if err = tb.End.RoundTrip(nil); err != nil {
+				return
+			}
 		}
 	}
-	m.Reset()
-	for i := 0; i < rpcs; i++ {
-		if err := tb.End.RoundTrip(nil); err != nil {
-			return nil, err
-		}
+	if labels {
+		pprof.Do(m.ProfileContext(), pprof.Labels("layer", "app"), func(context.Context) { drive() })
+	} else {
+		drive()
+	}
+	if err != nil {
+		return nil, err
 	}
 	if tb.Collect != nil {
 		tb.Collect()

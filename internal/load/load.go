@@ -15,7 +15,10 @@
 package load
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"xkernel/internal/event"
 	"xkernel/internal/obs"
 	"xkernel/internal/obs/gauge"
+	"xkernel/internal/obs/prof"
 	"xkernel/internal/sim"
 )
 
@@ -82,6 +86,16 @@ type Options struct {
 	// per-client in-flight). Zero means gauge.DefaultPeriod; negative
 	// disables gauge collection entirely.
 	GaugePeriod time.Duration
+	// ProfileDir, when set, records one profile set per (stack,
+	// clients) cell into this directory —
+	// <stack>_c<N>.{cpu,heap,mutex,block}.pb.gz — scoped to the
+	// measured window, so the mutex/block sampling rates cost nothing
+	// during warmup or between cells. xkprof decodes the files.
+	ProfileDir string
+	// Labels runs each client's loop under a {stack=<name>} pprof
+	// label set, so one CPU profile spanning the whole sweep still
+	// attributes samples per stack.
+	Labels bool
 }
 
 func (o *Options) fill() {
@@ -297,17 +311,24 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 		go func(i int, ep bench.Endpoint) {
 			defer wg.Done()
 			<-start
-			for !stop.Load() {
-				t0 := time.Now()
-				inflight[i].Add(1)
-				err := call(ep)
-				inflight[i].Add(-1)
-				if err != nil {
-					errs.Add(1)
-					continue
+			loop := func() {
+				for !stop.Load() {
+					t0 := time.Now()
+					inflight[i].Add(1)
+					err := call(ep)
+					inflight[i].Add(-1)
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					hist.Observe(time.Since(t0))
+					counts[i].Add(1)
 				}
-				hist.Observe(time.Since(t0))
-				counts[i].Add(1)
+			}
+			if opt.Labels {
+				pprof.Do(context.Background(), pprof.Labels("stack", string(stack)), func(context.Context) { loop() })
+			} else {
+				loop()
 			}
 		}(i, ep)
 	}
@@ -339,6 +360,24 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 		sampler = gauge.NewSampler(set, event.Real(), opt.GaugePeriod)
 	}
 
+	// Profile capture is scoped to the measured window: sampling rates
+	// are raised just before the clients start and restored right after
+	// they stop.
+	var pcap prof.Capture
+	if opt.ProfileDir != "" {
+		stem := filepath.Join(opt.ProfileDir, fmt.Sprintf("%s_c%d", stack, clients))
+		pcap = prof.Capture{
+			CPUPath:       stem + ".cpu.pb.gz",
+			HeapPath:      stem + ".heap.pb.gz",
+			MutexPath:     stem + ".mutex.pb.gz",
+			BlockPath:     stem + ".block.pb.gz",
+			MutexFraction: 1,
+		}
+		if err := pcap.Start(); err != nil {
+			return nil, err
+		}
+	}
+
 	t0 := time.Now()
 	close(start)
 	if sampler != nil {
@@ -350,6 +389,9 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 	elapsed := time.Since(t0)
 	if sampler != nil {
 		sampler.Stop()
+	}
+	if err := pcap.Stop(); err != nil {
+		return nil, err
 	}
 
 	var total int64

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileExtremes pins the ends of the quantile range: q=0 is the
+// bucket holding the smallest observation, q=1 the bucket holding the
+// largest, and out-of-range q clamps rather than walking off the
+// bucket array.
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("empty histogram must report zero at any quantile")
+	}
+
+	durations := []time.Duration{
+		100 * time.Nanosecond, // bucket 0, upper 256
+		10 * time.Microsecond, // upper 16384
+		time.Millisecond,      // upper 1048576
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+
+	if got := h.Quantile(0).Nanoseconds(); got != 256 {
+		t.Errorf("q=0 = %dns, want the min's bucket upper 256", got)
+	}
+	if got := h.Quantile(1).Nanoseconds(); got != 1048576 {
+		t.Errorf("q=1 = %dns, want the max's bucket upper 1048576", got)
+	}
+	// q past 1 clamps to the last observation, not past the array.
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("q=2 = %v, want clamp to q=1's %v", got, want)
+	}
+	// Negative q clamps to the first observation's bucket.
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("q=-0.5 = %v, want clamp to q=0's %v", got, want)
+	}
+}
+
+// TestQuantileSingleObservation: with one sample every quantile names
+// that sample's bucket.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(500 * time.Nanosecond) // bucket [256,512), upper 512
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q).Nanoseconds(); got != 512 {
+			t.Errorf("q=%.2f = %dns, want 512", q, got)
+		}
+	}
+}
+
+// TestSnapshotQuantileConsistency: a snapshot's derived fields must
+// agree with the live histogram's methods, and its bucket counts must
+// sum to Count — including after a merge, so report-time aggregation
+// cannot drift from the per-shard truth.
+func TestSnapshotQuantileConsistency(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 1; i <= 50; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+
+	s := a.Snapshot()
+	if s.Count != 150 {
+		t.Fatalf("count = %d, want 150", s.Count)
+	}
+	if got := a.Quantile(0.50).Nanoseconds(); s.P50Ns != got {
+		t.Errorf("snapshot P50 %d != Quantile(0.50) %d", s.P50Ns, got)
+	}
+	if got := a.Quantile(0.99).Nanoseconds(); s.P99Ns != got {
+		t.Errorf("snapshot P99 %d != Quantile(0.99) %d", s.P99Ns, got)
+	}
+	if got := a.Mean().Nanoseconds(); s.MeanNs != got {
+		t.Errorf("snapshot mean %d != Mean() %d", s.MeanNs, got)
+	}
+	var total int64
+	for i, bk := range s.Buckets {
+		total += bk.Count
+		if i > 0 && s.Buckets[i-1].UpperNs >= bk.UpperNs {
+			t.Errorf("snapshot buckets out of order at %d: %+v", i, s.Buckets)
+		}
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	// Quantiles are monotone in q.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		v := a.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%.2f) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

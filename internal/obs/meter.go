@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -102,11 +103,12 @@ func (ls *LayerStats) Snapshot(name string) LayerSnapshot {
 // guarded by a mutex, but Layer handles are meant to be resolved once
 // at wrap time — the message path only touches atomics.
 type Meter struct {
-	mu     sync.Mutex
-	layers map[string]*LayerStats
-	tracer atomic.Pointer[Tracer]
-	spans  atomic.Pointer[span.Recorder]
-	labels atomic.Bool
+	mu       sync.Mutex
+	layers   map[string]*LayerStats
+	tracer   atomic.Pointer[Tracer]
+	spans    atomic.Pointer[span.Recorder]
+	labels   atomic.Bool
+	labelCtx atomic.Pointer[context.Context]
 }
 
 // NewMeter returns an empty meter.
@@ -174,6 +176,29 @@ func (m *Meter) SetProfileLabels(on bool) {
 // ProfileLabels reports whether boundary labelling is on.
 func (m *Meter) ProfileLabels() bool {
 	return m.labels.Load()
+}
+
+// SetProfileContext stores the context whose pprof labels every
+// boundary label set extends. A pprof.Do at a boundary replaces the
+// goroutine's label set with the given context's labels plus its own,
+// so without an ambient context the harness's {stack=<name>} label
+// would vanish inside the first instrumented layer. Pass nil to reset
+// to the background context.
+func (m *Meter) SetProfileContext(ctx context.Context) {
+	if ctx == nil {
+		m.labelCtx.Store(nil)
+		return
+	}
+	m.labelCtx.Store(&ctx)
+}
+
+// ProfileContext reports the ambient label context, background when
+// none was set.
+func (m *Meter) ProfileContext() context.Context {
+	if p := m.labelCtx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
 }
 
 // Snapshot copies every layer's stats, sorted by layer name.

@@ -1,0 +1,160 @@
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Capture bundles the four profile outputs a run can record. Paths
+// left empty are skipped; a Capture with no paths is inert — Start and
+// Stop are guard-first no-ops that do not allocate, the same contract
+// the flight recorder keeps while disabled — so callers can thread one
+// through unconditionally.
+type Capture struct {
+	CPUPath   string
+	HeapPath  string
+	MutexPath string
+	BlockPath string
+
+	// MutexFraction is the sampling rate handed to
+	// runtime.SetMutexProfileFraction while the capture is live
+	// (1 = every contention event; 0 means the default of 1 here,
+	// since a capture that asked for a mutex profile wants samples).
+	MutexFraction int
+	// BlockRate is the nanoseconds granularity for
+	// runtime.SetBlockProfileRate (0 means 100µs).
+	BlockRate int
+
+	cpuFile  *os.File
+	restores []func()
+	started  bool
+}
+
+// Active reports whether any profile output is requested.
+func (c *Capture) Active() bool {
+	if c == nil {
+		return false
+	}
+	return c.CPUPath != "" || c.HeapPath != "" || c.MutexPath != "" || c.BlockPath != ""
+}
+
+// Start begins CPU profiling and scopes the mutex/block sampling rates
+// to the capture window, so steady-state code pays the bookkeeping
+// only while a profile is actually wanted. Stop must follow.
+func (c *Capture) Start() error {
+	if !c.Active() {
+		return nil
+	}
+	if c.started {
+		return fmt.Errorf("prof: capture already started")
+	}
+	if c.MutexPath != "" {
+		frac := c.MutexFraction
+		if frac <= 0 {
+			frac = 1
+		}
+		prev := runtime.SetMutexProfileFraction(frac)
+		c.restores = append(c.restores, func() { runtime.SetMutexProfileFraction(prev) })
+	}
+	if c.BlockPath != "" {
+		rate := c.BlockRate
+		if rate <= 0 {
+			rate = 100_000
+		}
+		runtime.SetBlockProfileRate(rate)
+		c.restores = append(c.restores, func() { runtime.SetBlockProfileRate(0) })
+	}
+	if c.CPUPath != "" {
+		f, err := os.Create(c.CPUPath)
+		if err != nil {
+			c.unwind()
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			c.unwind()
+			return fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	c.started = true
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap, mutex, and block
+// profiles, then restores the runtime sampling rates. It returns the
+// first error but always restores.
+func (c *Capture) Stop() error {
+	if !c.Active() {
+		return nil
+	}
+	if !c.started {
+		return fmt.Errorf("prof: capture not started")
+	}
+	c.started = false
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+		c.cpuFile = nil
+	}
+	if c.HeapPath != "" {
+		keep(WriteHeapProfile(c.HeapPath))
+	}
+	if c.MutexPath != "" {
+		keep(WriteLookup("mutex", c.MutexPath))
+	}
+	if c.BlockPath != "" {
+		keep(WriteLookup("block", c.BlockPath))
+	}
+	c.unwind()
+	return first
+}
+
+func (c *Capture) unwind() {
+	for i := len(c.restores) - 1; i >= 0; i-- {
+		c.restores[i]()
+	}
+	c.restores = nil
+}
+
+// WriteHeapProfile garbage-collects and then writes the heap profile,
+// so the dump reflects live heap and up-to-date allocation totals
+// rather than whatever the last background GC happened to see.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: write heap profile: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteLookup writes a named runtime profile ("mutex", "block",
+// "allocs", "goroutine", ...) in protobuf form.
+func WriteLookup(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("prof: no profile named %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: write %s profile: %w", name, err)
+	}
+	return f.Close()
+}

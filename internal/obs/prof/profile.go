@@ -1,0 +1,458 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ValueType names one sample dimension: a measurement type and its
+// unit, e.g. {"cpu", "nanoseconds"} or {"alloc_space", "bytes"}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Label is one key/value annotation on a sample. Go's runtime emits
+// pprof.Do goroutine labels as string labels on CPU samples; heap,
+// mutex, and block samples carry no labels (the runtime does not
+// thread goroutine labels through those profiles), which is why the
+// attribution in attr.go needs the package-path fallback.
+type Label struct {
+	Key string `json:"key"`
+	// Str is the string value; Num/NumUnit carry numeric labels
+	// (bytes-per-object on heap samples).
+	Str     string `json:"str,omitempty"`
+	Num     int64  `json:"num,omitempty"`
+	NumUnit string `json:"num_unit,omitempty"`
+}
+
+// Frame is one resolved stack frame. Inlined callees appear as
+// separate frames sharing their caller's location.
+type Frame struct {
+	// Function is the fully qualified name as the runtime spells it,
+	// e.g. "xkernel/internal/rpc/channel.(*Protocol).serveRequest".
+	Function string `json:"function"`
+	File     string `json:"file,omitempty"`
+	Line     int64  `json:"line,omitempty"`
+}
+
+// Sample is one measured stack: the per-dimension values and the
+// frames, leaf first (Stack[0] is where the clock tick or allocation
+// landed; the last frame is the outermost caller).
+type Sample struct {
+	Values []int64 `json:"values"`
+	Labels []Label `json:"labels,omitempty"`
+	Stack  []Frame `json:"stack"`
+}
+
+// Label reports the sample's string label for key, "" when absent.
+func (s *Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key && l.Str != "" {
+			return l.Str
+		}
+	}
+	return ""
+}
+
+// Profile is a decoded pprof profile: the sample dimensions and the
+// resolved samples, with string/function/location indirections already
+// flattened away.
+type Profile struct {
+	SampleTypes []ValueType `json:"sample_types"`
+	// DefaultSampleType is the dimension pprof would display by
+	// default ("" when the profile does not say).
+	DefaultSampleType string    `json:"default_sample_type,omitempty"`
+	PeriodType        ValueType `json:"period_type,omitempty"`
+	Period            int64     `json:"period,omitempty"`
+	TimeNanos         int64     `json:"time_nanos,omitempty"`
+	DurationNanos     int64     `json:"duration_nanos,omitempty"`
+	Samples           []Sample  `json:"samples"`
+	Comments          []string  `json:"comments,omitempty"`
+}
+
+// ValueIndex reports the index of the sample dimension named typ, -1
+// when the profile has no such dimension.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasSampleType reports whether the profile carries the dimension.
+func (p *Profile) HasSampleType(typ string) bool { return p.ValueIndex(typ) >= 0 }
+
+// rawLocation is a location before function resolution: one address
+// with its (possibly inlined) line records.
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawLine struct {
+	functionID uint64
+	line       int64
+}
+
+type rawFunction struct {
+	id       uint64
+	name     int64
+	filename int64
+}
+
+// gzipMagic is the two-byte gzip header; Go's runtime always
+// compresses profiles, but the reader accepts raw encodings too (other
+// writers, tests).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ParseFile reads and decodes one profile file (gzipped or raw).
+func ParseFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes a pprof profile from its serialized bytes, inflating
+// the gzip layer when present.
+func Parse(data []byte) (*Profile, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		inflated, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		data = inflated
+	}
+	return parseProfile(data)
+}
+
+// Field numbers of the profile.proto messages the reader understands;
+// see DESIGN.md §12 for the supported subset.
+const (
+	// Profile
+	fProfileSampleType        = 1
+	fProfileSample            = 2
+	fProfileLocation          = 4
+	fProfileFunction          = 5
+	fProfileStringTable       = 6
+	fProfileTimeNanos         = 9
+	fProfileDurationNanos     = 10
+	fProfilePeriodType        = 11
+	fProfilePeriod            = 12
+	fProfileComment           = 13
+	fProfileDefaultSampleType = 14
+
+	// ValueType
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	// Sample
+	fSampleLocationID = 1
+	fSampleValue      = 2
+	fSampleLabel      = 3
+
+	// Label
+	fLabelKey     = 1
+	fLabelStr     = 2
+	fLabelNum     = 3
+	fLabelNumUnit = 4
+
+	// Location
+	fLocationID   = 1
+	fLocationLine = 4
+
+	// Line
+	fLineFunctionID = 1
+	fLineLine       = 2
+
+	// Function
+	fFunctionID       = 1
+	fFunctionName     = 2
+	fFunctionFilename = 4
+)
+
+// rawSample defers label/stack resolution until the string table and
+// function/location indexes are complete (the schema allows them to
+// follow the samples).
+type rawSample struct {
+	locationIDs []uint64
+	values      []int64
+	labels      []rawLabel
+}
+
+type rawLabel struct {
+	key, str, numUnit int64
+	num               int64
+}
+
+type rawValueType struct{ typ, unit int64 }
+
+func parseProfile(data []byte) (*Profile, error) {
+	var (
+		strings     []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		periodType  rawValueType
+		comments    []int64
+		defaultType int64
+		prof        = &Profile{}
+	)
+
+	err := scanFields(data, func(f field) error {
+		switch f.num {
+		case fProfileStringTable:
+			strings = append(strings, string(f.bytes))
+		case fProfileSampleType:
+			vt, err := parseValueType(f.bytes)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case fProfilePeriodType:
+			vt, err := parseValueType(f.bytes)
+			if err != nil {
+				return err
+			}
+			periodType = vt
+		case fProfileSample:
+			s, err := parseSample(f.bytes)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case fProfileLocation:
+			loc, err := parseLocation(f.bytes)
+			if err != nil {
+				return err
+			}
+			locations = append(locations, loc)
+		case fProfileFunction:
+			fn, err := parseFunction(f.bytes)
+			if err != nil {
+				return err
+			}
+			functions = append(functions, fn)
+		case fProfileTimeNanos:
+			prof.TimeNanos = i64(f.val)
+		case fProfileDurationNanos:
+			prof.DurationNanos = i64(f.val)
+		case fProfilePeriod:
+			prof.Period = i64(f.val)
+		case fProfileComment:
+			var err error
+			comments, err = appendPackedInt64(comments, f)
+			return err
+		case fProfileDefaultSampleType:
+			defaultType = i64(f.val)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strings)) {
+			return "", fmt.Errorf("prof: string index %d out of range (table size %d)", i, len(strings))
+		}
+		return strings[i], nil
+	}
+
+	for _, vt := range sampleTypes {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		prof.SampleTypes = append(prof.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if periodType != (rawValueType{}) {
+		t, err := str(periodType.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(periodType.unit)
+		if err != nil {
+			return nil, err
+		}
+		prof.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	if defaultType != 0 {
+		if prof.DefaultSampleType, err = str(defaultType); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range comments {
+		s, err := str(c)
+		if err != nil {
+			return nil, err
+		}
+		prof.Comments = append(prof.Comments, s)
+	}
+
+	fnByID := make(map[uint64]rawFunction, len(functions))
+	for _, fn := range functions {
+		fnByID[fn.id] = fn
+	}
+	// Pre-resolve every location into its frame slice; a location with
+	// inlined calls yields one frame per line record, leaf-most first
+	// (the order profile.proto specifies).
+	framesByLoc := make(map[uint64][]Frame, len(locations))
+	for _, loc := range locations {
+		frames := make([]Frame, 0, len(loc.lines))
+		for _, ln := range loc.lines {
+			fr := Frame{Line: ln.line}
+			if fn, ok := fnByID[ln.functionID]; ok {
+				if fr.Function, err = str(fn.name); err != nil {
+					return nil, err
+				}
+				if fr.File, err = str(fn.filename); err != nil {
+					return nil, err
+				}
+			}
+			frames = append(frames, fr)
+		}
+		framesByLoc[loc.id] = frames
+	}
+
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, id := range rs.locationIDs {
+			s.Stack = append(s.Stack, framesByLoc[id]...)
+		}
+		for _, rl := range rs.labels {
+			l := Label{Num: rl.num}
+			if l.Key, err = str(rl.key); err != nil {
+				return nil, err
+			}
+			if rl.str != 0 {
+				if l.Str, err = str(rl.str); err != nil {
+					return nil, err
+				}
+			}
+			if rl.numUnit != 0 {
+				if l.NumUnit, err = str(rl.numUnit); err != nil {
+					return nil, err
+				}
+			}
+			s.Labels = append(s.Labels, l)
+		}
+		if len(s.Values) != len(prof.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample has %d values, profile has %d sample types",
+				len(s.Values), len(prof.SampleTypes))
+		}
+		prof.Samples = append(prof.Samples, s)
+	}
+	return prof, nil
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	var vt rawValueType
+	err := scanFields(data, func(f field) error {
+		switch f.num {
+		case fValueTypeType:
+			vt.typ = i64(f.val)
+		case fValueTypeUnit:
+			vt.unit = i64(f.val)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	err := scanFields(data, func(f field) error {
+		var err error
+		switch f.num {
+		case fSampleLocationID:
+			s.locationIDs, err = appendPacked(s.locationIDs, f)
+		case fSampleValue:
+			s.values, err = appendPackedInt64(s.values, f)
+		case fSampleLabel:
+			var l rawLabel
+			if err = scanFields(f.bytes, func(lf field) error {
+				switch lf.num {
+				case fLabelKey:
+					l.key = i64(lf.val)
+				case fLabelStr:
+					l.str = i64(lf.val)
+				case fLabelNum:
+					l.num = i64(lf.val)
+				case fLabelNumUnit:
+					l.numUnit = i64(lf.val)
+				}
+				return nil
+			}); err == nil {
+				s.labels = append(s.labels, l)
+			}
+		}
+		return err
+	})
+	return s, err
+}
+
+func parseLocation(data []byte) (rawLocation, error) {
+	var loc rawLocation
+	err := scanFields(data, func(f field) error {
+		switch f.num {
+		case fLocationID:
+			loc.id = f.val
+		case fLocationLine:
+			var ln rawLine
+			if err := scanFields(f.bytes, func(lf field) error {
+				switch lf.num {
+				case fLineFunctionID:
+					ln.functionID = lf.val
+				case fLineLine:
+					ln.line = i64(lf.val)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			loc.lines = append(loc.lines, ln)
+		}
+		return nil
+	})
+	return loc, err
+}
+
+func parseFunction(data []byte) (rawFunction, error) {
+	var fn rawFunction
+	err := scanFields(data, func(f field) error {
+		switch f.num {
+		case fFunctionID:
+			fn.id = f.val
+		case fFunctionName:
+			fn.name = i64(f.val)
+		case fFunctionFilename:
+			fn.filename = i64(f.val)
+		}
+		return nil
+	})
+	return fn, err
+}

@@ -1,0 +1,157 @@
+// Package prof is the compute-side twin of the latency anatomy: it
+// decodes pprof profiles (CPU, heap, mutex, block) with nothing but the
+// standard library, attributes every sample to a protocol layer — via
+// the pprof.Do stack=/layer= labels the bench harness plants, falling
+// back to package-path attribution for unlabeled frames — and reports
+// per-layer CPU nanoseconds, allocation bytes/objects, and lock-wait
+// nanoseconds the way xkanatomy reports per-layer microseconds.
+//
+// The decoder is a hand-rolled protobuf wire-format reader in the same
+// spirit as internal/analysis's stdlib-only go/analysis analogue: the
+// pprof profile.proto schema is small, stable, and versioned by field
+// number, so a purpose-built reader for the subset Go's runtime emits
+// (documented in DESIGN.md §12) costs a few hundred lines and zero
+// dependencies. Decoding is offline and free to allocate; the
+// capture-side helpers in capture.go follow the flight recorder's
+// guard-first contract and stay zero-alloc while disabled.
+package prof
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire types of the protobuf encoding; the profile schema only ever
+// uses varint and length-delimited fields (plus the fixed types, which
+// the reader accepts for completeness).
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// errTruncated is returned whenever a field promises more bytes than
+// the buffer holds — corrupt or truncated input, never a panic.
+var errTruncated = fmt.Errorf("prof: truncated protobuf input")
+
+// readVarint decodes one base-128 varint at data[pos:]. It returns the
+// value and the position after it.
+func readVarint(data []byte, pos int) (uint64, int, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if pos >= len(data) {
+			return 0, 0, errTruncated
+		}
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("prof: varint overflows 64 bits")
+}
+
+// field is one decoded protobuf field: the field number, and exactly
+// one of num (varint/fixed values) or bytes (length-delimited values)
+// depending on the wire type.
+type field struct {
+	num   int
+	wire  int
+	val   uint64
+	bytes []byte
+}
+
+// scanFields iterates the fields of one message body, calling f for
+// each. Unknown fields are passed through like any other; callers
+// ignore the field numbers they do not handle, which is what makes the
+// reader forward-compatible with schema additions.
+func scanFields(data []byte, f func(field) error) error {
+	pos := 0
+	for pos < len(data) {
+		tag, next, err := readVarint(data, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		fld := field{num: int(tag >> 3), wire: int(tag & 7)}
+		if fld.num == 0 {
+			return fmt.Errorf("prof: field number 0 at offset %d", pos)
+		}
+		switch fld.wire {
+		case wireVarint:
+			fld.val, pos, err = readVarint(data, pos)
+			if err != nil {
+				return err
+			}
+		case wireFixed64:
+			if pos+8 > len(data) {
+				return errTruncated
+			}
+			fld.val = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		case wireFixed32:
+			if pos+4 > len(data) {
+				return errTruncated
+			}
+			fld.val = uint64(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		case wireBytes:
+			n, next, err := readVarint(data, pos)
+			if err != nil {
+				return err
+			}
+			pos = next
+			if n > uint64(len(data)-pos) {
+				return errTruncated
+			}
+			fld.bytes = data[pos : pos+int(n)]
+			pos += int(n)
+		default:
+			return fmt.Errorf("prof: unsupported wire type %d for field %d", fld.wire, fld.num)
+		}
+		if err := f(fld); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendPacked appends the values of a repeated integer field to dst.
+// The runtime emits repeated uint64/int64 fields packed (one
+// length-delimited blob of varints); a conforming reader must also
+// accept the unpacked spelling (one varint field per element).
+func appendPacked(dst []uint64, f field) ([]uint64, error) {
+	if f.wire == wireVarint {
+		return append(dst, f.val), nil
+	}
+	pos := 0
+	for pos < len(f.bytes) {
+		v, next, err := readVarint(f.bytes, pos)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+		pos = next
+	}
+	return dst, nil
+}
+
+// appendPackedInt64 is appendPacked for int64-typed fields (two's
+// complement on the wire, not zigzag — profile.proto uses plain int64).
+func appendPackedInt64(dst []int64, f field) ([]int64, error) {
+	u, err := appendPacked(nil, f)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range u {
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}
+
+// i64 reinterprets a varint field value as the schema's int64; the
+// conversion is the two's-complement reinterpretation profile.proto
+// specifies (plain int64 on the wire, not zigzag).
+func i64(v uint64) int64 { return int64(v) }

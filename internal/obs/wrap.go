@@ -182,13 +182,15 @@ func (w *W) demuxUp(ws *wrapSession, m *msg.Msg) error {
 
 // demuxInner forwards the upward delivery, under a {layer=<name>}
 // pprof label set when boundary labelling is on, so CPU profiles
-// attribute the samples above this boundary to the layer.
+// attribute the samples above this boundary to the layer. The label
+// set extends the meter's ambient context, so a {stack=<name>} label
+// planted by the harness survives every boundary crossing.
 func (w *W) demuxInner(up xk.Protocol, ws *wrapSession, m *msg.Msg) error {
 	if !w.meter.ProfileLabels() {
 		return up.Demux(ws, m)
 	}
 	var err error
-	pprof.Do(context.Background(), pprof.Labels("layer", w.Name()), func(context.Context) {
+	pprof.Do(w.meter.ProfileContext(), pprof.Labels("layer", w.Name()), func(context.Context) {
 		err = up.Demux(ws, m)
 	})
 	return err
@@ -201,7 +203,7 @@ func (w *W) pushInner(ws *wrapSession, m *msg.Msg) error {
 		return ws.inner.Push(m)
 	}
 	var err error
-	pprof.Do(context.Background(), pprof.Labels("layer", w.Name()), func(context.Context) {
+	pprof.Do(w.meter.ProfileContext(), pprof.Labels("layer", w.Name()), func(context.Context) {
 		err = ws.inner.Push(m)
 	})
 	return err

@@ -111,4 +111,21 @@ echo "== durability-tax regression gate (vs committed ledger sweep) =="
 # batcher degenerating into per-record syncs.
 go run ./cmd/xkbench -compare BENCH_load2.json -threshold 40
 
+echo "== xkprof smoke (profile capture -> stdlib decode -> layer table) =="
+# Captures real CPU/heap/mutex/block profiles by driving the default
+# stack, decodes them with the stdlib-only pprof reader, and requires
+# a non-empty per-layer resource table.
+profdir="$(mktemp -d)"
+go run ./cmd/xkprof -capture "$profdir" -json "$profdir/xkprof.json" | grep -q "total: cpu"
+rm -rf "$profdir"
+
+echo "== profile regression gate (vs committed resource anatomy) =="
+# Re-captures over the committed baseline's stacks and diffs each
+# layer's *share* of profile-wide CPU and allocation (in points, so
+# machine speed divides out). What this catches is a layer growing its
+# slice of the pie — an allocation slipped into the msg hot path, busy
+# work reintroduced in channel. Mutex shares are reported but too
+# sparse in a short capture to gate.
+go run ./cmd/xkbench -compare BENCH_prof1.json -threshold 20
+
 echo "OK"

@@ -56,6 +56,7 @@ import (
 	"xkernel/internal/obs/anatomy"
 	"xkernel/internal/obs/flight"
 	"xkernel/internal/obs/gauge"
+	"xkernel/internal/obs/prof"
 	"xkernel/internal/obs/span"
 	"xkernel/internal/rpc/channel"
 	"xkernel/internal/rpc/retry"
@@ -195,6 +196,20 @@ type (
 	LedgerFileOptions = ledger.FileOptions
 	// LedgerFsyncPolicy selects when appended records become durable.
 	LedgerFsyncPolicy = ledger.FsyncPolicy
+	// Profile is a decoded pprof profile (the stdlib-only reader's
+	// view of cpu/heap/mutex/block captures).
+	Profile = prof.Profile
+	// ProfSample is one profile sample: leaf-first frames, values,
+	// labels.
+	ProfSample = prof.Sample
+	// ProfCapture scopes CPU/heap/mutex/block profile collection
+	// around a region; an inert zero value costs nothing.
+	ProfCapture = prof.Capture
+	// ProfReport is the per-layer resource anatomy (xkprof's
+	// kind:"prof" JSON): CPU, allocation, and lock-wait attribution.
+	ProfReport = prof.Report
+	// ProfLayerRow is one layer's row in a ProfReport.
+	ProfLayerRow = prof.LayerRow
 )
 
 // Re-exported constructors and helpers.
@@ -296,6 +311,16 @@ var (
 	// ScanLedgerDir replays a ledger directory read-only: the surviving
 	// index plus scan statistics (cmd/xkledger's engine).
 	ScanLedgerDir = ledger.ScanDir
+	// ParseProfile decodes a pprof profile from raw (optionally
+	// gzipped) protobuf bytes with no external dependencies.
+	ParseProfile = prof.Parse
+	// ParseProfileFile decodes a pprof profile from a file.
+	ParseProfileFile = prof.ParseFile
+	// BuildProfReport attributes decoded cpu/heap/mutex/block profiles
+	// to protocol layers (any of the four may be nil).
+	BuildProfReport = prof.BuildReport
+	// ReadProfReport loads a kind:"prof" JSON report from disk.
+	ReadProfReport = prof.ReadReport
 )
 
 // Ledger fsync policies, re-exported.
