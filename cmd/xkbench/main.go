@@ -62,9 +62,18 @@ func realMain() int {
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
 	labels := flag.Bool("labels", false, "attach per-layer pprof labels during instrumented runs (with -json)")
+	wireFlag := flag.String("wire", "", "transport backend: sim (default) or udp (real loopback sockets)")
 	flag.Parse()
 
+	wf, err := load.WireFactory(*wireFlag, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbench: %v\n", err)
+		return 2
+	}
 	opt := bench.Options{ProfileLabels: *labels}
+	if *wireFlag != "" && *wireFlag != load.WireSim {
+		opt.WireFactory = wf
+	}
 	if *quick || *compare != "" {
 		opt.LatencyIters, opt.SweepIters, opt.Warmup = 1000, 50, 50
 		opt.ProfileLabels = *labels

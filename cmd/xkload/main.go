@@ -10,6 +10,7 @@
 //	xkload -stacks L_RPC-VIP,M_RPC-VIP   # choose stacks
 //	xkload -clients 1,4,16,64,256        # choose the sweep
 //	xkload -payload 2048 -echo           # verified echo workload
+//	xkload -wire udp                     # real UDP loopback sockets as the wire
 //	xkload -durability                   # durability-tax sweep (ledger × engine)
 //	xkload -json BENCH_load1.json        # write the JSON report
 //	xkload -compare BENCH_load1.json     # regression gate vs a baseline
@@ -47,7 +48,8 @@ func realMain() int {
 	payload := flag.Int("payload", 0, "request payload bytes (default 64)")
 	echo := flag.Bool("echo", false, "use the verified echo workload instead of null calls")
 	durability := flag.Bool("durability", false, "sweep the durability-tax stack set (ledger policies × engines) instead of the standard set")
-	wireLatency := flag.Duration("wire-latency", 0, "simulated one-way frame latency (default 150us)")
+	wireLatency := flag.Duration("wire-latency", 0, "simulated one-way frame latency (default 150us; sim backend only)")
+	wireFlag := flag.String("wire", "", "transport backend: sim (default) or udp (real loopback sockets)")
 	gaugePeriod := flag.Duration("gauge-period", 0, "XKMON gauge sampling period (default the monitor's; negative disables)")
 	jsonOut := flag.String("json", "", "write the JSON report to this file (\"-\" for stdout) instead of the text table")
 	compare := flag.String("compare", "", "diff a fresh measurement against this baseline BENCH_load JSON; exit nonzero on regression")
@@ -66,9 +68,14 @@ func realMain() int {
 		Payload:     *payload,
 		Echo:        *echo,
 		WireLatency: *wireLatency,
+		Wire:        *wireFlag,
 		GaugePeriod: *gaugePeriod,
 		ProfileDir:  *profileDir,
 		Labels:      *labels,
+	}
+	if _, err := load.WireFactory(*wireFlag, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "xkload: %v\n", err)
+		return 2
 	}
 	if *durability {
 		opt.Stacks = load.DurabilityStacks
@@ -179,8 +186,16 @@ func runCompare(path, mode string, thresholdPct float64, _ load.Options) (int, e
 }
 
 func printReport(rep *load.Report) {
-	fmt.Printf("load sweep: %.0fms/level, payload %dB, echo=%v, wire latency %.0fus\n",
-		rep.Options.DurationMs, rep.Options.Payload, rep.Options.Echo, rep.Options.WireLatencyUs)
+	wire := rep.Options.Wire
+	if wire == "" {
+		wire = load.WireSim
+	}
+	latency := fmt.Sprintf("wire latency %.0fus", rep.Options.WireLatencyUs)
+	if wire != load.WireSim {
+		latency = "kernel-scheduled delivery"
+	}
+	fmt.Printf("load sweep: %.0fms/level, payload %dB, echo=%v, wire %s, %s\n",
+		rep.Options.DurationMs, rep.Options.Payload, rep.Options.Echo, wire, latency)
 	fmt.Printf("%-28s %8s | %10s %10s %10s %10s %9s\n",
 		"stack", "clients", "calls/sec", "p50 us", "p99 us", "mean us", "fairness")
 	for _, s := range rep.Stacks {

@@ -46,6 +46,7 @@ var deterministic = []string{
 	"xkernel/internal/chaos",
 	"xkernel/internal/xk",
 	"xkernel/internal/ledger",
+	"xkernel/internal/wire",
 }
 
 // forbiddenTime is the wall-clock surface of package time.

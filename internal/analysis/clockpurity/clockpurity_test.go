@@ -16,5 +16,6 @@ func TestClockPurity(t *testing.T) {
 		"xkernel/internal/obs",
 		"xkernel/internal/obs/prof",
 		"xkernel/internal/ledger",
+		"xkernel/internal/wire",
 	)
 }

@@ -1,0 +1,48 @@
+// Replica of the transport seam's fault injector: scripted faults must
+// be placed on the injected event.Clock (a linger window armed on wall
+// time lands differently on every run, and a chaos scenario could no
+// longer position its drops deterministically), and any jitter must
+// come from a seeded RNG. These are the wall-clock shapes xkvet
+// rejects if the seam ever grows a convenience timer.
+package wire
+
+import (
+	"math/rand"
+	"time"
+
+	"xkernel/internal/event"
+)
+
+type injector struct {
+	clock event.Clock
+	rng   *rand.Rand
+	drops int
+}
+
+func (i *injector) armLinger(window time.Duration) {
+	time.AfterFunc(window, i.heal) // want "wall clock: time\.AfterFunc"
+}
+
+func (i *injector) armLingerOnClock(window time.Duration) {
+	i.clock.Schedule(window, i.heal)
+}
+
+func (i *injector) heal() {
+	i.drops = 0
+}
+
+func (i *injector) vetoStamp() time.Time {
+	return time.Now() // want "wall clock: time\.Now"
+}
+
+func (i *injector) vetoStampOnClock() time.Time {
+	return i.clock.Now()
+}
+
+func (i *injector) jitterDrop() bool {
+	return rand.Intn(2) == 0 // want "ambient randomness: global rand\.Intn"
+}
+
+func (i *injector) jitterDropSeeded() bool {
+	return i.rng.Intn(2) == 0
+}

@@ -44,13 +44,16 @@ var Analyzer = &xkanalysis.Analyzer{
 // every crossing of every instrumented graph: an allocation in
 // wrapSession.Push or W.Demux is paid per message per layer even with
 // metering and span capture disabled, which is exactly the regression
-// the span recorder's disabled-path contract forbids.
+// the span recorder's disabled-path contract forbids. The wire seam is
+// included because a backend or wrapper that adopts the protocol
+// entry-point names sits below every session on every frame.
 var hotPackages = []string{
 	"xkernel/internal/proto",
 	"xkernel/internal/rpc",
 	"xkernel/internal/psync",
 	"xkernel/internal/obs",
 	"xkernel/internal/ledger",
+	"xkernel/internal/wire",
 }
 
 // hotMethods are the per-message entry points.

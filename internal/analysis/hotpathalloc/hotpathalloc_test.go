@@ -14,5 +14,6 @@ func TestHotPathAlloc(t *testing.T) {
 		"xkernel/internal/obs/proftest",
 		"xkernel/internal/obs/flighttest",
 		"xkernel/internal/ledger/hltest",
+		"xkernel/internal/wire/hwtest",
 	)
 }

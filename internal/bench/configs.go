@@ -31,6 +31,7 @@ import (
 	"xkernel/internal/rpc/sunrpc"
 	"xkernel/internal/sim"
 	"xkernel/internal/stacks"
+	"xkernel/internal/wire"
 	"xkernel/internal/xk"
 )
 
@@ -77,9 +78,16 @@ type Endpoint interface {
 // Testbed is a built configuration: two hosts on an isolated simulated
 // ethernet with the stack composed on both, plus the client endpoint.
 type Testbed struct {
-	Stack   Stack
-	Client  *stacks.Host
-	Server  *stacks.Host
+	Stack  Stack
+	Client *stacks.Host
+	Server *stacks.Host
+	// Wire is the transport carrying frames between the two hosts —
+	// the seam every testbed is built over. With the default builder it
+	// is the simulator; BuildOn accepts any backend.
+	Wire wire.Wire
+	// Network is the simulator behind Wire when the backend is the
+	// simulator, nil otherwise (a real-socket wire has no virtual
+	// clock, capture taps, or fault board to expose).
 	Network *sim.Network
 	End     Endpoint
 
@@ -157,7 +165,17 @@ func (tb *Testbed) RegisterGauges(set *gauge.Set) {
 	if set == nil {
 		return
 	}
-	tb.Network.RegisterGauges(set, "net")
+	if tb.Network != nil {
+		tb.Network.RegisterGauges(set, "net")
+	} else if tb.Wire != nil {
+		// A non-simulated backend has no queue/clock internals to
+		// expose, but its frame counters are still live state worth a
+		// series each.
+		w := tb.Wire
+		set.Register("net.frames_sent", func() int64 { return w.Stats().FramesSent })
+		set.Register("net.frames_delivered", func() int64 { return w.Stats().FramesDelivered })
+		set.Register("net.frames_dropped", func() int64 { return w.Stats().FramesDropped })
+	}
 	for _, hook := range tb.gaugeHooks {
 		hook(set)
 	}
@@ -166,9 +184,13 @@ func (tb *Testbed) RegisterGauges(set *gauge.Set) {
 // SetFlight attaches a flight recorder to the simulated wire so frame
 // anomalies (losses, duplicates, corruptions, partition vetoes) land in
 // the black box. Attaching a recorder never changes the bytes on the
-// wire; clean segments keep the lock-free send path.
+// wire; clean segments keep the lock-free send path. On a non-simulated
+// backend the wire has no capture tap and this is a no-op — the fault
+// injector's OnDrop hook is the flight feed there.
 func (tb *Testbed) SetFlight(r *flight.Recorder) {
-	tb.Network.SetFlight(r)
+	if tb.Network != nil {
+		tb.Network.SetFlight(r)
+	}
 }
 
 func (tb *Testbed) addGauges(hook func(*gauge.Set)) {
@@ -187,7 +209,9 @@ func (tb *Testbed) SetSpans(r *span.Recorder) {
 	if tb.Meter != nil {
 		tb.Meter.SetSpans(r)
 	}
-	tb.Network.SetSpans(r)
+	if tb.Network != nil {
+		tb.Network.SetSpans(r)
+	}
 }
 
 // spanHandler wraps a server procedure body so its execution is
@@ -209,9 +233,31 @@ func spanHandler(m *obs.Meter, layer string, h func(uint16, *msg.Msg) (*msg.Msg,
 	}
 }
 
-// Build assembles the named configuration over a fresh two-host network.
+// Build assembles the named configuration over a fresh two-host
+// simulated network.
 func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) {
-	return build(stack, netCfg, clock, nil)
+	if netCfg.Clock == nil {
+		netCfg.Clock = clock
+	}
+	return build(stack, sim.Factory(netCfg), clock, nil)
+}
+
+// BuildOn assembles the named configuration over whatever transport the
+// factory makes — the simulator, real UDP sockets, or a fault injector
+// wrapping either. The testbed owns the wire and closes it.
+func BuildOn(stack Stack, f wire.Factory, clock event.Clock) (*Testbed, error) {
+	return build(stack, f, clock, nil)
+}
+
+// BuildInstrumentedOn is BuildOn with an obs.Wrap at every protocol
+// boundary, like BuildInstrumented.
+func BuildInstrumentedOn(stack Stack, f wire.Factory, clock event.Clock) (*Testbed, *obs.Meter, error) {
+	m := obs.NewMeter()
+	tb, err := build(stack, f, clock, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tb, m, nil
 }
 
 // BuildInstrumented assembles the named configuration with an obs.Wrap
@@ -221,24 +267,28 @@ func Build(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, error) 
 // Build for timing and reserve instrumented testbeds for counting,
 // tracing, and per-layer breakdowns.
 func BuildInstrumented(stack Stack, netCfg sim.Config, clock event.Clock) (*Testbed, *obs.Meter, error) {
+	if netCfg.Clock == nil {
+		netCfg.Clock = clock
+	}
 	m := obs.NewMeter()
-	tb, err := build(stack, netCfg, clock, m)
+	tb, err := build(stack, sim.Factory(netCfg), clock, m)
 	if err != nil {
 		return nil, nil, err
 	}
 	return tb, m, nil
 }
 
-func build(stack Stack, netCfg sim.Config, clock event.Clock, m *obs.Meter) (*Testbed, error) {
+func build(stack Stack, f wire.Factory, clock event.Clock, m *obs.Meter) (*Testbed, error) {
 	base, spec, err := ParseStack(stack)
 	if err != nil {
 		return nil, err
 	}
-	client, server, network, err := stacks.TwoHosts(netCfg, clock)
+	client, server, w, err := stacks.TwoHostsOn(f, clock)
 	if err != nil {
 		return nil, err
 	}
-	tb := &Testbed{Stack: stack, Client: client, Server: server, Network: network, MaxMsg: 16 * 1024, Meter: m}
+	tb := &Testbed{Stack: stack, Client: client, Server: server, Wire: w, Network: sim.Unwrap(w), MaxMsg: 16 * 1024, Meter: m}
+	tb.closers = append(tb.closers, func() { w.Close() })
 	if spec != nil {
 		if err := tb.attachLedger(spec, clock); err != nil {
 			return nil, fmt.Errorf("bench: building %s: %w", stack, err)

@@ -11,6 +11,7 @@ import (
 	"xkernel/internal/model"
 	"xkernel/internal/msg"
 	"xkernel/internal/sim"
+	"xkernel/internal/wire"
 )
 
 // Options tunes a measurement run. The paper executed each test 10,000
@@ -37,6 +38,10 @@ type Options struct {
 	// protocol layers. Costs time per boundary crossing — only set it
 	// when collecting a profile.
 	ProfileLabels bool
+	// WireFactory selects the transport the testbeds are built over;
+	// nil means a fresh simulated segment per stack. Measuring over
+	// the UDP backend prices the seam against real sockets.
+	WireFactory wire.Factory
 }
 
 func (o *Options) fill() {
@@ -101,7 +106,7 @@ func MeasureLatency(tb *Testbed, opt Options) (best time.Duration, frames float6
 		}
 		for r := 0; r < opt.Repeats; r++ {
 			runtime.GC()
-			tb.Network.ResetStats()
+			framesStart := tb.Wire.Stats().FramesSent
 			start := time.Now()
 			for i := 0; i < opt.LatencyIters; i++ {
 				if err = tb.End.RoundTrip(nil); err != nil {
@@ -111,7 +116,7 @@ func MeasureLatency(tb *Testbed, opt Options) (best time.Duration, frames float6
 			elapsed := time.Since(start) / time.Duration(opt.LatencyIters)
 			if r == 0 || elapsed < best {
 				best = elapsed
-				frames = float64(tb.Network.Stats().FramesSent) / float64(opt.LatencyIters)
+				frames = float64(tb.Wire.Stats().FramesSent-framesStart) / float64(opt.LatencyIters)
 			}
 		}
 	})
@@ -200,10 +205,15 @@ func Measure(stack Stack, opt Options) (*Result, error) {
 	opt.fill()
 	r := &Result{Stack: stack}
 
-	tb, err := Build(stack, sim.Config{}, nil)
+	f := opt.WireFactory
+	if f == nil {
+		f = sim.Factory(sim.Config{})
+	}
+	tb, err := BuildOn(stack, f, nil)
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	drain()
 	r.Latency, r.FramesPerNullRPC, err = MeasureLatency(tb, opt)
 	if err != nil {

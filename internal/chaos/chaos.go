@@ -45,6 +45,7 @@ import (
 	"xkernel/internal/obs/flight"
 	"xkernel/internal/settle"
 	"xkernel/internal/sim"
+	"xkernel/internal/wire"
 	"xkernel/internal/xk"
 )
 
@@ -92,6 +93,19 @@ type Config struct {
 	Stack bench.Stack
 	// Net is the simulated segment's config (seed, probabilistic rates).
 	Net sim.Config
+	// WireFactory, when set, runs the scenario over a real transport
+	// backend instead of the simulator built from Net: the engine wraps
+	// the factory's wire in a wire.Injector so the deterministic fault
+	// steps (drops, link state, crash/reboot) still work, and feeds the
+	// injector's vetoes to the flight recorder. The run then lives on
+	// the real clock — frames take kernel time, so virtual time would
+	// race them — which costs the bit-for-bit reproducibility and the
+	// pending-timer shutdown check; what remains checkable (and is
+	// checked) are the invariants themselves. The probabilistic
+	// simulator faults in Net are unavailable off-simulator, and the
+	// wire log shrinks to the vetoed frames (a real wire has no capture
+	// tap for clean traffic).
+	WireFactory wire.Factory
 	// Workload is the client activity.
 	Workload Workload
 	// Scenario is the fault script.
@@ -178,49 +192,93 @@ type Result struct {
 // Run is the live state a Step acts on.
 type Run struct {
 	Testbed *bench.Testbed
+	// Network is the simulator when the run is on the simulated wire,
+	// nil when Config.WireFactory chose a real backend.
 	Network *sim.Network
-	Clock   *event.FakeClock
+	// Clock is the virtual clock driving a simulated run; nil on a real
+	// wire, where time is the wall's.
+	Clock *event.FakeClock
+
+	// clock is the run's time base for scheduled steps: the fake clock
+	// on the simulator, the real clock on a real wire.
+	clock event.Clock
+	// inj carries the scripted faults when the run is off-simulator.
+	inj *wire.Injector
 
 	clientMAC, serverMAC xk.EthAddr
+	partRule             int
 	flight               *flight.Recorder
 }
 
-// PartitionClientServer splits the segment between the two hosts.
+// PartitionClientServer splits the segment between the two hosts. Off
+// the simulator the partition is an unlimited bidirectional drop rule
+// between the two addresses — indistinguishable on a two-host segment.
 func (r *Run) PartitionClientServer() {
-	r.Network.Partition([]xk.EthAddr{r.clientMAC}, []xk.EthAddr{r.serverMAC})
+	if r.Network != nil {
+		r.Network.Partition([]xk.EthAddr{r.clientMAC}, []xk.EthAddr{r.serverMAC})
+		return
+	}
+	c, s := r.clientMAC, r.serverMAC
+	r.partRule = r.inj.DropWhere(func(src, dst xk.EthAddr) bool {
+		return (src == c && (dst == s || dst.IsBroadcast())) ||
+			(src == s && (dst == c || dst.IsBroadcast()))
+	}, 0)
 }
 
 // Heal removes the partition.
-func (r *Run) Heal() { r.Network.Heal() }
+func (r *Run) Heal() {
+	if r.Network != nil {
+		r.Network.Heal()
+		return
+	}
+	r.inj.RemoveRule(r.partRule)
+}
 
-// CrashServer models the server host dying: its NIC leaves the segment
+// CrashServer models the server host dying: its link leaves the wire
 // and the RPC layer's volatile state is dropped (the boot id advances).
+// This goes through the transport seam, so it works on any backend.
 func (r *Run) CrashServer() {
-	r.Network.Detach(r.Testbed.Server.NIC)
+	r.Testbed.Wire.Detach(r.Testbed.Server.Link)
 	if r.Testbed.ServerReboot != nil {
 		r.Testbed.ServerReboot()
 	}
 }
 
-// RestartServer reattaches the crashed server's NIC; with the state
+// RestartServer reattaches the crashed server's link; with the state
 // already dropped by CrashServer this completes the reboot.
 func (r *Run) RestartServer() {
-	if err := r.Network.Reattach(r.Testbed.Server.NIC); err != nil {
+	ra, ok := r.Testbed.Wire.(wire.Reattacher)
+	if !ok {
+		panic("chaos: restart server: wire backend has no crash model")
+	}
+	if err := ra.Reattach(r.Testbed.Server.Link); err != nil {
 		panic(fmt.Sprintf("chaos: restart server: %v", err))
 	}
 }
 
 // ServerLink raises or cuts the server's link (a cable pull, not a crash:
 // protocol state survives).
-func (r *Run) ServerLink(up bool) { r.Network.SetLinkState(r.serverMAC, up) }
+func (r *Run) ServerLink(up bool) { r.setLink(r.serverMAC, up) }
 
 // ClientLink raises or cuts the client's link.
-func (r *Run) ClientLink(up bool) { r.Network.SetLinkState(r.clientMAC, up) }
+func (r *Run) ClientLink(up bool) { r.setLink(r.clientMAC, up) }
 
-// DropNext installs a burst-loss rule eating the next count frames on
-// the segment, whoever sends them.
+func (r *Run) setLink(addr xk.EthAddr, up bool) {
+	if r.Network != nil {
+		r.Network.SetLinkState(addr, up)
+		return
+	}
+	r.inj.SetLinkState(addr, up)
+}
+
+// DropNext eats the next count frames on the segment, whoever sends
+// them.
 func (r *Run) DropNext(count int) {
-	r.Network.AddRule(sim.BurstLoss(r.Network.Stats().FramesSent, count))
+	if r.Network != nil {
+		r.Network.AddRule(sim.BurstLoss(r.Network.Stats().FramesSent, count))
+		return
+	}
+	r.inj.DropNext(count)
 }
 
 // DropReplies eats the next count unicast frames from the server to the
@@ -228,9 +286,13 @@ func (r *Run) DropNext(count int) {
 // match is unicast-only so broadcast traffic cannot consume the budget.
 func (r *Run) DropReplies(count int) {
 	src, dst := r.serverMAC, r.clientMAC
-	r.Network.AddRule(sim.Rule{Name: "drop-replies", Count: count, Match: func(fi sim.FaultInfo) bool {
-		return fi.Src == src && fi.Dst == dst
-	}})
+	if r.Network != nil {
+		r.Network.AddRule(sim.Rule{Name: "drop-replies", Count: count, Match: func(fi sim.FaultInfo) bool {
+			return fi.Src == src && fi.Dst == dst
+		}})
+		return
+	}
+	r.inj.DropWhere(func(s, d xk.EthAddr) bool { return s == src && d == dst }, count)
 }
 
 // CrashClient reboots the client's RPC layer: its boot id advances, so
@@ -255,12 +317,13 @@ func (r *Run) TearLedger(n int) {
 	}
 }
 
-// At schedules f to fire once the virtual clock has advanced d past the
+// At schedules f to fire once the run's clock has advanced d past the
 // current instant — the way a step reaches into the middle of a call
 // (a crash after the server executed but before the client's
-// retransmission, say). The await loop's clock advances fire it.
+// retransmission, say). On the simulator the await loop's virtual-clock
+// advances fire it; on a real wire it is a wall-clock timer.
 func (r *Run) At(d time.Duration, name string, f func(*Run)) {
-	r.Clock.Schedule(d, func() {
+	r.clock.Schedule(d, func() {
 		if r.flight != nil && r.flight.Enabled() {
 			r.flight.Record("step", "chaos", name, d.Nanoseconds(), 0)
 		}
@@ -287,6 +350,20 @@ const settleYields = 256
 // hung (a real hang has nothing scheduled and nothing moving).
 const idleLimit = 2000
 
+// wirePatience is the wall-clock allowance the shutdown check gives a
+// real wire backend's listener goroutines to exit after Close; the
+// simulator needs none.
+const wirePatience = 5 * time.Second
+
+// withClock returns netCfg with the run's clock installed when the
+// caller left it unset.
+func withClock(netCfg sim.Config, clock *event.FakeClock) sim.Config {
+	if netCfg.Clock == nil {
+		netCfg.Clock = clock
+	}
+	return netCfg
+}
+
 // Execute runs the scenario's fault script against a freshly built
 // stack while the workload's calls run sequentially, then checks the
 // invariants. The returned Result always carries the full per-call
@@ -295,14 +372,35 @@ func Execute(cfg Config) (*Result, error) {
 	cfg.Workload.fill()
 	baseline := runtime.NumGoroutine()
 
-	clock := event.NewFake()
 	var tb *bench.Testbed
 	var meter *obs.Meter
 	var err error
-	if cfg.Instrument {
-		tb, meter, err = bench.BuildInstrumented(cfg.Stack, cfg.Net, clock)
+	var inj *wire.Injector
+	var fake *event.FakeClock
+	var clk event.Clock
+	var f wire.Factory
+	if cfg.WireFactory != nil {
+		// A real wire runs on the real clock: frames take kernel time,
+		// and a virtual clock would burn retransmit budgets while a
+		// datagram is still in flight.
+		clk = event.Real()
+		f = func() (wire.Wire, error) {
+			inner, err := cfg.WireFactory()
+			if err != nil {
+				return nil, err
+			}
+			inj = wire.NewInjector(inner)
+			return inj, nil
+		}
 	} else {
-		tb, err = bench.Build(cfg.Stack, cfg.Net, clock)
+		fake = event.NewFake()
+		clk = fake
+		f = sim.Factory(withClock(cfg.Net, fake))
+	}
+	if cfg.Instrument {
+		tb, meter, err = bench.BuildInstrumentedOn(cfg.Stack, f, clk)
+	} else {
+		tb, err = bench.BuildOn(cfg.Stack, f, clk)
 	}
 	if err != nil {
 		return nil, err
@@ -318,25 +416,42 @@ func Execute(cfg Config) (*Result, error) {
 		fr = flight.New(0)
 		fr.Enable()
 	}
-	epoch := clock.Now()
-	fr.SetNow(func() int64 { return clock.Now().Sub(epoch).Nanoseconds() })
-	tb.Network.SetFlight(fr)
+	epoch := clk.Now()
+	fr.SetNow(func() int64 { return clk.Now().Sub(epoch).Nanoseconds() })
+	tb.SetFlight(fr)
 
 	res := &Result{Stack: cfg.Stack, Scenario: cfg.Scenario.Name, Meter: meter, Flight: fr}
 	var wireMu sync.Mutex
-	tb.Network.SetCapture(func(fr sim.FrameRecord) {
-		line := fmt.Sprintf("%04d %s>%s %s %d", fr.Index, fr.Src, fr.Dst, fr.Disposition, fr.Len)
-		wireMu.Lock()
-		res.Wire = append(res.Wire, line)
-		wireMu.Unlock()
-	})
+	if tb.Network != nil {
+		tb.Network.SetCapture(func(fr sim.FrameRecord) {
+			line := fmt.Sprintf("%04d %s>%s %s %d", fr.Index, fr.Src, fr.Dst, fr.Disposition, fr.Len)
+			wireMu.Lock()
+			res.Wire = append(res.Wire, line)
+			wireMu.Unlock()
+		})
+	} else {
+		// Off-simulator the only observable frames are the injector's
+		// vetoes; they feed the wire log and the black box with the
+		// simulator's disposition vocabulary.
+		inj.OnDrop = func(disp string, src, dst xk.EthAddr, index int64, size int) {
+			line := fmt.Sprintf("%04d %s>%s %s %d", index, src, dst, disp, size)
+			wireMu.Lock()
+			res.Wire = append(res.Wire, line)
+			wireMu.Unlock()
+			if fr.Enabled() {
+				fr.Record("wire", disp, fmt.Sprintf("%s>%s", src, dst), index, int64(size))
+			}
+		}
+	}
 
 	r := &Run{
 		Testbed:   tb,
 		Network:   tb.Network,
-		Clock:     clock,
-		clientMAC: tb.Client.NIC.Addr(),
-		serverMAC: tb.Server.NIC.Addr(),
+		Clock:     fake,
+		clock:     clk,
+		inj:       inj,
+		clientMAC: tb.Client.Link.Addr(),
+		serverMAC: tb.Server.Link.Addr(),
 		flight:    fr,
 	}
 
@@ -415,10 +530,13 @@ func Execute(cfg Config) (*Result, error) {
 	}
 
 	// Drain: run every self-terminating timer (fragment send-hold
-	// sweeps, gap chases) to completion.
-	for i := 0; i < 10_000; i++ {
-		if !clock.AdvanceToNext() {
-			break
+	// sweeps, gap chases) to completion. Real-clock timers cannot be
+	// hurried; the settle patience below covers them.
+	if fake != nil {
+		for i := 0; i < 10_000; i++ {
+			if !fake.AdvanceToNext() {
+				break
+			}
 		}
 	}
 
@@ -440,7 +558,15 @@ func Execute(cfg Config) (*Result, error) {
 				st.RecoveredRecords, res.LedgerReplays)
 		}
 	}
-	res.check(cfg, tb, clock, baseline)
+	// Off-simulator the wire owns real listener goroutines; close it
+	// before the shutdown check so the settle pass measures the stack,
+	// not the sockets. Closing again via the testbed is a no-op.
+	patience := time.Duration(0)
+	if tb.Network == nil {
+		tb.Wire.Close()
+		patience = wirePatience
+	}
+	res.check(cfg, tb, fake, baseline, patience)
 
 	// Any broken invariant goes into the black box too, then the whole
 	// box hits disk — the dump is the post-mortem artifact CI collects.
@@ -501,10 +627,29 @@ func dumpName(stack bench.Stack, scenario string) string {
 	}, s)
 }
 
+// awaitTimeout is how long a real-clock run waits for one call before
+// declaring it hung: far past the deepest typed-failure path (eight
+// retransmits at 50ms plus crash-detection probes).
+const awaitTimeout = 10 * time.Second
+
 // await waits for the in-flight call to finish, advancing the virtual
 // clock only when the worker has had real time to make progress and has
 // not. Returns ok=false when the call is hung.
 func (r *Run) await(results chan CallResult) (CallResult, bool) {
+	if r.Clock == nil {
+		// Real clock: the reliability layers' timers fire on their own;
+		// the driver only needs a hang backstop, scheduled through the
+		// event package so this file stays free of time-package calls.
+		timeout := make(chan struct{})
+		ev := r.clock.Schedule(awaitTimeout, func() { close(timeout) })
+		defer ev.Cancel()
+		select {
+		case cr := <-results:
+			return cr, true
+		case <-timeout:
+			return CallResult{}, false
+		}
+	}
 	idle := 0
 	for {
 		select {
@@ -532,7 +677,7 @@ func (r *Run) await(results chan CallResult) (CallResult, bool) {
 }
 
 // check fills Result.Violations from the run's ledgers.
-func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, baseline int) {
+func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, baseline int, patience time.Duration) {
 	if tb.ServerExecs != nil {
 		res.ServerExecs = tb.ServerExecs()
 	}
@@ -590,13 +735,18 @@ func (res *Result) check(cfg Config, tb *bench.Testbed, clock *event.FakeClock, 
 		}
 	}
 
-	// Clean shutdown: nothing scheduled, nothing running.
-	if _, pending := clock.NextDeadline(); pending {
-		res.Violations = append(res.Violations, "shutdown: timer events still pending after drain")
+	// Clean shutdown: nothing scheduled, nothing running. Only the
+	// virtual clock can enumerate its pending timers; a real-clock run
+	// relies on the goroutine settle alone.
+	if clock != nil {
+		if _, pending := clock.NextDeadline(); pending {
+			res.Violations = append(res.Violations, "shutdown: timer events still pending after drain")
+		}
 	}
-	// Zero patience: this package is clockpurity-scoped, so the settle
-	// loop must only yield, never sleep.
-	if n := settle.Goroutines(baseline, 0); n > baseline {
+	// On the simulator patience is zero — the settle loop only yields,
+	// never sleeps. A real wire's listeners get the allowance settle
+	// owns (this package stays clockpurity-scoped either way).
+	if n := settle.Goroutines(baseline, patience); n > baseline {
 		res.Violations = append(res.Violations, fmt.Sprintf(
 			"shutdown: %d goroutines leaked (baseline %d, now %d)",
 			n-baseline, baseline, n))

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"xkernel/internal/bench"
+	udpwire "xkernel/internal/wire/udp"
+)
+
+// These are the off-simulator smokes: the same scenarios the simulated
+// sweeps run, executed over real UDP loopback sockets with the fault
+// injector supplying the scripted adversity. Delivery timing is the
+// kernel's, so the assertions are the invariants themselves (which hold
+// on any wire), never exact call outcomes.
+
+// TestWireBurstDropUDP retransmits through a frame burst eaten at the
+// injector: every call completes and nothing executes twice.
+func TestWireBurstDropUDP(t *testing.T) {
+	res, err := Execute(Config{
+		Stack:        bench.LRPCVIP,
+		WireFactory:  udpwire.Factory(udpwire.Config{}),
+		Workload:     Workload{Calls: 10, Payload: 64, Echo: true},
+		Scenario:     BurstDrop(3, 2),
+		ConvergeTail: 3,
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations over udp: %v", res.Violations)
+	}
+	if res.Hung {
+		t.Fatal("workload hung over udp")
+	}
+	if res.Completed == 0 {
+		t.Fatal("no calls completed over udp")
+	}
+	// The injector's vetoes are the off-simulator wire log.
+	var drops int
+	for _, line := range res.Wire {
+		if strings.Contains(line, " drop ") {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("wire log records %d burst drops, want 2:\n%s", drops, strings.Join(res.Wire, "\n"))
+	}
+}
+
+// TestWireCrashReplayUDP runs the mid-call crash-reboot scenario on the
+// real wire: the reply is eaten, the server dies and reboots while the
+// client waits, and at-most-once must survive the retransmission into
+// the new incarnation.
+func TestWireCrashReplayUDP(t *testing.T) {
+	res, err := Execute(Config{
+		Stack:        bench.LRPCVIP,
+		WireFactory:  udpwire.Factory(udpwire.Config{}),
+		Workload:     Workload{Calls: 12, Payload: 32, Echo: true},
+		Scenario:     CrashReplay(4),
+		ConvergeTail: 3,
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations over udp: %v", res.Violations)
+	}
+	if res.Hung {
+		t.Fatal("workload hung over udp")
+	}
+	if res.Completed+res.Failed != 12 {
+		t.Fatalf("accounted %d calls, want 12", res.Completed+res.Failed)
+	}
+}
+
+// TestWireFlightDumpUDP proves the invariant checker and the black-box
+// dump work off-simulator: the server's link is cut and never restored,
+// the convergence invariant breaks, and the flight recorder lands on
+// disk carrying the injector's linkdown vetoes.
+func TestWireFlightDumpUDP(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Execute(Config{
+		Stack:       bench.LRPCVIP,
+		WireFactory: udpwire.Factory(udpwire.Config{}),
+		Workload:    Workload{Calls: 4},
+		Scenario: Scenario{Name: "link-cut", Steps: []Step{
+			{BeforeCall: 2, Name: "link-down", Do: func(r *Run) { r.ServerLink(false) }},
+		}},
+		ConvergeTail: 1,
+		FlightDir:    dir,
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	var converge bool
+	for _, v := range res.Violations {
+		if strings.HasPrefix(v, "convergence:") {
+			converge = true
+		}
+	}
+	if !converge {
+		t.Fatalf("expected a convergence violation, got %v", res.Violations)
+	}
+	if res.FlightDump == "" {
+		t.Fatal("no flight dump written off-simulator")
+	}
+	blob, err := os.ReadFile(res.FlightDump)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	for _, want := range []string{"linkdown", "violation", "convergence"} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("flight dump missing %q", want)
+		}
+	}
+}

@@ -64,6 +64,7 @@ func OptionsFrom(rep *Report) Options {
 	}
 	opt.Duration = time.Duration(rep.Options.DurationMs * 1e6)
 	opt.WireLatency = time.Duration(rep.Options.WireLatencyUs * 1e3)
+	opt.Wire = rep.Options.Wire
 	if rep.Options.GaugePeriodMs != 0 {
 		opt.GaugePeriod = time.Duration(rep.Options.GaugePeriodMs * 1e6)
 	}

@@ -16,6 +16,7 @@ import (
 	"xkernel/internal/obs/flight"
 	"xkernel/internal/settle"
 	"xkernel/internal/sim"
+	udpwire "xkernel/internal/wire/udp"
 )
 
 // conformanceStacks is the matrix: every RPC stack with a request/reply
@@ -99,100 +100,125 @@ func flightOnFailure(t *testing.T, tb *bench.Testbed) *flight.Recorder {
 	return fr
 }
 
+// conformanceWires is the backend axis of the matrix: the simulated
+// ethernet and the real UDP-socket wire. A stack that answers the
+// workload identically on both has proven the transport seam — the
+// bytes above the driver do not depend on what carries the frames.
+var conformanceWires = []string{WireSim, WireUDP}
+
 // TestConformanceMatrix drives the identical randomized workload
-// through every stack: boundary-size echoes, a seeded random sequence,
-// then concurrent clients — asserting byte-for-byte replies, exact
-// at-most-once execution ledgers, and no goroutine leaks after the
-// stack drains.
+// through every stack over every wire backend: boundary-size echoes, a
+// seeded random sequence, then concurrent clients — asserting
+// byte-for-byte replies, exact at-most-once execution ledgers, and no
+// goroutine leaks after the stack drains.
 func TestConformanceMatrix(t *testing.T) {
-	for _, stack := range conformanceStacks {
-		stack := stack
-		t.Run(string(stack), func(t *testing.T) {
-			baseline := runtime.NumGoroutine()
-			tb, err := bench.Build(stack, sim.Config{}, nil)
-			if err != nil {
-				t.Fatal(err)
+	for _, backend := range conformanceWires {
+		t.Run(backend, func(t *testing.T) {
+			for _, stack := range conformanceStacks {
+				stack := stack
+				t.Run(string(stack), func(t *testing.T) {
+					conformanceMatrixOne(t, stack, backend)
+				})
 			}
-			flightOnFailure(t, tb)
-			calls := 0
-
-			// Phase 1: every framing boundary, sequentially.
-			for _, size := range boundarySizes {
-				if size > tb.MaxMsg {
-					continue
-				}
-				if err := checkEcho(tb.End, size, calls); err != nil {
-					t.Fatal(err)
-				}
-				calls++
-			}
-
-			// Phase 2: the seeded random sequence — identical for every
-			// stack, sizes weighted around the fragmentation boundary.
-			rng := rand.New(rand.NewSource(0xc04f))
-			for i := 0; i < 60; i++ {
-				var size int
-				switch rng.Intn(3) {
-				case 0:
-					size = rng.Intn(256)
-				case 1:
-					size = 1400 + rng.Intn(200)
-				default:
-					size = rng.Intn(tb.MaxMsg + 1)
-				}
-				if err := checkEcho(tb.End, size, calls); err != nil {
-					t.Fatal(err)
-				}
-				calls++
-			}
-
-			// Phase 3: concurrent clients through the endpoint factory.
-			const clients = 8
-			const perClient = 20
-			if tb.NewEndpoint == nil {
-				t.Fatalf("stack %s has no concurrent endpoint factory", stack)
-			}
-			var wg sync.WaitGroup
-			errs := make([]error, clients)
-			for c := 0; c < clients; c++ {
-				ep, err := tb.NewEndpoint(c)
-				if err != nil {
-					t.Fatalf("endpoint %d: %v", c, err)
-				}
-				wg.Add(1)
-				go func(c int, ep bench.Endpoint) {
-					defer wg.Done()
-					crng := rand.New(rand.NewSource(int64(0xbeef + c)))
-					for i := 0; i < perClient; i++ {
-						if err := checkEcho(ep, crng.Intn(4096), c*1000+i); err != nil {
-							errs[c] = err
-							return
-						}
-					}
-				}(c, ep)
-			}
-			wg.Wait()
-			for c, err := range errs {
-				if err != nil {
-					t.Fatalf("client %d: %v", c, err)
-				}
-			}
-			calls += clients * perClient
-
-			// At-most-once ledger: on a loss-free wire every call ran
-			// exactly once — no duplicate executions hidden behind the
-			// byte-identical replies.
-			if tb.AtMostOnce && tb.ServerExecs != nil {
-				if execs := tb.ServerExecs(); execs != int64(calls) {
-					t.Errorf("server executed %d requests for %d calls", execs, calls)
-				}
-			}
-
-			// Real-clock testbeds may have short timers (fragment
-			// send-hold) still due, so settle with wall-clock patience.
-			settle.Expect(t, baseline, 5*time.Second)
 		})
 	}
+}
+
+func conformanceMatrixOne(t *testing.T, stack bench.Stack, backend string) {
+	baseline := runtime.NumGoroutine()
+	f, err := WireFactory(backend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := bench.BuildOn(stack, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flightOnFailure(t, tb)
+	calls := 0
+
+	// Phase 1: every framing boundary, sequentially.
+	for _, size := range boundarySizes {
+		if size > tb.MaxMsg {
+			continue
+		}
+		if err := checkEcho(tb.End, size, calls); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+	}
+
+	// Phase 2: the seeded random sequence — identical for every
+	// stack, sizes weighted around the fragmentation boundary.
+	rng := rand.New(rand.NewSource(0xc04f))
+	for i := 0; i < 60; i++ {
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			size = rng.Intn(256)
+		case 1:
+			size = 1400 + rng.Intn(200)
+		default:
+			size = rng.Intn(tb.MaxMsg + 1)
+		}
+		if err := checkEcho(tb.End, size, calls); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+	}
+
+	// Phase 3: concurrent clients through the endpoint factory.
+	const clients = 8
+	const perClient = 20
+	if tb.NewEndpoint == nil {
+		t.Fatalf("stack %s has no concurrent endpoint factory", stack)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		ep, err := tb.NewEndpoint(c)
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", c, err)
+		}
+		wg.Add(1)
+		go func(c int, ep bench.Endpoint) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(int64(0xbeef + c)))
+			for i := 0; i < perClient; i++ {
+				if err := checkEcho(ep, crng.Intn(4096), c*1000+i); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c, ep)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	calls += clients * perClient
+
+	// At-most-once ledger: on a loss-free wire every call ran
+	// exactly once — no duplicate executions hidden behind the
+	// byte-identical replies.
+	if tb.AtMostOnce && tb.ServerExecs != nil {
+		if execs := tb.ServerExecs(); execs != int64(calls) {
+			t.Errorf("server executed %d requests for %d calls", execs, calls)
+		}
+	}
+
+	// At-most-once holds on the real wire too: a loopback drop would
+	// surface as a retransmit answered from the reply cache, never a
+	// second execution, so the ledger check above stays exact.
+
+	// Close the wire before settling: a real backend owns listener
+	// goroutines that exit with their sockets. Real-clock testbeds may
+	// also have short timers (fragment send-hold) still due, so settle
+	// with wall-clock patience.
+	tb.Close()
+	settle.Expect(t, baseline, 5*time.Second)
 }
 
 // TestConformanceExecLedger is the execution-ledger matrix: the
@@ -291,5 +317,34 @@ func TestConformanceUnderFaults(t *testing.T) {
 				}
 			})
 		}
+	}
+
+	// The same fault families over the real wire. Off-simulator a typed
+	// failure costs real retransmission time (~400ms), so this arm stays
+	// narrow — the loss and flap families on the full layered stack; the
+	// per-backend workload matrix above is where every stack crosses the
+	// seam.
+	if testing.Short() {
+		return
+	}
+	for _, sc := range chaos.Library(calls)[:2] {
+		t.Run("udp/"+string(bench.LRPCVIP)+"/"+sc.Name, func(t *testing.T) {
+			res, err := chaos.Execute(chaos.Config{
+				Stack:        bench.LRPCVIP,
+				WireFactory:  udpwire.Factory(udpwire.Config{}),
+				Workload:     chaos.Workload{Calls: calls, Payload: 1500},
+				Scenario:     sc,
+				ConvergeTail: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if res.Hung {
+				t.Fatal("hung")
+			}
+		})
 	}
 }

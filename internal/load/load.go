@@ -29,7 +29,34 @@ import (
 	"xkernel/internal/obs/gauge"
 	"xkernel/internal/obs/prof"
 	"xkernel/internal/sim"
+	"xkernel/internal/wire"
+	udpwire "xkernel/internal/wire/udp"
 )
+
+// Wire backend names accepted by Options.Wire and the CLIs' -wire flag.
+const (
+	// WireSim is the simulated ethernet (the default): frames carry
+	// Options.WireLatency and delivery is exact.
+	WireSim = "sim"
+	// WireUDP is the real-socket backend: frames cross loopback UDP
+	// sockets, so latency is the kernel's and delivery is best-effort.
+	// Options.WireLatency is ignored.
+	WireUDP = "udp"
+)
+
+// WireFactory maps a backend name to the factory that builds it, with
+// latency applied where the backend models one. The empty name means
+// WireSim.
+func WireFactory(name string, latency time.Duration) (wire.Factory, error) {
+	switch name {
+	case "", WireSim:
+		return sim.Factory(sim.Config{Latency: latency}), nil
+	case WireUDP:
+		return udpwire.Factory(udpwire.Config{}), nil
+	default:
+		return nil, fmt.Errorf("unknown wire backend %q (want %s or %s)", name, WireSim, WireUDP)
+	}
+}
 
 // DefaultStacks are the configurations a load sweep measures when the
 // caller does not choose: the full layered stack, both monolithic
@@ -79,7 +106,11 @@ type Options struct {
 	// WireLatency is the simulated one-way frame latency; zero means
 	// 150µs. It must stay well under the stacks' retransmit timers
 	// (50ms) or the engine would measure recovery, not throughput.
+	// Ignored by the UDP backend, whose latency is the kernel's.
 	WireLatency time.Duration
+	// Wire names the transport backend testbeds are built over:
+	// WireSim (default) or WireUDP.
+	Wire string
 	// GaugePeriod is the XKMON sampling period during each measured
 	// window: every period the engine records one point per registered
 	// gauge series (network delivery state, CHANNEL/SELECT occupancy,
@@ -157,6 +188,7 @@ type Report struct {
 		Payload       int     `json:"payload"`
 		Echo          bool    `json:"echo"`
 		WireLatencyUs float64 `json:"wire_latency_us"`
+		Wire          string  `json:"wire,omitempty"` // "" means sim
 		GaugePeriodMs float64 `json:"gauge_period_ms,omitempty"`
 	} `json:"options"`
 	Stacks []StackReport `json:"stacks"`
@@ -212,6 +244,7 @@ func Run(opt Options) (*Report, error) {
 	rep.Options.Payload = opt.Payload
 	rep.Options.Echo = opt.Echo
 	rep.Options.WireLatencyUs = float64(opt.WireLatency.Nanoseconds()) / 1e3
+	rep.Options.Wire = opt.Wire
 	rep.Options.GaugePeriodMs = float64(opt.GaugePeriod.Nanoseconds()) / 1e6
 	for _, stack := range opt.Stacks {
 		sr := StackReport{Stack: string(stack)}
@@ -234,10 +267,15 @@ func RunLevel(stack bench.Stack, clients int, opt Options) (*Level, error) {
 	if clients < 1 {
 		return nil, fmt.Errorf("load: need at least one client")
 	}
-	// An async (timer-scheduled) wire: deliveries arrive on their own
-	// goroutines, so concurrent clients genuinely overlap in the demux
-	// paths rather than borrowing the single caller's stack.
-	tb, err := bench.Build(stack, sim.Config{Latency: opt.WireLatency}, nil)
+	// An async wire: deliveries arrive on their own goroutines (the
+	// simulator's timers, or the UDP backend's listeners), so concurrent
+	// clients genuinely overlap in the demux paths rather than borrowing
+	// the single caller's stack.
+	f, err := WireFactory(opt.Wire, opt.WireLatency)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	tb, err := bench.BuildOn(stack, f, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"xkernel/internal/wire"
 	"xkernel/internal/xk"
 )
 
@@ -195,7 +196,7 @@ func (n *Network) Reattach(nic *NIC) error {
 		if cur == nic {
 			return nil
 		}
-		return fmt.Errorf("sim: address %s already attached", nic.addr)
+		return fmt.Errorf("sim: address %s: %w", nic.addr, wire.ErrDuplicateAddr)
 	}
 	n.nics[nic.addr] = nic
 	n.snapshotNicsLocked()

@@ -27,7 +27,6 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -38,6 +37,7 @@ import (
 	"xkernel/internal/obs/flight"
 	"xkernel/internal/obs/gauge"
 	"xkernel/internal/obs/span"
+	"xkernel/internal/wire"
 	"xkernel/internal/xk"
 )
 
@@ -47,8 +47,9 @@ const DefaultMTU = 1500
 
 // EthHeaderBytes is the framing overhead charged to the wire per frame in
 // addition to the payload (14-byte header; preamble/CRC/gap folded in to
-// keep the model simple but honest about per-frame cost).
-const EthHeaderBytes = 14 + 24
+// keep the model simple but honest about per-frame cost). It is the
+// seam's constant: every backend accepts the same frame sizes.
+const EthHeaderBytes = wire.EthHeaderBytes
 
 // Config parameterizes a Network.
 type Config struct {
@@ -309,7 +310,8 @@ type heldFrame struct {
 }
 
 // ErrFrameTooBig is returned by Send for frames over the MTU plus header.
-var ErrFrameTooBig = errors.New("sim: frame exceeds MTU")
+// It is the seam's sentinel, so errors.Is works the same over any backend.
+var ErrFrameTooBig = wire.ErrFrameTooBig
 
 // New creates a network segment.
 func New(cfg Config) *Network {
@@ -356,7 +358,7 @@ func (n *Network) Attach(addr xk.EthAddr) (*NIC, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.nics[addr]; dup {
-		return nil, fmt.Errorf("sim: address %s already attached", addr)
+		return nil, fmt.Errorf("sim: address %s: %w", addr, wire.ErrDuplicateAddr)
 	}
 	nic := &NIC{net: n, addr: addr}
 	n.nics[addr] = nic

@@ -15,6 +15,7 @@ import (
 	"xkernel/internal/proto/ip"
 	"xkernel/internal/proto/udp"
 	"xkernel/internal/sim"
+	"xkernel/internal/wire"
 	"xkernel/internal/xk"
 )
 
@@ -26,8 +27,12 @@ type HostConfig struct {
 	Eth  xk.EthAddr
 	IP   xk.IPAddr
 	Mask xk.IPAddr
-	// Network is the segment the host attaches to.
+	// Network is the simulated segment the host attaches to. Wire,
+	// when set, wins: the host attaches to any transport-seam backend
+	// (a Network is just the seam's first implementation).
 	Network *sim.Network
+	// Wire is the transport-seam segment the host attaches to.
+	Wire wire.Wire
 	// Clock drives all the host's timers; nil means the real clock.
 	Clock event.Clock
 	// Forward enables IP forwarding (router hosts).
@@ -46,7 +51,12 @@ type Host struct {
 	Name  string
 	Clock event.Clock
 
+	// Link is the host's attachment to its wire, whatever the backend;
+	// NIC is the same attachment when the backend is the simulator
+	// (nil otherwise — sim-coupled tests and chaos faults use it).
+	Link    wire.Link
 	NIC     *sim.NIC
+	wire    wire.Wire
 	network *sim.Network
 	Eth     *eth.Protocol
 	ARP     *arp.Protocol
@@ -62,8 +72,8 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("stacks: host needs a name")
 	}
-	if cfg.Network == nil {
-		return nil, fmt.Errorf("stacks: host %s needs a network", cfg.Name)
+	if cfg.Wire == nil && cfg.Network == nil {
+		return nil, fmt.Errorf("stacks: host %s needs a network or wire", cfg.Name)
 	}
 	if cfg.Mask == (xk.IPAddr{}) {
 		cfg.Mask = xk.IPAddr{255, 255, 255, 0}
@@ -71,15 +81,23 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = event.Real()
 	}
+	w := cfg.Wire
+	if w == nil {
+		w = cfg.Network.AsWire()
+	}
 	h := &Host{Name: cfg.Name, Clock: cfg.Clock, cfg: cfg}
 
-	nic, err := cfg.Network.Attach(cfg.Eth)
+	link, err := w.Attach(cfg.Eth)
 	if err != nil {
 		return nil, err
 	}
-	h.NIC = nic
-	h.network = cfg.Network
-	h.Eth = eth.New(cfg.Name+"/eth", nic)
+	h.Link = link
+	h.wire = w
+	h.network = sim.Unwrap(w)
+	if nic, ok := link.(*sim.NIC); ok {
+		h.NIC = nic
+	}
+	h.Eth = eth.New(cfg.Name+"/eth", link)
 
 	acfg := cfg.ARP
 	if acfg.Clock == nil {
@@ -116,21 +134,31 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	return h, nil
 }
 
-// Network returns the segment the host's first interface attaches to.
+// Network returns the simulated segment the host's first interface
+// attaches to, or nil when the host runs over a different backend.
 func (h *Host) Network() *sim.Network { return h.network }
+
+// Wire returns the transport-seam segment the host's first interface
+// attaches to.
+func (h *Host) Wire() wire.Wire { return h.wire }
 
 // AddInterface attaches the host to an additional segment (router hosts),
 // rebuilding the IP layer with both interfaces. It must be called before
 // traffic flows.
 func (h *Host) AddInterface(network *sim.Network, ethAddr xk.EthAddr, ipAddr, mask xk.IPAddr) error {
+	return h.AddInterfaceOn(network.AsWire(), ethAddr, ipAddr, mask)
+}
+
+// AddInterfaceOn is AddInterface over any transport-seam backend.
+func (h *Host) AddInterfaceOn(w wire.Wire, ethAddr xk.EthAddr, ipAddr, mask xk.IPAddr) error {
 	if mask == (xk.IPAddr{}) {
 		mask = xk.IPAddr{255, 255, 255, 0}
 	}
-	nic, err := network.Attach(ethAddr)
+	link, err := w.Attach(ethAddr)
 	if err != nil {
 		return err
 	}
-	eth2 := eth.New(h.Name+"/eth1", nic)
+	eth2 := eth.New(h.Name+"/eth1", link)
 	acfg := h.cfg.ARP
 	if acfg.Clock == nil {
 		acfg.Clock = h.Clock
@@ -167,28 +195,45 @@ func TwoHosts(netCfg sim.Config, clock event.Clock) (client, server *Host, netwo
 	if netCfg.Clock == nil {
 		netCfg.Clock = clock
 	}
-	network = sim.New(netCfg)
+	client, server, w, err := TwoHostsOn(sim.Factory(netCfg), clock)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return client, server, sim.Unwrap(w), nil
+}
+
+// TwoHostsOn is TwoHosts over any transport-seam backend: the factory
+// mints the segment, and the addressing is identical, so a stack built
+// here is byte-for-byte the stack TwoHosts builds. The caller owns the
+// returned Wire (Close it when done).
+func TwoHostsOn(f wire.Factory, clock event.Clock) (client, server *Host, w wire.Wire, err error) {
+	w, err = f()
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	client, err = NewHost(HostConfig{
-		Name:    "client",
-		Eth:     xk.EthAddr{0x02, 0, 0, 0, 0, 1},
-		IP:      xk.IP(10, 0, 0, 1),
-		Network: network,
-		Clock:   clock,
+		Name:  "client",
+		Eth:   xk.EthAddr{0x02, 0, 0, 0, 0, 1},
+		IP:    xk.IP(10, 0, 0, 1),
+		Wire:  w,
+		Clock: clock,
 	})
 	if err != nil {
+		w.Close()
 		return nil, nil, nil, err
 	}
 	server, err = NewHost(HostConfig{
-		Name:    "server",
-		Eth:     xk.EthAddr{0x02, 0, 0, 0, 0, 2},
-		IP:      xk.IP(10, 0, 0, 2),
-		Network: network,
-		Clock:   clock,
+		Name:  "server",
+		Eth:   xk.EthAddr{0x02, 0, 0, 0, 0, 2},
+		IP:    xk.IP(10, 0, 0, 2),
+		Wire:  w,
+		Clock: clock,
 	})
 	if err != nil {
+		w.Close()
 		return nil, nil, nil, err
 	}
-	return client, server, network, nil
+	return client, server, w, nil
 }
 
 // Internet builds the multi-segment topology VIP distinguishes from the
@@ -205,42 +250,65 @@ func InternetWithTTL(netCfg sim.Config, clock event.Clock, ttl uint8) (client, s
 	if netCfg.Clock == nil {
 		netCfg.Clock = clock
 	}
-	segA := sim.New(netCfg)
-	segB := sim.New(netCfg)
+	return internetOn(sim.Factory(netCfg), clock, ttl)
+}
+
+// InternetOn is Internet over any transport-seam backend: the factory
+// is called once per segment, so the two broadcast domains are as
+// isolated as the simulator's.
+func InternetOn(f wire.Factory, clock event.Clock) (client, server, router *Host, err error) {
+	return internetOn(f, clock, 0)
+}
+
+func internetOn(f wire.Factory, clock event.Clock, ttl uint8) (client, server, router *Host, err error) {
+	segA, err := f()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	segB, err := f()
+	if err != nil {
+		segA.Close()
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*Host, *Host, *Host, error) {
+		segA.Close()
+		segB.Close()
+		return nil, nil, nil, err
+	}
 	client, err = NewHost(HostConfig{
 		Name:     "client",
 		Eth:      xk.EthAddr{0x02, 0, 0, 0, 0, 1},
 		IP:       xk.IP(10, 0, 1, 1),
-		Network:  segA,
+		Wire:     segA,
 		Clock:    clock,
 		IPConfig: ip.Config{TTL: ttl},
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return fail(err)
 	}
 	server, err = NewHost(HostConfig{
-		Name:    "server",
-		Eth:     xk.EthAddr{0x02, 0, 0, 0, 0, 2},
-		IP:      xk.IP(10, 0, 2, 1),
-		Network: segB,
-		Clock:   clock,
+		Name:  "server",
+		Eth:   xk.EthAddr{0x02, 0, 0, 0, 0, 2},
+		IP:    xk.IP(10, 0, 2, 1),
+		Wire:  segB,
+		Clock: clock,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return fail(err)
 	}
 	router, err = NewHost(HostConfig{
 		Name:    "router",
 		Eth:     xk.EthAddr{0x02, 0, 0, 0, 0, 0xAA},
 		IP:      xk.IP(10, 0, 1, 254),
-		Network: segA,
+		Wire:    segA,
 		Clock:   clock,
 		Forward: true,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return fail(err)
 	}
-	if err := router.AddInterface(segB, xk.EthAddr{0x02, 0, 0, 0, 0, 0xBB}, xk.IP(10, 0, 2, 254), xk.IPAddr{}); err != nil {
-		return nil, nil, nil, err
+	if err := router.AddInterfaceOn(segB, xk.EthAddr{0x02, 0, 0, 0, 0, 0xBB}, xk.IP(10, 0, 2, 254), xk.IPAddr{}); err != nil {
+		return fail(err)
 	}
 	client.IP.AddRoute(ip.Route{
 		Net: xk.IP(10, 0, 2, 0), Mask: xk.IPAddr{255, 255, 255, 0},

@@ -1,0 +1,164 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched socket I/O via recvmmsg/sendmmsg, the syscalls the related
+// kernel-bypass literature leans on: one kernel crossing moves a batch
+// of datagrams instead of one. golang.org/x/sys is not a dependency of
+// this module, so the two syscalls are invoked directly through the
+// stdlib syscall package, nonblocking (MSG_DONTWAIT) inside a RawConn
+// callback so the runtime poller still does the waiting — the sockets
+// stay ordinary netpoll-managed fds.
+//
+// The mmsghdr layout is hand-declared, which is why this file is
+// gated to the 64-bit little-endian linux ports the container and CI
+// run on; every other platform uses the portable loop in batch_other.go.
+
+package udp
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// recvBatchSize bounds datagrams drained per kernel crossing.
+const recvBatchSize = 32
+
+// mmsghdr mirrors struct mmsghdr on 64-bit linux: a msghdr plus the
+// received datagram length.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// batchIO owns the reusable receive buffers and headers for one
+// listener: allocated once, refilled by every recvmmsg.
+type batchIO struct {
+	bufs [recvBatchSize][]byte
+	iovs [recvBatchSize]syscall.Iovec
+	hdrs [recvBatchSize]mmsghdr
+}
+
+func newBatchIO(maxFrame int) *batchIO {
+	b := &batchIO{}
+	for i := range b.hdrs {
+		// One byte over maxFrame so an exactly-oversize datagram is
+		// distinguishable even without MSG_TRUNC support.
+		b.bufs[i] = make([]byte, maxFrame+1)
+		b.iovs[i].Base = &b.bufs[i][0]
+		b.iovs[i].SetLen(len(b.bufs[i]))
+		b.hdrs[i].hdr.Iov = &b.iovs[i]
+		b.hdrs[i].hdr.Iovlen = 1
+	}
+	return b
+}
+
+// recvBatch drains up to recvBatchSize datagrams in one kernel
+// crossing and yields each as (buffer, true datagram length); MSG_TRUNC
+// makes the kernel report the real length of an oversized datagram so
+// the validator can reject it knowingly. Returns a non-nil error only
+// when the socket is done (closed or fatally broken).
+func (b *batchIO) recvBatch(_ *net.UDPConn, rc syscall.RawConn, yield func(buf []byte, dlen int)) error {
+	var n int
+	var operr syscall.Errno
+	rerr := rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG,
+			fd, uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+			uintptr(syscall.MSG_DONTWAIT|syscall.MSG_TRUNC), 0, 0)
+		if e == syscall.EAGAIN {
+			return false // wait in the poller, not the kernel
+		}
+		n, operr = int(r1), e
+		return true
+	})
+	if rerr != nil {
+		return rerr
+	}
+	if operr != 0 {
+		if operr == syscall.EINTR {
+			return nil
+		}
+		return operr
+	}
+	for i := 0; i < n; i++ {
+		dlen := int(b.hdrs[i].n)
+		buf := b.bufs[i]
+		if dlen < len(buf) {
+			buf = buf[:dlen]
+		}
+		yield(buf, dlen)
+	}
+	return nil
+}
+
+// sendBatch transmits one frame to every target in as few kernel
+// crossings as sendmmsg allows — the broadcast fan-out path. Non-IPv4
+// targets (and the empty frame edge) take the portable loop.
+func sendBatch(conn *net.UDPConn, targets []*net.UDPAddr, frame []byte) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	if len(frame) == 0 {
+		return sendLoop(conn, targets, frame)
+	}
+	sas := make([]syscall.RawSockaddrInet4, len(targets))
+	hdrs := make([]mmsghdr, len(targets))
+	var iov syscall.Iovec
+	iov.Base = &frame[0]
+	iov.SetLen(len(frame))
+	for i, t := range targets {
+		ip4 := t.IP.To4()
+		if ip4 == nil {
+			return sendLoop(conn, targets, frame)
+		}
+		sas[i].Family = syscall.AF_INET
+		// Network byte order; this file is gated to little-endian ports.
+		p := uint16(t.Port)
+		sas[i].Port = p<<8 | p>>8
+		copy(sas[i].Addr[:], ip4)
+		hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&sas[i]))
+		hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+		hdrs[i].hdr.Iov = &iov
+		hdrs[i].hdr.Iovlen = 1
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(hdrs); {
+		var n int
+		var operr syscall.Errno
+		werr := rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg,
+				fd, uintptr(unsafe.Pointer(&hdrs[off])), uintptr(len(hdrs)-off),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			n, operr = int(r1), e
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+		if operr != 0 {
+			if operr == syscall.EINTR {
+				continue
+			}
+			return operr
+		}
+		off += n
+	}
+	return nil
+}
+
+// sendLoop is the write-batch loop fallback for targets the fast path
+// does not cover.
+func sendLoop(conn *net.UDPConn, targets []*net.UDPAddr, frame []byte) error {
+	for _, t := range targets {
+		if _, err := conn.WriteToUDP(frame, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

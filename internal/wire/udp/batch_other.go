@@ -1,0 +1,49 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable socket I/O: one datagram per kernel crossing through the
+// stdlib's ReadFromUDP/WriteToUDP. Semantically identical to the
+// batched linux path — only the crossings-per-datagram differ.
+
+package udp
+
+import (
+	"net"
+	"syscall"
+)
+
+// batchIO owns the single reusable receive buffer for one listener.
+type batchIO struct {
+	buf []byte
+}
+
+func newBatchIO(maxFrame int) *batchIO {
+	// One byte over maxFrame so an oversized datagram is detectable:
+	// the kernel fills the whole buffer and checkFrame sees
+	// dlen > maxFrame.
+	return &batchIO{buf: make([]byte, maxFrame+1)}
+}
+
+// recvBatch receives one datagram and yields it as (buffer, length).
+// Returns a non-nil error only when the socket is done.
+func (b *batchIO) recvBatch(conn *net.UDPConn, _ syscall.RawConn, yield func(buf []byte, dlen int)) error {
+	n, _, err := conn.ReadFromUDP(b.buf)
+	if err != nil {
+		return err
+	}
+	buf := b.buf
+	if n < len(buf) {
+		buf = buf[:n]
+	}
+	yield(buf, n)
+	return nil
+}
+
+// sendBatch transmits one frame to every target, one write per target.
+func sendBatch(conn *net.UDPConn, targets []*net.UDPAddr, frame []byte) error {
+	for _, t := range targets {
+		if _, err := conn.WriteToUDP(frame, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Frame validation: the trust boundary between the socket and the
+// protocol graph. A UDP socket on a real interface hears whatever
+// anyone sends it; every datagram is treated as hostile until it
+// proves it is a well-formed ethernet frame addressed to this link.
+// The rules are mechanical so the fuzzer can state them as invariants:
+// a rejected datagram returns an error (never panics), and a frame
+// whose destination is neither this link nor broadcast is never
+// delivered.
+
+package udp
+
+import (
+	"errors"
+
+	"xkernel/internal/xk"
+)
+
+// ethHeaderLen is the on-the-wire ethernet header: dst(6) src(6) type(2).
+const ethHeaderLen = 14
+
+// Validation rejections, counted as FramesDropped.
+var (
+	// ErrTruncatedFrame rejects datagrams shorter than the header.
+	ErrTruncatedFrame = errors.New("udp: truncated frame")
+	// ErrOversizeFrame rejects datagrams over MTU+header — a peer
+	// that ignores the MTU does not get to ignore ours.
+	ErrOversizeFrame = errors.New("udp: oversize frame")
+	// ErrMisdelivered rejects frames whose destination address is
+	// neither this link nor broadcast.
+	ErrMisdelivered = errors.New("udp: frame for another address")
+)
+
+// checkFrame validates one received datagram for the link bound to
+// self. buf holds the received bytes (possibly truncated by the
+// kernel); dlen is the datagram's true length on the wire.
+func checkFrame(buf []byte, dlen int, self xk.EthAddr, maxFrame int) error {
+	if dlen > maxFrame {
+		return ErrOversizeFrame
+	}
+	if dlen < ethHeaderLen || len(buf) < ethHeaderLen {
+		return ErrTruncatedFrame
+	}
+	var dst xk.EthAddr
+	copy(dst[:], buf[0:6])
+	if dst != self && !dst.IsBroadcast() {
+		return ErrMisdelivered
+	}
+	return nil
+}

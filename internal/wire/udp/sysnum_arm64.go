@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package udp
+
+// sysSendmmsg is __NR_sendmmsg on linux/arm64; the stdlib syscall
+// table was frozen before sendmmsg (Linux 3.0) landed.
+const sysSendmmsg = 269

@@ -1,0 +1,128 @@
+// Package wire defines the transport seam beneath the ethernet driver:
+// the boundary between the protocol graph and whatever carries its
+// frames. The paper measures layered RPC against a real 10 Mbps
+// ethernet; this suite has historically measured it against
+// internal/sim's in-memory segment. The seam makes the substrate
+// pluggable — the same stacks, chaos scenarios, and baselines drive
+// either the simulator or real UDP sockets (wire/udp) without the
+// protocol code knowing which.
+//
+// The contract is deliberately the simulator's, because the simulator's
+// contract is the paper's ethernet:
+//
+//   - A Wire is one broadcast domain. Links attach by hardware address;
+//     duplicate addresses are refused with ErrDuplicateAddr.
+//   - Send carries a complete ethernet frame (header built by the ETH
+//     protocol) with the destination passed out-of-band, the way
+//     hardware address-matches the header. Frames larger than
+//     MTU+EthHeaderBytes are refused with ErrFrameTooBig.
+//   - Unicast to an unattached address is NOT an error: the frame
+//     vanishes and the FramesNoDest counter ticks, exactly like an
+//     ethernet with no interface listening. Datagram loss is a
+//     protocol problem (that is the whole point of CHANNEL).
+//   - Broadcast reaches every other link on the wire, never the sender.
+//   - Received frames arrive on the receiver callback installed with
+//     SetReceiver; the callback owns the slice it is handed.
+//
+// What the seam does NOT promise: delivery order across links, a
+// virtual clock, or a bit-reproducible frame log. Those are simulator
+// properties (internal/sim keeps them); tests that need them build on
+// the sim backend directly.
+package wire
+
+import (
+	"errors"
+
+	"xkernel/internal/xk"
+)
+
+// DefaultMTU is the ethernet maximum transmission unit used throughout
+// the paper: "ETH is able to deliver 1500-byte packets".
+const DefaultMTU = 1500
+
+// EthHeaderBytes is the framing overhead a backend accepts per frame in
+// addition to the MTU payload (14-byte header; preamble/CRC/gap folded
+// in to keep the accounting simple but honest about per-frame cost).
+// It matches internal/sim's historical constant so frames sized for one
+// backend are legal on every backend.
+const EthHeaderBytes = 14 + 24
+
+// MaxFrame is the largest frame a backend with the given MTU accepts.
+func MaxFrame(mtu int) int { return mtu + EthHeaderBytes }
+
+// Errors every backend returns for the contract's refusals. Backends
+// wrap these (errors.Is) with their own detail.
+var (
+	// ErrFrameTooBig is returned by Link.Send for frames over
+	// MTU+EthHeaderBytes.
+	ErrFrameTooBig = errors.New("wire: frame exceeds MTU")
+	// ErrDuplicateAddr is returned by Attach when the address is
+	// already bound on this wire.
+	ErrDuplicateAddr = errors.New("wire: address already attached")
+	// ErrDetached is returned by Link.Send after the link was detached.
+	ErrDetached = errors.New("wire: link detached")
+	// ErrClosed is returned by Attach after the wire was closed.
+	ErrClosed = errors.New("wire: closed")
+)
+
+// Link is one host's attachment to a Wire — the hardware beneath one
+// ethernet driver. Its method set is exactly the driver's Wire
+// interface (internal/proto/eth), so a Link plugs into eth.New with no
+// adapter and no indirection on the per-frame path.
+type Link interface {
+	// Send transmits a complete ethernet frame to dst. The frame
+	// includes the header built by the ETH protocol; dst is passed
+	// out-of-band the way hardware address-matches the header.
+	// Unicast to an absent address is silent (FramesNoDest).
+	Send(dst xk.EthAddr, frame []byte) error
+	// Addr returns the link's hardware address.
+	Addr() xk.EthAddr
+	// MTU reports the wire MTU (largest frame payload, header excluded).
+	MTU() int
+	// SetReceiver installs the frame handler: the entry point of the
+	// shepherd path upward through the protocol stack. The handler
+	// owns the slice it is handed. Nil uninstalls.
+	SetReceiver(func(frame []byte))
+}
+
+// Wire is one broadcast domain: the segment Links attach to.
+type Wire interface {
+	// Attach binds a new link at addr; ErrDuplicateAddr if taken.
+	Attach(addr xk.EthAddr) (Link, error)
+	// Detach removes a link from the wire. Detaching an already
+	// detached link is a no-op.
+	Detach(l Link)
+	// MTU reports the wire MTU.
+	MTU() int
+	// Stats returns a snapshot of the wire counters.
+	Stats() Stats
+	// Close releases the wire's resources (sockets, goroutines).
+	// Close is idempotent; the simulator's wire has nothing to release.
+	Close() error
+}
+
+// Reattacher is the optional crash-model half of the contract: a
+// backend that can restore a previously detached Link at its old
+// address (the rebooted host's interface coming back, receiver intact).
+// Both built-in backends implement it; chaos scenarios require it.
+type Reattacher interface {
+	Reattach(l Link) error
+}
+
+// Stats counts wire activity. Backends without a counter's concept
+// leave it zero (the simulator never misdelivers; udp never injects
+// faults of its own — FramesDropped there counts frames its validator
+// refused).
+type Stats struct {
+	FramesSent      int64 // accepted by Send
+	FramesDelivered int64 // handed to a receiver callback
+	FramesDropped   int64 // eaten: injected faults, or refused by validation
+	FramesNoDest    int64 // unicast to an unattached address
+	BytesSent       int64
+}
+
+// Factory creates one fresh broadcast domain. Stack builders take a
+// Factory rather than a Wire so a topology with several segments (the
+// VIP "destination is not on the local network" case) can mint one per
+// segment; each call must return an independent Wire.
+type Factory func() (Wire, error)

@@ -1,0 +1,129 @@
+// The contract run over every in-tree backend: the simulator (the
+// contract's source of truth), the UDP socket backend (lossy, real
+// goroutines), and the fault injector wrapping each (a transparent
+// Wire while no faults are armed).
+package wiretest_test
+
+import (
+	"testing"
+	"time"
+
+	"xkernel/internal/sim"
+	"xkernel/internal/wire"
+	"xkernel/internal/wire/udp"
+	"xkernel/internal/wire/wiretest"
+	"xkernel/internal/xk"
+)
+
+func mkSim(t *testing.T) wire.Wire {
+	return sim.New(sim.Config{}).AsWire()
+}
+
+func mkUDP(t *testing.T) wire.Wire {
+	w, err := udp.New(udp.Config{})
+	if err != nil {
+		t.Fatalf("udp.New: %v", err)
+	}
+	return w
+}
+
+func TestContractSim(t *testing.T) {
+	wiretest.Run(t, mkSim, wiretest.Options{})
+}
+
+func TestContractUDP(t *testing.T) {
+	wiretest.Run(t, mkUDP, wiretest.Options{Lossy: true, Patience: 5 * time.Second})
+}
+
+func TestContractInjectorOverSim(t *testing.T) {
+	wiretest.Run(t, func(t *testing.T) wire.Wire {
+		return wire.NewInjector(mkSim(t))
+	}, wiretest.Options{})
+}
+
+func TestContractInjectorOverUDP(t *testing.T) {
+	wiretest.Run(t, func(t *testing.T) wire.Wire {
+		return wire.NewInjector(mkUDP(t))
+	}, wiretest.Options{Lossy: true, Patience: 5 * time.Second})
+}
+
+// TestInjectorFaults exercises the injector's scripted adversity —
+// the part of the contract the plain harness leaves unarmed.
+func TestInjectorFaults(t *testing.T) {
+	inj := wire.NewInjector(mkSim(t))
+	defer inj.Close()
+
+	type drop struct {
+		disp string
+		size int
+	}
+	var drops []drop
+	inj.OnDrop = func(disp string, _, _ xk.EthAddr, _ int64, size int) {
+		drops = append(drops, drop{disp, size})
+	}
+
+	a := xk.EthAddr{0x02, 0, 0, 0, 0, 1}
+	b := xk.EthAddr{0x02, 0, 0, 0, 0, 2}
+	la, err := inj.Attach(a)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	lb, err := inj.Attach(b)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	var got int
+	lb.SetReceiver(func([]byte) { got++ })
+
+	f := make([]byte, 14)
+	copy(f[0:6], b[:])
+
+	// DropNext eats exactly n frames, then passes traffic again.
+	inj.DropNext(2)
+	for i := 0; i < 3; i++ {
+		if err := la.Send(b, f); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if got != 1 || len(drops) != 2 {
+		t.Fatalf("after DropNext(2)+3 sends: delivered %d, dropped %d", got, len(drops))
+	}
+
+	// A predicate rule targets one direction only.
+	id := inj.DropWhere(func(src, dst xk.EthAddr) bool { return src == b }, 1)
+	la.SetReceiver(func([]byte) { t.Fatal("rule-matched frame delivered") })
+	back := make([]byte, 14)
+	copy(back[0:6], a[:])
+	if err := lb.Send(a, back); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := la.Send(b, f); err != nil { // opposite direction passes
+		t.Fatalf("send: %v", err)
+	}
+	if got != 2 || len(drops) != 3 {
+		t.Fatalf("after rule: delivered %d, dropped %d", got, len(drops))
+	}
+	inj.RemoveRule(id)
+
+	// Link state cuts both directions; raising it heals.
+	inj.SetLinkState(b, false)
+	if err := la.Send(b, f); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got != 2 {
+		t.Fatal("frame delivered to a down link")
+	}
+	inj.SetLinkState(b, true)
+	if err := la.Send(b, f); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got != 3 {
+		t.Fatal("frame not delivered after link up")
+	}
+
+	// The injector's vetoes count as sent+dropped, like the simulator's.
+	s := inj.Stats()
+	if s.FramesDropped != int64(len(drops)) {
+		t.Fatalf("FramesDropped = %d, want %d", s.FramesDropped, len(drops))
+	}
+}

@@ -66,6 +66,17 @@ echo "== demux fuzz smoke (arbitrary frames through CHANNEL and FRAGMENT) =="
 go test ./internal/rpc/channel/ -run '^$' -fuzz FuzzChannelPop -fuzztime 5s
 go test ./internal/rpc/fragment/ -run '^$' -fuzz FuzzFragmentPop -fuzztime 5s
 
+echo "== udp frame fuzz smoke (hostile datagrams at the socket boundary) =="
+# The UDP backend's decode path faces raw bytes from the network; any
+# datagram must be either delivered intact or counted as garbage,
+# never panic or misframe.
+go test ./internal/wire/udp/ -run '^$' -fuzz FuzzUDPFrame -fuzztime 5s
+
+echo "== udp loopback smoke (real sockets under the load engine) =="
+# One quick sweep over the real UDP wire: proves the seam end-to-end
+# off-simulator and that the report is well-formed.
+go run ./cmd/xkload -wire udp -stacks L_RPC-VIP -clients 1 -duration 100ms -json - | grep -q '"kind": "load"'
+
 echo "== allow-grammar fuzz smoke (xkvet suppression parser) =="
 # The //xk:allow parser gates what the analyzers silence; it must never
 # panic or accept a suppression without a pass list and a reason.

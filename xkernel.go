@@ -63,6 +63,8 @@ import (
 	"xkernel/internal/sim"
 	"xkernel/internal/stacks"
 	"xkernel/internal/trace"
+	"xkernel/internal/wire"
+	udpwire "xkernel/internal/wire/udp"
 	"xkernel/internal/xk"
 )
 
@@ -92,6 +94,23 @@ type (
 	Network = sim.Network
 	// NetConfig parameterizes a simulated segment.
 	NetConfig = sim.Config
+	// Wire is the pluggable transport seam every testbed is built
+	// over: attach and detach links, query the MTU, read frame
+	// counters, close the backend.
+	Wire = wire.Wire
+	// WireLink is one attached interface on a Wire — the eth driver's
+	// view of its NIC (Send, Addr, MTU, SetReceiver).
+	WireLink = wire.Link
+	// WireStats counts frames sent, delivered, and dropped on a Wire.
+	WireStats = wire.Stats
+	// WireFactory constructs a fresh Wire; testbed builders take one
+	// to choose a transport backend.
+	WireFactory = wire.Factory
+	// WireInjector wraps any Wire with deterministic scripted faults
+	// (targeted drops, link state) for off-simulator chaos.
+	WireInjector = wire.Injector
+	// UDPWireConfig parameterizes the real UDP-socket backend.
+	UDPWireConfig = udpwire.Config
 	// Clock abstracts time for protocol timers.
 	Clock = event.Clock
 	// FakeClock is a manually advanced clock for deterministic tests.
@@ -222,6 +241,17 @@ var (
 	MakeData = msg.MakeData
 	// NewNetwork creates a simulated ethernet segment.
 	NewNetwork = sim.New
+	// SimWireFactory builds the in-memory simulated-ethernet backend
+	// as a Wire (deterministic, clock-driven).
+	SimWireFactory = sim.Factory
+	// UDPWireFactory builds the real UDP-socket backend: one loopback
+	// socket per attached link, one ethernet frame per datagram.
+	UDPWireFactory = udpwire.Factory
+	// NewWireInjector wraps a Wire with the scripted fault injector.
+	NewWireInjector = wire.NewInjector
+	// UnwrapNetwork returns the simulator behind a Wire, or nil when
+	// the backend is not the simulator.
+	UnwrapNetwork = sim.Unwrap
 	// NewApp wraps a delivery callback as a top-of-stack Protocol.
 	NewApp = xk.NewApp
 	// NewParticipant builds an address-component stack (bottom-up).
@@ -450,6 +480,18 @@ func TwoHosts(netCfg NetConfig, clock Clock) (client, server *Kernel, network *N
 		return nil, nil, nil, err
 	}
 	return wrap(c), wrap(s), n, nil
+}
+
+// TwoHostsOn builds the standard testbed over an arbitrary transport
+// backend: the client and server kernels plus the Wire carrying their
+// frames. Close the Wire when done — real backends own sockets and
+// listener goroutines.
+func TwoHostsOn(f WireFactory, clock Clock) (client, server *Kernel, w Wire, err error) {
+	c, s, w, err := stacks.TwoHostsOn(f, clock)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wrap(c), wrap(s), w, nil
 }
 
 // Internet builds the multi-segment topology with a router between the
